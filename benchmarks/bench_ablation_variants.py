@@ -1,0 +1,70 @@
+"""Ablation: pattern variant groups (the Section VII extension).
+
+Measures what the hierarchy buys and costs on Assignment 1:
+
+* verdict quality — a cohort containing index-jumping submissions is
+  graded with and without variant groups; the groups must eliminate the
+  false negatives (the paper's third discrepancy class) while changing
+  no other verdict;
+* matching cost — trying every variant multiplies work by at most the
+  group width, keeping grading in the milliseconds regime.
+"""
+
+import pytest
+
+from repro.core import FeedbackEngine
+from repro.kb import get_assignment
+from repro.kb.extensions import (
+    SKIP_INDEX_SUBMISSION,
+    assignment1_with_variants,
+)
+from repro.synth import sample_submissions
+
+
+@pytest.fixture(scope="module")
+def cohort_with_jumpers():
+    space = get_assignment("assignment1").space()
+    cohort = [s.source for s in sample_submissions(space, 20, seed=9)]
+    cohort.extend([SKIP_INDEX_SUBMISSION] * 5)
+    return cohort
+
+
+@pytest.mark.parametrize("kb", ["plain", "variants"])
+def test_grading_cost_with_and_without_variants(
+    benchmark, kb, cohort_with_jumpers
+):
+    assignment = (
+        get_assignment("assignment1") if kb == "plain"
+        else assignment1_with_variants()
+    )
+    engine = FeedbackEngine(assignment)
+
+    def grade_all():
+        return sum(
+            1 for source in cohort_with_jumpers
+            if engine.grade(source).is_positive
+        )
+
+    positives = benchmark.pedantic(grade_all, rounds=3, iterations=1)
+    benchmark.extra_info.update(kb=kb, positives=positives)
+
+
+def test_variants_fix_only_the_jumping_submissions(
+    benchmark, cohort_with_jumpers
+):
+    plain = FeedbackEngine(get_assignment("assignment1"))
+    upgraded = FeedbackEngine(assignment1_with_variants())
+
+    def compare():
+        flipped = []
+        for source in cohort_with_jumpers:
+            before = plain.grade(source).is_positive
+            after = upgraded.grade(source).is_positive
+            if before != after:
+                flipped.append((before, after))
+        return flipped
+
+    flipped = benchmark.pedantic(compare, rounds=1, iterations=1)
+    # exactly the five jumping submissions flip, all negative -> positive
+    assert len(flipped) == 5
+    assert all(not before and after for before, after in flipped)

@@ -1,0 +1,69 @@
+"""Section VI-C, Scalability (Sketch): AutoGrader degrades with repairs.
+
+The paper: "Sketch can provide up to four repairs beyond which its
+performance degrades significantly."  We inject 1..4 errors into the
+Assignment-1 reference and measure the repair search: candidate count
+(work) and wall time must grow combinatorially, while our technique's
+grading time stays flat in the number of errors.
+"""
+
+import pytest
+
+from repro.baselines import AutoGraderSim
+from repro.kb import get_assignment
+
+_ERROR_SLOTS = ["odd-init", "bound", "i-init", "even-strategy"]
+
+
+def _choices(space, error_count):
+    names = [cp.name for cp in space.choice_points]
+    choices = [0] * len(names)
+    for slot in _ERROR_SLOTS[:error_count]:
+        # even-strategy's wrong option is index 3; the rest use 1
+        choices[names.index(slot)] = 3 if slot == "even-strategy" else 1
+    return choices
+
+
+@pytest.mark.parametrize("errors", [1, 2, 3])
+def test_autograder_repair_cost(benchmark, errors):
+    assignment = get_assignment("assignment1")
+    space = assignment.space()
+    sim = AutoGraderSim(assignment, space, max_repairs=4,
+                        work_budget=100_000)
+    choices = _choices(space, errors)
+
+    result = benchmark.pedantic(lambda: sim.repair(choices), rounds=2, iterations=1)
+    assert result.repaired and result.repair_count == errors
+    benchmark.extra_info.update(errors=errors, work=result.work)
+
+
+@pytest.mark.parametrize("errors", [1, 2, 3])
+def test_our_grading_is_flat_in_error_count(benchmark, errors, engines):
+    assignment = get_assignment("assignment1")
+    space = assignment.space()
+    source = space.submission(space.encode(_choices(space, errors))).source
+    engine = engines["assignment1"]
+    report = benchmark(lambda: engine.grade(source))
+    assert not report.is_positive
+    benchmark.extra_info.update(errors=errors, engine="patterns")
+
+
+def test_work_explodes_combinatorially(benchmark):
+    """The headline shape: each extra repair multiplies the search."""
+    assignment = get_assignment("assignment1")
+    space = assignment.space()
+    sim = AutoGraderSim(assignment, space, max_repairs=4,
+                        work_budget=2_000_000, step_budget=50_000)
+
+    def sweep():
+        work = []
+        for errors in (1, 2, 3):
+            result = sim.repair(_choices(space, errors))
+            assert result.repaired
+            work.append(result.work)
+        return work
+
+    work = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    benchmark.extra_info.update(work_by_errors=work)
+    assert work[1] > 10 * work[0]
+    assert work[2] > 10 * work[1]

@@ -1,0 +1,79 @@
+"""Section IV: matching cost versus graph and pattern size.
+
+The worst case is O(n^m), but the paper argues the practical cost is
+governed by the type-partitioned search space and the connectivity-first
+node ordering.  We grow synthetic submissions (more loop/if blocks →
+larger EPDGs) and measure how matching one fixed pattern scales, plus
+the cost of the full Assignment-1 pattern set at each size.
+"""
+
+import pytest
+
+from repro.java import parse_submission
+from repro.kb import get_pattern
+from repro.matching import match_pattern
+from repro.pdg import extract_epdg
+
+
+def _synthetic_submission(blocks: int) -> str:
+    """A method with ``blocks`` independent counting loops; every block
+    adds ~5 EPDG nodes, only the first is the odd-access idiom."""
+    parts = [
+        "void assignment1(int[] a) {",
+        "    int acc0 = 0;",
+        "    for (int i0 = 0; i0 < a.length; i0++)",
+        "        if (i0 % 2 == 1)",
+        "            acc0 += a[i0];",
+    ]
+    for b in range(1, blocks):
+        parts.extend([
+            f"    int acc{b} = 0;",
+            f"    for (int i{b} = 0; i{b} < a.length; i{b}++)",
+            f"        if (i{b} > {b})",
+            f"            acc{b} += {b};",
+        ])
+    parts.append("    System.out.println(acc0);")
+    parts.append("}")
+    return "\n".join(parts)
+
+
+@pytest.mark.parametrize("blocks", [1, 4, 8, 16])
+def test_matching_scales_with_graph_size(benchmark, blocks):
+    graph = extract_epdg(
+        parse_submission(_synthetic_submission(blocks)).methods()[0]
+    )
+    pattern = get_pattern("seq-odd-access")
+    embeddings = benchmark(lambda: match_pattern(pattern, graph))
+    assert len(embeddings) == 1  # only the first block matches
+    benchmark.extra_info.update(
+        blocks=blocks, graph_nodes=len(graph),
+        pattern_nodes=len(pattern.nodes),
+    )
+
+
+@pytest.mark.parametrize("pattern_name", [
+    "print-call",            # 1 node
+    "counter-under-cond",    # 3 nodes
+    "seq-odd-access",        # 6 nodes
+    "record-position-read",  # 10 nodes
+])
+def test_matching_scales_with_pattern_size(benchmark, pattern_name):
+    graph = extract_epdg(
+        parse_submission(_synthetic_submission(8)).methods()[0]
+    )
+    pattern = get_pattern(pattern_name)
+    benchmark(lambda: match_pattern(pattern, graph))
+    benchmark.extra_info.update(
+        pattern_nodes=len(pattern.nodes), graph_nodes=len(graph),
+    )
+
+
+def test_epdg_construction_is_linear(benchmark):
+    sources = [_synthetic_submission(b) for b in (2, 4, 8, 16, 32)]
+    units = [parse_submission(s).methods()[0] for s in sources]
+
+    def build_all():
+        return [len(extract_epdg(u)) for u in units]
+
+    sizes = benchmark(build_all)
+    assert sizes == sorted(sizes)

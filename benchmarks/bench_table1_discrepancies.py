@@ -1,0 +1,72 @@
+"""Table I, column D: discrepancies between functional testing and the
+pattern-based verdict.
+
+A discrepancy is a submission where functional testing says correct but
+the technique reports negative feedback, or vice versa (the paper's
+definition).  The paper counts them over the full spaces; we count over
+the deterministic sample and extrapolate, recording both next to the
+paper's value.  The claim to reproduce is the *shape*: the assignments
+the paper lists with D = 0 stay at (or near) zero, and the discrepancy-
+rich assignments (print-order variants, interval lower bounds, the RIT
+field-selector family) show a clearly non-zero rate caused by the same
+submission classes the paper discusses.
+"""
+
+import pytest
+
+from repro.kb import all_assignment_names, get_assignment
+from repro.testing import run_tests_on_source
+
+PAPER_D = {
+    "assignment1": 24, "esc-LAB-3-P1-V1": 8, "esc-LAB-3-P2-V1": 592,
+    "esc-LAB-3-P2-V2": 0, "esc-LAB-3-P3-V1": 1, "esc-LAB-3-P3-V2": 4,
+    "esc-LAB-3-P4-V1": 1, "esc-LAB-3-P4-V2": 248,
+    "mitx-derivatives": 0, "mitx-polynomials": 0,
+    "rit-all-g-medals": 1872, "rit-medals-by-ath": 744,
+}
+
+#: Assignments the paper reports as discrepancy-free.
+ZERO_D = {name for name, d in PAPER_D.items() if d == 0}
+
+
+@pytest.mark.parametrize("name", all_assignment_names())
+def test_discrepancy_rate(benchmark, name, cohorts, engines):
+    assignment = get_assignment(name)
+    engine = engines[name]
+    cohort = cohorts[name]
+
+    def count_discrepancies():
+        count = 0
+        for submission in cohort:
+            positive = engine.grade(submission.source).is_positive
+            passed = run_tests_on_source(
+                submission.source, assignment.tests, step_budget=200_000
+            ).passed
+            if positive != passed:
+                count += 1
+        return count
+
+    sample_d = benchmark.pedantic(count_discrepancies, rounds=2, iterations=1)
+    space = assignment.space()
+    extrapolated = round(sample_d / len(cohort) * space.size)
+    benchmark.extra_info.update(
+        paper_D=PAPER_D[name],
+        sample_D=sample_d,
+        sample_size=len(cohort),
+        extrapolated_D=extrapolated,
+        paper_rate=PAPER_D[name] / space.size,
+        measured_rate=sample_d / len(cohort),
+    )
+    # exhaustively check the small discrepancy-free spaces
+    if name in ZERO_D and space.size <= 1024:
+        exhaustive = 0
+        for index in range(space.size):
+            source = space.submission(index).source
+            positive = engine.grade(source).is_positive
+            passed = run_tests_on_source(
+                source, assignment.tests, step_budget=200_000
+            ).passed
+            if positive != passed:
+                exhaustive += 1
+        benchmark.extra_info["exhaustive_D"] = exhaustive
+        assert exhaustive <= space.size * 0.02

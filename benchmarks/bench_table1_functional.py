@@ -1,0 +1,45 @@
+"""Table I, column T: average functional-testing time per submission.
+
+The paper reports 0.10s-0.35s per submission (JVM startup dominated).
+Our interpreter has no VM startup, so absolute numbers are smaller; the
+shape to reproduce is that functional testing is uniformly slower than —
+or comparable to — pattern matching, and roughly constant across the
+sampled cohort.
+"""
+
+import pytest
+
+from repro.kb import all_assignment_names, get_assignment
+from repro.testing import run_tests_on_source
+
+PAPER_T_SECONDS = {
+    "assignment1": 0.18, "esc-LAB-3-P1-V1": 0.20,
+    "esc-LAB-3-P2-V1": 0.20, "esc-LAB-3-P2-V2": 0.17,
+    "esc-LAB-3-P3-V1": 0.10, "esc-LAB-3-P3-V2": 0.19,
+    "esc-LAB-3-P4-V1": 0.17, "esc-LAB-3-P4-V2": 0.26,
+    "mitx-derivatives": 0.12, "mitx-polynomials": 0.12,
+    "rit-all-g-medals": 0.32, "rit-medals-by-ath": 0.35,
+}
+
+
+@pytest.mark.parametrize("name", all_assignment_names())
+def test_functional_testing_time(benchmark, name, cohorts):
+    assignment = get_assignment(name)
+    cohort = cohorts[name]
+
+    def run_suite_over_cohort():
+        passed = 0
+        for submission in cohort:
+            if run_tests_on_source(submission.source, assignment.tests,
+                                   step_budget=200_000).passed:
+                passed += 1
+        return passed
+
+    benchmark.pedantic(run_suite_over_cohort, rounds=3, iterations=1)
+    per_submission = benchmark.stats["mean"] / len(cohort)
+    benchmark.extra_info.update(
+        paper_T_seconds=PAPER_T_SECONDS[name],
+        measured_T_seconds=round(per_submission, 5),
+        tests=len(assignment.tests),
+    )
+    assert per_submission < 1.0

@@ -1,0 +1,41 @@
+"""Shared benchmark fixtures and the sampled synthetic cohorts.
+
+Benchmarks regenerate the paper's Table I and the Section VI-C
+comparisons.  Spaces with millions of programs are sampled
+deterministically (seeded) so every run measures the same submissions;
+EXPERIMENTS.md records the paper-vs-measured numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import FeedbackEngine
+from repro.kb import all_assignment_names, get_assignment
+from repro.synth import sample_submissions
+
+#: Submissions sampled per assignment for timing benchmarks.
+SAMPLE = 30
+
+
+@pytest.fixture(scope="session", params=all_assignment_names())
+def bench_assignment(request):
+    return get_assignment(request.param)
+
+
+@pytest.fixture(scope="session")
+def cohorts():
+    """Materialized sample cohort per assignment (cached per session)."""
+    result = {}
+    for name in all_assignment_names():
+        assignment = get_assignment(name)
+        result[name] = sample_submissions(assignment.space(), SAMPLE, seed=1)
+    return result
+
+
+@pytest.fixture(scope="session")
+def engines():
+    return {
+        name: FeedbackEngine(get_assignment(name))
+        for name in all_assignment_names()
+    }

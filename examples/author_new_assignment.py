@@ -1,0 +1,130 @@
+"""Author a brand-new assignment from existing knowledge-base patterns.
+
+The paper's pitch is that patterns are *reusable*: an instructor
+configures a new assignment by selecting patterns and adding a few
+constraints, without writing new matching code.  This example builds a
+"sum of squares up to n" assignment from three library patterns plus one
+freshly-authored pattern, then grades two submissions with it.
+
+    python examples/author_new_assignment.py
+"""
+
+from repro import FeedbackEngine, get_pattern
+from repro.core import Assignment, FunctionalTest
+from repro.matching.submission import ExpectedMethod
+from repro.patterns import ExprTemplate, Pattern, PatternNode
+from repro.patterns.model import EdgeExistenceConstraint
+from repro.pdg import EdgeType, NodeType
+from repro.pdg.graph import GraphEdge
+
+
+def square_sum_pattern() -> Pattern:
+    """A new pattern: accumulating squares of the loop variable."""
+    return Pattern(
+        name="square-sum",
+        description="accumulating squares of the running index",
+        nodes=[
+            PatternNode(
+                0, NodeType.UNTYPED,
+                ExprTemplate(r"sq = 0", frozenset({"sq"})),
+                approx=ExprTemplate(r"sq =", frozenset({"sq"})),
+                feedback_correct="the square sum {sq} starts at 0",
+                feedback_incorrect="the square sum {sq} should start at 0",
+            ),
+            PatternNode(1, NodeType.COND, ExprTemplate("", frozenset())),
+            PatternNode(
+                2, NodeType.ASSIGN,
+                ExprTemplate(r"sq \+= qv \* qv|sq = sq \+ qv \* qv",
+                             frozenset({"sq", "qv"})),
+                approx=ExprTemplate(r"sq \+= qv|sq =",
+                                    frozenset({"sq", "qv"})),
+                feedback_correct="{sq} accumulates {qv} * {qv}",
+                feedback_incorrect="{sq} must accumulate the square "
+                                   "({qv} * {qv})",
+            ),
+        ],
+        edges=[
+            GraphEdge(0, 2, EdgeType.DATA),
+            GraphEdge(1, 2, EdgeType.CTRL),
+        ],
+        feedback_present="You sum the squares into {sq}.",
+        feedback_missing="We expected the squares to be accumulated "
+                         "inside the loop.",
+    )
+
+
+def build_assignment() -> Assignment:
+    expected = ExpectedMethod(
+        name="sumOfSquares",
+        patterns=[
+            (get_pattern("range-loop"), 1),       # reused from the KB
+            (square_sum_pattern(), 1),            # authored here
+            (get_pattern("assign-print"), 1),     # reused from the KB
+            (get_pattern("print-call"), None),    # reused from the KB
+        ],
+        constraints=[
+            EdgeExistenceConstraint(
+                name="square-sum-inside-range-loop",
+                feedback_correct="Squares are accumulated inside the "
+                                 "counting loop.",
+                feedback_incorrect="Accumulate the squares inside the "
+                                   "counting loop.",
+                pattern_i="range-loop", node_i=1,
+                pattern_j="square-sum", node_j=2,
+                edge_type=EdgeType.CTRL,
+            ),
+            EdgeExistenceConstraint(
+                name="square-sum-is-printed",
+                feedback_correct="The square sum is printed to console.",
+                feedback_incorrect="Print the accumulated square sum to "
+                                   "console.",
+                pattern_i="square-sum", node_i=2,
+                pattern_j="assign-print", node_j=1,
+                edge_type=EdgeType.DATA,
+            ),
+        ],
+    )
+    return Assignment(
+        name="sum-of-squares",
+        title="Sum of squares up to n",
+        statement="Print the sum 1^2 + 2^2 + ... + n^2 to console.  "
+                  "Header: void sumOfSquares(int n).",
+        expected_methods=[expected],
+        tests=[
+            FunctionalTest("sumOfSquares", (3,), expected_stdout="14\n"),
+            FunctionalTest("sumOfSquares", (1,), expected_stdout="1\n"),
+            FunctionalTest("sumOfSquares", (10,), expected_stdout="385\n"),
+        ],
+    )
+
+
+GOOD = """
+void sumOfSquares(int n) {
+    int s = 0;
+    for (int i = 1; i <= n; i++)
+        s += i * i;
+    System.out.println(s);
+}
+"""
+
+BUGGY = """
+void sumOfSquares(int n) {
+    int s = 1;
+    for (int i = 1; i <= n; i++)
+        s += i;
+    System.out.println(s);
+}
+"""
+
+
+def main() -> None:
+    assignment = build_assignment()
+    engine = FeedbackEngine(assignment)
+    for label, source in (("correct", GOOD), ("buggy", BUGGY)):
+        print(f"--- {label} submission ---")
+        print(engine.grade(source).render())
+        print()
+
+
+if __name__ == "__main__":
+    main()

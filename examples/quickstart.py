@@ -1,0 +1,36 @@
+"""Quickstart: grade student submissions for Assignment 1.
+
+Runs the paper's three Figure 2 submissions through the feedback engine
+and prints the personalized feedback each student would receive.
+
+    python examples/quickstart.py
+"""
+
+from repro import FeedbackEngine, get_assignment
+from repro.kb.assignments.assignment1 import FIGURE_2A, FIGURE_2B, FIGURE_2C
+
+
+def main() -> None:
+    assignment = get_assignment("assignment1")
+    engine = FeedbackEngine(assignment)
+
+    print(f"Assignment: {assignment.title}")
+    print(f"Statement:  {assignment.statement}")
+    print(f"Patterns:   {assignment.pattern_count}, "
+          f"constraints: {assignment.constraint_count}")
+    print("=" * 72)
+
+    submissions = [
+        ("Figure 2a (incorrect)", FIGURE_2A),
+        ("Figure 2b (correct)", FIGURE_2B),
+        ("Figure 2c (incorrect)", FIGURE_2C),
+        ("does not compile", "void assignment1(int[] a) { int x = ; }"),
+    ]
+    for label, source in submissions:
+        print(f"\n--- {label} ---")
+        report = engine.grade(source)
+        print(report.render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""repro — reproduction of "Automated Personalized Feedback in
+Introductory Java Programming MOOCs" (Marin, Pereira, Sridharan, Rivero;
+ICDE 2017).
+
+Quickstart::
+
+    from repro import FeedbackEngine, get_assignment
+
+    assignment = get_assignment("assignment1")
+    engine = FeedbackEngine(assignment)
+    report = engine.grade(student_java_source)
+    print(report.render())
+
+Package map:
+
+* :mod:`repro.java` — Java-subset lexer/parser/AST/printer;
+* :mod:`repro.interp` — tree-walking interpreter with tracing;
+* :mod:`repro.pdg` — extended program dependence graphs;
+* :mod:`repro.patterns` — patterns, feedback templates, constraints;
+* :mod:`repro.matching` — Algorithms 1 and 2;
+* :mod:`repro.core` — the public grading API;
+* :mod:`repro.kb` — the knowledge base (24 patterns, 12 assignments);
+* :mod:`repro.synth` — synthetic submission generation (error models);
+* :mod:`repro.testing` — functional-testing harness;
+* :mod:`repro.baselines` — AutoGrader (Sketch) and CLARA simulators.
+"""
+
+from repro.core import Assignment, FeedbackEngine, FunctionalTest, GradingReport
+from repro.kb import all_assignment_names, all_patterns, get_assignment, get_pattern
+from repro.matching import FeedbackStatus
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Assignment",
+    "FeedbackEngine",
+    "FunctionalTest",
+    "GradingReport",
+    "FeedbackStatus",
+    "all_assignment_names",
+    "all_patterns",
+    "get_assignment",
+    "get_pattern",
+    "__version__",
+]

@@ -1,0 +1,30 @@
+"""Baseline graders the paper compares against (Section VI-C).
+
+Neither AutoGrader (built on the Sketch synthesizer) nor CLARA is
+available as runnable software in this environment, so this package
+implements faithful *behavioural simulators* of both:
+
+* :mod:`repro.baselines.autograder` — repairs a submission into
+  functional equivalence with a reference by searching over error-model
+  rule combinations, exactly Sketch's role in AutoGrader.  Its cost is
+  exponential in the number of repairs and it compares return values /
+  exact output, reproducing the paper's qualitative claims (degrades
+  beyond ~4 repairs, cannot handle print-order variation, needs input
+  bounds).
+* :mod:`repro.baselines.clara` — clusters correct submissions by
+  variable traces, matches a new submission to the nearest reference
+  trace, and proposes line-level repairs.  Trace cost grows with input
+  magnitude (the paper's k = 100,000 timeout) and matching needs one
+  reference per variable-ordering variation (Figure 8).
+"""
+
+from repro.baselines.autograder import AutoGraderSim, RepairResult
+from repro.baselines.clara import ClaraSim, ClaraResult, trace_of
+
+__all__ = [
+    "AutoGraderSim",
+    "RepairResult",
+    "ClaraSim",
+    "ClaraResult",
+    "trace_of",
+]

@@ -1,0 +1,171 @@
+"""AutoGrader/Sketch baseline simulator (Singh et al., PLDI 2013).
+
+AutoGrader turns a student submission into a *program sketch* by applying
+an error-model's rewrite rules, then asks Sketch to pick the choices that
+make the sketch functionally equivalent to a single reference solution;
+the chosen rewrites become the feedback ("change i = 1 to i = 0").
+
+Our simulator operates on the same explicit error model the synthetic
+corpus is generated from (:class:`~repro.synth.spaces.SubmissionSpace`):
+given a submission's choice vector, it searches over combinations of
+choice-point changes — fewest repairs first, exactly Sketch's objective —
+until a candidate passes the equivalence check (the assignment's
+functional tests over a bounded input domain).
+
+The simulator reproduces AutoGrader's cost profile and limitations:
+
+* the candidate count explodes combinatorially with the number of
+  repairs (the paper: "performance degrades considerably after four or
+  more repairs"), surfaced through the ``work`` counter and
+  ``work_budget``;
+* equivalence is exact-output equivalence, so print-order variations
+  count as wrong and need repairs our technique would not request;
+* the equivalence check runs the program on concrete bounded inputs
+  (``Sketch requires having fixed array lengths ... the user needs to
+  set bounds``), so its cost also scales with input magnitude.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations, product
+
+from repro.core.assignment import Assignment
+from repro.synth.spaces import SubmissionSpace
+from repro.testing.functional import run_tests_on_source
+
+
+@dataclass(frozen=True)
+class Repair:
+    """One suggested rewrite: set ``choice_point`` from one option text to
+    another (AutoGrader's low-level "replace this expression" feedback)."""
+
+    choice_point: str
+    from_text: str
+    to_text: str
+
+    def render(self) -> str:
+        return (
+            f"Change '{self.from_text}' to '{self.to_text}' "
+            f"(at {self.choice_point})"
+        )
+
+
+@dataclass
+class RepairResult:
+    """Outcome of one repair search."""
+
+    repaired: bool
+    repairs: list[Repair] = field(default_factory=list)
+    work: int = 0
+    exhausted_budget: bool = False
+
+    @property
+    def repair_count(self) -> int:
+        return len(self.repairs)
+
+    def render(self) -> str:
+        if not self.repaired:
+            reason = "budget exhausted" if self.exhausted_budget else \
+                "no repair within the bound"
+            return f"AutoGrader could not repair the submission ({reason})."
+        if not self.repairs:
+            return "The submission is already functionally correct."
+        return "\n".join(r.render() for r in self.repairs)
+
+
+class AutoGraderSim:
+    """Bounded repair search over an assignment's error model.
+
+    Parameters
+    ----------
+    assignment:
+        Supplies the functional tests used as the equivalence oracle.
+    space:
+        The error model; defaults to the assignment's submission space.
+    max_repairs:
+        Upper bound on simultaneous rewrites explored (Sketch's practical
+        ceiling is ~4).
+    work_budget:
+        Maximum number of candidate programs executed before giving up —
+        the simulator's stand-in for Sketch's solver timeout.
+    step_budget:
+        Interpreter step budget per candidate execution (bounds the
+        input domain the equivalence check walks).
+    """
+
+    def __init__(
+        self,
+        assignment: Assignment,
+        space: SubmissionSpace | None = None,
+        max_repairs: int = 4,
+        work_budget: int = 20_000,
+        step_budget: int = 200_000,
+    ):
+        self.assignment = assignment
+        self.space = space if space is not None else assignment.space()
+        self.max_repairs = max_repairs
+        self.work_budget = work_budget
+        self.step_budget = step_budget
+
+    # ------------------------------------------------------------------
+
+    def _passes(self, choices: list[int]) -> bool:
+        source = self.space.submission(self.space.encode(choices)).source
+        report = run_tests_on_source(
+            source, self.assignment.tests, step_budget=self.step_budget
+        )
+        return report.passed
+
+    def repair(self, choices: tuple[int, ...] | list[int]) -> RepairResult:
+        """Search for the fewest choice-point rewrites that make the
+        submission pass the equivalence oracle."""
+        choices = list(choices)
+        points = self.space.choice_points
+        work = 0
+
+        # repair count 0: the submission may already be equivalent
+        work += 1
+        if self._passes(choices):
+            return RepairResult(repaired=True, repairs=[], work=work)
+
+        for repair_count in range(1, self.max_repairs + 1):
+            for slots in combinations(range(len(points)), repair_count):
+                alternative_lists = []
+                for slot in slots:
+                    alternatives = [
+                        option_index
+                        for option_index in range(points[slot].arity)
+                        if option_index != choices[slot]
+                    ]
+                    alternative_lists.append(alternatives)
+                for replacement in product(*alternative_lists):
+                    work += 1
+                    if work > self.work_budget:
+                        return RepairResult(
+                            repaired=False, work=work, exhausted_budget=True
+                        )
+                    candidate = list(choices)
+                    for slot, option_index in zip(slots, replacement):
+                        candidate[slot] = option_index
+                    if self._passes(candidate):
+                        repairs = [
+                            Repair(
+                                choice_point=points[slot].name,
+                                from_text=points[slot].options[
+                                    choices[slot]
+                                ].text,
+                                to_text=points[slot].options[
+                                    option_index
+                                ].text,
+                            )
+                            for slot, option_index in zip(slots, replacement)
+                        ]
+                        return RepairResult(
+                            repaired=True, repairs=repairs, work=work
+                        )
+        return RepairResult(repaired=False, work=work)
+
+    def repair_source_in_space(self, index: int) -> RepairResult:
+        """Repair the submission at ``index`` of the space."""
+        return self.repair(list(self.space.decode(index)))

@@ -1,0 +1,290 @@
+"""CLARA baseline simulator (Gulwani, Radicek, Zuleger 2016).
+
+CLARA clusters *correct* submissions by their variable traces on a set of
+inputs, keeps one representative per cluster as a reference, matches an
+incorrect submission to the nearest reference by trace distance, and
+emits line-level repairs from the differences.
+
+The simulator reproduces CLARA's behaviour and its documented limits:
+
+* traces are compared *as a whole*, so two functionally-similar programs
+  whose variables take values in different orders land in different
+  clusters — grading Figure 8b against only Figure 8a's cluster fails
+  (``needs a reference solution per variation``);
+* stdout is just another trace variable (``out``), so print order
+  matters;
+* tracing executes the program, so cost grows with the input magnitude;
+  with ``k = 100,000`` the trace walk exceeds the budget and the match
+  times out, while plain functional testing still answers in
+  milliseconds (paper Section VI-C, Scalability);
+* a non-terminating submission exhausts the step budget (CLARA cannot
+  deal with infinite loops).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.assignment import Assignment, FunctionalTest
+from repro.errors import JavaRuntimeError, ReproError
+from repro.interp.interpreter import Interpreter
+from repro.interp.tracing import Tracer
+from repro.java import parse_submission
+from repro.testing.functional import _materialize_argument
+
+#: Default cap on interpreter steps per traced execution; exceeding it is
+#: reported as a CLARA timeout.
+DEFAULT_TRACE_BUDGET = 400_000
+
+
+def _run_traced(
+    source: str, test: FunctionalTest, step_budget: int
+) -> Tracer:
+    unit = parse_submission(source)
+    tracer = Tracer()
+    interpreter = Interpreter(
+        unit,
+        files=test.files_dict(),
+        stdin=test.stdin,
+        step_budget=step_budget,
+        tracer=tracer,
+    )
+    arguments = [_materialize_argument(a) for a in test.arguments]
+    interpreter.run(test.method, arguments)
+    return tracer
+
+
+def trace_of(
+    source: str,
+    test: FunctionalTest,
+    step_budget: int = DEFAULT_TRACE_BUDGET,
+) -> dict[str, tuple]:
+    """The per-variable value trace of one execution (CLARA's raw data).
+
+    Raises :class:`~repro.errors.JavaRuntimeError` (or
+    :class:`~repro.errors.BudgetExceededError`) when the program crashes
+    or exceeds the budget.
+    """
+    tracer = _run_traced(source, test, step_budget)
+    return {
+        name: tuple(values) for name, values in tracer.as_mapping().items()
+    }
+
+
+def event_trace_of(
+    source: str,
+    test: FunctionalTest,
+    step_budget: int = DEFAULT_TRACE_BUDGET,
+) -> tuple:
+    """The name-erased *global* event trace: every traced value in the
+    order it was produced.  Clustering keys on this, so two programs
+    that compute the same values in a different interleaving (the
+    paper's Figure 8 pair) get different signatures."""
+    tracer = _run_traced(source, test, step_budget)
+    return tuple(repr(event.value) for event in tracer.events)
+
+
+def _signature(event_traces: list[tuple]) -> tuple:
+    """A cluster key: the global event trace per input.
+
+    Two programs share a signature iff they produce the same values in
+    the same order on every input — CLARA's whole-trace comparison,
+    independent of variable *names* but dependent on evaluation order.
+    """
+    return tuple(event_traces)
+
+
+def _trace_distance(left: dict[str, tuple], right: dict[str, tuple]) -> float:
+    """Greedy variable matching by longest-common-prefix similarity.
+
+    Returns the total number of mismatched positions across the matched
+    variables (lower is closer); unmatched variables count in full.
+    """
+    right_pool = dict(right)
+    total = 0.0
+    for name, left_trace in left.items():
+        best_key, best_score = None, -1.0
+        for key, right_trace in right_pool.items():
+            score = _similarity(left_trace, right_trace)
+            if score > best_score:
+                best_key, best_score = key, score
+        if best_key is None:
+            total += len(left_trace)
+            continue
+        right_trace = right_pool.pop(best_key)
+        length = max(len(left_trace), len(right_trace))
+        prefix = _common_prefix(left_trace, right_trace)
+        total += length - prefix
+    for leftover in right_pool.values():
+        total += len(leftover)
+    return total
+
+
+def _event_distance(left: tuple, right: tuple) -> int:
+    """Whole-trace distance: positions not covered by the common prefix.
+
+    CLARA compares traces as a whole, so the first divergence point
+    dominates — two programs computing the same values in a different
+    order are maximally far apart even though they agree value-wise.
+    """
+    prefix = _common_prefix(left, right)
+    return len(left) + len(right) - 2 * prefix
+
+
+def _common_prefix(left: tuple, right: tuple) -> int:
+    count = 0
+    for a, b in zip(left, right):
+        if a != b:
+            break
+        count += 1
+    return count
+
+
+def _similarity(left: tuple, right: tuple) -> float:
+    length = max(len(left), len(right), 1)
+    return _common_prefix(left, right) / length
+
+
+@dataclass
+class ClaraResult:
+    """Outcome of matching one submission against the learned clusters."""
+
+    matched: bool
+    timed_out: bool = False
+    crashed: bool = False
+    cluster_index: int | None = None
+    distance: float = float("inf")
+    repairs: list[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        if self.timed_out:
+            return "CLARA timed out while collecting traces."
+        if self.crashed:
+            return "CLARA could not trace the submission (runtime error)."
+        if self.matched and not self.repairs:
+            return "The submission matches a correct cluster."
+        lines = [
+            f"Nearest cluster: {self.cluster_index} "
+            f"(trace distance {self.distance:g})"
+        ]
+        lines.extend(self.repairs)
+        return "\n".join(lines)
+
+
+class ClaraSim:
+    """Trace-clustering grader over an assignment's test inputs."""
+
+    def __init__(
+        self,
+        assignment: Assignment,
+        inputs: list[FunctionalTest] | None = None,
+        step_budget: int = DEFAULT_TRACE_BUDGET,
+    ):
+        self.assignment = assignment
+        self.inputs = inputs if inputs is not None else assignment.tests
+        self.step_budget = step_budget
+        self._clusters: list[dict] = []
+
+    # ------------------------------------------------------------------
+    # learning
+
+    def fit(self, correct_sources: list[str]) -> int:
+        """Cluster correct submissions by trace equivalence.
+
+        Returns the number of clusters (the paper's point: one reference
+        per variation is required, so this number grows with syntactic
+        diversity even among functionally identical programs).
+        """
+        if not correct_sources:
+            raise ReproError("CLARA needs at least one correct submission")
+        signatures: dict[tuple, int] = {}
+        self._clusters = []
+        for source in correct_sources:
+            traces = [
+                trace_of(source, test, self.step_budget)
+                for test in self.inputs
+            ]
+            events = [
+                event_trace_of(source, test, self.step_budget)
+                for test in self.inputs
+            ]
+            signature = _signature(events)
+            if signature in signatures:
+                self._clusters[signatures[signature]]["members"] += 1
+                continue
+            signatures[signature] = len(self._clusters)
+            self._clusters.append(
+                {"source": source, "traces": traces, "events": events,
+                 "members": 1}
+            )
+        return len(self._clusters)
+
+    @property
+    def cluster_count(self) -> int:
+        return len(self._clusters)
+
+    # ------------------------------------------------------------------
+    # matching
+
+    def match(self, source: str) -> ClaraResult:
+        """Match a submission against the learned clusters."""
+        if not self._clusters:
+            raise ReproError("call fit() before match()")
+        try:
+            events = [
+                event_trace_of(source, test, self.step_budget)
+                for test in self.inputs
+            ]
+        except JavaRuntimeError as error:
+            timed_out = "budget" in str(error)
+            return ClaraResult(
+                matched=False, timed_out=timed_out, crashed=not timed_out
+            )
+        best_index, best_distance = None, float("inf")
+        for index, cluster in enumerate(self._clusters):
+            distance = float(sum(
+                _event_distance(mine, theirs)
+                for mine, theirs in zip(events, cluster["events"])
+            ))
+            if distance < best_distance:
+                best_index, best_distance = index, distance
+        assert best_index is not None
+        repairs = []
+        if best_distance > 0:
+            repairs = self._repairs(
+                source, self._clusters[best_index]["source"]
+            )
+        return ClaraResult(
+            matched=best_distance == 0,
+            cluster_index=best_index,
+            distance=best_distance,
+            repairs=repairs,
+        )
+
+    def _repairs(self, source: str, reference: str) -> list[str]:
+        """Line-level repair suggestions (CLARA's feedback style).
+
+        Deliberately low-level: "change line i to <reference line>",
+        which is exactly the feedback style the paper criticizes.
+        """
+        submitted = [l.strip() for l in source.strip().splitlines()]
+        wanted = [l.strip() for l in reference.strip().splitlines()]
+        repairs = []
+        for line_number, (mine, theirs) in enumerate(
+            zip(submitted, wanted), start=1
+        ):
+            if mine != theirs:
+                repairs.append(
+                    f"Change line {line_number}: '{mine}' -> '{theirs}'"
+                )
+        for line_number in range(
+            min(len(submitted), len(wanted)) + 1,
+            max(len(submitted), len(wanted)) + 1,
+        ):
+            if line_number <= len(wanted):
+                repairs.append(
+                    f"Add line {line_number}: '{wanted[line_number - 1]}'"
+                )
+            else:
+                repairs.append(f"Delete line {line_number}")
+        return repairs

@@ -1,0 +1,204 @@
+"""Command-line interface: grade submissions from the shell.
+
+Usage::
+
+    repro list
+    repro show assignment1
+    repro grade assignment1 Submission.java
+    repro grade assignment1 -            # read the submission from stdin
+    repro test assignment1 Submission.java
+    repro epdg assignment1 Submission.java [--dot]
+    repro export-kb out_dir/
+
+Instructors get the whole pipeline without writing Python: ``grade``
+prints the personalized feedback, ``test`` runs the functional suite,
+``epdg`` dumps the dependence graph, and ``export-kb`` writes the
+knowledge base as JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+from repro import FeedbackEngine, all_assignment_names, get_assignment
+from repro.errors import JavaSyntaxError, ReproError
+from repro.java import parse_submission
+from repro.kb import all_patterns
+from repro.patterns import constraint_to_dict, pattern_to_dict
+from repro.pdg import extract_all_epdgs, to_dot
+from repro.testing import run_tests_on_source
+
+
+def _read_source(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
+    return pathlib.Path(path).read_text()
+
+
+def _cmd_list(_args) -> int:
+    print(f"{'assignment':22s} {'P':>3} {'C':>3} {'S':>10}  title")
+    for name in all_assignment_names():
+        assignment = get_assignment(name)
+        size = assignment.space().size if assignment.space_factory else 0
+        print(f"{name:22s} {assignment.pattern_count:3d} "
+              f"{assignment.constraint_count:3d} {size:10,d}  "
+              f"{assignment.title}")
+    return 0
+
+
+def _cmd_show(args) -> int:
+    assignment = get_assignment(args.assignment)
+    print(f"{assignment.name}: {assignment.title}")
+    print(assignment.statement)
+    print()
+    for method in assignment.expected_methods:
+        print(f"expected method: {method.name}")
+        for pattern, count in method.patterns:
+            expected = "any" if count is None else count
+            print(f"  pattern {pattern.name} (expected {expected}): "
+                  f"{pattern.description}")
+        for constraint in method.constraints:
+            print(f"  constraint {constraint.name}")
+    print()
+    print("reference solution:")
+    print(assignment.reference_solutions[0])
+    return 0
+
+
+def _cmd_grade(args) -> int:
+    assignment = get_assignment(args.assignment)
+    engine = FeedbackEngine(assignment)
+    report = engine.grade(_read_source(args.submission))
+    print(report.render())
+    return 0 if report.is_positive else 1
+
+
+def _cmd_test(args) -> int:
+    assignment = get_assignment(args.assignment)
+    report = run_tests_on_source(
+        _read_source(args.submission), assignment.tests
+    )
+    print(report.summary())
+    for result in report.failures:
+        label = f"{result.test.method}{result.test.arguments}"
+        if result.error:
+            print(f"  FAIL {label}: {result.error}")
+        else:
+            print(f"  FAIL {label}: expected "
+                  f"{result.test.expected_stdout!r}, got "
+                  f"{result.actual_stdout!r}")
+    return 0 if report.passed else 1
+
+
+def _cmd_epdg(args) -> int:
+    source = _read_source(args.submission)
+    graphs = extract_all_epdgs(parse_submission(source))
+    for name, graph in graphs.items():
+        if args.dot:
+            print(to_dot(graph))
+        else:
+            print(graph)
+            print()
+    return 0
+
+
+def _cmd_export_kb(args) -> int:
+    out = pathlib.Path(args.directory)
+    (out / "patterns").mkdir(parents=True, exist_ok=True)
+    (out / "assignments").mkdir(parents=True, exist_ok=True)
+    for name, pattern in all_patterns().items():
+        path = out / "patterns" / f"{name}.json"
+        path.write_text(json.dumps(pattern_to_dict(pattern), indent=2))
+    for name in all_assignment_names():
+        assignment = get_assignment(name)
+        payload = {
+            "name": assignment.name,
+            "title": assignment.title,
+            "statement": assignment.statement,
+            "reference_solutions": assignment.reference_solutions,
+            "expected_methods": [
+                {
+                    "name": method.name,
+                    "patterns": [
+                        {"pattern": pattern.name, "expected": count}
+                        for pattern, count in method.patterns
+                    ],
+                    "constraints": [
+                        constraint_to_dict(c) for c in method.constraints
+                    ],
+                }
+                for method in assignment.expected_methods
+            ],
+        }
+        path = out / "assignments" / f"{name}.json"
+        path.write_text(json.dumps(payload, indent=2))
+    total = len(all_patterns()) + len(all_assignment_names())
+    print(f"wrote {total} knowledge-base files under {out}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Personalized feedback for introductory Java "
+                    "assignments (ICDE 2017 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the twelve assignments"
+                   ).set_defaults(func=_cmd_list)
+
+    show = sub.add_parser("show", help="show one assignment's spec")
+    show.add_argument("assignment")
+    show.set_defaults(func=_cmd_show)
+
+    grade = sub.add_parser("grade", help="grade a submission")
+    grade.add_argument("assignment")
+    grade.add_argument("submission", help="Java file, or - for stdin")
+    grade.set_defaults(func=_cmd_grade)
+
+    test = sub.add_parser("test", help="run the functional tests")
+    test.add_argument("assignment")
+    test.add_argument("submission", help="Java file, or - for stdin")
+    test.set_defaults(func=_cmd_test)
+
+    epdg = sub.add_parser("epdg", help="print a submission's EPDGs")
+    epdg.add_argument("assignment", nargs="?",
+                      help="unused; kept for symmetry")
+    epdg.add_argument("submission", help="Java file, or - for stdin")
+    epdg.add_argument("--dot", action="store_true",
+                      help="emit Graphviz DOT instead of text")
+    epdg.set_defaults(func=_cmd_epdg)
+
+    export = sub.add_parser("export-kb",
+                            help="write the knowledge base as JSON")
+    export.add_argument("directory")
+    export.set_defaults(func=_cmd_export_kb)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except JavaSyntaxError as error:
+        print(f"error: submission does not compile: {error}",
+              file=sys.stderr)
+        return 2
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # output piped into a pager/head that closed early: not an error
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,22 @@
+"""Public grading API.
+
+:class:`Assignment` bundles everything an instructor configures for one
+assignment — expected methods with patterns/counts/constraints, reference
+solutions, functional tests, and (for the evaluation) the synthetic error
+model.  :class:`FeedbackEngine` grades submissions against an assignment
+and returns :class:`GradingReport` objects.
+"""
+
+from repro.core.analytics import CohortAnalysis, analyze_cohort
+from repro.core.assignment import Assignment, FunctionalTest
+from repro.core.engine import FeedbackEngine
+from repro.core.report import GradingReport
+
+__all__ = [
+    "CohortAnalysis",
+    "analyze_cohort",
+    "Assignment",
+    "FunctionalTest",
+    "FeedbackEngine",
+    "GradingReport",
+]

@@ -1,0 +1,170 @@
+"""Cohort analytics: aggregate feedback over many submissions.
+
+The paper's setting is a MOOC where one assignment receives hundreds of
+thousands of submissions; the individual feedback reports are for
+students, while the *aggregate* is for instructors — which mistakes
+dominate, how often patterns disagree with functional tests, and how
+fast the pipeline runs.  :func:`analyze_cohort` grades a cohort and
+returns a :class:`CohortAnalysis` with exactly those aggregates.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core.assignment import Assignment
+from repro.core.engine import FeedbackEngine
+from repro.core.report import GradingReport
+from repro.matching.feedback import FeedbackStatus
+from repro.testing.functional import run_tests_on_source
+
+
+@dataclass(frozen=True)
+class SubmissionOutcome:
+    """One cohort member's verdicts."""
+
+    label: str
+    positive: bool
+    tests_passed: bool | None
+    score: float
+    max_score: float
+
+    @property
+    def is_discrepancy(self) -> bool:
+        """Paper Table I column D: the verdicts disagree."""
+        return self.tests_passed is not None and \
+            self.positive != self.tests_passed
+
+
+@dataclass
+class CohortAnalysis:
+    """Aggregated results of grading one cohort."""
+
+    assignment_name: str
+    outcomes: list[SubmissionOutcome] = field(default_factory=list)
+    mistake_counts: dict[str, int] = field(default_factory=dict)
+    grading_seconds: float = 0.0
+    testing_seconds: float = 0.0
+
+    # -- verdicts --------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def positive_count(self) -> int:
+        return sum(1 for o in self.outcomes if o.positive)
+
+    @property
+    def negative_count(self) -> int:
+        return self.size - self.positive_count
+
+    @property
+    def discrepancies(self) -> list[SubmissionOutcome]:
+        return [o for o in self.outcomes if o.is_discrepancy]
+
+    @property
+    def discrepancy_rate(self) -> float:
+        return len(self.discrepancies) / self.size if self.size else 0.0
+
+    # -- timing ----------------------------------------------------------
+
+    @property
+    def grading_ms_per_submission(self) -> float:
+        return 1000 * self.grading_seconds / self.size if self.size else 0.0
+
+    # -- instructor views --------------------------------------------------
+
+    def top_mistakes(self, limit: int = 10) -> list[tuple[str, int]]:
+        """Most frequent non-Correct feedback comments, descending."""
+        ranked = sorted(
+            self.mistake_counts.items(), key=lambda kv: (-kv[1], kv[0])
+        )
+        return ranked[:limit]
+
+    def to_rows(self) -> list[dict]:
+        """Flat per-submission rows (CSV/JSON-friendly)."""
+        return [
+            {
+                "label": o.label,
+                "positive": o.positive,
+                "tests_passed": o.tests_passed,
+                "discrepancy": o.is_discrepancy,
+                "score": o.score,
+                "max_score": o.max_score,
+            }
+            for o in self.outcomes
+        ]
+
+    def summary(self) -> str:
+        lines = [
+            f"Cohort analysis for {self.assignment_name}: "
+            f"{self.size} submissions",
+            f"  verdicts: {self.positive_count} positive, "
+            f"{self.negative_count} negative",
+            f"  grading: {self.grading_ms_per_submission:.1f} ms per "
+            "submission",
+        ]
+        if any(o.tests_passed is not None for o in self.outcomes):
+            lines.append(
+                f"  discrepancies vs functional tests: "
+                f"{len(self.discrepancies)} "
+                f"({100 * self.discrepancy_rate:.1f}%)"
+            )
+        if self.mistake_counts:
+            lines.append("  top mistakes:")
+            for source, count in self.top_mistakes(5):
+                lines.append(f"    {count:4d}  {source}")
+        return "\n".join(lines)
+
+
+def analyze_cohort(
+    assignment: Assignment,
+    sources: list[str] | list[tuple[str, str]],
+    run_tests: bool = True,
+    step_budget: int | None = None,
+) -> CohortAnalysis:
+    """Grade a cohort and aggregate the results.
+
+    ``sources`` is a list of submission texts, or ``(label, text)``
+    pairs.  With ``run_tests`` the functional suite runs as well and the
+    per-submission agreement (Table I's D) is recorded.
+    """
+    engine = FeedbackEngine(assignment)
+    analysis = CohortAnalysis(assignment_name=assignment.name)
+    for position, item in enumerate(sources):
+        if isinstance(item, tuple):
+            label, source = item
+        else:
+            label, source = f"#{position}", item
+        started = time.perf_counter()
+        report: GradingReport = engine.grade(source)
+        analysis.grading_seconds += time.perf_counter() - started
+        tests_passed: bool | None = None
+        if run_tests and assignment.tests:
+            started = time.perf_counter()
+            kwargs = {}
+            if step_budget is not None:
+                kwargs["step_budget"] = step_budget
+            tests_passed = run_tests_on_source(
+                source, assignment.tests, **kwargs
+            ).passed
+            analysis.testing_seconds += time.perf_counter() - started
+        analysis.outcomes.append(
+            SubmissionOutcome(
+                label=label,
+                positive=report.is_positive,
+                tests_passed=tests_passed,
+                score=report.score,
+                max_score=report.max_score,
+            )
+        )
+        for comment in report.comments:
+            if comment.status is not FeedbackStatus.CORRECT:
+                key = f"{comment.source} [{comment.status}]"
+                analysis.mistake_counts[key] = (
+                    analysis.mistake_counts.get(key, 0) + 1
+                )
+    return analysis

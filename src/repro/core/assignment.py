@@ -1,0 +1,91 @@
+"""Assignment specification: the instructor-facing configuration object."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, TYPE_CHECKING
+
+from repro.matching.submission import ExpectedMethod
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.synth.spaces import SubmissionSpace
+
+
+@dataclass(frozen=True)
+class FunctionalTest:
+    """One functional test: invoke a method and compare observations.
+
+    ``expected_stdout`` compares captured console output verbatim (the
+    strictness that produces several of the paper's discrepancies);
+    ``expected_return`` compares the return value; ``check`` is an
+    optional custom predicate over the :class:`ExecutionResult` for tests
+    that need richer logic.
+    """
+
+    method: str
+    arguments: tuple = ()
+    expected_stdout: str | None = None
+    expected_return: object | None = None
+    compare_return: bool = False
+    files: tuple[tuple[str, str], ...] = ()
+    stdin: str = ""
+    check: Callable[[object], bool] | None = None
+
+    def files_dict(self) -> dict[str, str]:
+        return dict(self.files)
+
+
+@dataclass
+class Assignment:
+    """Everything the grading pipeline knows about one assignment.
+
+    Attributes
+    ----------
+    name:
+        Registry key, e.g. ``"esc-LAB-3-P2-V1"``.
+    title / statement:
+        Human-readable description shown in reports.
+    expected_methods:
+        Algorithm 2 inputs: per expected method, its patterns with
+        occurrence counts and its constraints.
+    reference_solutions:
+        At least one correct solution (source text), used by the synthetic
+        generator and the baselines.
+    tests:
+        Functional test suite (Table I column ``T``).
+    enforce_headers:
+        Whether submissions must use the published method header(s).
+    space_factory:
+        Zero-argument callable building the assignment's synthetic
+        :class:`~repro.synth.spaces.SubmissionSpace` (column ``S``).
+    """
+
+    name: str
+    title: str
+    statement: str
+    expected_methods: list[ExpectedMethod] = field(default_factory=list)
+    reference_solutions: list[str] = field(default_factory=list)
+    tests: list[FunctionalTest] = field(default_factory=list)
+    enforce_headers: bool = True
+    space_factory: Callable[[], "SubmissionSpace"] | None = None
+    #: Section VII extension: synthesize negated Cond nodes for else
+    #: branches so positive-form patterns match either arm.
+    synthesize_else_conditions: bool = False
+
+    @property
+    def pattern_count(self) -> int:
+        """Table I column ``P``: number of pattern uses in this assignment."""
+        return sum(len(q.patterns) for q in self.expected_methods)
+
+    @property
+    def constraint_count(self) -> int:
+        """Table I column ``C``: number of constraints in this assignment."""
+        return sum(len(q.constraints) for q in self.expected_methods)
+
+    def space(self) -> "SubmissionSpace":
+        if self.space_factory is None:
+            raise ValueError(f"assignment {self.name} has no submission space")
+        return self.space_factory()
+
+    def method_names(self) -> list[str]:
+        return [q.name for q in self.expected_methods]

@@ -1,0 +1,62 @@
+"""The feedback engine: parse → EPDGs → Algorithm 2 → report."""
+
+from __future__ import annotations
+
+from repro.core.assignment import Assignment
+from repro.core.report import GradingReport
+from repro.errors import JavaSyntaxError
+from repro.java import ast, parse_submission
+from repro.matching.submission import match_graphs, match_submission
+from repro.pdg.builder import extract_all_epdgs
+
+
+class FeedbackEngine:
+    """Grades submissions against one assignment.
+
+    The engine is stateless across submissions (patterns and constraints
+    are immutable), so a single instance can grade a whole MOOC's
+    submission stream.
+    """
+
+    def __init__(self, assignment: Assignment):
+        self.assignment = assignment
+
+    def grade(self, source: str) -> GradingReport:
+        """Grade one submission given as Java source text."""
+        try:
+            unit = parse_submission(source)
+        except JavaSyntaxError as error:
+            return GradingReport(
+                assignment_name=self.assignment.name,
+                parse_error=str(error),
+            )
+        return self.grade_unit(unit)
+
+    def grade_unit(self, unit: ast.CompilationUnit) -> GradingReport:
+        """Grade an already-parsed submission."""
+        outcome = match_submission(
+            unit,
+            self.assignment.expected_methods,
+            enforce_headers=self.assignment.enforce_headers,
+            synthesize_else_conditions=(
+                self.assignment.synthesize_else_conditions
+            ),
+        )
+        return GradingReport(
+            assignment_name=self.assignment.name, outcome=outcome
+        )
+
+    def grade_graphs(self, graphs) -> GradingReport:
+        """Grade pre-built EPDGs (used by benchmarks to time phases)."""
+        outcome = match_graphs(
+            graphs,
+            self.assignment.expected_methods,
+            enforce_headers=self.assignment.enforce_headers,
+        )
+        return GradingReport(
+            assignment_name=self.assignment.name, outcome=outcome
+        )
+
+    def extract(self, source: str):
+        """Parse a submission and build its EPDGs (benchmark helper)."""
+        return extract_all_epdgs(parse_submission(source))

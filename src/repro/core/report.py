@@ -1,0 +1,65 @@
+"""Grading reports returned by the feedback engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.matching.feedback import FeedbackComment, FeedbackStatus
+from repro.matching.submission import MatchOutcome
+
+
+@dataclass
+class GradingReport:
+    """The personalized feedback for one submission.
+
+    ``parse_error`` is set (and ``outcome`` is ``None``) when the
+    submission did not parse; otherwise ``outcome`` holds the full
+    Algorithm 2 result.
+    """
+
+    assignment_name: str
+    outcome: MatchOutcome | None = None
+    parse_error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        """True when the submission parsed and was graded."""
+        return self.outcome is not None
+
+    @property
+    def comments(self) -> list[FeedbackComment]:
+        return [] if self.outcome is None else self.outcome.comments
+
+    @property
+    def score(self) -> float:
+        """The Λ value of the delivered feedback (Equation 3)."""
+        return 0.0 if self.outcome is None else self.outcome.score
+
+    @property
+    def max_score(self) -> float:
+        """Λ if every comment were Correct."""
+        return float(len(self.comments))
+
+    @property
+    def is_positive(self) -> bool:
+        """True when every comment is Correct (our positive verdict).
+
+        This is the signal compared against functional testing when
+        counting Table I's column ``D`` discrepancies.
+        """
+        return self.outcome is not None and self.outcome.is_fully_correct
+
+    def by_status(self, status: FeedbackStatus) -> list[FeedbackComment]:
+        return [c for c in self.comments if c.status is status]
+
+    def render(self) -> str:
+        """Human-readable feedback text for the student."""
+        lines = [f"Feedback for {self.assignment_name}:"]
+        if self.parse_error is not None:
+            lines.append(f"  Your submission does not compile: {self.parse_error}")
+            return "\n".join(lines)
+        assert self.outcome is not None
+        for comment in self.outcome.comments:
+            lines.extend("  " + line for line in comment.render().splitlines())
+        lines.append(f"  Score: {self.score:g} / {self.max_score:g}")
+        return "\n".join(lines)

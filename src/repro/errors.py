@@ -1,0 +1,51 @@
+"""Exception hierarchy shared across the whole library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError`, so
+callers embedding the grading engine can catch a single exception type at
+the API boundary while still discriminating parse errors (malformed student
+code) from runtime errors (the student's program crashed under test).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class JavaSyntaxError(ReproError):
+    """Raised when a student submission cannot be parsed.
+
+    Carries the source position so graders can report *where* the
+    submission stopped being valid Java.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.message = message
+        self.line = line
+        self.column = column
+
+
+class JavaRuntimeError(ReproError):
+    """Raised when the interpreter hits an error executing a submission.
+
+    This models the exceptions a JVM would raise while running student
+    code (division by zero, out-of-bounds array access, ...).
+    """
+
+
+class BudgetExceededError(JavaRuntimeError):
+    """Raised when a program exceeds its execution step budget.
+
+    Used to detect non-terminating submissions, which the paper highlights
+    as a failure mode of dynamic-analysis graders.
+    """
+
+
+class PatternDefinitionError(ReproError):
+    """Raised when a pattern, constraint, or assignment spec is malformed."""
+
+
+class KnowledgeBaseError(ReproError):
+    """Raised when the knowledge base registry is queried for unknown items."""

@@ -1,0 +1,32 @@
+"""Tree-walking interpreter for the Java subset.
+
+This is the substitute for running student submissions on a JVM: the
+functional-testing harness (paper Table I, column ``T``) executes
+submissions here, and the CLARA baseline collects its variable traces from
+the interpreter's tracing hooks.
+
+Key behaviours mirrored from Java:
+
+* 32-bit wrapping ``int`` arithmetic, truncating division, Java ``%`` sign;
+* ``String`` concatenation with Java-style value formatting;
+* ``System.out.print``/``println`` captured into an output buffer;
+* ``Scanner`` over ``System.in`` or a simulated file (virtual filesystem);
+* runtime errors (division by zero, array bounds) surface as
+  :class:`~repro.errors.JavaRuntimeError`;
+* a step budget turns non-termination into
+  :class:`~repro.errors.BudgetExceededError`.
+"""
+
+from repro.interp.interpreter import ExecutionResult, Interpreter, run_method
+from repro.interp.tracing import TraceEvent, Tracer
+from repro.interp.values import JavaArray, java_str
+
+__all__ = [
+    "ExecutionResult",
+    "Interpreter",
+    "run_method",
+    "TraceEvent",
+    "Tracer",
+    "JavaArray",
+    "java_str",
+]

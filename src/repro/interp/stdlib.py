@@ -1,0 +1,370 @@
+"""Shims for the slice of the Java standard library that submissions use.
+
+The interpreter resolves qualified calls (``System.out.println``,
+``Math.pow``, ``Integer.parseInt``) and instance calls on runtime objects
+(:class:`ScannerObject`, strings) through this module.  ``Scanner`` reads
+from a :class:`VirtualFileSystem` so assignments such as the paper's
+``rit-all-g-medals`` (which scans ``summer_olympics.txt``) run hermetically.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import JavaRuntimeError
+from repro.interp.values import JavaArray, JavaChar, java_str, wrap_int
+
+
+class VirtualFileSystem:
+    """In-memory mapping of file names to text content.
+
+    The substitute for the real files the paper's RIT assignments read.
+    """
+
+    def __init__(self, files: dict[str, str] | None = None):
+        self._files = dict(files or {})
+
+    def add(self, name: str, content: str) -> None:
+        self._files[name] = content
+
+    def read(self, name: str) -> str:
+        if name not in self._files:
+            raise JavaRuntimeError(f"FileNotFoundException: {name}")
+        return self._files[name]
+
+    def exists(self, name: str) -> bool:
+        return name in self._files
+
+
+class FileObject:
+    """Runtime value of ``new File(name)``."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+
+class ScannerObject:
+    """Runtime value of ``new Scanner(...)``.
+
+    Implements the token-oriented subset: ``next``, ``nextInt``,
+    ``nextDouble``, ``nextLine``, ``hasNext*`` and ``close``.  Tokens are
+    whitespace-separated, exactly like ``java.util.Scanner`` defaults.
+    """
+
+    def __init__(self, text: str):
+        self._text = text
+        self._pos = 0
+        self.closed = False
+
+    # -- token scanning -------------------------------------------------
+
+    def _skip_ws(self) -> int:
+        pos = self._pos
+        while pos < len(self._text) and self._text[pos].isspace():
+            pos += 1
+        return pos
+
+    def _peek_token(self) -> str | None:
+        pos = self._skip_ws()
+        if pos >= len(self._text):
+            return None
+        end = pos
+        while end < len(self._text) and not self._text[end].isspace():
+            end += 1
+        return self._text[pos:end]
+
+    def _take_token(self) -> str:
+        pos = self._skip_ws()
+        if pos >= len(self._text):
+            raise JavaRuntimeError("NoSuchElementException")
+        end = pos
+        while end < len(self._text) and not self._text[end].isspace():
+            end += 1
+        self._pos = end
+        return self._text[pos:end]
+
+    # -- Scanner API ----------------------------------------------------
+
+    def has_next(self) -> bool:
+        return self._peek_token() is not None
+
+    def has_next_int(self) -> bool:
+        token = self._peek_token()
+        if token is None:
+            return False
+        try:
+            int(token)
+            return True
+        except ValueError:
+            return False
+
+    def has_next_line(self) -> bool:
+        return self._pos < len(self._text)
+
+    def next(self) -> str:
+        return self._take_token()
+
+    def next_int(self) -> int:
+        token = self._take_token()
+        try:
+            return wrap_int(int(token))
+        except ValueError:
+            raise JavaRuntimeError(f"InputMismatchException: {token!r}") from None
+
+    def next_double(self) -> float:
+        token = self._take_token()
+        try:
+            return float(token)
+        except ValueError:
+            raise JavaRuntimeError(f"InputMismatchException: {token!r}") from None
+
+    def next_line(self) -> str:
+        if self._pos >= len(self._text):
+            raise JavaRuntimeError("NoSuchElementException: No line found")
+        end = self._text.find("\n", self._pos)
+        if end == -1:
+            line = self._text[self._pos:]
+            self._pos = len(self._text)
+        else:
+            line = self._text[self._pos:end]
+            self._pos = end + 1
+        return line
+
+    def close(self) -> None:
+        self.closed = True
+
+
+class StringBuilderObject:
+    """Runtime value of ``new StringBuilder(...)``.
+
+    Supports the fluent subset intro courses use: ``append`` (returns
+    itself), ``reverse``, ``toString``, ``length``, ``charAt``,
+    ``deleteCharAt``, ``insert``.
+    """
+
+    def __init__(self, initial: str = ""):
+        self._chars = list(initial)
+
+    def call(self, name: str, args: list):
+        if name == "append":
+            self._chars.extend(java_str(args[0]))
+            return self
+        if name == "reverse":
+            self._chars.reverse()
+            return self
+        if name == "toString":
+            return "".join(self._chars)
+        if name == "length":
+            return len(self._chars)
+        if name == "charAt":
+            index = args[0]
+            if not 0 <= index < len(self._chars):
+                raise JavaRuntimeError(
+                    f"StringIndexOutOfBoundsException: index {index}, "
+                    f"length {len(self._chars)}"
+                )
+            return JavaChar(self._chars[index])
+        if name == "deleteCharAt":
+            index = args[0]
+            if not 0 <= index < len(self._chars):
+                raise JavaRuntimeError(
+                    f"StringIndexOutOfBoundsException: index {index}"
+                )
+            del self._chars[index]
+            return self
+        if name == "insert":
+            index, value = args[0], java_str(args[1])
+            if not 0 <= index <= len(self._chars):
+                raise JavaRuntimeError(
+                    f"StringIndexOutOfBoundsException: index {index}"
+                )
+            self._chars[index:index] = value
+            return self
+        if name == "setLength":
+            length = args[0]
+            current = "".join(self._chars)
+            self._chars = list(current[:length].ljust(length, "\0"))
+            return None
+        raise JavaRuntimeError(f"StringBuilder has no method {name}")
+
+
+_SCANNER_METHODS = {
+    "hasNext": lambda s: s.has_next(),
+    "hasNextInt": lambda s: s.has_next_int(),
+    "hasNextDouble": lambda s: s.has_next_int() or s._peek_token() is not None,
+    "hasNextLine": lambda s: s.has_next_line(),
+    "next": lambda s: s.next(),
+    "nextInt": lambda s: s.next_int(),
+    "nextDouble": lambda s: s.next_double(),
+    "nextLine": lambda s: s.next_line(),
+    "close": lambda s: s.close(),
+}
+
+
+def call_scanner(scanner: ScannerObject, name: str, args: list):
+    """Dispatch an instance call on a Scanner object."""
+    if name not in _SCANNER_METHODS:
+        raise JavaRuntimeError(f"Scanner has no method {name}")
+    if args:
+        raise JavaRuntimeError(f"Scanner.{name} takes no arguments")
+    return _SCANNER_METHODS[name](scanner)
+
+
+def call_string(value: str, name: str, args: list):
+    """Dispatch an instance call on a Java String."""
+    if name == "length":
+        return len(value)
+    if name == "charAt":
+        index = args[0]
+        if index < 0 or index >= len(value):
+            raise JavaRuntimeError(
+                f"StringIndexOutOfBoundsException: index {index}, length {len(value)}"
+            )
+        return JavaChar(value[index])
+    if name == "equals":
+        other = args[0]
+        return isinstance(other, str) and value == other
+    if name == "equalsIgnoreCase":
+        other = args[0]
+        return isinstance(other, str) and value.lower() == other.lower()
+    if name == "substring":
+        start = args[0]
+        end = args[1] if len(args) > 1 else len(value)
+        if start < 0 or end > len(value) or start > end:
+            raise JavaRuntimeError(
+                f"StringIndexOutOfBoundsException: begin {start}, end {end}, "
+                f"length {len(value)}"
+            )
+        return value[start:end]
+    if name == "indexOf":
+        needle = args[0]
+        if isinstance(needle, JavaChar):
+            needle = needle.char
+        return value.find(needle)
+    if name == "contains":
+        return args[0] in value
+    if name == "isEmpty":
+        return len(value) == 0
+    if name == "toLowerCase":
+        return value.lower()
+    if name == "toUpperCase":
+        return value.upper()
+    if name == "trim":
+        return value.strip()
+    if name == "compareTo":
+        other = args[0]
+        return (value > other) - (value < other)
+    if name == "concat":
+        return value + args[0]
+    if name == "startsWith":
+        return value.startswith(args[0])
+    if name == "endsWith":
+        return value.endswith(args[0])
+    if name == "split":
+        parts = value.split(args[0])
+        return JavaArray("String", parts)
+    if name == "toCharArray":
+        return JavaArray("char", [JavaChar(ch) for ch in value])
+    if name == "hashCode":
+        result = 0
+        for ch in value:
+            result = wrap_int(31 * result + ord(ch))
+        return result
+    raise JavaRuntimeError(f"String has no method {name}")
+
+
+def _as_number(value):
+    if isinstance(value, JavaChar):
+        return value.code
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return value
+    raise JavaRuntimeError(f"expected a number, got {value!r}")
+
+
+def call_math(name: str, args: list):
+    """Dispatch a ``Math.*`` static call."""
+    numbers = [_as_number(a) for a in args]
+    if name == "pow":
+        return float(numbers[0]) ** float(numbers[1])
+    if name == "abs":
+        value = numbers[0]
+        if isinstance(value, int):
+            return wrap_int(abs(value))
+        return abs(value)
+    if name == "sqrt":
+        if numbers[0] < 0:
+            return float("nan")
+        return math.sqrt(numbers[0])
+    if name == "max":
+        result = max(numbers[0], numbers[1])
+        return result
+    if name == "min":
+        return min(numbers[0], numbers[1])
+    if name == "floor":
+        return float(math.floor(numbers[0]))
+    if name == "ceil":
+        return float(math.ceil(numbers[0]))
+    if name == "round":
+        return int(math.floor(numbers[0] + 0.5))
+    if name == "log10":
+        if numbers[0] <= 0:
+            raise JavaRuntimeError("Math.log10 of non-positive value")
+        return math.log10(numbers[0])
+    if name == "log":
+        if numbers[0] <= 0:
+            raise JavaRuntimeError("Math.log of non-positive value")
+        return math.log(numbers[0])
+    if name == "exp":
+        return math.exp(numbers[0])
+    if name == "random":
+        # Deterministic by design: student assignments here never rely on
+        # randomness, and determinism keeps functional tests reproducible.
+        return 0.5
+    raise JavaRuntimeError(f"Math has no method {name}")
+
+
+def call_integer(name: str, args: list):
+    """Dispatch an ``Integer.*`` static call."""
+    if name == "parseInt":
+        try:
+            return wrap_int(int(args[0]))
+        except (TypeError, ValueError):
+            raise JavaRuntimeError(
+                f"NumberFormatException: {args[0]!r}"
+            ) from None
+    if name == "toString":
+        return java_str(args[0])
+    if name == "valueOf":
+        return wrap_int(int(args[0]))
+    if name == "MAX_VALUE":  # pragma: no cover - accessed as field normally
+        return 2 ** 31 - 1
+    raise JavaRuntimeError(f"Integer has no method {name}")
+
+
+def call_string_static(name: str, args: list):
+    """Dispatch a ``String.*`` static call."""
+    if name == "valueOf":
+        return java_str(args[0])
+    raise JavaRuntimeError(f"String has no static method {name}")
+
+
+def call_character(name: str, args: list):
+    """Dispatch a ``Character.*`` static call."""
+    char = args[0]
+    if isinstance(char, JavaChar):
+        glyph = char.char
+    else:
+        glyph = chr(_as_number(char))
+    if name == "isDigit":
+        return glyph.isdigit()
+    if name == "isLetter":
+        return glyph.isalpha()
+    if name == "getNumericValue":
+        return int(glyph) if glyph.isdigit() else -1
+    if name == "toUpperCase":
+        return JavaChar(glyph.upper())
+    if name == "toLowerCase":
+        return JavaChar(glyph.lower())
+    raise JavaRuntimeError(f"Character has no method {name}")

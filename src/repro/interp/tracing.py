@@ -1,0 +1,60 @@
+"""Execution tracing: per-variable value histories.
+
+The CLARA baseline (Gulwani et al.) compares *variable traces* between
+submissions; this module records them while the interpreter runs.  Stdout
+is modelled as a pseudo-variable named ``out`` — exactly the trick the
+paper credits CLARA with ("CLARA considers the standard output as another
+variable in the variable traces").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.interp.values import JavaArray, JavaChar
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded state change: variable ``name`` took ``value``."""
+
+    name: str
+    value: object
+    method: str
+
+
+def _snapshot(value):
+    """Deep-copy mutable runtime values so later mutation can't alias."""
+    if isinstance(value, JavaArray):
+        return tuple(_snapshot(v) for v in value.elements)
+    if isinstance(value, JavaChar):
+        return value.char
+    return value
+
+
+class Tracer:
+    """Collects :class:`TraceEvent` records during one execution."""
+
+    def __init__(self):
+        self.events: list[TraceEvent] = []
+
+    def on_assign(self, method: str, name: str, value) -> None:
+        self.events.append(TraceEvent(name, _snapshot(value), method))
+
+    def on_output(self, method: str, text: str) -> None:
+        self.events.append(TraceEvent("out", text, method))
+
+    def variable_trace(self, name: str) -> list:
+        """The ordered sequence of values ``name`` took."""
+        return [e.value for e in self.events if e.name == name]
+
+    def variables(self) -> list[str]:
+        """All traced variable names in first-appearance order."""
+        seen: dict[str, None] = {}
+        for event in self.events:
+            seen.setdefault(event.name, None)
+        return list(seen)
+
+    def as_mapping(self) -> dict[str, list]:
+        """Full trace as ``{variable: [values...]}``."""
+        return {name: self.variable_trace(name) for name in self.variables()}

@@ -1,0 +1,180 @@
+"""Java value semantics: wrapping ints, arrays, and value formatting.
+
+Python integers are unbounded, so every arithmetic result that Java would
+store in an ``int`` is passed through :func:`wrap_int` to reproduce 32-bit
+two's-complement wraparound.  Division and remainder use Java semantics
+(truncation toward zero; remainder takes the dividend's sign), which differ
+from Python's floor-division for negative operands — and several of the
+paper's assignments (digit reversal, palindromes) exercise exactly those
+cases.
+"""
+
+from __future__ import annotations
+
+from repro.errors import JavaRuntimeError
+
+INT_MIN = -(2 ** 31)
+INT_MAX = 2 ** 31 - 1
+LONG_MIN = -(2 ** 63)
+LONG_MAX = 2 ** 63 - 1
+
+#: Default values per element type, as the JVM zero-initializes arrays.
+DEFAULT_VALUES = {
+    "int": 0, "long": 0, "short": 0, "byte": 0,
+    "double": 0.0, "float": 0.0,
+    "boolean": False, "char": "\0",
+    "String": None,
+}
+
+
+def wrap_int(value: int) -> int:
+    """Wrap ``value`` into Java's 32-bit signed integer range."""
+    return (value - INT_MIN) % (2 ** 32) + INT_MIN
+
+
+def wrap_long(value: int) -> int:
+    """Wrap ``value`` into Java's 64-bit signed integer range."""
+    return (value - LONG_MIN) % (2 ** 64) + LONG_MIN
+
+
+def java_div(left: int, right: int) -> int:
+    """Integer division truncating toward zero (Java ``/``)."""
+    if right == 0:
+        raise JavaRuntimeError("ArithmeticException: / by zero")
+    quotient = abs(left) // abs(right)
+    if (left < 0) != (right < 0):
+        quotient = -quotient
+    return wrap_int(quotient)
+
+
+def java_rem(left: int, right: int) -> int:
+    """Integer remainder with the dividend's sign (Java ``%``)."""
+    if right == 0:
+        raise JavaRuntimeError("ArithmeticException: % by zero")
+    remainder = abs(left) % abs(right)
+    if left < 0:
+        remainder = -remainder
+    return wrap_int(remainder)
+
+
+class JavaArray:
+    """A fixed-length, type-tagged Java array with bounds checking."""
+
+    __slots__ = ("element_type", "elements")
+
+    def __init__(self, element_type: str, elements: list):
+        self.element_type = element_type
+        self.elements = elements
+
+    @classmethod
+    def of_length(cls, element_type: str, length: int) -> "JavaArray":
+        if length < 0:
+            raise JavaRuntimeError(
+                f"NegativeArraySizeException: {length}"
+            )
+        if element_type == "char":
+            return cls(element_type, [JavaChar("\0") for _ in range(length)])
+        default = DEFAULT_VALUES.get(element_type)
+        return cls(element_type, [default] * length)
+
+    @property
+    def length(self) -> int:
+        return len(self.elements)
+
+    def get(self, index: int):
+        self._check(index)
+        return self.elements[index]
+
+    def set(self, index: int, value) -> None:
+        self._check(index)
+        self.elements[index] = value
+
+    def _check(self, index: int) -> None:
+        if not isinstance(index, int) or isinstance(index, bool):
+            raise JavaRuntimeError(f"array index must be int, got {index!r}")
+        if index < 0 or index >= len(self.elements):
+            raise JavaRuntimeError(
+                "ArrayIndexOutOfBoundsException: "
+                f"Index {index} out of bounds for length {len(self.elements)}"
+            )
+
+    def __eq__(self, other: object) -> bool:
+        return self is other  # Java reference equality
+
+    def __hash__(self) -> int:
+        return id(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"JavaArray({self.element_type}, {self.elements!r})"
+
+
+class JavaChar:
+    """A Java ``char`` value.
+
+    Kept distinct from Python ``str`` (which models ``String``) so that
+    arithmetic promotes chars to their code points — ``s.charAt(i) - '0'``
+    must evaluate to an int — while string concatenation keeps the glyph.
+    """
+
+    __slots__ = ("char",)
+
+    def __init__(self, char: str):
+        self.char = char
+
+    @property
+    def code(self) -> int:
+        return ord(self.char)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, JavaChar):
+            return self.char == other.char
+        if isinstance(other, int) and not isinstance(other, bool):
+            return self.code == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.char)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"JavaChar({self.char!r})"
+
+
+def java_str(value) -> str:
+    """Format a value the way Java's string conversion would.
+
+    Used for ``System.out`` printing and ``String`` concatenation:
+    booleans print as ``true``/``false``, doubles always carry a decimal
+    point (``1.0``), and arrays print as an identity-ish placeholder.
+    """
+    if value is None:
+        return "null"
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "NaN"
+        if value in (float("inf"), float("-inf")):
+            return "Infinity" if value > 0 else "-Infinity"
+        if value == int(value) and abs(value) < 1e16:
+            return f"{value:.1f}"
+        return repr(value)
+    if isinstance(value, JavaArray):
+        return f"[{value.element_type}@{id(value) & 0xFFFFFF:x}"
+    if isinstance(value, JavaChar):
+        return value.char
+    return str(value)
+
+
+def numeric_value(value) -> int | float | None:
+    """The numeric view of a value, or ``None`` if it has none.
+
+    Chars promote to their code points; booleans and strings are not
+    numeric in Java arithmetic.
+    """
+    if isinstance(value, bool):
+        return None
+    if isinstance(value, (int, float)):
+        return value
+    if isinstance(value, JavaChar):
+        return value.code
+    return None

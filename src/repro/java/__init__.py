@@ -1,0 +1,32 @@
+"""Java-subset frontend: lexer, AST, parser, and canonical printer.
+
+The paper builds extended program dependence graphs from Java submissions
+parsed with ANTLR.  This package is the from-scratch substitute: a lexer and
+recursive-descent parser for the Java subset used in introductory
+programming courses (classes, methods, primitive and array types, strings,
+all the usual control flow, ``Scanner``/``System.out``/``Math`` calls) plus
+a canonical printer that renders AST nodes back to normalized source text.
+
+Typical usage::
+
+    from repro.java import parse_submission
+    unit = parse_submission("void f(int x) { return; }")
+    method = unit.methods()[0]
+"""
+
+from repro.java import ast
+from repro.java.lexer import Lexer, Token, TokenType, tokenize
+from repro.java.parser import Parser, parse_expression, parse_submission
+from repro.java.printer import to_source
+
+__all__ = [
+    "ast",
+    "Lexer",
+    "Token",
+    "TokenType",
+    "tokenize",
+    "Parser",
+    "parse_expression",
+    "parse_submission",
+    "to_source",
+]

@@ -1,0 +1,249 @@
+"""Tokenizer for the Java subset.
+
+Produces a flat list of :class:`Token` objects with source positions.
+Comments and whitespace are skipped.  The lexer is deliberately strict:
+anything it does not recognize raises :class:`~repro.errors.JavaSyntaxError`
+with the offending position, which the grading pipeline surfaces as
+"submission does not compile" feedback.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import JavaSyntaxError
+
+
+class TokenType(enum.Enum):
+    """Lexical categories produced by :class:`Lexer`."""
+
+    IDENTIFIER = "identifier"
+    KEYWORD = "keyword"
+    INT_LITERAL = "int"
+    LONG_LITERAL = "long"
+    DOUBLE_LITERAL = "double"
+    STRING_LITERAL = "string"
+    CHAR_LITERAL = "char"
+    BOOL_LITERAL = "boolean"
+    NULL_LITERAL = "null"
+    OPERATOR = "operator"
+    SEPARATOR = "separator"
+    EOF = "eof"
+
+
+#: Reserved words recognized as keywords (subset relevant to intro courses).
+KEYWORDS = frozenset(
+    {
+        "abstract", "assert", "boolean", "break", "byte", "case", "catch",
+        "char", "class", "const", "continue", "default", "do", "double",
+        "else", "enum", "extends", "final", "finally", "float", "for",
+        "goto", "if", "implements", "import", "instanceof", "int",
+        "interface", "long", "native", "new", "package", "private",
+        "protected", "public", "return", "short", "static", "strictfp",
+        "super", "switch", "synchronized", "this", "throw", "throws",
+        "transient", "try", "void", "volatile", "while",
+    }
+)
+
+#: Multi-character operators, longest first so maximal munch works.
+_OPERATORS = (
+    ">>>=", "<<=", ">>=", ">>>",
+    "==", "!=", "<=", ">=", "&&", "||", "++", "--",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<", ">>",
+    "+", "-", "*", "/", "%", "=", "<", ">", "!", "~", "&", "|", "^", "?", ":",
+)
+
+_SEPARATORS = frozenset("(){}[];,.@")
+
+_ESCAPES = {
+    "n": "\n", "t": "\t", "r": "\r", "b": "\b", "f": "\f",
+    "0": "\0", "'": "'", '"': '"', "\\": "\\",
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token with its source position (1-based)."""
+
+    type: TokenType
+    value: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.type.name}, {self.value!r}, {self.line}:{self.column})"
+
+
+class Lexer:
+    """Single-pass scanner over a Java source string."""
+
+    def __init__(self, source: str):
+        self._source = source
+        self._pos = 0
+        self._line = 1
+        self._column = 1
+
+    def tokens(self) -> list[Token]:
+        """Scan the whole input and return the token list ending in EOF."""
+        result: list[Token] = []
+        while True:
+            token = self._next_token()
+            result.append(token)
+            if token.type is TokenType.EOF:
+                return result
+
+    # ------------------------------------------------------------------
+    # scanning machinery
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self._pos + offset
+        if index < len(self._source):
+            return self._source[index]
+        return ""
+
+    def _advance(self, count: int = 1) -> str:
+        text = self._source[self._pos:self._pos + count]
+        for ch in text:
+            if ch == "\n":
+                self._line += 1
+                self._column = 1
+            else:
+                self._column += 1
+        self._pos += count
+        return text
+
+    def _error(self, message: str) -> JavaSyntaxError:
+        return JavaSyntaxError(message, self._line, self._column)
+
+    def _skip_trivia(self) -> None:
+        while self._pos < len(self._source):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while self._pos < len(self._source) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                self._advance(2)
+                while self._pos < len(self._source):
+                    if self._peek() == "*" and self._peek(1) == "/":
+                        self._advance(2)
+                        break
+                    self._advance()
+                else:
+                    raise self._error("unterminated block comment")
+            else:
+                return
+
+    def _next_token(self) -> Token:
+        self._skip_trivia()
+        line, column = self._line, self._column
+        if self._pos >= len(self._source):
+            return Token(TokenType.EOF, "", line, column)
+        ch = self._peek()
+        if ch.isdigit() or (ch == "." and self._peek(1).isdigit()):
+            return self._number(line, column)
+        if ch.isalpha() or ch in "_$":
+            return self._word(line, column)
+        if ch == '"':
+            return self._string(line, column)
+        if ch == "'":
+            return self._char(line, column)
+        if ch in _SEPARATORS:
+            self._advance()
+            return Token(TokenType.SEPARATOR, ch, line, column)
+        for op in _OPERATORS:
+            if self._source.startswith(op, self._pos):
+                self._advance(len(op))
+                return Token(TokenType.OPERATOR, op, line, column)
+        raise self._error(f"unexpected character {ch!r}")
+
+    def _word(self, line: int, column: int) -> Token:
+        start = self._pos
+        while self._pos < len(self._source) and (
+            self._peek().isalnum() or self._peek() in "_$"
+        ):
+            self._advance()
+        text = self._source[start:self._pos]
+        if text in ("true", "false"):
+            return Token(TokenType.BOOL_LITERAL, text, line, column)
+        if text == "null":
+            return Token(TokenType.NULL_LITERAL, text, line, column)
+        if text in KEYWORDS:
+            return Token(TokenType.KEYWORD, text, line, column)
+        return Token(TokenType.IDENTIFIER, text, line, column)
+
+    def _number(self, line: int, column: int) -> Token:
+        start = self._pos
+        is_double = False
+        if self._peek() == "0" and self._peek(1) in "xX":
+            self._advance(2)
+            while self._peek() and self._peek() in "0123456789abcdefABCDEF_":
+                self._advance()
+        else:
+            while self._peek().isdigit() or self._peek() == "_":
+                self._advance()
+            if self._peek() == "." and self._peek(1).isdigit():
+                is_double = True
+                self._advance()
+                while self._peek().isdigit() or self._peek() == "_":
+                    self._advance()
+            if self._peek() and self._peek() in "eE" and (
+                self._peek(1).isdigit()
+                or (self._peek(1) in "+-" and self._peek(2).isdigit())
+            ):
+                is_double = True
+                self._advance()
+                if self._peek() in "+-":
+                    self._advance()
+                while self._peek().isdigit():
+                    self._advance()
+        if self._peek() and self._peek() in "dDfF":
+            self._advance()
+            text = self._source[start:self._pos]
+            return Token(TokenType.DOUBLE_LITERAL, text, line, column)
+        if self._peek() and self._peek() in "lL":
+            self._advance()
+            text = self._source[start:self._pos]
+            return Token(TokenType.LONG_LITERAL, text, line, column)
+        text = self._source[start:self._pos]
+        token_type = TokenType.DOUBLE_LITERAL if is_double else TokenType.INT_LITERAL
+        return Token(token_type, text, line, column)
+
+    def _string(self, line: int, column: int) -> Token:
+        self._advance()  # opening quote
+        chars: list[str] = []
+        while True:
+            if self._pos >= len(self._source):
+                raise self._error("unterminated string literal")
+            ch = self._advance()
+            if ch == '"':
+                break
+            if ch == "\n":
+                raise self._error("newline in string literal")
+            if ch == "\\":
+                escape = self._advance()
+                if escape not in _ESCAPES:
+                    raise self._error(f"unsupported escape \\{escape}")
+                chars.append(_ESCAPES[escape])
+            else:
+                chars.append(ch)
+        return Token(TokenType.STRING_LITERAL, "".join(chars), line, column)
+
+    def _char(self, line: int, column: int) -> Token:
+        self._advance()  # opening quote
+        ch = self._advance()
+        if ch == "\\":
+            escape = self._advance()
+            if escape not in _ESCAPES:
+                raise self._error(f"unsupported escape \\{escape}")
+            ch = _ESCAPES[escape]
+        if self._advance() != "'":
+            raise self._error("unterminated char literal")
+        return Token(TokenType.CHAR_LITERAL, ch, line, column)
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize ``source`` and return the token list (ending with EOF)."""
+    return Lexer(source).tokens()

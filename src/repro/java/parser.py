@@ -1,0 +1,659 @@
+"""Recursive-descent parser for the Java subset.
+
+The entry points are :func:`parse_submission` (a whole student submission:
+a compilation unit, a class body, or one-or-more bare methods) and
+:func:`parse_expression` (a single expression, used by pattern templates
+and tests).  Operator precedence follows the Java Language Specification
+for the subset we accept.
+"""
+
+from __future__ import annotations
+
+from repro.errors import JavaSyntaxError
+from repro.java import ast
+from repro.java.lexer import Token, TokenType, tokenize
+
+#: Primitive type keywords accepted in declarations.
+PRIMITIVE_TYPES = frozenset(
+    {"boolean", "byte", "char", "short", "int", "long", "float", "double"}
+)
+
+_MODIFIERS = frozenset(
+    {"public", "private", "protected", "static", "final", "abstract",
+     "synchronized", "native", "strictfp", "transient", "volatile"}
+)
+
+#: Binary operator precedence (higher binds tighter), per the JLS.
+_BINARY_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, ">": 7, "<=": 7, ">=": 7, "instanceof": 7,
+    "<<": 8, ">>": 8, ">>>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+
+_ASSIGN_OPERATORS = frozenset(
+    {"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>=", ">>>="}
+)
+
+
+class Parser:
+    """Parses a token stream produced by :mod:`repro.java.lexer`."""
+
+    def __init__(self, source: str):
+        self._tokens = tokenize(source)
+        self._pos = 0
+
+    # ------------------------------------------------------------------
+    # token helpers
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.type is not TokenType.EOF:
+            self._pos += 1
+        return token
+
+    def _check(self, value: str, offset: int = 0) -> bool:
+        token = self._peek(offset)
+        return token.value == value and token.type in (
+            TokenType.KEYWORD, TokenType.OPERATOR, TokenType.SEPARATOR
+        )
+
+    def _match(self, value: str) -> bool:
+        if self._check(value):
+            self._advance()
+            return True
+        return False
+
+    def _expect(self, value: str) -> Token:
+        if not self._check(value):
+            token = self._peek()
+            raise JavaSyntaxError(
+                f"expected {value!r} but found {token.value!r}",
+                token.line, token.column,
+            )
+        return self._advance()
+
+    def _expect_identifier(self) -> str:
+        token = self._peek()
+        if token.type is not TokenType.IDENTIFIER:
+            raise JavaSyntaxError(
+                f"expected identifier but found {token.value!r}",
+                token.line, token.column,
+            )
+        return self._advance().value
+
+    def _at_eof(self) -> bool:
+        return self._peek().type is TokenType.EOF
+
+    def _error(self, message: str) -> JavaSyntaxError:
+        token = self._peek()
+        return JavaSyntaxError(message, token.line, token.column)
+
+    # ------------------------------------------------------------------
+    # top level
+
+    def parse_submission(self) -> ast.CompilationUnit:
+        """Parse a whole submission (classes and/or bare methods)."""
+        unit = ast.CompilationUnit()
+        while self._match("import"):
+            parts = [self._expect_identifier()]
+            while self._match("."):
+                if self._match("*"):
+                    parts.append("*")
+                    break
+                parts.append(self._expect_identifier())
+            self._expect(";")
+            unit.imports.append(".".join(parts))
+        while not self._at_eof():
+            modifiers = self._parse_modifiers()
+            if self._check("class"):
+                unit.classes.append(self._parse_class(modifiers))
+            else:
+                unit.bare_methods.append(self._parse_method(modifiers))
+        return unit
+
+    def parse_expression_only(self) -> ast.Expression:
+        """Parse exactly one expression; trailing tokens are an error."""
+        expression = self._parse_expression()
+        if not self._at_eof():
+            raise self._error("unexpected trailing tokens after expression")
+        return expression
+
+    def _parse_modifiers(self) -> list[str]:
+        modifiers = []
+        while self._peek().type is TokenType.KEYWORD and self._peek().value in _MODIFIERS:
+            modifiers.append(self._advance().value)
+        return modifiers
+
+    def _parse_class(self, modifiers: list[str]) -> ast.ClassDecl:
+        self._expect("class")
+        name = self._expect_identifier()
+        if self._match("extends"):
+            self._expect_identifier()
+        if self._match("implements"):
+            self._expect_identifier()
+            while self._match(","):
+                self._expect_identifier()
+        self._expect("{")
+        cls = ast.ClassDecl(name=name, modifiers=modifiers)
+        while not self._check("}"):
+            if self._at_eof():
+                raise self._error("unterminated class body")
+            member_modifiers = self._parse_modifiers()
+            if self._looks_like_method():
+                cls.methods.append(self._parse_method(member_modifiers))
+            else:
+                decl = self._parse_local_var_decl()
+                self._expect(";")
+                cls.fields.append(
+                    ast.FieldDecl(
+                        type=decl.type,
+                        declarators=decl.declarators,
+                        modifiers=member_modifiers,
+                    )
+                )
+        self._expect("}")
+        return cls
+
+    def _looks_like_method(self) -> bool:
+        """Disambiguate method declarations from field declarations.
+
+        After the (already consumed) modifiers, a method looks like
+        ``Type name (`` whereas a field looks like ``Type name =|;|,``.
+        """
+        offset = 0
+        token = self._peek(offset)
+        if token.type not in (TokenType.KEYWORD, TokenType.IDENTIFIER):
+            return False
+        offset += 1
+        while self._check("[", offset) and self._check("]", offset + 1):
+            offset += 2
+        if self._peek(offset).type is not TokenType.IDENTIFIER:
+            return False
+        offset += 1
+        return self._check("(", offset)
+
+    def _parse_method(self, modifiers: list[str]) -> ast.MethodDecl:
+        return_type = self._parse_type()
+        name = self._expect_identifier()
+        self._expect("(")
+        parameters: list[ast.Parameter] = []
+        if not self._check(")"):
+            while True:
+                param_type = self._parse_type()
+                param_name = self._expect_identifier()
+                while self._match("["):
+                    self._expect("]")
+                    param_type = ast.Type(param_type.name, param_type.dimensions + 1)
+                parameters.append(ast.Parameter(type=param_type, name=param_name))
+                if not self._match(","):
+                    break
+        self._expect(")")
+        throws: list[str] = []
+        if self._match("throws"):
+            throws.append(self._expect_identifier())
+            while self._match(","):
+                throws.append(self._expect_identifier())
+        body = self._parse_block()
+        return ast.MethodDecl(
+            name=name,
+            return_type=return_type,
+            parameters=parameters,
+            body=body,
+            modifiers=modifiers,
+            throws=throws,
+        )
+
+    # ------------------------------------------------------------------
+    # types
+
+    def _parse_type(self) -> ast.Type:
+        token = self._peek()
+        if token.type is TokenType.KEYWORD and token.value in PRIMITIVE_TYPES | {"void"}:
+            name = self._advance().value
+        elif token.type is TokenType.IDENTIFIER:
+            name = self._advance().value
+            while self._check(".") and self._peek(1).type is TokenType.IDENTIFIER:
+                self._advance()
+                name += "." + self._advance().value
+        else:
+            raise self._error(f"expected type but found {token.value!r}")
+        dimensions = 0
+        while self._check("[") and self._check("]", 1):
+            self._advance()
+            self._advance()
+            dimensions += 1
+        return ast.Type(name, dimensions)
+
+    def _at_type_start(self) -> bool:
+        """True when the upcoming tokens begin a local variable declaration."""
+        token = self._peek()
+        if token.type is TokenType.KEYWORD and token.value in PRIMITIVE_TYPES:
+            return True
+        if token.type is not TokenType.IDENTIFIER:
+            return False
+        # `Ident Ident`  ->  declaration (e.g. `Scanner s`)
+        if self._peek(1).type is TokenType.IDENTIFIER:
+            return True
+        # `Ident [ ] Ident`  ->  array declaration (e.g. `int[] a` spelled
+        # with a class type, `String[] words`)
+        offset = 1
+        saw_brackets = False
+        while self._check("[", offset) and self._check("]", offset + 1):
+            saw_brackets = True
+            offset += 2
+        return saw_brackets and self._peek(offset).type is TokenType.IDENTIFIER
+
+    # ------------------------------------------------------------------
+    # statements
+
+    def _parse_block(self) -> ast.Block:
+        self._expect("{")
+        block = ast.Block()
+        while not self._check("}"):
+            if self._at_eof():
+                raise self._error("unterminated block")
+            block.statements.append(self._parse_statement())
+        self._expect("}")
+        return block
+
+    def _parse_statement(self) -> ast.Statement:
+        if self._check("{"):
+            return self._parse_block()
+        if self._check(";"):
+            self._advance()
+            return ast.EmptyStatement()
+        if self._check("if"):
+            return self._parse_if()
+        if self._check("while"):
+            return self._parse_while()
+        if self._check("do"):
+            return self._parse_do_while()
+        if self._check("for"):
+            return self._parse_for()
+        if self._check("switch"):
+            return self._parse_switch()
+        if self._check("break"):
+            self._advance()
+            label = None
+            if self._peek().type is TokenType.IDENTIFIER:
+                label = self._advance().value
+            self._expect(";")
+            return ast.Break(label)
+        if self._check("continue"):
+            self._advance()
+            label = None
+            if self._peek().type is TokenType.IDENTIFIER:
+                label = self._advance().value
+            self._expect(";")
+            return ast.Continue(label)
+        if self._check("return"):
+            self._advance()
+            value = None
+            if not self._check(";"):
+                value = self._parse_expression()
+            self._expect(";")
+            return ast.Return(value)
+        if self._check("final"):
+            self._advance()
+            declaration = self._parse_local_var_decl()
+            self._expect(";")
+            return declaration
+        if self._at_type_start():
+            declaration = self._parse_local_var_decl()
+            self._expect(";")
+            return declaration
+        expression = self._parse_expression()
+        self._expect(";")
+        return ast.ExpressionStatement(expression)
+
+    def _parse_local_var_decl(self) -> ast.LocalVarDecl:
+        var_type = self._parse_type()
+        declarators = [self._parse_declarator()]
+        while self._match(","):
+            declarators.append(self._parse_declarator())
+        return ast.LocalVarDecl(type=var_type, declarators=declarators)
+
+    def _parse_declarator(self) -> ast.VarDeclarator:
+        name = self._expect_identifier()
+        extra_dimensions = 0
+        while self._check("[") and self._check("]", 1):
+            self._advance()
+            self._advance()
+            extra_dimensions += 1
+        initializer = None
+        if self._match("="):
+            if self._check("{"):
+                initializer = self._parse_array_initializer()
+            else:
+                initializer = self._parse_expression()
+        return ast.VarDeclarator(
+            name=name, initializer=initializer, extra_dimensions=extra_dimensions
+        )
+
+    def _parse_if(self) -> ast.If:
+        self._expect("if")
+        self._expect("(")
+        condition = self._parse_expression()
+        self._expect(")")
+        then_branch = self._parse_statement()
+        else_branch = None
+        if self._match("else"):
+            else_branch = self._parse_statement()
+        return ast.If(condition, then_branch, else_branch)
+
+    def _parse_while(self) -> ast.While:
+        self._expect("while")
+        self._expect("(")
+        condition = self._parse_expression()
+        self._expect(")")
+        body = self._parse_statement()
+        return ast.While(condition, body)
+
+    def _parse_do_while(self) -> ast.DoWhile:
+        self._expect("do")
+        body = self._parse_statement()
+        self._expect("while")
+        self._expect("(")
+        condition = self._parse_expression()
+        self._expect(")")
+        self._expect(";")
+        return ast.DoWhile(body, condition)
+
+    def _parse_for(self) -> ast.Statement:
+        self._expect("for")
+        self._expect("(")
+        # enhanced for: `for (Type name : expr)`
+        checkpoint = self._pos
+        if self._at_type_start() or (
+            self._peek().type is TokenType.KEYWORD
+            and self._peek().value in PRIMITIVE_TYPES
+        ):
+            try:
+                item_type = self._parse_type()
+                name = self._expect_identifier()
+                if self._match(":"):
+                    iterable = self._parse_expression()
+                    self._expect(")")
+                    body = self._parse_statement()
+                    return ast.ForEach(item_type, name, iterable, body)
+            except JavaSyntaxError:
+                pass
+            self._pos = checkpoint
+        init: list[ast.Statement] = []
+        if not self._check(";"):
+            if self._at_type_start():
+                init.append(self._parse_local_var_decl())
+            else:
+                init.append(ast.ExpressionStatement(self._parse_expression()))
+                while self._match(","):
+                    init.append(ast.ExpressionStatement(self._parse_expression()))
+        self._expect(";")
+        condition = None
+        if not self._check(";"):
+            condition = self._parse_expression()
+        self._expect(";")
+        update: list[ast.Expression] = []
+        if not self._check(")"):
+            update.append(self._parse_expression())
+            while self._match(","):
+                update.append(self._parse_expression())
+        self._expect(")")
+        body = self._parse_statement()
+        return ast.For(init, condition, update, body)
+
+    def _parse_switch(self) -> ast.Switch:
+        self._expect("switch")
+        self._expect("(")
+        selector = self._parse_expression()
+        self._expect(")")
+        self._expect("{")
+        cases: list[ast.SwitchCase] = []
+        while not self._check("}"):
+            labels: list[ast.Expression | None] = []
+            while self._check("case") or self._check("default"):
+                if self._match("case"):
+                    labels.append(self._parse_expression())
+                else:
+                    self._expect("default")
+                    labels.append(None)
+                self._expect(":")
+            if not labels:
+                raise self._error("expected 'case' or 'default' in switch body")
+            statements: list[ast.Statement] = []
+            while not (
+                self._check("case") or self._check("default") or self._check("}")
+            ):
+                statements.append(self._parse_statement())
+            cases.append(ast.SwitchCase(labels, statements))
+        self._expect("}")
+        return ast.Switch(selector, cases)
+
+    # ------------------------------------------------------------------
+    # expressions
+
+    def _parse_expression(self) -> ast.Expression:
+        return self._parse_assignment()
+
+    def _parse_assignment(self) -> ast.Expression:
+        left = self._parse_ternary()
+        token = self._peek()
+        if token.type is TokenType.OPERATOR and token.value in _ASSIGN_OPERATORS:
+            operator = self._advance().value
+            value = self._parse_assignment()
+            return ast.Assignment(target=left, operator=operator, value=value)
+        return left
+
+    def _parse_ternary(self) -> ast.Expression:
+        condition = self._parse_binary(1)
+        if self._match("?"):
+            if_true = self._parse_expression()
+            self._expect(":")
+            if_false = self._parse_assignment()
+            return ast.Ternary(condition, if_true, if_false)
+        return condition
+
+    def _parse_binary(self, min_precedence: int) -> ast.Expression:
+        left = self._parse_unary()
+        while True:
+            token = self._peek()
+            operator = token.value
+            if token.type is TokenType.KEYWORD and operator == "instanceof":
+                precedence = _BINARY_PRECEDENCE[operator]
+                if precedence < min_precedence:
+                    return left
+                self._advance()
+                right_type = self._parse_type()
+                left = ast.Binary("instanceof", left, ast.Name(str(right_type)))
+                continue
+            if token.type is not TokenType.OPERATOR:
+                return left
+            precedence = _BINARY_PRECEDENCE.get(operator)
+            if precedence is None or precedence < min_precedence:
+                return left
+            self._advance()
+            right = self._parse_binary(precedence + 1)
+            left = ast.Binary(operator, left, right)
+
+    def _parse_unary(self) -> ast.Expression:
+        token = self._peek()
+        if token.type is TokenType.OPERATOR and token.value in ("+", "-", "!", "~"):
+            operator = self._advance().value
+            operand = self._parse_unary()
+            # Fold unary minus into negative literals so `-1` renders as a
+            # single literal, matching how instructors write patterns.
+            if (
+                operator == "-"
+                and isinstance(operand, ast.Literal)
+                and operand.kind in ("int", "long", "double")
+            ):
+                return ast.Literal(-operand.value, operand.kind)  # type: ignore[operator]
+            return ast.Unary(operator, operand, prefix=True)
+        if token.type is TokenType.OPERATOR and token.value in ("++", "--"):
+            operator = self._advance().value
+            operand = self._parse_unary()
+            return ast.Unary(operator, operand, prefix=True)
+        if self._check("(") and self._is_cast():
+            self._expect("(")
+            cast_type = self._parse_type()
+            self._expect(")")
+            expression = self._parse_unary()
+            return ast.Cast(cast_type, expression)
+        return self._parse_postfix()
+
+    def _is_cast(self) -> bool:
+        """Lookahead check for `(type) unary` casts.
+
+        Only primitive-type casts are treated as casts; `(expr)` with a
+        class-type name is ambiguous in Java and intro submissions do not
+        need reference casts.
+        """
+        offset = 1
+        token = self._peek(offset)
+        if token.type is TokenType.KEYWORD and token.value in PRIMITIVE_TYPES:
+            offset += 1
+            while self._check("[", offset) and self._check("]", offset + 1):
+                offset += 2
+            return self._check(")", offset)
+        return False
+
+    def _parse_postfix(self) -> ast.Expression:
+        expression = self._parse_primary()
+        while True:
+            if self._check("."):
+                self._advance()
+                name = self._expect_identifier()
+                if self._check("("):
+                    arguments = self._parse_arguments()
+                    expression = ast.MethodCall(expression, name, arguments)
+                else:
+                    expression = ast.FieldAccess(expression, name)
+            elif self._check("["):
+                self._advance()
+                index = self._parse_expression()
+                self._expect("]")
+                expression = ast.ArrayAccess(expression, index)
+            elif self._check("++") or self._check("--"):
+                operator = self._advance().value
+                expression = ast.Unary(operator, expression, prefix=False)
+            else:
+                return expression
+
+    def _parse_arguments(self) -> list[ast.Expression]:
+        self._expect("(")
+        arguments: list[ast.Expression] = []
+        if not self._check(")"):
+            arguments.append(self._parse_expression())
+            while self._match(","):
+                arguments.append(self._parse_expression())
+        self._expect(")")
+        return arguments
+
+    def _parse_array_initializer(self) -> ast.ArrayInitializer:
+        self._expect("{")
+        elements: list[ast.Expression] = []
+        if not self._check("}"):
+            while True:
+                if self._check("{"):
+                    elements.append(self._parse_array_initializer())
+                else:
+                    elements.append(self._parse_expression())
+                if not self._match(","):
+                    break
+        self._expect("}")
+        return ast.ArrayInitializer(elements)
+
+    def _parse_primary(self) -> ast.Expression:
+        token = self._peek()
+        if token.type is TokenType.INT_LITERAL:
+            self._advance()
+            return ast.Literal(int(token.value.replace("_", ""), 0), "int")
+        if token.type is TokenType.LONG_LITERAL:
+            self._advance()
+            return ast.Literal(int(token.value.rstrip("lL").replace("_", ""), 0), "long")
+        if token.type is TokenType.DOUBLE_LITERAL:
+            self._advance()
+            return ast.Literal(float(token.value.rstrip("dDfF").replace("_", "")), "double")
+        if token.type is TokenType.STRING_LITERAL:
+            self._advance()
+            return ast.Literal(token.value, "string")
+        if token.type is TokenType.CHAR_LITERAL:
+            self._advance()
+            return ast.Literal(token.value, "char")
+        if token.type is TokenType.BOOL_LITERAL:
+            self._advance()
+            return ast.Literal(token.value == "true", "boolean")
+        if token.type is TokenType.NULL_LITERAL:
+            self._advance()
+            return ast.Literal(None, "null")
+        if self._check("("):
+            self._advance()
+            expression = self._parse_expression()
+            self._expect(")")
+            return expression
+        if self._check("new"):
+            return self._parse_creation()
+        if token.type is TokenType.IDENTIFIER:
+            name = self._advance().value
+            if self._check("("):
+                arguments = self._parse_arguments()
+                return ast.MethodCall(None, name, arguments)
+            return ast.Name(name)
+        if self._check("this"):
+            self._advance()
+            return ast.Name("this")
+        raise self._error(f"unexpected token {token.value!r} in expression")
+
+    def _parse_creation(self) -> ast.Expression:
+        self._expect("new")
+        token = self._peek()
+        if token.type is TokenType.KEYWORD and token.value in PRIMITIVE_TYPES:
+            base = ast.Type(self._advance().value)
+        else:
+            name = self._expect_identifier()
+            while self._check(".") and self._peek(1).type is TokenType.IDENTIFIER:
+                self._advance()
+                name += "." + self._advance().value
+            base = ast.Type(name)
+        if self._check("("):
+            arguments = self._parse_arguments()
+            return ast.ObjectCreation(base, arguments)
+        dimensions: list[ast.Expression] = []
+        total_dims = 0
+        while self._check("["):
+            self._advance()
+            if self._check("]"):
+                self._advance()
+                total_dims += 1
+            else:
+                dimensions.append(self._parse_expression())
+                self._expect("]")
+                total_dims += 1
+        initializer = None
+        if self._check("{"):
+            initializer = self._parse_array_initializer()
+        if total_dims == 0:
+            raise self._error("array creation requires dimensions")
+        return ast.ArrayCreation(
+            ast.Type(base.name, total_dims), dimensions, initializer
+        )
+
+
+def parse_submission(source: str) -> ast.CompilationUnit:
+    """Parse a student submission into a :class:`~repro.java.ast.CompilationUnit`."""
+    return Parser(source).parse_submission()
+
+
+def parse_expression(source: str) -> ast.Expression:
+    """Parse a single Java expression."""
+    return Parser(source).parse_expression_only()

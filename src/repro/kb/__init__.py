@@ -1,0 +1,25 @@
+"""The knowledge base: 24 unique patterns and twelve assignments.
+
+This is the reproduction of the paper's "publicly-available knowledge
+base of patterns and constraints" covering the twelve real-world
+assignments of Table I.  :mod:`repro.kb.patterns_library` holds the
+reusable patterns; each module under :mod:`repro.kb.assignments` wires a
+subset of them (with occurrence counts and constraints) to one
+assignment, together with its reference solution(s), functional tests,
+and synthetic error model.
+"""
+
+from repro.kb.patterns_library import all_patterns, get_pattern
+from repro.kb.registry import (
+    all_assignment_names,
+    get_assignment,
+    table1_expectations,
+)
+
+__all__ = [
+    "all_patterns",
+    "get_pattern",
+    "all_assignment_names",
+    "get_assignment",
+    "table1_expectations",
+]

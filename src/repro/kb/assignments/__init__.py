@@ -1,0 +1,6 @@
+"""One module per Table I assignment.
+
+Each module exposes ``build() -> Assignment`` wiring patterns (with
+occurrence counts), constraints, reference solutions, functional tests,
+and the synthetic error-model submission space.
+"""

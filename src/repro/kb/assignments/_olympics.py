@@ -1,0 +1,97 @@
+"""Simulated ``summer_olympics.txt`` shared by the two RIT assignments.
+
+The paper's RIT assignments read a text file of athlete records: five
+whitespace-separated fields per record — first name, last name, medal
+type (1 gold / 2 silver / 3 bronze), year, and a separator token.  The
+real course file is not distributed, so we generate a deterministic
+synthetic dataset with the same schema (and enough collisions — shared
+first names, repeat medalists — to make the assignments' edge cases
+observable).
+"""
+
+from __future__ import annotations
+
+FILE_NAME = "summer_olympics.txt"
+
+#: (first, last, medal_type, year) — deterministic synthetic records.
+RECORDS: list[tuple[str, str, int, int]] = [
+    ("Usain", "Bolt", 1, 2008),
+    ("Usain", "Bolt", 1, 2012),
+    ("Usain", "Bolt", 1, 2016),
+    ("Michael", "Phelps", 1, 2008),
+    ("Michael", "Phelps", 1, 2012),
+    ("Michael", "Phelps", 2, 2016),
+    ("Michael", "Johnson", 1, 1996),
+    ("Allyson", "Felix", 2, 2008),
+    ("Allyson", "Felix", 1, 2012),
+    ("Allyson", "Felix", 1, 2016),
+    ("Simone", "Biles", 1, 2016),
+    ("Simone", "Biles", 3, 2016),
+    ("Carl", "Lewis", 1, 1996),
+    ("Carl", "Lewis", 1, 1992),
+    ("Mo", "Farah", 1, 2012),
+    ("Mo", "Farah", 1, 2016),
+    ("Katie", "Ledecky", 1, 2012),
+    ("Katie", "Ledecky", 1, 2016),
+    ("Katie", "Ledecky", 2, 2016),
+    ("Yohan", "Blake", 2, 2012),
+    ("Justin", "Gatlin", 3, 2012),
+    ("Justin", "Gatlin", 2, 2016),
+    ("Shelly-Ann", "Fraser-Pryce", 1, 2012),
+    ("Shelly-Ann", "Fraser-Pryce", 3, 2016),
+]
+
+
+def file_content() -> str:
+    """The file text served to the interpreter's virtual filesystem."""
+    lines = [
+        f"{first} {last} {medal} {year} #"
+        for first, last, medal, year in RECORDS
+    ]
+    return "\n".join(lines) + "\n"
+
+
+def gold_medals_in(year: int) -> int:
+    """Ground truth for rit-all-g-medals."""
+    return sum(
+        1 for _, _, medal, y in RECORDS if medal == 1 and y == year
+    )
+
+
+def medals_of(first: str, last: str) -> int:
+    """Ground truth for rit-medals-by-ath."""
+    return sum(
+        1 for f, l, _, _ in RECORDS if f == first and l == last
+    )
+
+
+#: Paper Figure 7: functionally correct but semantically incorrect
+#: submission for rit-all-g-medals (duplicated conditions advance the
+#: file index twice, coincidentally landing on the right fields).
+FIGURE_7 = """
+void countGoldMedals(int year) {
+    int i = 1;
+    int medals = 0;
+    int p = 0;
+    int y = 0;
+    String e = "";
+    Scanner s = new Scanner(new File("summer_olympics.txt"));
+    while (s.hasNext()) {
+        if (i % 5 == 4)
+            e = s.next();
+        if (i % 5 == 1)
+            e = s.next();
+        if (i % 5 == 1)
+            e = s.next();
+        if (i % 5 == 3)
+            p = s.nextInt();
+        if (i % 5 == 3)
+            y = s.nextInt();
+        if (i % 5 == 4 && y == year && p == 1)
+            medals += 1;
+        i++;
+    }
+    s.close();
+    System.out.println(medals);
+}
+"""

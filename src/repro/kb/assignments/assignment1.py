@@ -1,0 +1,268 @@
+"""Assignment 1 (paper Section III): odd-sum / even-product over an array.
+
+    Given an input array, devise a Java method that adds odd positions and
+    multiplies even positions in the array.  Print to console your
+    results.  Header: ``void assignment1(int[] a)``.
+
+Table I row: S = 640,000, L ≈ 12.23, P = 6, C = 4.
+The error model factorizes as 5^4 · 2^10 = 640,000 (four five-way choice
+points and 2^10 worth of binary-equivalent ones).
+"""
+
+from __future__ import annotations
+
+from repro.core.assignment import Assignment, FunctionalTest
+from repro.kb.patterns_library import get_pattern
+from repro.matching.submission import ExpectedMethod
+from repro.patterns.model import EdgeExistenceConstraint, EqualityConstraint
+from repro.pdg.graph import EdgeType
+from repro.synth.rules import ChoicePoint, correct, wrong
+from repro.synth.spaces import SubmissionSpace
+
+#: The paper's Figure 2 sample submissions, used in tests and examples.
+FIGURE_2A = """
+void assignment1(int[] a) {
+    int even = 0;
+    int odd = 0;
+    for (int i = 0; i <= a.length; i++) {
+        if (i % 2 == 1)
+            odd += a[i];
+        if (i % 2 == 1)
+            even *= a[i];
+    }
+    System.out.println(odd);
+    System.out.println(even);
+}
+"""
+
+FIGURE_2B = """
+void assignment1(int[] a) {
+    int o = 0, e = 1;
+    int i = 0;
+    while (i < a.length) {
+        if (i % 2 == 1)
+            o += a[i];
+        if (i % 2 == 0)
+            e *= a[i];
+        i++;
+    }
+    System.out.print(o + ", " + e);
+}
+"""
+
+FIGURE_2C = """
+void assignment1(int[] a) {
+    int x = 0, y = 1;
+    for (int i = 0; i < a.length; i++)
+        if (i % 2 == 1)
+            x *= a[i];
+    for (int i = 0; i < a.length; i++)
+        if (i % 2 == 0)
+            y += a[i];
+    System.out.print("O: " + x + ", E: " + y);
+}
+"""
+
+#: Paper Figure 8a: a two-loop reference solution.  Figure 8b is a
+#: functionally similar correct submission whose variables take values in
+#: a different order (the even loop runs first), which CLARA's
+#: whole-trace comparison fails to match (the figure itself is an image
+#: in the paper; 8b is reconstructed from the caption's description).
+FIGURE_8A = """
+void assignment1(int[] a) {
+    int o = 0;
+    int i = 0;
+    while (i < a.length) {
+        if (i % 2 == 1)
+            o += a[i];
+        i++;
+    }
+    i = 0;
+    int e = 1;
+    while (i < a.length) {
+        if (i % 2 == 0)
+            e *= a[i];
+        i++;
+    }
+    System.out.print(e);
+    System.out.print(o);
+}
+"""
+
+FIGURE_8B = """
+void assignment1(int[] a) {
+    int e = 1;
+    int i = 0;
+    while (i < a.length) {
+        if (i % 2 == 0)
+            e *= a[i];
+        i++;
+    }
+    i = 0;
+    int o = 0;
+    while (i < a.length) {
+        if (i % 2 == 1)
+            o += a[i];
+        i++;
+    }
+    System.out.print(e);
+    System.out.print(o);
+}
+"""
+
+_TEMPLATE = """\
+void assignment1(int[] a) {
+    {{null-guard}}int odd = {{odd-init}};
+    int even = {{even-init}};
+    int i = {{i-init}};
+    while ({{bound}}) {
+        if ({{odd-cond}})
+            {{odd-update}};
+        {{even-strategy}}
+        {{advance}};
+    }
+    {{prints}}
+}
+"""
+
+
+def _space() -> SubmissionSpace:
+    choice_points = [
+        # four five-way points (5^4) ------------------------------------
+        ChoicePoint("odd-init", (
+            correct("0"), wrong("1"), wrong("2"), wrong("-1"), wrong("10"),
+        )),
+        ChoicePoint("even-init", (
+            correct("1"), wrong("0"), wrong("2"), wrong("-1"), wrong("10"),
+        )),
+        ChoicePoint("bound", (
+            correct("i < a.length"),
+            wrong("i <= a.length"),
+            wrong("i < a.length - 1"),
+            wrong("i <= a.length - 1"),
+            wrong("i < a.length + 1"),
+        )),
+        ChoicePoint("odd-cond", (
+            correct("i % 2 == 1"),
+            correct("i % 2 != 0"),
+            wrong("i % 2 == 0"),
+            wrong("i % 2 == 2"),
+            wrong("i % 2 >= 1"),
+        )),
+        # 2^10 worth of binary-equivalent points -------------------------
+        ChoicePoint("i-init", (correct("0"), wrong("1"))),
+        ChoicePoint("null-guard", (
+            correct(""),
+            correct("if (a == null) return;\n    "),
+        )),
+        ChoicePoint("advance", (
+            correct("i++"), correct("i += 1"), correct("i = i + 1"),
+            wrong("i += 2"),
+        )),
+        ChoicePoint("odd-update", (
+            correct("odd += a[i]"), correct("odd = odd + a[i]"),
+            wrong("odd -= a[i]"), wrong("odd = a[i]"),
+        )),
+        ChoicePoint("even-strategy", (
+            correct("if (i % 2 == 0)\n            even *= a[i];"),
+            correct("if (i % 2 != 1)\n            even *= a[i];"),
+            correct("if (i % 2 == 0)\n            even = even * a[i];"),
+            wrong("if (i % 2 == 1)\n            even *= a[i];"),
+        )),
+        ChoicePoint("prints", (
+            correct("System.out.println(odd);\n    System.out.println(even);"),
+            # the next two keep the patterns satisfied but fail the strict
+            # functional tests: the print-order/style discrepancies the
+            # paper reports for Assignment 1
+            wrong("System.out.println(even);\n    System.out.println(odd);"),
+            wrong("System.out.print(odd + \" \" + even);"),
+            wrong("System.out.println(odd);\n    System.out.println(odd);"),
+        )),
+    ]
+    return SubmissionSpace("assignment1", _TEMPLATE, choice_points)
+
+
+def _tests() -> list[FunctionalTest]:
+    cases = [
+        ([3, 4, 5, 6], 4 + 6, 3 * 5),
+        ([], 0, 1),
+        ([7], 0, 7),
+        ([2, 9], 9, 2),
+        ([1, 2, 3, 4, 5], 2 + 4, 1 * 3 * 5),
+        ([0, 0, 0], 0, 0),
+    ]
+    return [
+        FunctionalTest(
+            method="assignment1",
+            arguments=(array,),
+            expected_stdout=f"{odd}\n{even}\n",
+        )
+        for array, odd, even in cases
+    ]
+
+
+def build() -> Assignment:
+    expected = ExpectedMethod(
+        name="assignment1",
+        patterns=[
+            (get_pattern("seq-odd-access"), 1),
+            (get_pattern("seq-even-access"), 1),
+            (get_pattern("cond-cumulative-add"), 1),
+            (get_pattern("cond-cumulative-mul"), 1),
+            (get_pattern("assign-print"), 2),
+            (get_pattern("print-call"), None),
+        ],
+        constraints=[
+            EqualityConstraint(
+                name="odd-positions-are-summed",
+                feedback_correct="The value you sum in {c} comes exactly "
+                                 "from the odd positions of {s}.",
+                feedback_incorrect="The variable you sum must accumulate "
+                                   "the odd positions of the array.",
+                pattern_i="seq-odd-access", node_i=5,
+                pattern_j="cond-cumulative-add", node_j=3,
+            ),
+            EqualityConstraint(
+                name="even-positions-are-multiplied",
+                feedback_correct="The value you multiply in {d} comes "
+                                 "exactly from the even positions of {t}.",
+                feedback_incorrect="The variable you multiply must "
+                                   "accumulate the even positions of the "
+                                   "array.",
+                pattern_i="seq-even-access", node_i=5,
+                pattern_j="cond-cumulative-mul", node_j=3,
+            ),
+            EdgeExistenceConstraint(
+                name="odd-sum-is-printed",
+                feedback_correct="The odd-position sum {c} is printed to "
+                                 "console.",
+                feedback_incorrect="You must print the odd-position sum "
+                                   "to console.",
+                pattern_i="cond-cumulative-add", node_i=3,
+                pattern_j="assign-print", node_j=1,
+                edge_type=EdgeType.DATA,
+            ),
+            EdgeExistenceConstraint(
+                name="even-product-is-printed",
+                feedback_correct="The even-position product {d} is printed "
+                                 "to console.",
+                feedback_incorrect="You must print the even-position "
+                                   "product to console.",
+                pattern_i="cond-cumulative-mul", node_i=3,
+                pattern_j="assign-print", node_j=1,
+                edge_type=EdgeType.DATA,
+            ),
+        ],
+    )
+    space = _space()
+    return Assignment(
+        name="assignment1",
+        title="Odd-position sum and even-position product",
+        statement="Given an input array, add odd positions and multiply "
+                  "even positions in the array; print the results to "
+                  "console.  Header: void assignment1(int[] a).",
+        expected_methods=[expected],
+        reference_solutions=[space.reference.source],
+        tests=_tests(),
+        space_factory=_space,
+    )

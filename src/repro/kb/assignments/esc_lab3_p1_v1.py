@@ -1,0 +1,206 @@
+"""esc-LAB-3-P1-V1 (IIT Kanpur): print n such that n! ≤ k < (n+1)!.
+
+Table I row: S = 442,368 (= 3^3 · 2^14), L ≈ 15.17, P = 7, C = 5.
+
+This is the paper's showcase for multiple expected methods: the reference
+declares a ``fact`` helper plus the ``lab3p1`` driver, which is exactly
+the setting where Sketch needs constant inputs and CLARA's traces diverge.
+The paper reports 8 discrepancies here: submissions computing
+``(n-1)! <= k`` instead of ``n! <= k`` stay functionally correct (the
+looser lower bound never changes the exit point) while the technique
+flags the lower limit — our error model includes that exact rule.
+"""
+
+from __future__ import annotations
+
+from repro.core.assignment import Assignment, FunctionalTest
+from repro.kb.patterns_library import get_pattern
+from repro.matching.submission import ExpectedMethod
+from repro.patterns.model import (
+    ContainmentConstraint,
+    EdgeExistenceConstraint,
+    EqualityConstraint,
+)
+from repro.patterns.template import ExprTemplate
+from repro.pdg.graph import EdgeType
+from repro.synth.rules import ChoicePoint, correct, wrong
+from repro.synth.spaces import SubmissionSpace
+
+_TEMPLATE = """\
+int fact(int m) {
+    {{fact-guard}}{{f-type}} f = {{f-init}};
+    {{i-type}} i = {{i-start}};
+    while ({{fact-bound}}) {
+        {{f-update}};
+        {{fact-advance}};
+    }
+    return {{fact-return}};
+}
+
+void lab3p1(int k) {
+    {{lab-guard}}{{extra-decl}}int n = {{n-init}};
+    while (!({{lower-bound}} && {{upper-bound}})) {
+        {{n-advance}};
+    }
+    {{p1-print}};{{print-extra}}
+}
+"""
+
+
+def _space() -> SubmissionSpace:
+    choice_points = [
+        # three ternary points (3^3) -------------------------------------
+        ChoicePoint("f-init", (correct("1"), wrong("0"), wrong("2"))),
+        ChoicePoint("n-init", (correct("0"), wrong("2"), wrong("3"))),
+        ChoicePoint("lower-bound", (
+            correct("fact(n) <= k"),
+            # functionally correct, semantically off: the paper's
+            # 8-discrepancy rule for this assignment
+            wrong("fact(n - 1) <= k"),
+            wrong("fact(n + 1) <= k"),
+        )),
+        # fourteen binary points (2^14) -----------------------------------
+        ChoicePoint("i-start", (correct("1"), wrong("0"))),
+        ChoicePoint("fact-bound", (correct("i <= m"), wrong("i < m"))),
+        ChoicePoint("f-update", (correct("f *= i"), correct("f = f * i"))),
+        ChoicePoint("fact-advance", (correct("i++"), correct("i += 1"))),
+        ChoicePoint("fact-return", (correct("f"), wrong("i"))),
+        ChoicePoint("upper-bound", (
+            correct("k < fact(n + 1)"), wrong("k <= fact(n + 1)"),
+        )),
+        ChoicePoint("n-advance", (correct("n++"), correct("n += 1"))),
+        ChoicePoint("p1-print", (
+            correct("System.out.println(n)"),
+            wrong("System.out.println(k)"),
+        )),
+        ChoicePoint("fact-guard", (
+            correct(""), correct("if (m <= 0) return 1;\n    "),
+        )),
+        ChoicePoint("lab-guard", (
+            correct(""), correct("if (k <= 0) return;\n    "),
+        )),
+        ChoicePoint("f-type", (correct("int"), correct("long"))),
+        ChoicePoint("i-type", (correct("int"), correct("long"))),
+        ChoicePoint("extra-decl", (correct(""), correct("int tmp = 0;\n    "))),
+        ChoicePoint("print-extra", (
+            correct(""), wrong("\n    System.out.println(n);"),
+        )),
+    ]
+    return SubmissionSpace("esc-LAB-3-P1-V1", _TEMPLATE, choice_points)
+
+
+def _tests() -> list[FunctionalTest]:
+    cases = [(1, 1), (2, 2), (5, 2), (6, 3), (23, 3), (24, 4), (100, 4),
+             (719, 5), (720, 6)]
+    tests = [
+        FunctionalTest(
+            method="lab3p1",
+            arguments=(k,),
+            expected_stdout=f"{n}\n",
+        )
+        for k, n in cases
+    ]
+    tests.append(
+        FunctionalTest(
+            method="fact", arguments=(5,),
+            expected_return=120, compare_return=True,
+        )
+    )
+    tests.append(
+        FunctionalTest(
+            method="fact", arguments=(1,),
+            expected_return=1, compare_return=True,
+        )
+    )
+    return tests
+
+
+def build() -> Assignment:
+    fact_method = ExpectedMethod(
+        name="fact",
+        patterns=[
+            (get_pattern("factorial-loop"), 1),
+            (get_pattern("range-loop"), 1),
+        ],
+        constraints=[
+            ContainmentConstraint(
+                name="factorial-multiplies-loop-variable",
+                feedback_correct="{f} is multiplied by the loop variable "
+                                 "{i0} on every iteration.",
+                feedback_incorrect="The factorial accumulator must be "
+                                   "multiplied by the loop variable itself "
+                                   "({f} *= {i0}).",
+                pattern="factorial-loop", node=2,
+                expr=ExprTemplate(r"f \*= i0|f = f \* i0",
+                                  frozenset({"f", "i0"})),
+                supporting=("range-loop",),
+            ),
+            EqualityConstraint(
+                name="factorial-inside-counting-loop",
+                feedback_correct="The product is accumulated inside the "
+                                 "counting loop.",
+                feedback_incorrect="Accumulate the product inside the "
+                                   "counting loop over 1..m.",
+                pattern_i="factorial-loop", node_i=1,
+                pattern_j="range-loop", node_j=1,
+            ),
+        ],
+    )
+    lab_method = ExpectedMethod(
+        name="lab3p1",
+        patterns=[
+            (get_pattern("accumulator-bound-loop"), 1),
+            (get_pattern("counter-under-cond"), 1),
+            (get_pattern("assign-print"), 1),
+            (get_pattern("print-call"), None),
+            # bad pattern: the factorial must live in fact(), not be
+            # re-implemented inline in the driver
+            (get_pattern("factorial-loop"), 0),
+        ],
+        constraints=[
+            ContainmentConstraint(
+                name="lower-bound-uses-n-factorial",
+                feedback_correct="The lower limit compares {cnt}! against "
+                                 "{k0}.",
+                feedback_incorrect="The lower limit must be {cnt}! <= "
+                                   "{k0}, i.e., fact({cnt}) <= {k0}.",
+                pattern="accumulator-bound-loop", node=1,
+                expr=ExprTemplate(r"fact\(cnt\) <= k0",
+                                  frozenset({"cnt", "k0"})),
+                supporting=("counter-under-cond",),
+            ),
+            ContainmentConstraint(
+                name="upper-bound-uses-n-plus-1-factorial",
+                feedback_correct="The upper limit compares {k0} against "
+                                 "({cnt} + 1)!.",
+                feedback_incorrect="The upper limit must be {k0} < "
+                                   "({cnt} + 1)!, i.e., {k0} < "
+                                   "fact({cnt} + 1).",
+                pattern="accumulator-bound-loop", node=1,
+                expr=ExprTemplate(r"k0 < fact\(cnt \+ 1\)",
+                                  frozenset({"cnt", "k0"})),
+                supporting=("counter-under-cond",),
+            ),
+            EdgeExistenceConstraint(
+                name="result-counter-is-printed",
+                feedback_correct="You print the computed n to console.",
+                feedback_incorrect="You must print the computed n (the "
+                                   "loop counter) to console.",
+                pattern_i="counter-under-cond", node_i=2,
+                pattern_j="assign-print", node_j=1,
+                edge_type=EdgeType.DATA,
+            ),
+        ],
+    )
+    space = _space()
+    return Assignment(
+        name="esc-LAB-3-P1-V1",
+        title="Largest n with n! <= k < (n+1)!",
+        statement="Print to console the number n such that n! <= k < "
+                  "(n+1)!, taking the number k as input.  Headers: "
+                  "int fact(int m) and void lab3p1(int k).",
+        expected_methods=[fact_method, lab_method],
+        reference_solutions=[space.reference.source],
+        tests=_tests(),
+        space_factory=_space,
+    )

@@ -1,0 +1,287 @@
+"""esc-LAB-3-P2-V1 (IIT Kanpur): print n such that fib(n) ≤ k < fib(n+1).
+
+Table I row: S = 7,077,888 (= 3^3 · 2^18), L ≈ 16.75, P = 8, C = 13.
+
+The Fibonacci twin of P1-V1.  The paper reports 592 discrepancies from
+submissions computing ``fib(n-1) <= k < fib(n+1)``, which stay
+functionally correct for the same reason the factorial variant does; the
+error model includes that rule (choice point ``lower``).
+"""
+
+from __future__ import annotations
+
+from repro.core.assignment import Assignment, FunctionalTest
+from repro.kb.patterns_library import get_pattern
+from repro.matching.submission import ExpectedMethod
+from repro.patterns.model import (
+    ContainmentConstraint,
+    EdgeExistenceConstraint,
+    EqualityConstraint,
+)
+from repro.patterns.template import ExprTemplate
+from repro.pdg.graph import EdgeType
+from repro.synth.rules import ChoicePoint, correct, wrong
+from repro.synth.spaces import SubmissionSpace
+
+_TEMPLATE = """\
+int fib(int m) {
+    {{fib-guard}}{{p-type}} p = {{p-init}};
+    {{q-type}} q = {{q-init}};
+    {{i-type}} i = {{i-start}};
+    while ({{fib-bound}}) {
+        {{sum-stmt}}
+        {{shuffle}}
+        {{fib-advance}};
+    }
+    return {{fib-return}};
+}
+
+void lab3p2(int k) {
+    {{lab-guard}}{{extra-decl}}int n = {{n-init}};
+    while (!({{lower}} && {{upper}})) {
+        {{n-advance}};
+    }
+    {{p2-print}};{{print-extra}}
+}
+"""
+
+
+def _space() -> SubmissionSpace:
+    choice_points = [
+        # three ternary points (3^3) -------------------------------------
+        ChoicePoint("p-init", (correct("0"), wrong("1"), wrong("2"))),
+        ChoicePoint("i-start", (correct("1"), wrong("0"), wrong("2"))),
+        ChoicePoint("lower", (
+            correct("fib(n) <= k"),
+            # functionally correct but semantically off: the paper's
+            # 592-discrepancy rule for this assignment
+            wrong("fib(n - 1) <= k"),
+            wrong("fib(n + 1) <= k"),
+        )),
+        # 2^18 worth of binary-equivalent points --------------------------
+        ChoicePoint("q-init", (correct("1"), wrong("0"))),
+        ChoicePoint("fib-bound", (correct("i <= m"), wrong("i < m"))),
+        ChoicePoint("sum-stmt", (
+            correct("int t = p + q;"),
+            correct("int t = q + p;"),
+            wrong("int t = p + q + 1;"),
+            wrong("int t = p - q;"),
+        )),
+        ChoicePoint("shuffle", (
+            correct("p = q;\n        q = t;"),
+            wrong("q = t;\n        p = q;"),
+        )),
+        ChoicePoint("fib-advance", (correct("i++"), correct("i += 1"))),
+        ChoicePoint("fib-return", (correct("p"), wrong("q"))),
+        ChoicePoint("fib-guard", (
+            correct(""), correct("if (m <= 0) return 0;\n    "),
+        )),
+        ChoicePoint("n-init", (correct("1"), wrong("5"))),
+        ChoicePoint("upper", (
+            correct("k < fib(n + 1)"), wrong("k <= fib(n + 1)"),
+        )),
+        ChoicePoint("n-advance", (correct("n++"), correct("n += 1"))),
+        ChoicePoint("p2-print", (
+            correct("System.out.println(n)"),
+            wrong("System.out.println(k)"),
+        )),
+        ChoicePoint("lab-guard", (
+            correct(""), correct("if (k <= 0) return;\n    "),
+        )),
+        ChoicePoint("extra-decl", (correct(""), correct("int tmp = 0;\n    "))),
+        ChoicePoint("print-extra", (
+            correct(""), wrong("\n    System.out.println(n);"),
+        )),
+        ChoicePoint("p-type", (correct("int"), correct("long"))),
+        ChoicePoint("q-type", (correct("int"), correct("long"))),
+        ChoicePoint("i-type", (correct("int"), correct("long"))),
+    ]
+    return SubmissionSpace("esc-LAB-3-P2-V1", _TEMPLATE, choice_points)
+
+
+def _tests() -> list[FunctionalTest]:
+    cases = [(1, 2), (2, 3), (3, 4), (4, 4), (5, 5), (7, 5), (10, 6),
+             (100, 11)]
+    tests = [
+        FunctionalTest(
+            method="lab3p2", arguments=(k,), expected_stdout=f"{n}\n",
+        )
+        for k, n in cases
+    ]
+    for m, value in [(1, 1), (2, 1), (3, 2), (6, 8), (10, 55)]:
+        tests.append(
+            FunctionalTest(
+                method="fib", arguments=(m,),
+                expected_return=value, compare_return=True,
+            )
+        )
+    return tests
+
+
+def build() -> Assignment:
+    fib_method = ExpectedMethod(
+        name="fib",
+        patterns=[
+            (get_pattern("fibonacci-update"), 1),
+            (get_pattern("range-loop"), 1),
+            # bad pattern: the helper computes, the driver prints
+            (get_pattern("assign-print"), 0),
+        ],
+        constraints=[
+            EqualityConstraint(
+                name="fib-sum-inside-counting-loop",
+                feedback_correct="The Fibonacci sum happens inside the "
+                                 "counting loop.",
+                feedback_incorrect="Compute each Fibonacci number inside "
+                                   "the counting loop over 1..m.",
+                pattern_i="fibonacci-update", node_i=2,
+                pattern_j="range-loop", node_j=1,
+            ),
+            ContainmentConstraint(
+                name="fib-counts-from-one",
+                feedback_correct="The counter {i0} starts at 1 as the "
+                                 "sequence does.",
+                feedback_incorrect="The sequence is 1, 1, 2, 3, ...; start "
+                                   "counting produced numbers at "
+                                   "{i0} = 1.",
+                pattern="range-loop", node=0,
+                expr=ExprTemplate(r"i0 = 1", frozenset({"i0"})),
+                supporting=(),
+            ),
+            ContainmentConstraint(
+                name="fib-bound-inclusive",
+                feedback_correct="The counting loop includes m itself.",
+                feedback_incorrect="The counting loop must include m "
+                                   "itself ({i0} <= m).",
+                pattern="range-loop", node=1,
+                expr=ExprTemplate(r"i0 <= ", frozenset({"i0"})),
+                supporting=(),
+            ),
+            EdgeExistenceConstraint(
+                name="fib-sum-guarded-by-loop",
+                feedback_correct="The sum is guarded by the loop "
+                                 "condition.",
+                feedback_incorrect="The Fibonacci sum must execute only "
+                                   "while the loop condition holds.",
+                pattern_i="range-loop", node_i=1,
+                pattern_j="fibonacci-update", node_j=3,
+                edge_type=EdgeType.CTRL,
+            ),
+        ],
+    )
+    lab_method = ExpectedMethod(
+        name="lab3p2",
+        patterns=[
+            (get_pattern("accumulator-bound-loop"), 1),
+            (get_pattern("counter-under-cond"), 1),
+            (get_pattern("assign-print"), 1),
+            (get_pattern("print-call"), None),
+            # bad pattern: don't re-implement the sequence inline
+            (get_pattern("fibonacci-update"), 0),
+        ],
+        constraints=[
+            ContainmentConstraint(
+                name="lower-bound-uses-fib-n",
+                feedback_correct="The lower limit compares fib({cnt}) "
+                                 "against {k0}.",
+                feedback_incorrect="The lower limit must be fib({cnt}) <= "
+                                   "{k0}.",
+                pattern="accumulator-bound-loop", node=1,
+                expr=ExprTemplate(r"fib\(cnt\) <= k0",
+                                  frozenset({"cnt", "k0"})),
+                supporting=("counter-under-cond",),
+            ),
+            ContainmentConstraint(
+                name="upper-bound-uses-fib-n-plus-1",
+                feedback_correct="The upper limit compares {k0} against "
+                                 "fib({cnt} + 1).",
+                feedback_incorrect="The upper limit must be {k0} < "
+                                   "fib({cnt} + 1).",
+                pattern="accumulator-bound-loop", node=1,
+                expr=ExprTemplate(r"k0 < fib\(cnt \+ 1\)",
+                                  frozenset({"cnt", "k0"})),
+                supporting=("counter-under-cond",),
+            ),
+            EdgeExistenceConstraint(
+                name="result-counter-is-printed",
+                feedback_correct="You print the computed n to console.",
+                feedback_incorrect="You must print the computed n (the "
+                                   "loop counter) to console.",
+                pattern_i="counter-under-cond", node_i=2,
+                pattern_j="assign-print", node_j=1,
+                edge_type=EdgeType.DATA,
+            ),
+            ContainmentConstraint(
+                name="search-starts-low",
+                feedback_correct="The search counter {cnt} starts at the "
+                                 "beginning of the sequence.",
+                feedback_incorrect="Start the search at {cnt} = 1 (or 0); "
+                                   "starting later can skip the answer.",
+                pattern="counter-under-cond", node=0,
+                expr=ExprTemplate(r"cnt = 1|cnt = 0", frozenset({"cnt"})),
+                supporting=(),
+            ),
+            ContainmentConstraint(
+                name="search-advances-by-one",
+                feedback_correct="The search advances {cnt} one step at a "
+                                 "time.",
+                feedback_incorrect="Advance {cnt} by exactly one per "
+                                   "iteration or you may skip the answer.",
+                pattern="counter-under-cond", node=2,
+                expr=ExprTemplate(r"cnt\+\+|cnt \+= 1|cnt = cnt \+ 1",
+                                  frozenset({"cnt"})),
+                supporting=(),
+            ),
+            EqualityConstraint(
+                name="advance-guarded-by-interval-test",
+                feedback_correct="The counter advances exactly while the "
+                                 "interval test fails.",
+                feedback_incorrect="Advance the counter only while the "
+                                   "interval test fails.",
+                pattern_i="counter-under-cond", node_i=1,
+                pattern_j="accumulator-bound-loop", node_j=1,
+            ),
+            ContainmentConstraint(
+                name="prints-with-newline",
+                feedback_correct="You print the result with println.",
+                feedback_incorrect="Print the result with "
+                                   "System.out.println so it ends the "
+                                   "line.",
+                pattern="assign-print", node=1,
+                expr=ExprTemplate(r"System\.out\.println\(", frozenset()),
+                supporting=(),
+            ),
+            ContainmentConstraint(
+                name="loop-negates-interval-test",
+                feedback_correct="The loop keeps searching while the "
+                                 "interval test does not hold yet.",
+                feedback_incorrect="Keep looping while the interval test "
+                                   "does NOT hold (negate the "
+                                   "conjunction).",
+                pattern="accumulator-bound-loop", node=1,
+                expr=ExprTemplate(r"!\(", frozenset()),
+                supporting=(),
+            ),
+            EqualityConstraint(
+                name="printed-value-is-final-counter",
+                feedback_correct="The printed variable is the one the "
+                                 "search advances.",
+                feedback_incorrect="Print the search counter itself, not "
+                                   "another variable.",
+                pattern_i="assign-print", node_i=0,
+                pattern_j="counter-under-cond", node_j=2,
+            ),
+        ],
+    )
+    space = _space()
+    return Assignment(
+        name="esc-LAB-3-P2-V1",
+        title="Largest n with fib(n) <= k < fib(n+1)",
+        statement="Print to console the number n such that "
+                  "fib(n) <= k < fib(n+1), taking the number k as input.  "
+                  "Headers: int fib(int m) and void lab3p2(int k).",
+        expected_methods=[fib_method, lab_method],
+        reference_solutions=[space.reference.source],
+        tests=_tests(),
+        space_factory=_space,
+    )

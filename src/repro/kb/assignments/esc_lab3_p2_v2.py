@@ -1,0 +1,146 @@
+"""esc-LAB-3-P2-V2 (IIT Kanpur): special numbers (sum of cubes of digits).
+
+    A number is special when the sum of cubes of its digits is equal to
+    the number itself.
+
+Table I row: S = 144 (= 3^2 · 2^4), L ≈ 7.67, P = 4, C = 5, D = 0.
+"""
+
+from __future__ import annotations
+
+from repro.core.assignment import Assignment, FunctionalTest
+from repro.kb.patterns_library import get_pattern
+from repro.matching.submission import ExpectedMethod
+from repro.patterns.model import ContainmentConstraint, EdgeExistenceConstraint
+from repro.patterns.template import ExprTemplate
+from repro.pdg.graph import EdgeType
+from repro.synth.rules import ChoicePoint, correct, wrong
+from repro.synth.spaces import SubmissionSpace
+
+_TEMPLATE = """\
+void isSpecial(int k) {
+    int s = {{s-init}};
+    int n = k;
+    while ({{loop-cond}}) {
+        int d = {{digit}};
+        {{cube}}
+        {{shrink}};
+    }
+    if ({{check}})
+        System.out.println("special");
+    else
+        System.out.println("not special");
+}
+"""
+
+
+def _space() -> SubmissionSpace:
+    choice_points = [
+        ChoicePoint("s-init", (correct("0"), wrong("1"), wrong("k"))),
+        ChoicePoint("cube", (
+            correct("s += d * d * d;"),
+            wrong("s += d * d;"),
+            wrong("s += d;"),
+        )),
+        ChoicePoint("loop-cond", (correct("n != 0"), correct("n > 0"))),
+        ChoicePoint("shrink", (correct("n /= 10"), correct("n = n / 10"))),
+        ChoicePoint("digit", (correct("n % 10"), wrong("n % 9"))),
+        # the wrong option inverts the test, which the equality-check
+        # pattern recognizes approximately (the paper reports D = 0 here)
+        ChoicePoint("check", (correct("s == k"), wrong("s != k"))),
+    ]
+    return SubmissionSpace("esc-LAB-3-P2-V2", _TEMPLATE, choice_points)
+
+
+def _tests() -> list[FunctionalTest]:
+    cases = [(153, True), (370, True), (371, True), (407, True), (1, True),
+             (10, False), (100, False), (152, False), (372, False)]
+    return [
+        FunctionalTest(
+            method="isSpecial",
+            arguments=(k,),
+            expected_stdout="special\n" if special else "not special\n",
+        )
+        for k, special in cases
+    ]
+
+
+def build() -> Assignment:
+    expected = ExpectedMethod(
+        name="isSpecial",
+        patterns=[
+            (get_pattern("digit-extract"), 1),
+            (get_pattern("shrink-by-ten"), 1),
+            (get_pattern("cube-sum"), 1),
+            (get_pattern("equality-check"), 1),
+        ],
+        constraints=[
+            ContainmentConstraint(
+                name="full-cube-is-summed",
+                feedback_correct="You accumulate the full cube "
+                                 "{dg} * {dg} * {dg}.",
+                feedback_incorrect="The sum must use the cube of each "
+                                   "digit: {dg} * {dg} * {dg}.",
+                pattern="cube-sum", node=2,
+                expr=ExprTemplate(
+                    r"cs \+= dg \* dg \* dg|cs = cs \+ dg \* dg \* dg",
+                    frozenset({"cs", "dg"}),
+                ),
+                supporting=(),
+            ),
+            EdgeExistenceConstraint(
+                name="cube-uses-extracted-digit",
+                feedback_correct="The cube uses the digit you extracted "
+                                 "with % 10.",
+                feedback_incorrect="Cube the digit you extracted with "
+                                   "% 10.",
+                pattern_i="digit-extract", node_i=1,
+                pattern_j="cube-sum", node_j=2,
+                edge_type=EdgeType.DATA,
+            ),
+            ContainmentConstraint(
+                name="comparison-uses-cube-sum",
+                feedback_correct="You compare the cube sum {cs} against "
+                                 "the input.",
+                feedback_incorrect="Compare the cube sum against the "
+                                   "original input number (not the "
+                                   "consumed copy, which is 0 after the "
+                                   "loop).",
+                pattern="equality-check", node=0,
+                expr=ExprTemplate(r"cs == |== cs", frozenset({"cs"})),
+                supporting=("cube-sum",),
+            ),
+            EdgeExistenceConstraint(
+                name="cube-sum-inside-digit-loop",
+                feedback_correct="The cube sum is accumulated inside the "
+                                 "digit loop.",
+                feedback_incorrect="Accumulate the cube sum inside the "
+                                   "digit loop.",
+                pattern_i="shrink-by-ten", node_i=1,
+                pattern_j="cube-sum", node_j=2,
+                edge_type=EdgeType.CTRL,
+            ),
+            EdgeExistenceConstraint(
+                name="digit-extracted-inside-digit-loop",
+                feedback_correct="Digits are extracted inside the digit "
+                                 "loop.",
+                feedback_incorrect="Extract each digit inside the digit "
+                                   "loop.",
+                pattern_i="shrink-by-ten", node_i=1,
+                pattern_j="digit-extract", node_j=1,
+                edge_type=EdgeType.CTRL,
+            ),
+        ],
+    )
+    space = _space()
+    return Assignment(
+        name="esc-LAB-3-P2-V2",
+        title="Special numbers (sum of cubes of digits)",
+        statement="A number is special when the sum of cubes of its "
+                  "digits equals the number itself.  Header: "
+                  "void isSpecial(int k).",
+        expected_methods=[expected],
+        reference_solutions=[space.reference.source],
+        tests=_tests(),
+        space_factory=_space,
+    )

@@ -1,0 +1,179 @@
+"""esc-LAB-3-P3-V1 (IIT Kanpur): difference of a number and its reverse.
+
+Table I row: S = 10,368 (= 3^4 · 2^7), L ≈ 10.5, P = 7, C = 6, D = 1.
+
+The paper's single discrepancy here came from a submission computing the
+digit count via log10 — a structural variant outside the error model —
+so our space concentrates on the reverse-building rules; the ``diff``
+choice point's ``r - k`` option is pattern-positive but functionally
+wrong, giving this assignment its own (documented) discrepancy source.
+"""
+
+from __future__ import annotations
+
+from repro.core.assignment import Assignment, FunctionalTest
+from repro.kb.patterns_library import get_pattern
+from repro.matching.submission import ExpectedMethod
+from repro.patterns.model import ContainmentConstraint, EdgeExistenceConstraint
+from repro.patterns.template import ExprTemplate
+from repro.pdg.graph import EdgeType
+from repro.synth.rules import ChoicePoint, correct, wrong
+from repro.synth.spaces import SubmissionSpace
+
+_TEMPLATE = """\
+void reverseDiff(int k) {
+    {{guard}}{{extra}}int r = {{r-init}};
+    {{n-copy}}
+    while ({{loop-cond}}) {
+        int d = {{digit}};
+        {{rev-build}}
+        {{shrink}};
+    }
+    int diff = {{diff}};
+    {{print}};{{print-extra}}
+}
+"""
+
+
+def _space() -> SubmissionSpace:
+    choice_points = [
+        # four ternary points (3^4) --------------------------------------
+        ChoicePoint("r-init", (correct("0"), wrong("1"), wrong("k"))),
+        ChoicePoint("rev-build", (
+            correct("r = r * 10 + d;"),
+            wrong("r = r + d;"),
+            wrong("r = r * 100 + d;"),
+        )),
+        ChoicePoint("digit", (
+            correct("n % 10"), wrong("n % 100"), wrong("n / 10"),
+        )),
+        ChoicePoint("diff", (
+            correct("k - r"),
+            # reversed operands: the difference pattern accepts either
+            # direction, so this is pattern-positive but test-failing
+            wrong("r - k"),
+            wrong("k + r"),
+        )),
+        # seven binary points (2^7) ---------------------------------------
+        ChoicePoint("loop-cond", (correct("n != 0"), correct("n > 0"))),
+        ChoicePoint("shrink", (correct("n /= 10"), correct("n = n / 10"))),
+        ChoicePoint("print", (
+            correct("System.out.println(diff)"),
+            wrong("System.out.println(r)"),
+        )),
+        ChoicePoint("n-copy", (
+            correct("int n = k;"), wrong("int n = k / 10;"),
+        )),
+        ChoicePoint("extra", (correct(""), correct("int tmp = 0;\n    "))),
+        ChoicePoint("guard", (
+            correct(""), correct("if (k < 0) return;\n    "),
+        )),
+        ChoicePoint("print-extra", (
+            correct(""), wrong("\n    System.out.println(diff);"),
+        )),
+    ]
+    return SubmissionSpace("esc-LAB-3-P3-V1", _TEMPLATE, choice_points)
+
+
+def _tests() -> list[FunctionalTest]:
+    cases = [(12, 12 - 21), (100, 100 - 1), (7, 0), (120, 120 - 21),
+             (91, 91 - 19), (1234, 1234 - 4321)]
+    return [
+        FunctionalTest(
+            method="reverseDiff", arguments=(k,), expected_stdout=f"{d}\n",
+        )
+        for k, d in cases
+    ]
+
+
+def build() -> Assignment:
+    expected = ExpectedMethod(
+        name="reverseDiff",
+        patterns=[
+            (get_pattern("digit-extract"), 1),
+            (get_pattern("shrink-by-ten"), 1),
+            (get_pattern("reverse-build"), 1),
+            (get_pattern("difference"), 1),
+            (get_pattern("assign-print"), 1),
+            (get_pattern("print-call"), None),
+            # bad pattern: this variant computes a difference, not an
+            # equality test (that is P4-V1, the palindrome variant)
+            (get_pattern("equality-check"), 0),
+        ],
+        constraints=[
+            EdgeExistenceConstraint(
+                name="difference-uses-built-reverse",
+                feedback_correct="The difference uses the reverse you "
+                                 "built.",
+                feedback_incorrect="The difference must use the reverse "
+                                   "you built digit by digit.",
+                pattern_i="reverse-build", node_i=2,
+                pattern_j="difference", node_j=2,
+                edge_type=EdgeType.DATA,
+            ),
+            EdgeExistenceConstraint(
+                name="difference-is-printed",
+                feedback_correct="The difference is printed to console.",
+                feedback_incorrect="Print the difference (not the "
+                                   "reverse) to console.",
+                pattern_i="difference", node_i=2,
+                pattern_j="assign-print", node_j=1,
+                edge_type=EdgeType.DATA,
+            ),
+            EdgeExistenceConstraint(
+                name="reverse-built-inside-digit-loop",
+                feedback_correct="The reverse grows inside the digit "
+                                 "loop.",
+                feedback_incorrect="Grow the reverse inside the digit "
+                                   "loop.",
+                pattern_i="shrink-by-ten", node_i=1,
+                pattern_j="reverse-build", node_j=2,
+                edge_type=EdgeType.CTRL,
+            ),
+            EdgeExistenceConstraint(
+                name="reverse-appends-extracted-digit",
+                feedback_correct="Each extracted digit is appended to the "
+                                 "reverse.",
+                feedback_incorrect="Append the digit you extracted with "
+                                   "% 10 to the reverse.",
+                pattern_i="digit-extract", node_i=1,
+                pattern_j="reverse-build", node_j=2,
+                edge_type=EdgeType.DATA,
+            ),
+            ContainmentConstraint(
+                name="reverse-shifts-by-ten",
+                feedback_correct="The reverse shifts by exactly one "
+                                 "decimal digit per step.",
+                feedback_incorrect="Shift the reverse by exactly one "
+                                   "decimal digit: {rv} = {rv} * 10 + "
+                                   "digit.",
+                pattern="reverse-build", node=2,
+                expr=ExprTemplate(r"rv = rv \* 10 \+ |rv = 10 \* rv \+ ",
+                                  frozenset({"rv"})),
+                supporting=(),
+            ),
+            ContainmentConstraint(
+                name="consume-one-digit-per-step",
+                feedback_correct="You consume exactly one digit per "
+                                 "iteration.",
+                feedback_incorrect="Consume exactly one digit per "
+                                   "iteration ({n1} /= 10).",
+                pattern="shrink-by-ten", node=2,
+                expr=ExprTemplate(r"n1 /= 10|n1 = n1 / 10",
+                                  frozenset({"n1"})),
+                supporting=(),
+            ),
+        ],
+    )
+    space = _space()
+    return Assignment(
+        name="esc-LAB-3-P3-V1",
+        title="Difference of a number and its reverse",
+        statement="Find the difference of a positive number and its "
+                  "reverse and print it to console.  Header: "
+                  "void reverseDiff(int k).",
+        expected_methods=[expected],
+        reference_solutions=[space.reference.source],
+        tests=_tests(),
+        space_factory=_space,
+    )

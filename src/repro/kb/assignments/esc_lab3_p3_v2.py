@@ -1,0 +1,230 @@
+"""esc-LAB-3-P3-V2 (IIT Kanpur): count factorial numbers in [n, m].
+
+Table I row: S = 589,824 (= 3^2 · 2^16), L ≈ 15.42, P = 8, C = 10, D = 4.
+
+The paper's four discrepancies came from submissions that count the
+value 1 twice (as 0! and 1!); the ``i-start`` choice point reproduces
+exactly that rule (starting the running index at 0 revisits 1).
+"""
+
+from __future__ import annotations
+
+from repro.core.assignment import Assignment, FunctionalTest
+from repro.kb.patterns_library import get_pattern
+from repro.matching.submission import ExpectedMethod
+from repro.patterns.model import (
+    ContainmentConstraint,
+    EdgeExistenceConstraint,
+    EqualityConstraint,
+)
+from repro.patterns.template import ExprTemplate
+from repro.pdg.graph import EdgeType
+from repro.synth.rules import ChoicePoint, correct, wrong
+from repro.synth.spaces import SubmissionSpace
+
+_TEMPLATE = """\
+void countFactorials(int n, int m) {
+    {{guard}}{{m-check-extra}}{{extra}}{{extra2}}{{count-type}} count = {{count-init}};
+    {{f-type}} f = {{f-init}};
+    int i = {{i-start}};
+    while ({{bound}}) {
+        if ({{fact-check}}) {
+            {{count-update}};
+        }
+        {{i-adv}};
+        {{f-update}};
+    }
+    {{print}};{{print-extra}}
+}
+"""
+
+
+def _space() -> SubmissionSpace:
+    choice_points = [
+        # two ternary points (3^2) ---------------------------------------
+        ChoicePoint("count-init", (correct("0"), wrong("1"), wrong("2"))),
+        ChoicePoint("fact-check", (
+            correct("f >= n"), wrong("f > n"), wrong("f == n"),
+        )),
+        # 2^16 worth of binary-equivalent points --------------------------
+        ChoicePoint("i-start", (
+            correct("1"),
+            # the paper's double-counting rule: starting at 0 revisits 1
+            # (0! and 1!), overcounting by one while every pattern holds
+            wrong("0"),
+        )),
+        ChoicePoint("bound", (correct("f <= m"), wrong("f < m"))),
+        ChoicePoint("f-init", (correct("1"), wrong("0"))),
+        ChoicePoint("count-update", (
+            correct("count++"), correct("count += 1"),
+            correct("count = count + 1"), wrong("count--"),
+        )),
+        ChoicePoint("f-update", (
+            correct("f = f * i"), correct("f *= i"),
+        )),
+        ChoicePoint("i-adv", (correct("i++"), correct("i += 1"))),
+        ChoicePoint("print", (
+            correct("System.out.println(count)"),
+            wrong("System.out.println(f)"),
+            wrong("System.out.print(count)"),
+            wrong("System.out.println(n)"),
+        )),
+        ChoicePoint("guard", (
+            correct(""), correct("if (n < 1) n = 1;\n    "),
+        )),
+        ChoicePoint("m-check-extra", (
+            correct(""),
+            correct("if (m < 1) {\n        System.out.println(0);\n"
+                    "        return;\n    }\n    "),
+        )),
+        ChoicePoint("extra", (correct(""), correct("int tmp = 0;\n    "))),
+        ChoicePoint("extra2", (correct(""), correct("int aux = 0;\n    "))),
+        ChoicePoint("print-extra", (
+            correct(""), wrong("\n    System.out.println(count);"),
+        )),
+        ChoicePoint("f-type", (correct("int"), correct("long"))),
+        ChoicePoint("count-type", (correct("int"), correct("long"))),
+    ]
+    return SubmissionSpace("esc-LAB-3-P3-V2", _TEMPLATE, choice_points)
+
+
+def _tests() -> list[FunctionalTest]:
+    # factorials: 1, 2, 6, 24, 120, 720, ...
+    cases = [((1, 15), 3), ((1, 1), 1), ((2, 6), 2), ((3, 23), 1),
+             ((1, 720), 6), ((7, 23), 0), ((24, 24), 1)]
+    return [
+        FunctionalTest(
+            method="countFactorials", arguments=args,
+            expected_stdout=f"{count}\n",
+        )
+        for args, count in cases
+    ]
+
+
+def build() -> Assignment:
+    expected = ExpectedMethod(
+        name="countFactorials",
+        patterns=[
+            (get_pattern("factorial-loop"), 1),
+            (get_pattern("accumulator-bound-loop"), 1),
+            (get_pattern("counter-under-cond"), 2),
+            (get_pattern("assign-print"), 1),
+            (get_pattern("print-call"), None),
+            # bad patterns: equality alone misses the range check, and the
+            # sibling variants of this lab (Fibonacci counting and digit
+            # manipulation) do not belong here
+            (get_pattern("equality-check"), 0),
+            (get_pattern("fibonacci-update"), 0),
+            (get_pattern("digit-extract"), 0),
+        ],
+        constraints=[
+            ContainmentConstraint(
+                name="factorial-multiplied-by-running-index",
+                feedback_correct="Each factorial is the previous one "
+                                 "times the running index.",
+                feedback_incorrect="Grow the factorial by multiplying the "
+                                   "previous one by the running index.",
+                pattern="factorial-loop", node=2,
+                expr=ExprTemplate(r"f \*= cnt|f = f \* cnt",
+                                  frozenset({"f", "cnt"})),
+                supporting=("counter-under-cond",),
+            ),
+            EqualityConstraint(
+                name="factorials-grow-inside-bounded-loop",
+                feedback_correct="Factorials are generated inside the "
+                                 "bounded loop.",
+                feedback_incorrect="Generate factorials inside the loop "
+                                   "bounded by m.",
+                pattern_i="factorial-loop", node_i=1,
+                pattern_j="accumulator-bound-loop", node_j=1,
+            ),
+            EdgeExistenceConstraint(
+                name="factorial-update-guarded-by-bound",
+                feedback_correct="The factorial update is guarded by the "
+                                 "upper bound.",
+                feedback_incorrect="Stop growing factorials once they "
+                                   "exceed m.",
+                pattern_i="accumulator-bound-loop", node_i=1,
+                pattern_j="factorial-loop", node_j=2,
+                edge_type=EdgeType.CTRL,
+            ),
+            ContainmentConstraint(
+                name="upper-bound-inclusive",
+                feedback_correct="The interval includes m itself.",
+                feedback_incorrect="The interval [n, m] includes m; use "
+                                   "<= for the upper bound.",
+                pattern="accumulator-bound-loop", node=1,
+                expr=ExprTemplate(r"acc <= k0", frozenset({"acc", "k0"})),
+                supporting=(),
+            ),
+            EdgeExistenceConstraint(
+                name="count-is-printed",
+                feedback_correct="The count is printed to console.",
+                feedback_incorrect="Print the count (not the running "
+                                   "factorial) to console.",
+                pattern_i="counter-under-cond", node_i=2,
+                pattern_j="assign-print", node_j=1,
+                edge_type=EdgeType.DATA,
+            ),
+            ContainmentConstraint(
+                name="prints-with-newline",
+                feedback_correct="You print the result with println.",
+                feedback_incorrect="Print the result with "
+                                   "System.out.println so it ends the "
+                                   "line.",
+                pattern="assign-print", node=1,
+                expr=ExprTemplate(r"System\.out\.println\(", frozenset()),
+                supporting=(),
+            ),
+            ContainmentConstraint(
+                name="count-starts-at-zero",
+                feedback_correct="The count starts at 0.",
+                feedback_incorrect="Start the count at 0.",
+                pattern="counter-under-cond", node=0,
+                expr=ExprTemplate(r"cnt = 0", frozenset({"cnt"})),
+                supporting=(),
+            ),
+            ContainmentConstraint(
+                name="lower-range-check-uses-gte",
+                feedback_correct="The lower end of the interval is "
+                                 "checked with >=.",
+                feedback_incorrect="Check the lower end of the interval "
+                                   "with >= n (equality alone misses "
+                                   "larger factorials).",
+                pattern="counter-under-cond", node=1,
+                expr=ExprTemplate(r">=", frozenset()),
+                supporting=(),
+            ),
+            ContainmentConstraint(
+                name="factorial-starts-at-one",
+                feedback_correct="The running factorial starts at 1.",
+                feedback_incorrect="Start the running factorial at 1 "
+                                   "(0 would stay 0 forever).",
+                pattern="factorial-loop", node=0,
+                expr=ExprTemplate(r"f = 1", frozenset({"f"})),
+                supporting=(),
+            ),
+            EdgeExistenceConstraint(
+                name="bound-tests-initial-factorial",
+                feedback_correct="The bound check sees the running "
+                                 "factorial from its first value on.",
+                feedback_incorrect="The loop bound must test the running "
+                                   "factorial itself.",
+                pattern_i="factorial-loop", node_i=0,
+                pattern_j="accumulator-bound-loop", node_j=1,
+                edge_type=EdgeType.DATA,
+            ),
+        ],
+    )
+    space = _space()
+    return Assignment(
+        name="esc-LAB-3-P3-V2",
+        title="Count factorial numbers in [n, m]",
+        statement="Given numbers n and m, print to console the count of "
+                  "factorial numbers in [n, m].  Header: "
+                  "void countFactorials(int n, int m).",
+        expected_methods=[expected],
+        reference_solutions=[space.reference.source],
+        tests=_tests(),
+        space_factory=_space,
+    )

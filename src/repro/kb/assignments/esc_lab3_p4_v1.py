@@ -1,0 +1,172 @@
+"""esc-LAB-3-P4-V1 (IIT Kanpur): check whether a number is a palindrome.
+
+Table I row: S = 13,824 (= 3^3 · 2^9), L ≈ 10.5, P = 7, C = 6, D = 1.
+"""
+
+from __future__ import annotations
+
+from repro.core.assignment import Assignment, FunctionalTest
+from repro.kb.patterns_library import get_pattern
+from repro.matching.submission import ExpectedMethod
+from repro.patterns.model import ContainmentConstraint, EdgeExistenceConstraint
+from repro.patterns.template import ExprTemplate
+from repro.pdg.graph import EdgeType
+from repro.synth.rules import ChoicePoint, correct, wrong
+from repro.synth.spaces import SubmissionSpace
+
+_TEMPLATE = """\
+void isPalindrome(int k) {
+    {{guard}}{{extra}}int r = {{r-init}};
+    {{n-copy}}
+    while ({{loop-cond}}) {
+        {{d-type}} d = {{digit}};
+        {{rev-build}}
+        {{shrink}};
+    }
+    if ({{check}})
+        {{yes-print}};
+    else
+        {{no-print}};
+}
+"""
+
+
+def _space() -> SubmissionSpace:
+    choice_points = [
+        # three ternary points (3^3) -------------------------------------
+        ChoicePoint("r-init", (correct("0"), wrong("1"), wrong("k"))),
+        ChoicePoint("rev-build", (
+            correct("r = r * 10 + d;"),
+            wrong("r = r + d;"),
+            wrong("r = r * 100 + d;"),
+        )),
+        ChoicePoint("digit", (
+            correct("n % 10"), wrong("n % 100"), wrong("n / 10"),
+        )),
+        # nine binary points (2^9) ----------------------------------------
+        ChoicePoint("loop-cond", (correct("n != 0"), correct("n > 0"))),
+        ChoicePoint("shrink", (correct("n /= 10"), correct("n = n / 10"))),
+        ChoicePoint("check", (correct("k == r"), correct("r == k"))),
+        ChoicePoint("yes-print", (
+            correct('System.out.println("yes")'),
+            wrong('System.out.println("no")'),
+        )),
+        ChoicePoint("no-print", (
+            correct('System.out.println("no")'),
+            wrong('System.out.println("yes")'),
+        )),
+        ChoicePoint("n-copy", (
+            correct("int n = k;"), wrong("int n = k / 10;"),
+        )),
+        ChoicePoint("guard", (
+            correct(""), correct("if (k < 0) return;\n    "),
+        )),
+        ChoicePoint("extra", (correct(""), correct("int tmp = 0;\n    "))),
+        ChoicePoint("d-type", (correct("int"), correct("long"))),
+    ]
+    return SubmissionSpace("esc-LAB-3-P4-V1", _TEMPLATE, choice_points)
+
+
+def _tests() -> list[FunctionalTest]:
+    cases = [(121, True), (1221, True), (7, True), (10, False),
+             (123, False), (1231, False), (1001, True)]
+    return [
+        FunctionalTest(
+            method="isPalindrome", arguments=(k,),
+            expected_stdout="yes\n" if yes else "no\n",
+        )
+        for k, yes in cases
+    ]
+
+
+def build() -> Assignment:
+    expected = ExpectedMethod(
+        name="isPalindrome",
+        patterns=[
+            (get_pattern("digit-extract"), 1),
+            (get_pattern("shrink-by-ten"), 1),
+            (get_pattern("reverse-build"), 1),
+            (get_pattern("equality-check"), 1),
+            (get_pattern("print-call"), 2),
+            # bad patterns: the palindrome test compares directly (no
+            # difference needed) and this is not the Fibonacci variant
+            (get_pattern("difference"), 0),
+            (get_pattern("fibonacci-update"), 0),
+        ],
+        constraints=[
+            ContainmentConstraint(
+                name="comparison-uses-built-reverse",
+                feedback_correct="You compare the input against the "
+                                 "reverse {rv} you built.",
+                feedback_incorrect="Compare the input against the reverse "
+                                   "you built digit by digit.",
+                pattern="equality-check", node=0,
+                expr=ExprTemplate(r"rv == |== rv", frozenset({"rv"})),
+                supporting=("reverse-build",),
+            ),
+            EdgeExistenceConstraint(
+                name="reverse-flows-into-comparison",
+                feedback_correct="The built reverse flows into the "
+                                 "comparison.",
+                feedback_incorrect="The comparison must use the final "
+                                   "value of the reverse.",
+                pattern_i="reverse-build", node_i=2,
+                pattern_j="equality-check", node_j=0,
+                edge_type=EdgeType.DATA,
+            ),
+            EdgeExistenceConstraint(
+                name="reverse-built-inside-digit-loop",
+                feedback_correct="The reverse grows inside the digit "
+                                 "loop.",
+                feedback_incorrect="Grow the reverse inside the digit "
+                                   "loop.",
+                pattern_i="shrink-by-ten", node_i=1,
+                pattern_j="reverse-build", node_j=2,
+                edge_type=EdgeType.CTRL,
+            ),
+            EdgeExistenceConstraint(
+                name="reverse-appends-extracted-digit",
+                feedback_correct="Each extracted digit is appended to the "
+                                 "reverse.",
+                feedback_incorrect="Append the digit you extracted with "
+                                   "% 10 to the reverse.",
+                pattern_i="digit-extract", node_i=1,
+                pattern_j="reverse-build", node_j=2,
+                edge_type=EdgeType.DATA,
+            ),
+            ContainmentConstraint(
+                name="reverse-shifts-by-ten",
+                feedback_correct="The reverse shifts by exactly one "
+                                 "decimal digit per step.",
+                feedback_incorrect="Shift the reverse by exactly one "
+                                   "decimal digit: {rv} = {rv} * 10 + "
+                                   "digit.",
+                pattern="reverse-build", node=2,
+                expr=ExprTemplate(r"rv = rv \* 10 \+ |rv = 10 \* rv \+ ",
+                                  frozenset({"rv"})),
+                supporting=(),
+            ),
+            EdgeExistenceConstraint(
+                name="verdict-printed-under-comparison",
+                feedback_correct="The yes/no verdict is printed under the "
+                                 "palindrome comparison.",
+                feedback_incorrect="Print the yes/no verdict depending on "
+                                   "the palindrome comparison.",
+                pattern_i="equality-check", node_i=0,
+                pattern_j="print-call", node_j=0,
+                edge_type=EdgeType.CTRL,
+            ),
+        ],
+    )
+    space = _space()
+    return Assignment(
+        name="esc-LAB-3-P4-V1",
+        title="Palindrome check",
+        statement="Check if a given number k is a palindrome and print "
+                  "yes or no to console.  Header: void isPalindrome(int "
+                  "k).",
+        expected_methods=[expected],
+        reference_solutions=[space.reference.source],
+        tests=_tests(),
+        space_factory=_space,
+    )

@@ -1,0 +1,291 @@
+"""esc-LAB-3-P4-V2 (IIT Kanpur): count Fibonacci numbers in [n, m].
+
+Table I row: S = 9,437,184 (= 3^2 · 2^20), L ≈ 17.42, P = 9, C = 14,
+D = 248.
+
+The paper's discrepancies: the course defines the sequence as 1, 1, 2,
+3, ..., so computations must start at 1, but many submissions start the
+walk at 0 — functionally identical for n ≥ 1, yet flagged with "modify
+the starting point".  The ``p-init`` choice point reproduces that rule
+and the ``fib-starts-at-one`` constraint delivers that exact feedback.
+"""
+
+from __future__ import annotations
+
+from repro.core.assignment import Assignment, FunctionalTest
+from repro.kb.patterns_library import get_pattern
+from repro.matching.submission import ExpectedMethod
+from repro.patterns.model import (
+    ContainmentConstraint,
+    EdgeExistenceConstraint,
+    EqualityConstraint,
+)
+from repro.patterns.template import ExprTemplate
+from repro.pdg.graph import EdgeType
+from repro.synth.rules import ChoicePoint, correct, wrong
+from repro.synth.spaces import SubmissionSpace
+
+_TEMPLATE = """\
+void countFibonacci(int n, int m) {
+    {{guard}}{{m-guard}}{{n-guard}}{{extra}}{{extra2}}{{extra3}}{{count-type}} count = {{count-init}};
+    {{p-type}} p = {{p-init}};
+    {{q-type}} q = {{q-init}};
+    while ({{bound}}) {
+        if ({{range-check}}) {
+            {{count-upd}};
+        }
+        {{sum-stmt}}
+        {{shuffle}}
+    }
+    {{print}};{{print-extra}}
+}
+"""
+
+
+def _space() -> SubmissionSpace:
+    choice_points = [
+        # two ternary points (3^2) ---------------------------------------
+        ChoicePoint("count-init", (correct("0"), wrong("1"), wrong("2"))),
+        ChoicePoint("range-check", (
+            correct("p >= n"), wrong("p > n"), wrong("p == n"),
+        )),
+        # 2^20 worth of binary-equivalent points --------------------------
+        ChoicePoint("p-init", (
+            correct("1"),
+            # the paper's 248-discrepancy rule: starting the walk at 0 is
+            # functionally identical for n >= 1 but violates the course's
+            # "sequence starts at 1" convention
+            correct("0", label="starts-at-zero"),
+        )),
+        ChoicePoint("q-init", (correct("1"), wrong("0"))),
+        ChoicePoint("bound", (correct("p <= m"), wrong("p < m"))),
+        ChoicePoint("count-upd", (
+            correct("count++"), correct("count += 1"),
+            correct("count = count + 1"), wrong("count--"),
+        )),
+        ChoicePoint("sum-stmt", (
+            correct("int t = p + q;"),
+            correct("int t = q + p;"),
+            wrong("int t = p + q + 1;"),
+            wrong("int t = p - q;"),
+        )),
+        ChoicePoint("shuffle", (
+            correct("p = q;\n        q = t;"),
+            wrong("q = t;\n        p = q;"),
+        )),
+        ChoicePoint("print", (
+            correct("System.out.println(count)"),
+            wrong("System.out.println(p)"),
+            wrong("System.out.print(count)"),
+            wrong("System.out.println(n)"),
+        )),
+        ChoicePoint("guard", (
+            correct(""), correct("if (m < n) {\n        "
+                                 "System.out.println(0);\n        return;"
+                                 "\n    }\n    "),
+        )),
+        ChoicePoint("m-guard", (
+            correct(""), correct("if (m < 1) {\n        "
+                                 "System.out.println(0);\n        return;"
+                                 "\n    }\n    "),
+        )),
+        ChoicePoint("n-guard", (
+            correct(""), correct("if (n < 1) n = 1;\n    "),
+        )),
+        ChoicePoint("extra", (correct(""), correct("int tmp = 0;\n    "))),
+        ChoicePoint("extra2", (correct(""), correct("int aux = 0;\n    "))),
+        ChoicePoint("extra3", (correct(""), correct("int pad = 0;\n    "))),
+        ChoicePoint("print-extra", (
+            correct(""), wrong("\n    System.out.println(count);"),
+        )),
+        ChoicePoint("p-type", (correct("int"), correct("long"))),
+        ChoicePoint("q-type", (correct("int"), correct("long"))),
+        ChoicePoint("count-type", (correct("int"), correct("long"))),
+    ]
+    return SubmissionSpace("esc-LAB-3-P4-V2", _TEMPLATE, choice_points)
+
+
+def _tests() -> list[FunctionalTest]:
+    # walk 1, 1, 2, 3, 5, 8, 13, 21, ... (values counted with
+    # multiplicity, so 1 appears twice)
+    cases = [((1, 15), 7), ((2, 15), 5), ((1, 1), 2), ((4, 4), 0),
+             ((5, 21), 4), ((6, 7), 0), ((1, 100), 11)]
+    return [
+        FunctionalTest(
+            method="countFibonacci", arguments=args,
+            expected_stdout=f"{count}\n",
+        )
+        for args, count in cases
+    ]
+
+
+def build() -> Assignment:
+    expected = ExpectedMethod(
+        name="countFibonacci",
+        patterns=[
+            (get_pattern("fibonacci-update"), 1),
+            (get_pattern("accumulator-bound-loop"), 1),
+            (get_pattern("counter-under-cond"), 1),
+            (get_pattern("assign-print"), 1),
+            (get_pattern("print-call"), None),
+            # bad patterns: the factorial variant of this lab, equality
+            # alone, and the digit-manipulation labs do not belong here
+            (get_pattern("factorial-loop"), 0),
+            (get_pattern("equality-check"), 0),
+            (get_pattern("digit-extract"), 0),
+            (get_pattern("reverse-build"), 0),
+        ],
+        constraints=[
+            ContainmentConstraint(
+                name="fib-starts-at-one",
+                feedback_correct="The walk starts at 1, the first "
+                                 "Fibonacci number of the course's "
+                                 "sequence.",
+                feedback_incorrect="The sequence is 1, 1, 2, 3, ...; "
+                                   "modify the starting point so the walk "
+                                   "begins at 1.",
+                pattern="fibonacci-update", node=0,
+                expr=ExprTemplate(r"p1 = 1", frozenset({"p1"})),
+                supporting=(),
+            ),
+            ContainmentConstraint(
+                name="second-seed-is-one",
+                feedback_correct="The second seed is 1.",
+                feedback_incorrect="The second seed must be 1 (the "
+                                   "sequence is 1, 1, 2, 3, ...).",
+                pattern="fibonacci-update", node=1,
+                expr=ExprTemplate(r"p2 = 1", frozenset({"p2"})),
+                supporting=(),
+            ),
+            EqualityConstraint(
+                name="walk-inside-bounded-loop",
+                feedback_correct="The Fibonacci walk happens inside the "
+                                 "bounded loop.",
+                feedback_incorrect="Walk the sequence inside the loop "
+                                   "bounded by m.",
+                pattern_i="fibonacci-update", node_i=2,
+                pattern_j="accumulator-bound-loop", node_j=1,
+            ),
+            EdgeExistenceConstraint(
+                name="sum-guarded-by-bound",
+                feedback_correct="The Fibonacci sum is guarded by the "
+                                 "upper bound.",
+                feedback_incorrect="Stop walking the sequence once it "
+                                   "exceeds m.",
+                pattern_i="accumulator-bound-loop", node_i=1,
+                pattern_j="fibonacci-update", node_j=3,
+                edge_type=EdgeType.CTRL,
+            ),
+            ContainmentConstraint(
+                name="upper-bound-inclusive",
+                feedback_correct="The interval includes m itself.",
+                feedback_incorrect="The interval [n, m] includes m; use "
+                                   "<= for the upper bound.",
+                pattern="accumulator-bound-loop", node=1,
+                expr=ExprTemplate(r"acc <= k0", frozenset({"acc", "k0"})),
+                supporting=(),
+            ),
+            EdgeExistenceConstraint(
+                name="count-is-printed",
+                feedback_correct="The count is printed to console.",
+                feedback_incorrect="Print the count (not the running "
+                                   "Fibonacci number) to console.",
+                pattern_i="counter-under-cond", node_i=2,
+                pattern_j="assign-print", node_j=1,
+                edge_type=EdgeType.DATA,
+            ),
+            ContainmentConstraint(
+                name="prints-with-newline",
+                feedback_correct="You print the result with println.",
+                feedback_incorrect="Print the result with "
+                                   "System.out.println so it ends the "
+                                   "line.",
+                pattern="assign-print", node=1,
+                expr=ExprTemplate(r"System\.out\.println\(", frozenset()),
+                supporting=(),
+            ),
+            ContainmentConstraint(
+                name="lower-range-check-uses-gte",
+                feedback_correct="The lower end of the interval is "
+                                 "checked with >=.",
+                feedback_incorrect="Check the lower end of the interval "
+                                   "with >= n (equality alone misses "
+                                   "larger numbers).",
+                pattern="counter-under-cond", node=1,
+                expr=ExprTemplate(r">=", frozenset()),
+                supporting=(),
+            ),
+            ContainmentConstraint(
+                name="count-starts-at-zero",
+                feedback_correct="The count starts at 0.",
+                feedback_incorrect="Start the count at 0.",
+                pattern="counter-under-cond", node=0,
+                expr=ExprTemplate(r"cnt = 0", frozenset({"cnt"})),
+                supporting=(),
+            ),
+            ContainmentConstraint(
+                name="count-advances-by-one",
+                feedback_correct="The count advances by exactly one per "
+                                 "match.",
+                feedback_incorrect="Advance the count by exactly one per "
+                                   "Fibonacci number in range.",
+                pattern="counter-under-cond", node=2,
+                expr=ExprTemplate(r"cnt\+\+|cnt \+= 1|cnt = cnt \+ 1",
+                                  frozenset({"cnt"})),
+                supporting=(),
+            ),
+            EqualityConstraint(
+                name="printed-value-is-the-count",
+                feedback_correct="The printed variable is the count "
+                                 "itself.",
+                feedback_incorrect="Print the count itself, not another "
+                                   "variable.",
+                pattern_i="assign-print", node_i=0,
+                pattern_j="counter-under-cond", node_j=2,
+            ),
+            EdgeExistenceConstraint(
+                name="seed-feeds-bound-check",
+                feedback_correct="The bound check tests the walking "
+                                 "value from its seed on.",
+                feedback_incorrect="The loop bound must test the walking "
+                                   "Fibonacci value itself.",
+                pattern_i="fibonacci-update", node_i=0,
+                pattern_j="accumulator-bound-loop", node_j=1,
+                edge_type=EdgeType.DATA,
+            ),
+            ContainmentConstraint(
+                name="bound-tests-walking-seed",
+                feedback_correct="The bound compares the walking value "
+                                 "against m.",
+                feedback_incorrect="Compare the walking Fibonacci value "
+                                   "against m in the loop bound.",
+                pattern="accumulator-bound-loop", node=1,
+                expr=ExprTemplate(r"p1 <= k0|p2 <= k0",
+                                  frozenset({"p1", "p2", "k0"})),
+                supporting=("fibonacci-update",),
+            ),
+            ContainmentConstraint(
+                name="new-term-is-exactly-the-sum",
+                feedback_correct="Each new term is exactly the sum of "
+                                 "the previous two.",
+                feedback_incorrect="Each new term must be exactly "
+                                   "{p1} + {p2}, nothing more.",
+                pattern="fibonacci-update", node=3,
+                expr=ExprTemplate(r"= p1 \+ p2$|= p2 \+ p1$",
+                                  frozenset({"p1", "p2"})),
+                supporting=(),
+            ),
+        ],
+    )
+    space = _space()
+    return Assignment(
+        name="esc-LAB-3-P4-V2",
+        title="Count Fibonacci numbers in [n, m]",
+        statement="Given numbers n and m, print to console the count of "
+                  "Fibonacci numbers in [n, m].  Header: "
+                  "void countFibonacci(int n, int m).",
+        expected_methods=[expected],
+        reference_solutions=[space.reference.source],
+        tests=_tests(),
+        space_factory=_space,
+    )

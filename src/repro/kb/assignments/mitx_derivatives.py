@@ -1,0 +1,146 @@
+"""mitx-derivatives (MIT 6.00x): derivative of a polynomial.
+
+    Compute the derivative of an input polynomial represented by an
+    array (coefficient of x^i at position i); print each derivative
+    coefficient to console.
+
+Table I row: S = 576 (= 3^2 · 2^6), L ≈ 5.75, P = 3, C = 4, D = 0.
+"""
+
+from __future__ import annotations
+
+from repro.core.assignment import Assignment, FunctionalTest
+from repro.kb.patterns_library import get_pattern
+from repro.matching.submission import ExpectedMethod
+from repro.patterns.model import ContainmentConstraint, EdgeExistenceConstraint
+from repro.patterns.template import ExprTemplate
+from repro.pdg.graph import EdgeType
+from repro.synth.rules import ChoicePoint, correct, wrong
+from repro.synth.spaces import SubmissionSpace
+
+_TEMPLATE = """\
+void derivative(int[] c) {
+    {{guard}}{{extra}}int[] d = new int[{{size}}];
+    int i = {{i-start}};
+    while ({{bound}}) {
+        {{write}}
+        {{print}};
+        {{adv}};
+    }
+}
+"""
+
+
+def _space() -> SubmissionSpace:
+    choice_points = [
+        # two ternary points (3^2) ---------------------------------------
+        ChoicePoint("i-start", (correct("1"), wrong("0"), wrong("2"))),
+        ChoicePoint("write", (
+            correct("d[i - 1] = c[i] * i;"),
+            wrong("d[i - 1] = c[i];"),
+            wrong("d[i - 1] = c[i] * (i - 1);"),
+        )),
+        # six binary points (2^6) -----------------------------------------
+        ChoicePoint("bound", (
+            correct("i < c.length"), wrong("i <= c.length"),
+        )),
+        ChoicePoint("adv", (correct("i++"), correct("i += 1"))),
+        ChoicePoint("size", (
+            correct("c.length - 1"),
+            # a larger scratch array changes nothing observable
+            correct("c.length"),
+        )),
+        ChoicePoint("print", (
+            correct("System.out.println(d[i - 1])"),
+            wrong("System.out.println(c[i])"),
+        )),
+        ChoicePoint("extra", (correct(""), correct("int tmp = 0;\n    "))),
+        ChoicePoint("guard", (
+            correct(""), correct("if (c == null) return;\n    "),
+        )),
+    ]
+    return SubmissionSpace("mitx-derivatives", _TEMPLATE, choice_points)
+
+
+def _tests() -> list[FunctionalTest]:
+    cases = [
+        ([3, 2, 1], [2, 2]),
+        ([5], []),
+        ([0, 0, 4], [0, 8]),
+        ([1, 2, 3, 4], [2, 6, 12]),
+        ([7, -3], [-3]),
+    ]
+    return [
+        FunctionalTest(
+            method="derivative", arguments=(coeffs,),
+            expected_stdout="".join(f"{v}\n" for v in derivative),
+        )
+        for coeffs, derivative in cases
+    ]
+
+
+def build() -> Assignment:
+    expected = ExpectedMethod(
+        name="derivative",
+        patterns=[
+            (get_pattern("seq-array-traversal"), 1),
+            (get_pattern("array-write-scaled"), 1),
+            (get_pattern("print-call"), None),
+        ],
+        constraints=[
+            ContainmentConstraint(
+                name="power-rule-scales-by-index",
+                feedback_correct="Each coefficient of {cf} is multiplied "
+                                 "by its exponent {k}.",
+                feedback_incorrect="The power rule multiplies each "
+                                   "coefficient by its exponent: "
+                                   "{dv}[{k} - 1] = {cf}[{k}] * {k}.",
+                pattern="array-write-scaled", node=1,
+                expr=ExprTemplate(r"cf\[k\] \* k|k \* cf\[k\]",
+                                  frozenset({"cf", "k"})),
+                supporting=("seq-array-traversal",),
+            ),
+            ContainmentConstraint(
+                name="derivative-skips-constant-term",
+                feedback_correct="The traversal starts at position 1: "
+                                 "the constant term has no derivative.",
+                feedback_incorrect="Start the traversal at position 1; "
+                                   "the constant term has no derivative.",
+                pattern="seq-array-traversal", node=1,
+                expr=ExprTemplate(r"k = 1", frozenset({"k"})),
+                supporting=(),
+            ),
+            EdgeExistenceConstraint(
+                name="write-inside-traversal",
+                feedback_correct="The derivative coefficients are written "
+                                 "inside the traversal.",
+                feedback_incorrect="Write each derivative coefficient "
+                                   "inside the traversal loop.",
+                pattern_i="seq-array-traversal", node_i=2,
+                pattern_j="array-write-scaled", node_j=1,
+                edge_type=EdgeType.CTRL,
+            ),
+            EdgeExistenceConstraint(
+                name="computed-coefficient-is-printed",
+                feedback_correct="Each computed coefficient is printed to "
+                                 "console.",
+                feedback_incorrect="Print each computed derivative "
+                                   "coefficient to console.",
+                pattern_i="array-write-scaled", node_i=1,
+                pattern_j="print-call", node_j=0,
+                edge_type=EdgeType.DATA,
+            ),
+        ],
+    )
+    space = _space()
+    return Assignment(
+        name="mitx-derivatives",
+        title="Derivative of a polynomial",
+        statement="Compute the derivative of an input polynomial "
+                  "represented by an array and print each coefficient to "
+                  "console.  Header: void derivative(int[] c).",
+        expected_methods=[expected],
+        reference_solutions=[space.reference.source],
+        tests=_tests(),
+        space_factory=_space,
+    )

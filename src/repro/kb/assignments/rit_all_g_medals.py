@@ -1,0 +1,222 @@
+"""rit-all-g-medals (RIT CS1): count gold medals awarded in a year.
+
+Table I row: S = 559,872 (= 3^7 · 2^8), L ≈ 24.67, P = 9, C = 7,
+D = 1,872.
+
+The submission reads ``summer_olympics.txt`` (five fields per record)
+with a Scanner.  The error model enumerates all combinations of the five
+``i % 5 == ...`` field selectors plus the index start — exactly the
+generator the paper describes — which produces the Figure-7 family of
+*functionally correct but semantically incorrect* submissions that
+account for the assignment's 1,872 discrepancies.
+"""
+
+from __future__ import annotations
+
+from repro.core.assignment import Assignment, FunctionalTest
+from repro.kb.assignments import _olympics
+from repro.kb.patterns_library import get_pattern
+from repro.matching.submission import ExpectedMethod
+from repro.patterns.model import ContainmentConstraint, EdgeExistenceConstraint
+from repro.patterns.template import ExprTemplate
+from repro.pdg.graph import EdgeType
+from repro.synth.rules import ChoicePoint, correct, wrong
+from repro.synth.spaces import SubmissionSpace
+
+_TEMPLATE = """\
+void countGoldMedals(int year) {
+    {{guard}}{{extra}}int i = {{i-init}};
+    int medals = {{medals-init}};
+    int p = 0;
+    int y = 0;
+    String e = "";
+    Scanner s = new Scanner(new File("summer_olympics.txt"));
+    while (s.hasNext()) {
+        if ({{pos1}})
+            e = s.next();
+        if ({{pos2}})
+            e = s.next();
+        if ({{pos3}})
+            p = s.nextInt();
+        if ({{pos4}})
+            y = s.nextInt();
+        if ({{pos5}}) {
+            {{sep-read}}
+            if ({{medal-check}})
+                {{medals-upd}};
+        }
+        {{i-adv}};
+    }
+    {{close}}
+    {{print}};
+}
+"""
+
+
+def _position(name: str, remainder: int) -> ChoicePoint:
+    """A field-selector choice point: the right remainder plus two wrong
+    ones (the paper's "all combinations of i % 5 == {0..4}" generator)."""
+    options = [correct(f"i % 5 == {remainder}")]
+    for offset in (1, 2):
+        wrong_remainder = (remainder + offset) % 5
+        options.append(wrong(f"i % 5 == {wrong_remainder}"))
+    return ChoicePoint(name, tuple(options))
+
+
+def _space() -> SubmissionSpace:
+    choice_points = [
+        # seven ternary points (3^7) --------------------------------------
+        _position("pos1", 1),
+        _position("pos2", 2),
+        _position("pos3", 3),
+        _position("pos4", 4),
+        _position("pos5", 0),
+        ChoicePoint("i-init", (correct("1"), wrong("0"), wrong("2"))),
+        ChoicePoint("medal-check", (
+            correct("y == year && p == 1"),
+            wrong("y == year && p == 2"),
+            wrong("p == 1"),
+        )),
+        # eight binary points (2^8) ----------------------------------------
+        ChoicePoint("medals-init", (correct("0"), wrong("1"))),
+        ChoicePoint("medals-upd", (
+            correct("medals += 1"), correct("medals++"),
+        )),
+        ChoicePoint("i-adv", (correct("i++"), correct("i += 1"))),
+        ChoicePoint("print", (
+            correct("System.out.println(medals)"),
+            wrong("System.out.println(i)"),
+        )),
+        ChoicePoint("close", (
+            correct("s.close();"),
+            # forgetting close() is functionally invisible but flagged by
+            # the scanner-close pattern: a deliberate discrepancy source
+            wrong(""),
+        )),
+        ChoicePoint("sep-read", (
+            correct("e = s.next();"), correct("s.next();"),
+        )),
+        ChoicePoint("extra", (correct(""), correct("int tmp = 0;\n    "))),
+        ChoicePoint("guard", (
+            correct(""), correct("if (year < 1896) return;\n    "),
+        )),
+    ]
+    return SubmissionSpace("rit-all-g-medals", _TEMPLATE, choice_points)
+
+
+def _tests() -> list[FunctionalTest]:
+    files = ((_olympics.FILE_NAME, _olympics.file_content()),)
+    years = [2012, 2016, 2008, 1996, 1992, 2000]
+    return [
+        FunctionalTest(
+            method="countGoldMedals",
+            arguments=(year,),
+            expected_stdout=f"{_olympics.gold_medals_in(year)}\n",
+            files=files,
+        )
+        for year in years
+    ]
+
+
+def build() -> Assignment:
+    expected = ExpectedMethod(
+        name="countGoldMedals",
+        patterns=[
+            (get_pattern("scanner-loop"), 1),
+            (get_pattern("record-position-read"), 1),
+            (get_pattern("record-index-advance"), 1),
+            (get_pattern("cond-cumulative-add"), 1),
+            (get_pattern("equality-check"), 1),
+            (get_pattern("assign-print"), 1),
+            (get_pattern("print-call"), None),
+            (get_pattern("scanner-close"), 1),
+            # bad pattern: the loop must be sentinel-controlled by
+            # hasNext(), not bounded by a guessed record count
+            (get_pattern("accumulator-bound-loop"), 0),
+        ],
+        constraints=[
+            ContainmentConstraint(
+                name="closed-scanner-is-the-opened-one",
+                feedback_correct="You close the scanner you opened on the "
+                                 "file.",
+                feedback_incorrect="Close the same scanner you opened on "
+                                   "the file.",
+                pattern="scanner-close", node=0,
+                expr=ExprTemplate(r"sc\.close", frozenset({"sc"})),
+                supporting=("scanner-loop",),
+            ),
+            ContainmentConstraint(
+                name="field-selector-uses-advanced-index",
+                feedback_correct="The field selector uses the index you "
+                                 "advance per token.",
+                feedback_incorrect="Select fields with the index that "
+                                   "advances once per token.",
+                pattern="record-position-read", node=0,
+                expr=ExprTemplate(r"rj % 5 ==", frozenset({"rj"})),
+                supporting=("record-index-advance",),
+            ),
+            EdgeExistenceConstraint(
+                name="index-advances-once-per-token-loop",
+                feedback_correct="The field index advances inside the "
+                                 "hasNext() loop.",
+                feedback_incorrect="Advance the field index once per "
+                                   "iteration of the hasNext() loop.",
+                pattern_i="scanner-loop", node_i=1,
+                pattern_j="record-index-advance", node_j=2,
+                edge_type=EdgeType.CTRL,
+            ),
+            ContainmentConstraint(
+                name="gold-check-tests-medal-type-one",
+                feedback_correct="You count a medal only when its type is "
+                                 "1 (gold).",
+                feedback_incorrect="Count a medal only when its type "
+                                   "equals 1 (gold).",
+                pattern="cond-cumulative-add", node=2,
+                expr=ExprTemplate(r"== 1", frozenset()),
+                supporting=(),
+            ),
+            ContainmentConstraint(
+                name="medals-count-by-one",
+                feedback_correct="The medal count advances by exactly one "
+                                 "per matching record.",
+                feedback_incorrect="Advance the medal count by exactly "
+                                   "one per matching record.",
+                pattern="cond-cumulative-add", node=3,
+                expr=ExprTemplate(r"c \+= 1|c\+\+", frozenset({"c"})),
+                supporting=(),
+            ),
+            EdgeExistenceConstraint(
+                name="medal-count-is-printed",
+                feedback_correct="The medal count is printed to console.",
+                feedback_incorrect="Print the medal count to console.",
+                pattern_i="cond-cumulative-add", node_i=3,
+                pattern_j="assign-print", node_j=1,
+                edge_type=EdgeType.DATA,
+            ),
+            ContainmentConstraint(
+                name="year-is-checked",
+                feedback_correct="You compare the record's year against "
+                                 "the requested one.",
+                feedback_incorrect="Compare the record's year against the "
+                                   "requested year in the counting "
+                                   "condition.",
+                pattern="equality-check", node=0,
+                expr=ExprTemplate(r"e1 == e2 && |&& e1 == e2",
+                                  frozenset({"e1", "e2"})),
+                supporting=(),
+            ),
+        ],
+    )
+    space = _space()
+    return Assignment(
+        name="rit-all-g-medals",
+        title="Count gold medals awarded in a year",
+        statement="Count all the gold medals awarded in a given year in "
+                  "the Summer Olympic Games (read from "
+                  "summer_olympics.txt).  Header: void "
+                  "countGoldMedals(int year).",
+        expected_methods=[expected],
+        reference_solutions=[space.reference.source],
+        tests=_tests(),
+        space_factory=_space,
+    )

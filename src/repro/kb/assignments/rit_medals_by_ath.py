@@ -1,0 +1,212 @@
+"""rit-medals-by-ath (RIT CS1): count all medals of a given athlete.
+
+Table I row: S = 746,496 (= 3^6 · 2^10), L ≈ 33.5, P = 9, C = 7,
+D = 744.
+
+Same record file and generator as rit-all-g-medals; the discrepancies
+come from the same "duplicated field-selector conditions" family.
+"""
+
+from __future__ import annotations
+
+from repro.core.assignment import Assignment, FunctionalTest
+from repro.kb.assignments import _olympics
+from repro.kb.assignments.rit_all_g_medals import _position
+from repro.kb.patterns_library import get_pattern
+from repro.matching.submission import ExpectedMethod
+from repro.patterns.model import ContainmentConstraint, EdgeExistenceConstraint
+from repro.patterns.template import ExprTemplate
+from repro.pdg.graph import EdgeType
+from repro.synth.rules import ChoicePoint, correct, wrong
+from repro.synth.spaces import SubmissionSpace
+
+_TEMPLATE = """\
+void countMedalsByAthlete(String first, String last) {
+    {{guard}}{{extra}}{{extra2}}int i = {{i-init}};
+    int medals = {{medals-init}};
+    int p = 0;
+    int y = 0;
+    String fn = "";
+    String ln = "";
+    String e = "";
+    Scanner s = new Scanner(new File("summer_olympics.txt"));
+    while (s.hasNext()) {
+        if ({{pos1}})
+            fn = s.next();
+        if ({{pos2}})
+            ln = s.next();
+        if ({{pos3}})
+            p = s.nextInt();
+        if ({{pos4}})
+            y = s.nextInt();
+        if ({{pos5}}) {
+            {{sep-read}}
+            if ({{name-check}})
+                {{medals-upd}};
+        }
+        {{i-adv}};
+    }
+    {{close}}
+    {{print}};
+}
+"""
+
+
+def _space() -> SubmissionSpace:
+    choice_points = [
+        # six ternary points (3^6) ----------------------------------------
+        _position("pos1", 1),
+        _position("pos2", 2),
+        _position("pos3", 3),
+        _position("pos4", 4),
+        _position("pos5", 0),
+        ChoicePoint("i-init", (correct("1"), wrong("0"), wrong("2"))),
+        # ten binary points (2^10) ------------------------------------------
+        ChoicePoint("name-check", (
+            correct("fn.equals(first) && ln.equals(last)"),
+            # matching on the first name only confuses athletes who share
+            # it (Michael Phelps vs Michael Johnson in the dataset)
+            wrong("fn.equals(first)"),
+        )),
+        ChoicePoint("medals-init", (correct("0"), wrong("1"))),
+        ChoicePoint("medals-upd", (
+            correct("medals += 1"), correct("medals++"),
+        )),
+        ChoicePoint("i-adv", (correct("i++"), correct("i += 1"))),
+        ChoicePoint("print", (
+            correct("System.out.println(medals)"),
+            wrong("System.out.println(i)"),
+        )),
+        ChoicePoint("close", (correct("s.close();"), wrong(""))),
+        ChoicePoint("sep-read", (
+            correct("e = s.next();"), correct("s.next();"),
+        )),
+        ChoicePoint("extra", (correct(""), correct("int tmp = 0;\n    "))),
+        ChoicePoint("extra2", (correct(""), correct("int aux = 0;\n    "))),
+        ChoicePoint("guard", (
+            correct(""), correct("if (first == null) return;\n    "),
+        )),
+    ]
+    return SubmissionSpace("rit-medals-by-ath", _TEMPLATE, choice_points)
+
+
+def _tests() -> list[FunctionalTest]:
+    files = ((_olympics.FILE_NAME, _olympics.file_content()),)
+    athletes = [
+        ("Usain", "Bolt"), ("Michael", "Phelps"), ("Michael", "Johnson"),
+        ("Allyson", "Felix"), ("Katie", "Ledecky"), ("Carl", "Lewis"),
+        ("Jesse", "Owens"),
+    ]
+    return [
+        FunctionalTest(
+            method="countMedalsByAthlete",
+            arguments=(first, last),
+            expected_stdout=f"{_olympics.medals_of(first, last)}\n",
+            files=files,
+        )
+        for first, last in athletes
+    ]
+
+
+def build() -> Assignment:
+    expected = ExpectedMethod(
+        name="countMedalsByAthlete",
+        patterns=[
+            (get_pattern("scanner-loop"), 1),
+            (get_pattern("record-position-read"), 1),
+            (get_pattern("record-index-advance"), 1),
+            (get_pattern("cond-cumulative-add"), 1),
+            (get_pattern("equality-check"), 1),
+            (get_pattern("assign-print"), 1),
+            (get_pattern("print-call"), None),
+            (get_pattern("scanner-close"), 1),
+            (get_pattern("accumulator-bound-loop"), 0),
+        ],
+        constraints=[
+            ContainmentConstraint(
+                name="closed-scanner-is-the-opened-one",
+                feedback_correct="You close the scanner you opened on the "
+                                 "file.",
+                feedback_incorrect="Close the same scanner you opened on "
+                                   "the file.",
+                pattern="scanner-close", node=0,
+                expr=ExprTemplate(r"sc\.close", frozenset({"sc"})),
+                supporting=("scanner-loop",),
+            ),
+            ContainmentConstraint(
+                name="field-selector-uses-advanced-index",
+                feedback_correct="The field selector uses the index you "
+                                 "advance per token.",
+                feedback_incorrect="Select fields with the index that "
+                                   "advances once per token.",
+                pattern="record-position-read", node=0,
+                expr=ExprTemplate(r"rj % 5 ==", frozenset({"rj"})),
+                supporting=("record-index-advance",),
+            ),
+            EdgeExistenceConstraint(
+                name="index-advances-once-per-token-loop",
+                feedback_correct="The field index advances inside the "
+                                 "hasNext() loop.",
+                feedback_incorrect="Advance the field index once per "
+                                   "iteration of the hasNext() loop.",
+                pattern_i="scanner-loop", node_i=1,
+                pattern_j="record-index-advance", node_j=2,
+                edge_type=EdgeType.CTRL,
+            ),
+            ContainmentConstraint(
+                name="guard-compares-names",
+                feedback_correct="The counting condition compares names "
+                                 "with equals().",
+                feedback_incorrect="Compare the athlete's names with "
+                                   "equals() in the counting condition.",
+                pattern="cond-cumulative-add", node=2,
+                expr=ExprTemplate(r"\.equals\(", frozenset()),
+                supporting=(),
+            ),
+            ContainmentConstraint(
+                name="medals-count-by-one",
+                feedback_correct="The medal count advances by exactly one "
+                                 "per matching record.",
+                feedback_incorrect="Advance the medal count by exactly "
+                                   "one per matching record.",
+                pattern="cond-cumulative-add", node=3,
+                expr=ExprTemplate(r"c \+= 1|c\+\+", frozenset({"c"})),
+                supporting=(),
+            ),
+            EdgeExistenceConstraint(
+                name="medal-count-is-printed",
+                feedback_correct="The medal count is printed to console.",
+                feedback_incorrect="Print the medal count to console.",
+                pattern_i="cond-cumulative-add", node_i=3,
+                pattern_j="assign-print", node_j=1,
+                edge_type=EdgeType.DATA,
+            ),
+            ContainmentConstraint(
+                name="both-names-are-checked",
+                feedback_correct="You compare both the first and the last "
+                                 "name.",
+                feedback_incorrect="Compare both the first AND the last "
+                                   "name; different athletes share first "
+                                   "names.",
+                pattern="equality-check", node=0,
+                expr=ExprTemplate(
+                    r"e1\.equals\(e2\) && |&& e1\.equals\(e2\)",
+                    frozenset({"e1", "e2"}),
+                ),
+                supporting=(),
+            ),
+        ],
+    )
+    space = _space()
+    return Assignment(
+        name="rit-medals-by-ath",
+        title="Count all medals of a given athlete",
+        statement="Count all the medals awarded to a given athlete in the "
+                  "Summer Olympic Games (read from summer_olympics.txt).  "
+                  "Header: void countMedalsByAthlete(String first, String "
+                  "last).",
+        expected_methods=[expected],
+        reference_solutions=[space.reference.source],
+        tests=_tests(),
+        space_factory=_space,
+    )

@@ -1,0 +1,236 @@
+"""Future-work extensions from the paper's Section VII.
+
+The paper's own example of pattern variability: "to access even
+positions in an array, we can use either a loop controlled by
+i % 2 == 0, or updating twice the index i += 2.  We plan to address this
+issue by ... a hierarchy of patterns according to their semantics in
+which the same pattern can be performed in several ways."
+
+This module builds exactly that hierarchy for Assignment 1: variant
+patterns recognizing the index-jumping idiom, grouped with the
+knowledge-base originals via :class:`~repro.patterns.groups.PatternGroup`.
+:func:`assignment1_with_variants` is a drop-in replacement assignment
+whose grading accepts both idioms — eliminating the paper's third
+Assignment-1 discrepancy class ("three submissions ... update twice the
+value of i, which is a different way of accessing even positions not
+currently allowed by our patterns").
+
+The 24-pattern library and the Table I counts are untouched: variants
+live here, beside the evaluation, like the paper proposes.
+"""
+
+from __future__ import annotations
+
+import copy
+
+from repro.core.assignment import Assignment
+from repro.kb.patterns_library import get_pattern
+from repro.kb.registry import get_assignment
+from repro.patterns.groups import PatternGroup, group_of
+from repro.patterns.model import Pattern, PatternNode
+from repro.patterns.template import ExprTemplate
+from repro.pdg.graph import EdgeType, GraphEdge, NodeType
+
+#: A correct Assignment-1 submission using the index-jumping idiom the
+#: paper's discrepancy discussion describes.
+SKIP_INDEX_SUBMISSION = """
+void assignment1(int[] a) {
+    int odd = 0;
+    int even = 1;
+    for (int i = 1; i < a.length; i += 2)
+        odd += a[i];
+    for (int j = 0; j < a.length; j += 2)
+        even *= a[j];
+    System.out.println(odd);
+    System.out.println(even);
+}
+"""
+
+
+def _node(node_id, node_type, expr, variables=(), approx=None, ok="",
+          bad=""):
+    approx_template = None
+    if approx is not None:
+        mentioned = frozenset(
+            v for v in variables if v in approx
+        )
+        approx_template = ExprTemplate(approx, mentioned)
+    return PatternNode(
+        node_id, node_type,
+        ExprTemplate(expr, frozenset(variables)),
+        approx=approx_template,
+        feedback_correct=ok,
+        feedback_incorrect=bad,
+    )
+
+
+def _skip_variant(name, array_var, index_var, start, description,
+                  parity) -> Pattern:
+    """An index-jumping traversal: ``for (i = start; i < a.length;
+    i += 2) ... a[i]`` visits exactly the odd/even positions."""
+    untyped, assign, cond = (
+        NodeType.UNTYPED, NodeType.ASSIGN, NodeType.COND
+    )
+    a, i = array_var, index_var
+    return Pattern(
+        name=name,
+        description=description,
+        nodes=[
+            _node(0, untyped, rf"{a}", (a,),
+                  ok=f"{{{a}}} is the array being traversed"),
+            # crucial node (no approximate expression): the start index
+            # is what distinguishes the odd-jumping loop from the
+            # even-jumping one, so a loose match here would let each
+            # variant claim the other parity's loop
+            _node(1, untyped, rf"{i} = {start}", (i,),
+                  ok=f"{{{i}}} starts at {start}, the first {parity} "
+                     "position"),
+            _node(2, assign, rf"{i} \+= 2|{i} = {i} \+ 2", (i,),
+                  approx=rf"{i} \+= \d+|{i} =",
+                  ok=f"{{{i}}} jumps two positions, staying on {parity} "
+                     "indices",
+                  bad=f"advance {{{i}}} by exactly 2 to stay on {parity} "
+                      "indices"),
+            _node(3, cond, rf"{i} < {a}\.length", (i, a),
+                  approx=rf"{i} <= {a}\.length",
+                  ok=f"{{{i}}} stays within the bounds of {{{a}}}",
+                  bad=f"{{{i}}} must stay below {{{a}}}.length"),
+            _node(4, untyped, rf"{a}\[{i}\]", (a, i), approx=rf"{a}\[",
+                  ok=f"{{{i}}} is used exactly to access {{{a}}}",
+                  bad=f"access {{{a}}} by using {{{i}}} exactly"),
+        ],
+        edges=[
+            GraphEdge(0, 3, EdgeType.DATA), GraphEdge(0, 4, EdgeType.DATA),
+            GraphEdge(1, 2, EdgeType.DATA), GraphEdge(1, 3, EdgeType.DATA),
+            GraphEdge(3, 2, EdgeType.CTRL), GraphEdge(3, 4, EdgeType.CTRL),
+        ],
+        feedback_present=f"You access the {parity} positions by jumping "
+                         "the index two at a time.",
+        feedback_missing=f"We expected sequential access to the {parity} "
+                         "positions.",
+    )
+
+
+def odd_access_group() -> PatternGroup:
+    """seq-odd-access plus the ``i = 1; i += 2`` jumping variant."""
+    variant = _skip_variant(
+        "seq-odd-access-skip", "s", "x", 1,
+        "accessing odd positions by jumping the index", "odd",
+    )
+    # primary node u5 (the access) corresponds to variant node u4; the
+    # init/advance/bound nodes line up one-to-one
+    return group_of(
+        get_pattern("seq-odd-access"),
+        (variant, {0: 0, 1: 1, 2: 2, 3: 3, 5: 4}),
+    )
+
+
+def even_access_group() -> PatternGroup:
+    """seq-even-access plus the ``i = 0; i += 2`` jumping variant."""
+    variant = _skip_variant(
+        "seq-even-access-skip", "t", "w", 0,
+        "accessing even positions by jumping the index", "even",
+    )
+    return group_of(
+        get_pattern("seq-even-access"),
+        (variant, {0: 0, 1: 1, 2: 2, 3: 3, 5: 4}),
+    )
+
+
+def _loop_accumulator_variant(name, acc_var, init, op, op_word) -> Pattern:
+    """Accumulation guarded only by the loop condition itself.
+
+    The knowledge-base originals (``cond-cumulative-add``/``-mul``)
+    expect a condition *inside* a loop; with index-jumping there is no
+    inner ``if``, so the loop condition is the only guard.
+    """
+    untyped, assign, cond = NodeType.UNTYPED, NodeType.ASSIGN, NodeType.COND
+    c = acc_var
+    return Pattern(
+        name=name,
+        description=f"cumulatively {op_word} under the loop condition",
+        nodes=[
+            _node(0, untyped, rf"{c} = {init}", (c,), approx=rf"{c} =",
+                  ok=f"the accumulator {{{c}}} starts at {init}",
+                  bad=f"the accumulator {{{c}}} should start at {init}"),
+            _node(1, cond, r""),
+            # the (?!\d) lookaheads keep constant index jumps (i += 2)
+            # from masquerading as data accumulation
+            _node(2, assign, rf"{c} \{op}=(?! \d)|{c} = {c} \{op}(?! \d)",
+                  (c,),
+                  approx=rf"{c} =(?! {c} )",
+                  ok=f"{{{c}}} is cumulatively {op_word} inside the loop",
+                  bad=f"{{{c}}} should be cumulatively {op_word} "
+                      f"({{{c}}} {op}= ...)"),
+        ],
+        edges=[
+            GraphEdge(0, 2, EdgeType.DATA), GraphEdge(1, 2, EdgeType.CTRL),
+        ],
+        feedback_present=f"You accumulate {{{c}}} inside the jumping loop.",
+        feedback_missing=f"We expected a variable cumulatively {op_word} "
+                         "inside a loop.",
+    )
+
+
+def cond_add_group() -> PatternGroup:
+    """cond-cumulative-add plus its loop-guarded variant."""
+    variant = _loop_accumulator_variant(
+        "loop-cumulative-add", "c", 0, "+", "added",
+    )
+    # constraints reference primary node 3 (the accumulation) and node 0
+    return group_of(
+        get_pattern("cond-cumulative-add"),
+        (variant, {0: 0, 2: 1, 3: 2}),
+    )
+
+
+def cond_mul_group() -> PatternGroup:
+    """cond-cumulative-mul plus its loop-guarded variant."""
+    variant = _loop_accumulator_variant(
+        "loop-cumulative-mul", "d", 1, "*", "multiplied",
+    )
+    return group_of(
+        get_pattern("cond-cumulative-mul"),
+        (variant, {0: 0, 2: 1, 3: 2}),
+    )
+
+
+def assignment1_with_variants() -> Assignment:
+    """Assignment 1 with the access patterns upgraded to variant groups.
+
+    Everything else — constraints, tests, the error model — is shared
+    with the original assignment, demonstrating that variant hierarchies
+    are a drop-in refinement.
+    """
+    original = get_assignment("assignment1")
+    upgraded = copy.copy(original)
+    upgraded = Assignment(
+        name="assignment1+variants",
+        title=original.title + " (with pattern variants)",
+        statement=original.statement,
+        expected_methods=[],
+        reference_solutions=list(original.reference_solutions),
+        tests=list(original.tests),
+        enforce_headers=original.enforce_headers,
+        space_factory=original.space_factory,
+    )
+    groups = {
+        "seq-odd-access": odd_access_group(),
+        "seq-even-access": even_access_group(),
+        "cond-cumulative-add": cond_add_group(),
+        "cond-cumulative-mul": cond_mul_group(),
+    }
+    for method in original.expected_methods:
+        upgraded_patterns = [
+            (groups.get(pattern.name, pattern), count)
+            for pattern, count in method.patterns
+        ]
+        from repro.matching.submission import ExpectedMethod
+        upgraded.expected_methods.append(
+            ExpectedMethod(
+                name=method.name,
+                patterns=upgraded_patterns,
+                constraints=list(method.constraints),
+            )
+        )
+    return upgraded

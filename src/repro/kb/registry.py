@@ -1,0 +1,84 @@
+"""Registry mapping assignment names to their built specifications.
+
+Table I's per-assignment expectations (``S``, ``P``, ``C``) are recorded
+here as well, so tests can assert the knowledge base matches the paper.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.core.assignment import Assignment
+from repro.errors import KnowledgeBaseError
+
+#: Paper Table I: search-space size S, pattern uses P, constraints C.
+TABLE1 = {
+    "assignment1": {"S": 640_000, "P": 6, "C": 4},
+    "esc-LAB-3-P1-V1": {"S": 442_368, "P": 7, "C": 5},
+    "esc-LAB-3-P2-V1": {"S": 7_077_888, "P": 8, "C": 13},
+    "esc-LAB-3-P2-V2": {"S": 144, "P": 4, "C": 5},
+    "esc-LAB-3-P3-V1": {"S": 10_368, "P": 7, "C": 6},
+    "esc-LAB-3-P3-V2": {"S": 589_824, "P": 8, "C": 10},
+    "esc-LAB-3-P4-V1": {"S": 13_824, "P": 7, "C": 6},
+    "esc-LAB-3-P4-V2": {"S": 9_437_184, "P": 9, "C": 14},
+    "mitx-derivatives": {"S": 576, "P": 3, "C": 4},
+    "mitx-polynomials": {"S": 768, "P": 4, "C": 4},
+    "rit-all-g-medals": {"S": 559_872, "P": 9, "C": 7},
+    "rit-medals-by-ath": {"S": 746_496, "P": 9, "C": 7},
+}
+
+
+def _builders():
+    # imported lazily: assignment modules import the pattern library,
+    # which in turn must not import the registry at module load time
+    from repro.kb.assignments import (
+        assignment1,
+        esc_lab3_p1_v1,
+        esc_lab3_p2_v1,
+        esc_lab3_p2_v2,
+        esc_lab3_p3_v1,
+        esc_lab3_p3_v2,
+        esc_lab3_p4_v1,
+        esc_lab3_p4_v2,
+        mitx_derivatives,
+        mitx_polynomials,
+        rit_all_g_medals,
+        rit_medals_by_ath,
+    )
+    return {
+        "assignment1": assignment1.build,
+        "esc-LAB-3-P1-V1": esc_lab3_p1_v1.build,
+        "esc-LAB-3-P2-V1": esc_lab3_p2_v1.build,
+        "esc-LAB-3-P2-V2": esc_lab3_p2_v2.build,
+        "esc-LAB-3-P3-V1": esc_lab3_p3_v1.build,
+        "esc-LAB-3-P3-V2": esc_lab3_p3_v2.build,
+        "esc-LAB-3-P4-V1": esc_lab3_p4_v1.build,
+        "esc-LAB-3-P4-V2": esc_lab3_p4_v2.build,
+        "mitx-derivatives": mitx_derivatives.build,
+        "mitx-polynomials": mitx_polynomials.build,
+        "rit-all-g-medals": rit_all_g_medals.build,
+        "rit-medals-by-ath": rit_medals_by_ath.build,
+    }
+
+
+def all_assignment_names() -> list[str]:
+    """The twelve assignment names, in Table I order."""
+    return list(TABLE1)
+
+
+@lru_cache(maxsize=None)
+def get_assignment(name: str) -> Assignment:
+    """Build (and cache) the assignment specification for ``name``."""
+    builders = _builders()
+    if name not in builders:
+        raise KnowledgeBaseError(
+            f"unknown assignment {name!r}; known: {sorted(builders)}"
+        )
+    return builders[name]()
+
+
+def table1_expectations(name: str) -> dict[str, int]:
+    """The paper's Table I row (S, P, C) for one assignment."""
+    if name not in TABLE1:
+        raise KnowledgeBaseError(f"unknown assignment {name!r}")
+    return dict(TABLE1[name])

@@ -1,0 +1,36 @@
+"""Subgraph pattern matching and submission grading (Sections IV and V).
+
+:func:`match_pattern` is the paper's Algorithm 1 (backtracking subgraph
+matching extended with variable mappings and approximate expressions);
+:func:`check_constraint` enforces Definitions 8-10 over computed
+embeddings; :func:`match_submission` is Algorithm 2 with the Λ cost
+function steering the best-effort assignment of expected methods.
+"""
+
+from repro.matching.embeddings import Embedding
+from repro.matching.pattern_matching import match_pattern
+from repro.matching.constraints import check_constraint
+from repro.matching.feedback import (
+    FeedbackComment,
+    FeedbackStatus,
+    cost,
+    provide_feedback,
+)
+from repro.matching.submission import (
+    ExpectedMethod,
+    MatchOutcome,
+    match_submission,
+)
+
+__all__ = [
+    "Embedding",
+    "match_pattern",
+    "check_constraint",
+    "FeedbackComment",
+    "FeedbackStatus",
+    "cost",
+    "provide_feedback",
+    "ExpectedMethod",
+    "MatchOutcome",
+    "match_submission",
+]

@@ -1,0 +1,172 @@
+"""Constraint matching over computed embeddings (Definitions 8-10).
+
+Each checker receives the embeddings of every pattern of the expected
+method (the paper's ``m̄``) plus the submission's EPDG, and produces one
+:class:`~repro.matching.feedback.FeedbackComment`.  Following Algorithm 2,
+a constraint that references a pattern whose own outcome was
+``NotExpected`` is itself reported ``NotExpected`` without being checked.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+from repro.errors import PatternDefinitionError
+from repro.matching.embeddings import Embedding
+from repro.matching.feedback import FeedbackComment, FeedbackStatus
+from repro.patterns.model import (
+    Constraint,
+    ContainmentConstraint,
+    EdgeExistenceConstraint,
+    EqualityConstraint,
+    Pattern,
+)
+from repro.patterns.template import render_feedback
+from repro.pdg.graph import Epdg
+
+#: Cap on supporting-embedding combinations tried per containment check.
+_MAX_COMBINATIONS = 4096
+
+
+def check_constraint(
+    constraint: Constraint,
+    graph: Epdg,
+    embeddings: dict[str, list[Embedding]],
+    statuses: dict[str, FeedbackStatus],
+    patterns: dict[str, Pattern] | None = None,
+) -> FeedbackComment:
+    """Check one constraint and produce its feedback comment.
+
+    ``embeddings`` maps pattern names to their embeddings in ``graph``;
+    ``statuses`` maps pattern names to the outcome ProvideFeedback
+    reported for them.
+    """
+    for pattern_name in constraint.referenced_patterns():
+        if statuses.get(pattern_name) is FeedbackStatus.NOT_EXPECTED or not (
+            embeddings.get(pattern_name)
+        ):
+            return FeedbackComment(
+                source=constraint.name,
+                kind="constraint",
+                status=FeedbackStatus.NOT_EXPECTED,
+                message=(
+                    f"Constraint '{constraint.name}' could not be checked "
+                    f"because '{pattern_name}' was not found as expected."
+                ),
+            )
+    if isinstance(constraint, EqualityConstraint):
+        satisfied, gamma = _check_equality(constraint, embeddings)
+    elif isinstance(constraint, EdgeExistenceConstraint):
+        satisfied, gamma = _check_edge(constraint, graph, embeddings)
+    elif isinstance(constraint, ContainmentConstraint):
+        satisfied, gamma = _check_containment(constraint, graph, embeddings)
+    else:
+        raise PatternDefinitionError(
+            f"unknown constraint type {type(constraint).__name__}"
+        )
+    if satisfied:
+        return FeedbackComment(
+            source=constraint.name,
+            kind="constraint",
+            status=FeedbackStatus.CORRECT,
+            message=render_feedback(constraint.feedback_correct, gamma)
+            or f"Constraint '{constraint.name}' is satisfied.",
+        )
+    return FeedbackComment(
+        source=constraint.name,
+        kind="constraint",
+        status=FeedbackStatus.INCORRECT,
+        message=render_feedback(constraint.feedback_incorrect, gamma)
+        or f"Constraint '{constraint.name}' is violated.",
+    )
+
+
+def _check_equality(
+    constraint: EqualityConstraint,
+    embeddings: dict[str, list[Embedding]],
+) -> tuple[bool, dict[str, str]]:
+    gamma: dict[str, str] = {}
+    for m_i in embeddings[constraint.pattern_i]:
+        for m_j in embeddings[constraint.pattern_j]:
+            if m_i.graph_node(constraint.node_i) == m_j.graph_node(
+                constraint.node_j
+            ):
+                gamma = _merge_gammas(m_i, m_j)
+                return True, gamma
+    witness_i = embeddings[constraint.pattern_i][0]
+    witness_j = embeddings[constraint.pattern_j][0]
+    return False, _merge_gammas(witness_i, witness_j)
+
+
+def _check_edge(
+    constraint: EdgeExistenceConstraint,
+    graph: Epdg,
+    embeddings: dict[str, list[Embedding]],
+) -> tuple[bool, dict[str, str]]:
+    for m_i in embeddings[constraint.pattern_i]:
+        for m_j in embeddings[constraint.pattern_j]:
+            source = m_i.graph_node(constraint.node_i)
+            target = m_j.graph_node(constraint.node_j)
+            if graph.has_edge(source, target, constraint.edge_type):
+                return True, _merge_gammas(m_i, m_j)
+    witness_i = embeddings[constraint.pattern_i][0]
+    witness_j = embeddings[constraint.pattern_j][0]
+    return False, _merge_gammas(witness_i, witness_j)
+
+
+def _prefer_exact(embeddings: list[Embedding]) -> list[Embedding]:
+    """Fully-correct embeddings when any exist, otherwise all of them.
+
+    Approximate embeddings exist to *explain* near-misses; letting them
+    witness a containment constraint would let a symmetric variable
+    binding (e.g. the swapped Fibonacci seeds) satisfy a check the
+    exactly-matched binding fails.
+    """
+    exact = [e for e in embeddings if e.is_fully_correct]
+    return exact if exact else embeddings
+
+
+def _check_containment(
+    constraint: ContainmentConstraint,
+    graph: Epdg,
+    embeddings: dict[str, list[Embedding]],
+) -> tuple[bool, dict[str, str]]:
+    supporting_lists = [
+        _prefer_exact(embeddings[name]) for name in constraint.supporting
+    ]
+    fallback_gamma: dict[str, str] = {}
+    tried = 0
+    for main in _prefer_exact(embeddings[constraint.pattern]):
+        content = graph.node(main.graph_node(constraint.node)).content
+        for combination in product(*supporting_lists):
+            tried += 1
+            if tried > _MAX_COMBINATIONS:
+                return False, fallback_gamma
+            gamma = _merge_gammas(main, *combination)
+            if not fallback_gamma:
+                fallback_gamma = gamma
+            bound = {
+                name: gamma[name]
+                for name in constraint.expr.variables
+                if name in gamma
+            }
+            if len(bound) < len(constraint.expr.variables):
+                continue  # a referenced variable is unbound in this combo
+            if constraint.expr.matches(content, bound):
+                return True, gamma
+    return False, fallback_gamma
+
+
+def _merge_gammas(*embeddings: Embedding) -> dict[str, str]:
+    """Union of the variable mappings (γ' in Definition 10).
+
+    Definition 10 assumes the patterns' variable name sets are disjoint;
+    the knowledge base enforces that convention, so a plain union is
+    well-defined.  On accidental collision the first binding wins, which
+    only affects feedback wording, never satisfaction.
+    """
+    merged: dict[str, str] = {}
+    for embedding in embeddings:
+        for name, value in embedding.gamma:
+            merged.setdefault(name, value)
+    return merged

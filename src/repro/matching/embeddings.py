@@ -1,0 +1,75 @@
+"""Embeddings of patterns in EPDGs (Definition 7, extended).
+
+An embedding records the node mapping ι, the variable mapping γ, and —
+our extension from Algorithm 1 — a per-node *correctness mark*: a pattern
+node matched through its exact expression ``r`` is correct, one matched
+only through its approximate expression ``r̂`` is incorrect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Embedding:
+    """One solution of a pattern over an EPDG.
+
+    Attributes
+    ----------
+    iota:
+        Maps pattern node ids to graph node ids (ι: U → V).
+    gamma:
+        Maps pattern variable names to submission variable names (γ).
+    marks:
+        Maps pattern node ids to ``True`` (matched exactly, correct) or
+        ``False`` (matched approximately, incorrect).
+    """
+
+    iota: tuple[tuple[int, int], ...]
+    gamma: tuple[tuple[str, str], ...]
+    marks: tuple[tuple[int, bool], ...]
+
+    @classmethod
+    def build(
+        cls,
+        iota: dict[int, int],
+        gamma: dict[str, str],
+        marks: dict[int, bool],
+    ) -> "Embedding":
+        return cls(
+            iota=tuple(sorted(iota.items())),
+            gamma=tuple(sorted(gamma.items())),
+            marks=tuple(sorted(marks.items())),
+        )
+
+    @property
+    def iota_map(self) -> dict[int, int]:
+        return dict(self.iota)
+
+    @property
+    def gamma_map(self) -> dict[str, str]:
+        return dict(self.gamma)
+
+    @property
+    def marks_map(self) -> dict[int, bool]:
+        return dict(self.marks)
+
+    @property
+    def is_fully_correct(self) -> bool:
+        """True when every pattern node matched its exact expression."""
+        return all(correct for _, correct in self.marks)
+
+    @property
+    def incorrect_nodes(self) -> tuple[int, ...]:
+        """Pattern node ids that only matched approximately."""
+        return tuple(uid for uid, correct in self.marks if not correct)
+
+    def graph_node(self, pattern_node_id: int) -> int:
+        """The graph node id a pattern node is mapped to."""
+        return self.iota_map[pattern_node_id]
+
+    def __str__(self) -> str:
+        iota = ", ".join(f"u{u}=v{v}" for u, v in self.iota)
+        gamma = ", ".join(f"{x}->{y}" for x, y in self.gamma)
+        return f"Embedding({{{iota}}}, {{{gamma}}})"

@@ -1,0 +1,183 @@
+"""Feedback comments and the ProvideFeedback step of Algorithm 2.
+
+A :class:`FeedbackComment` is one unit of personalized feedback delivered
+to the student: it carries a status (``Correct``, ``Incorrect`` or
+``NotExpected``), the pattern- or constraint-level message, and node-level
+details instantiated with the variable names the student actually used.
+The Λ cost function (Equation 3) scores a comment set so Algorithm 2 can
+pick the best method assignment.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.matching.embeddings import Embedding
+from repro.patterns.model import Pattern
+from repro.patterns.template import render_feedback
+
+
+class FeedbackStatus(enum.Enum):
+    """Outcome categories used by Algorithm 2 and the Λ cost function."""
+
+    CORRECT = "Correct"
+    INCORRECT = "Incorrect"
+    NOT_EXPECTED = "NotExpected"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class FeedbackComment:
+    """One delivered feedback item.
+
+    ``source`` names the pattern or constraint that produced the comment;
+    ``details`` holds node-level messages (already instantiated with the
+    student's variable names via γ).
+    """
+
+    source: str
+    kind: str  # "pattern" | "constraint" | "structure"
+    status: FeedbackStatus
+    message: str
+    details: tuple[str, ...] = ()
+
+    def render(self) -> str:
+        lines = [f"[{self.status}] {self.message}" if self.message
+                 else f"[{self.status}] {self.source}"]
+        for detail in self.details:
+            lines.append(f"  - {detail}")
+        return "\n".join(lines)
+
+
+def cost(comments: list[FeedbackComment]) -> float:
+    """Λ(B) from Equation 3: Correct=1, Incorrect=0.5, NotExpected=0."""
+    total = 0.0
+    for comment in comments:
+        if comment.status is FeedbackStatus.CORRECT:
+            total += 1.0
+        elif comment.status is FeedbackStatus.INCORRECT:
+            total += 0.5
+    return total
+
+
+def provide_feedback(
+    embeddings: list[Embedding],
+    pattern: Pattern,
+    expected_count: int | None = 1,
+) -> FeedbackComment:
+    """Turn a pattern's embeddings into one feedback comment.
+
+    ``expected_count`` is the paper's ``t̄(q, p)``: the number of
+    occurrences the instructor expects.  ``0`` encodes a *bad pattern*
+    (the student should avoid it); ``None`` relaxes the count to
+    "at least one" for patterns whose embedding multiplicity is not
+    meaningful.
+    """
+    # occurrences are counted structurally: distinct *sets* of matched
+    # graph nodes.  Several ι/γ variants over the same nodes (e.g. the
+    # two symmetric bindings of the Fibonacci seeds) are one occurrence.
+    # Patterns with ``count_nodes`` instead count distinct (anchor
+    # nodes, γ) pairs, so several data-flow paths into the same anchor
+    # collapse.  A *bad* pattern (t̄ = 0) only counts exact matches:
+    # flagging a student for approximately resembling a forbidden idiom
+    # would be noise, not feedback.
+    if expected_count == 0:
+        counted = [e for e in embeddings if e.is_fully_correct]
+    else:
+        counted = embeddings
+    if pattern.count_nodes is None:
+        count = len({frozenset(v for _, v in e.iota) for e in counted})
+    else:
+        anchors = set(pattern.count_nodes)
+        count = len({
+            (
+                frozenset(v for u, v in e.iota if u in anchors),
+                e.gamma,
+            )
+            for e in counted
+        })
+    if expected_count is None:
+        count_matches = count >= 1
+    else:
+        count_matches = count == expected_count
+    if not count_matches:
+        if expected_count == 0:
+            # bad pattern detected: feedback_missing carries the warning
+            message = pattern.feedback_missing or (
+                f"Your code uses '{pattern.description}', which this "
+                "assignment asks you to avoid."
+            )
+            message = render_feedback(message, embeddings[0].gamma_map)
+        elif count == 0:
+            message = pattern.feedback_missing or (
+                f"Could not find '{pattern.description}' in your code."
+            )
+        else:
+            expected_text = (
+                "at least one" if expected_count is None else str(expected_count)
+            )
+            message = (
+                f"Found {count} occurrences of '{pattern.description}' "
+                f"but expected {expected_text}."
+            )
+        return FeedbackComment(
+            source=pattern.name,
+            kind="pattern",
+            status=FeedbackStatus.NOT_EXPECTED,
+            message=message,
+        )
+
+    if expected_count == 0:
+        # the bad pattern is absent, as it should be; the pattern's own
+        # feedback strings describe the found/missing cases, so a
+        # dedicated message is used here
+        return FeedbackComment(
+            source=pattern.name,
+            kind="pattern",
+            status=FeedbackStatus.CORRECT,
+            message=f"Good: your code avoids '{pattern.description}'.",
+        )
+
+    # an occurrence (set of matched graph nodes) is correct when at least
+    # one of its ι/γ variants matched every node exactly; the pattern is
+    # Correct when every occurrence is
+    occurrences: dict[frozenset[int], bool] = {}
+    for e in embeddings:
+        key = frozenset(v for _, v in e.iota)
+        occurrences[key] = occurrences.get(key, False) or e.is_fully_correct
+    all_correct = all(occurrences.values())
+    status = FeedbackStatus.CORRECT if all_correct else FeedbackStatus.INCORRECT
+    # choose the most-correct embedding to instantiate messages: for a
+    # Correct outcome any fully-correct embedding works; for Incorrect we
+    # explain the closest match (fewest approximate nodes)
+    best = min(embeddings, key=lambda e: len(e.incorrect_nodes))
+    gamma = best.gamma_map
+    details = _node_details(pattern, best)
+    if all_correct:
+        message = render_feedback(pattern.feedback_present, gamma)
+    else:
+        message = (
+            f"We recognized '{pattern.description}' in your code, "
+            "but part of it is incorrect:"
+        )
+    return FeedbackComment(
+        source=pattern.name,
+        kind="pattern",
+        status=status,
+        message=message,
+        details=tuple(details),
+    )
+
+
+def _node_details(pattern: Pattern, embedding: Embedding) -> list[str]:
+    details: list[str] = []
+    gamma = embedding.gamma_map
+    for node_id, correct in embedding.marks:
+        node = pattern.node(node_id)
+        template = node.feedback_correct if correct else node.feedback_incorrect
+        if template:
+            details.append(render_feedback(template, gamma))
+    return details

@@ -1,0 +1,93 @@
+"""Matching pattern groups: pick the best-fitting variant.
+
+Every variant is matched with Algorithm 1; the group's answer is the
+variant whose embeddings are *best* — fully-correct beats approximate
+beats absent — with earlier variants winning ties (the primary is the
+canonical idiom).  The winning variant's embeddings are translated into
+the primary's node numbering so constraints keep working unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.matching.embeddings import Embedding
+from repro.matching.pattern_matching import match_pattern
+from repro.patterns.groups import PatternGroup, PatternVariant
+from repro.patterns.model import Pattern
+from repro.pdg.graph import Epdg
+
+
+@dataclass
+class GroupMatch:
+    """Outcome of matching one group.
+
+    ``embeddings`` are the winning variant's own embeddings (used for
+    feedback, whose node ids belong to the variant pattern);
+    ``translated`` renumbers them into the primary's node ids (used by
+    constraints, which reference primary ids).
+    """
+
+    group: PatternGroup
+    variant: PatternVariant
+    embeddings: list[Embedding]
+    translated: list[Embedding]
+
+    @property
+    def pattern(self) -> Pattern:
+        return self.variant.pattern
+
+
+def _translate(variant: PatternVariant, embeddings: list[Embedding]
+               ) -> list[Embedding]:
+    """Renumber a variant's embeddings into the primary's node ids.
+
+    Only mapped nodes survive the translation: constraints may reference
+    exactly the mapped ids, and feedback details are produced from the
+    variant's own (untranslated) match, so nothing is lost.
+    """
+    inverse = {v: k for k, v in variant.node_map.items()}
+    translated = []
+    for embedding in embeddings:
+        iota = {
+            inverse[u]: v for u, v in embedding.iota if u in inverse
+        }
+        marks = {
+            inverse[u]: ok for u, ok in embedding.marks if u in inverse
+        }
+        translated.append(
+            Embedding.build(iota, embedding.gamma_map, marks)
+        )
+    return translated
+
+
+def _quality(embeddings: list[Embedding]) -> tuple[int, int]:
+    """Orderable quality of a variant's match: (tier, -incorrect_nodes).
+
+    Tier 2: at least one fully-correct embedding; tier 1: approximate
+    embeddings only; tier 0: no embeddings.
+    """
+    if not embeddings:
+        return (0, 0)
+    best = min(len(e.incorrect_nodes) for e in embeddings)
+    tier = 2 if best == 0 else 1
+    return (tier, -best)
+
+
+def match_group(group: PatternGroup, graph: Epdg) -> GroupMatch:
+    """Match every variant and keep the best, primary-first on ties."""
+    best_variant = group.primary
+    best_embeddings: list[Embedding] = []
+    best_quality = (0, 0)
+    for variant in group.variants:
+        embeddings = match_pattern(variant.pattern, graph)
+        quality = _quality(embeddings)
+        if quality > best_quality:
+            best_variant, best_embeddings = variant, embeddings
+            best_quality = quality
+    return GroupMatch(
+        group=group,
+        variant=best_variant,
+        embeddings=best_embeddings,
+        translated=_translate(best_variant, best_embeddings),
+    )

@@ -1,0 +1,187 @@
+"""Algorithm 1: subgraph pattern matching with variable mappings.
+
+The search backtracks over pattern nodes, pruning candidates with
+
+1. the type-based search space Φ (``Untyped`` pattern nodes admit every
+   graph node);
+2. structural consistency — every pattern edge between the new node and
+   already-matched nodes must exist in the graph (we check both edge
+   directions, a correctness tightening of the paper's line 13 which only
+   inspects outgoing edges);
+3. variable-mapping consistency — unbound pattern variables are bound to
+   unbound submission variables by trying injective assignments, after
+   which the node's exact expression ``r`` (mark: correct) or approximate
+   expression ``r̂`` (mark: incorrect) must match the node content.
+
+Where the paper requires ``|X| = |Y|`` before trying combinations, we try
+all injective partial assignments when ``|X| ≤ |Y|``: the relaxation is
+needed to accept the paper's own worked example (node ``u5`` of pattern
+``p_o``), and reduces to the paper's rule when the sizes agree.
+
+Node ordering is a connectivity-first heuristic (matched-adjacent nodes
+before disconnected ones, smaller search spaces first), one of the
+standard subgraph-isomorphism optimizations the paper points to.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+
+from repro.matching.embeddings import Embedding
+from repro.patterns.model import Pattern, PatternNode
+from repro.pdg.graph import Epdg, NodeType
+
+#: Safety valve on the number of embeddings per (pattern, graph) pair.
+#: Real patterns yield a handful; the cap only guards pathological inputs.
+MAX_EMBEDDINGS = 512
+
+
+def match_pattern(
+    pattern: Pattern, graph: Epdg, order: str = "connectivity"
+) -> list[Embedding]:
+    """Compute all embeddings of ``pattern`` in ``graph`` (Algorithm 1).
+
+    ``order`` selects the node-ordering heuristic: ``"connectivity"``
+    (default — matched-adjacent nodes first, smaller search spaces
+    first) or ``"naive"`` (the paper's line 11: any unmatched node, in
+    declaration order).  Both return the same embeddings; the ablation
+    benchmark measures the cost difference.
+    """
+    if not pattern.nodes:
+        return []
+    search_space = _search_space(pattern, graph)
+    if any(not candidates for candidates in search_space.values()):
+        return []
+    state = _SearchState(pattern, graph, search_space, order=order)
+    state.search({}, {}, {})
+    return state.embeddings
+
+
+def _search_space(pattern: Pattern, graph: Epdg) -> dict[int, list[int]]:
+    """Φ: the graph nodes each pattern node may map to, by node type."""
+    space: dict[int, list[int]] = {}
+    for u in pattern.nodes:
+        if u.type is NodeType.UNTYPED:
+            space[u.node_id] = [v.node_id for v in graph.nodes]
+        else:
+            space[u.node_id] = [
+                v.node_id for v in graph.nodes if v.type is u.type
+            ]
+    return space
+
+
+class _SearchState:
+    def __init__(
+        self,
+        pattern: Pattern,
+        graph: Epdg,
+        space: dict[int, list[int]],
+        order: str = "connectivity",
+    ):
+        self._pattern = pattern
+        self._graph = graph
+        self._space = space
+        self._order = order
+        self.embeddings: list[Embedding] = []
+        self._seen: set[tuple] = set()
+        self.nodes_visited = 0  # instrumentation for the ablation bench
+
+    # -- node ordering --------------------------------------------------
+
+    def _next_node(self, iota: dict[int, int]) -> PatternNode:
+        """Pick the next pattern node: prefer nodes adjacent to matched
+        ones, break ties by smaller search space."""
+        unmatched = [
+            u for u in self._pattern.nodes if u.node_id not in iota
+        ]
+        if self._order == "naive":
+            return unmatched[0]
+        def key(u: PatternNode) -> tuple[int, int, int]:
+            adjacent = any(
+                (e.source in iota) != (e.target in iota)
+                and (e.source == u.node_id or e.target == u.node_id)
+                for e in self._pattern.edges_touching(u.node_id)
+            )
+            return (0 if adjacent else 1, len(self._space[u.node_id]), u.node_id)
+        return min(unmatched, key=key)
+
+    # -- consistency checks ----------------------------------------------
+
+    def _edges_consistent(self, u_id: int, v_id: int, iota: dict[int, int]) -> bool:
+        for edge in self._pattern.edges_touching(u_id):
+            if edge.source == u_id and edge.target in iota:
+                if not self._graph.has_edge(v_id, iota[edge.target], edge.type):
+                    return False
+            elif edge.target == u_id and edge.source in iota:
+                if not self._graph.has_edge(iota[edge.source], v_id, edge.type):
+                    return False
+        return True
+
+    # -- main search ------------------------------------------------------
+
+    def search(
+        self,
+        iota: dict[int, int],
+        gamma: dict[str, str],
+        marks: dict[int, bool],
+    ) -> None:
+        self.nodes_visited += 1
+        if len(self.embeddings) >= MAX_EMBEDDINGS:
+            return
+        if len(iota) == len(self._pattern.nodes):
+            embedding = Embedding.build(iota, gamma, marks)
+            # distinct (ι, γ) pairs are all kept: constraints may need a
+            # specific variable mapping even when the node mapping repeats
+            key = (embedding.iota, embedding.gamma)
+            if key not in self._seen:
+                self._seen.add(key)
+                self.embeddings.append(embedding)
+            return
+        u = self._next_node(iota)
+        used_graph_nodes = set(iota.values())
+        for v_id in self._space[u.node_id]:
+            if v_id in used_graph_nodes:
+                continue
+            if not self._edges_consistent(u.node_id, v_id, iota):
+                continue
+            v = self._graph.node(v_id)
+            for extension, correct in self._variable_matches(u, v, gamma):
+                iota[u.node_id] = v_id
+                marks[u.node_id] = correct
+                gamma.update(extension)
+                self.search(iota, gamma, marks)
+                for name in extension:
+                    del gamma[name]
+                del iota[u.node_id]
+                del marks[u.node_id]
+
+    # -- variable combinations --------------------------------------------
+
+    def _variable_matches(self, u: PatternNode, v, gamma: dict[str, str]):
+        """Yield ``(new_bindings, correct)`` for every viable combination.
+
+        ``new_bindings`` extends γ injectively from the node's unbound
+        pattern variables into the graph node's unbound variables.
+        """
+        unbound_pattern = sorted(u.variables - gamma.keys())
+        bound_submission = set(gamma.values())
+        unbound_submission = sorted(v.variables - bound_submission)
+        if len(unbound_pattern) > len(unbound_submission):
+            return
+        seen_extensions: set[tuple[str, ...]] = set()
+        for arrangement in permutations(unbound_submission, len(unbound_pattern)):
+            if arrangement in seen_extensions:
+                continue
+            seen_extensions.add(arrangement)
+            extension = dict(zip(unbound_pattern, arrangement))
+            trial = {**gamma, **extension}
+            if u.expr.matches(v.content, _restrict(trial, u.expr.variables)):
+                yield extension, True
+            elif u.approx is not None and u.approx.matches(
+                v.content, _restrict(trial, u.approx.variables)
+            ):
+                yield extension, False
+
+
+def _restrict(gamma: dict[str, str], variables: frozenset[str]) -> dict[str, str]:
+    return {name: gamma[name] for name in variables if name in gamma}

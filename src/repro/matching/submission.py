@@ -1,0 +1,207 @@
+"""Algorithm 2: best-effort submission matching with multiple methods.
+
+Given a submission and the instructor's specification — per expected
+method: patterns (with occurrence counts ``t̄``) and constraints — this
+module extracts one EPDG per submission method, tries every injective
+assignment of expected methods to submission methods, grades each
+assignment, and keeps the combination maximizing the Λ cost function.
+
+When the assignment enforces method headers (the common MOOC practice the
+paper recommends), methods are bound by name directly and submissions
+missing a required header receive a structural ``NotExpected`` comment,
+mirroring "we will not provide feedback to those submissions that do not
+adhere to the specification".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from itertools import permutations
+
+from repro.java import ast
+from repro.matching.constraints import check_constraint
+from repro.matching.embeddings import Embedding
+from repro.matching.groups import match_group
+from repro.matching.feedback import (
+    FeedbackComment,
+    FeedbackStatus,
+    cost,
+    provide_feedback,
+)
+from repro.matching.pattern_matching import match_pattern
+from repro.patterns.groups import PatternGroup
+from repro.patterns.model import Constraint, Pattern
+from repro.pdg.builder import extract_all_epdgs
+from repro.pdg.graph import Epdg
+
+#: Cap on expected-to-existing method assignments explored (the paper
+#: notes header enforcement keeps this number tiny in practice).
+_MAX_ASSIGNMENTS = 5040  # 7!
+
+
+@dataclass
+class ExpectedMethod:
+    """The instructor's expectation for one method of the assignment.
+
+    ``patterns`` entries pair a :class:`~repro.patterns.model.Pattern`
+    *or* a :class:`~repro.patterns.groups.PatternGroup` (several
+    variants with the same semantics) with the expected occurrence
+    count ``t̄``.
+    """
+
+    name: str
+    patterns: list[tuple[Pattern | PatternGroup, int | None]] = field(
+        default_factory=list
+    )
+    constraints: list[Constraint] = field(default_factory=list)
+
+    def pattern_names(self) -> list[str]:
+        return [pattern.name for pattern, _ in self.patterns]
+
+
+@dataclass
+class MatchOutcome:
+    """Result of Algorithm 2 on one submission."""
+
+    comments: list[FeedbackComment]
+    method_assignment: dict[str, str]
+    score: float
+    embeddings: dict[str, dict[str, list[Embedding]]] = field(
+        default_factory=dict
+    )
+
+    @property
+    def is_fully_correct(self) -> bool:
+        """True when every delivered comment is ``Correct``."""
+        return bool(self.comments) and all(
+            c.status is FeedbackStatus.CORRECT for c in self.comments
+        )
+
+    def render(self) -> str:
+        lines = []
+        for expected, actual in sorted(self.method_assignment.items()):
+            if expected != actual:
+                lines.append(f"(expected method {expected} ~ your {actual})")
+        lines.extend(comment.render() for comment in self.comments)
+        return "\n".join(lines)
+
+
+def match_submission(
+    unit: ast.CompilationUnit,
+    expected_methods: list[ExpectedMethod],
+    enforce_headers: bool = True,
+    synthesize_else_conditions: bool = False,
+) -> MatchOutcome:
+    """Run Algorithm 2 over a parsed submission."""
+    graphs = extract_all_epdgs(unit, synthesize_else_conditions)
+    return match_graphs(graphs, expected_methods, enforce_headers)
+
+
+def match_graphs(
+    graphs: dict[str, Epdg],
+    expected_methods: list[ExpectedMethod],
+    enforce_headers: bool = True,
+) -> MatchOutcome:
+    """Algorithm 2 over pre-built EPDGs (one per submission method)."""
+    if enforce_headers:
+        assignments = [_assignment_by_name(graphs, expected_methods)]
+    else:
+        assignments = list(_all_assignments(graphs, expected_methods))
+        if not assignments:
+            assignments = [_assignment_by_name(graphs, expected_methods)]
+    best: MatchOutcome | None = None
+    for assignment in assignments:
+        outcome = _grade_assignment(graphs, expected_methods, assignment)
+        if best is None or outcome.score > best.score:
+            best = outcome
+    assert best is not None  # at least one assignment is always graded
+    return best
+
+
+def _assignment_by_name(
+    graphs: dict[str, Epdg], expected_methods: list[ExpectedMethod]
+) -> dict[str, str | None]:
+    return {
+        q.name: (q.name if q.name in graphs else None)
+        for q in expected_methods
+    }
+
+
+def _all_assignments(
+    graphs: dict[str, Epdg], expected_methods: list[ExpectedMethod]
+):
+    """All injective assignments of expected methods to existing methods."""
+    method_names = sorted(graphs)
+    if len(method_names) < len(expected_methods):
+        return
+    count = 0
+    for arrangement in permutations(method_names, len(expected_methods)):
+        count += 1
+        if count > _MAX_ASSIGNMENTS:
+            return
+        yield {
+            q.name: actual
+            for q, actual in zip(expected_methods, arrangement)
+        }
+
+
+def _grade_assignment(
+    graphs: dict[str, Epdg],
+    expected_methods: list[ExpectedMethod],
+    assignment: dict[str, str | None],
+) -> MatchOutcome:
+    comments: list[FeedbackComment] = []
+    all_embeddings: dict[str, dict[str, list[Embedding]]] = {}
+    for q in expected_methods:
+        actual = assignment.get(q.name)
+        if actual is None:
+            comments.append(
+                FeedbackComment(
+                    source=q.name,
+                    kind="structure",
+                    status=FeedbackStatus.NOT_EXPECTED,
+                    message=(
+                        f"Your submission does not declare the required "
+                        f"method '{q.name}'; please follow the assignment "
+                        "header."
+                    ),
+                )
+            )
+            continue
+        graph = graphs[actual]
+        embeddings: dict[str, list[Embedding]] = {}
+        statuses: dict[str, FeedbackStatus] = {}
+        # 2.1: match every pattern (or variant group) of this method
+        for pattern, expected_count in q.patterns:
+            if isinstance(pattern, PatternGroup):
+                group_match = match_group(pattern, graph)
+                embeddings[pattern.name] = group_match.translated
+                comment = provide_feedback(
+                    group_match.embeddings,
+                    group_match.pattern,
+                    expected_count,
+                )
+                if comment.source != pattern.name:
+                    # constraints and statuses key on the group's
+                    # (primary) name, whichever variant matched
+                    comment = replace(comment, source=pattern.name)
+            else:
+                found = match_pattern(pattern, graph)
+                embeddings[pattern.name] = found
+                comment = provide_feedback(found, pattern, expected_count)
+            statuses[pattern.name] = comment.status
+            comments.append(comment)
+        # 2.2: check the constraints correlating those patterns
+        for constraint in q.constraints:
+            comments.append(
+                check_constraint(constraint, graph, embeddings, statuses)
+            )
+        all_embeddings[q.name] = embeddings
+    return MatchOutcome(
+        comments=comments,
+        method_assignment={
+            q: a for q, a in assignment.items() if a is not None
+        },
+        score=cost(comments),
+        embeddings=all_embeddings,
+    )

@@ -1,0 +1,43 @@
+"""Patterns, feedback templates, and constraints (paper Sections III-B/C).
+
+A :class:`Pattern` is a small graph whose nodes carry *incomplete Java
+expressions* (regular-expression templates over declared variables) plus
+natural-language feedback; instructors attach patterns to assignments and
+correlate them with :class:`EqualityConstraint`,
+:class:`EdgeExistenceConstraint` and :class:`ContainmentConstraint`.
+"""
+
+from repro.patterns.groups import PatternGroup, PatternVariant, group_of
+from repro.patterns.model import (
+    Constraint,
+    ContainmentConstraint,
+    EdgeExistenceConstraint,
+    EqualityConstraint,
+    Pattern,
+    PatternNode,
+)
+from repro.patterns.template import ExprTemplate, render_feedback
+from repro.patterns.serialization import (
+    constraint_from_dict,
+    constraint_to_dict,
+    pattern_from_dict,
+    pattern_to_dict,
+)
+
+__all__ = [
+    "PatternGroup",
+    "PatternVariant",
+    "group_of",
+    "Constraint",
+    "ContainmentConstraint",
+    "EdgeExistenceConstraint",
+    "EqualityConstraint",
+    "Pattern",
+    "PatternNode",
+    "ExprTemplate",
+    "render_feedback",
+    "pattern_from_dict",
+    "pattern_to_dict",
+    "constraint_from_dict",
+    "constraint_to_dict",
+]

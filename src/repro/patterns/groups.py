@@ -1,0 +1,107 @@
+"""Pattern variant groups — the paper's first future-work item.
+
+Section VII: "patterns will be clustered by variations to achieve the
+same semantics, e.g., a student can access even positions in an array
+using if (i % 2 == 0) or updating twice the value of i.  Our algorithms
+will take such hierarchy into account accordingly."
+
+A :class:`PatternGroup` bundles alternative patterns with the same
+semantics.  The matcher tries every alternative and keeps the best one
+(fully-correct embeddings beat approximate ones, which beat absence), so
+a single expected-pattern slot accepts several idioms without widening
+any individual pattern's expressions.
+
+Constraints keep referencing node ids of the group's *primary*
+alternative; every other alternative carries a ``node_map`` translating
+primary ids to its own, and matched embeddings are translated back, so
+the constraint layer never needs to know which variant matched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import PatternDefinitionError
+from repro.patterns.model import Pattern
+
+
+@dataclass
+class PatternVariant:
+    """One alternative inside a group.
+
+    ``node_map`` maps the *primary* alternative's node ids to this
+    pattern's node ids, for every node a constraint may reference.  The
+    primary's own variant uses the identity map.
+    """
+
+    pattern: Pattern
+    node_map: dict[int, int] = field(default_factory=dict)
+
+    def translate(self, primary_node: int) -> int:
+        if primary_node in self.node_map:
+            return self.node_map[primary_node]
+        raise PatternDefinitionError(
+            f"variant {self.pattern.name!r} does not map primary node "
+            f"u{primary_node}"
+        )
+
+
+@dataclass
+class PatternGroup:
+    """Alternatives with the same semantics, tried best-first.
+
+    The group presents itself under the primary pattern's ``name`` so
+    assignment specs and constraints are untouched when variants are
+    added — exactly the drop-in evolution the paper sketches.
+    """
+
+    variants: list[PatternVariant]
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.variants:
+            raise PatternDefinitionError("a pattern group needs variants")
+        primary = self.primary.pattern
+        if not self.description:
+            self.description = primary.description
+        identity = {u.node_id: u.node_id for u in primary.nodes}
+        if not self.variants[0].node_map:
+            self.variants[0].node_map = identity
+        for variant in self.variants[1:]:
+            for primary_id, variant_id in variant.node_map.items():
+                if primary_id >= len(primary.nodes) or variant_id >= len(
+                    variant.pattern.nodes
+                ):
+                    raise PatternDefinitionError(
+                        f"variant {variant.pattern.name!r}: node map entry "
+                        f"u{primary_id}->u{variant_id} is out of range"
+                    )
+        names = [v.pattern.name for v in self.variants]
+        if len(set(names)) != len(names):
+            raise PatternDefinitionError(
+                "group variants must have distinct pattern names"
+            )
+
+    @property
+    def primary(self) -> PatternVariant:
+        return self.variants[0]
+
+    @property
+    def name(self) -> str:
+        return self.primary.pattern.name
+
+    @property
+    def feedback_missing(self) -> str:
+        return self.primary.pattern.feedback_missing
+
+
+def group_of(primary: Pattern, *alternatives: tuple[Pattern, dict[int, int]]
+             ) -> PatternGroup:
+    """Convenience constructor: a primary pattern plus (pattern,
+    node_map) alternatives."""
+    variants = [PatternVariant(primary)]
+    variants.extend(
+        PatternVariant(pattern, dict(node_map))
+        for pattern, node_map in alternatives
+    )
+    return PatternGroup(variants=variants)

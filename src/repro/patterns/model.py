@@ -1,0 +1,186 @@
+"""Pattern and constraint dataclasses (Definitions 4, 5, 8, 9, 10)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import PatternDefinitionError
+from repro.patterns.template import ExprTemplate
+from repro.pdg.graph import EdgeType, GraphEdge, NodeType
+
+
+@dataclass(frozen=True)
+class PatternNode:
+    """A pattern node ``u = (t_u, r, r̂, f_c, f_i)``.
+
+    ``expr`` (r) is the incomplete expression that marks the node
+    *correct*; ``approx`` (r̂) is the looser expression that still
+    recognizes the student's intent but marks the node *incorrect*.
+    ``feedback_correct``/``feedback_incorrect`` are the node-level
+    natural-language templates; an empty ``feedback_incorrect`` marks a
+    *crucial* node (paper: no incorrect feedback is attached because
+    failing to match it means the whole pattern is not recognized).
+    """
+
+    node_id: int
+    type: NodeType
+    expr: ExprTemplate
+    approx: ExprTemplate | None = None
+    feedback_correct: str = ""
+    feedback_incorrect: str = ""
+
+    @property
+    def name(self) -> str:
+        return f"u{self.node_id}"
+
+    @property
+    def variables(self) -> frozenset[str]:
+        merged = set(self.expr.variables)
+        if self.approx is not None:
+            merged |= self.approx.variables
+        return frozenset(merged)
+
+    def __str__(self) -> str:
+        return f"{self.name}[{self.type}] {self.expr.source}"
+
+
+@dataclass
+class Pattern:
+    """A pattern ``p = (U, F, f_p, f_m)`` with its feedback messages.
+
+    ``name`` identifies the pattern in the knowledge base; constraints
+    reference patterns by name.  ``feedback_present``/``feedback_missing``
+    are delivered when the pattern is found/absent in a submission.
+    """
+
+    name: str
+    description: str
+    nodes: list[PatternNode] = field(default_factory=list)
+    edges: list[GraphEdge] = field(default_factory=list)
+    feedback_present: str = ""
+    feedback_missing: str = ""
+    #: Occurrence identity for counting against ``t̄``.  ``None`` (the
+    #: default) counts distinct sets of matched graph nodes.  A tuple of
+    #: node ids counts distinct (mapped nodes at those ids, γ) pairs —
+    #: used when several data-flow paths legitimately reach the same
+    #: anchor node (e.g. the print call of ``assign-print`` after an
+    #: if/else definition merge).
+    count_nodes: tuple[int, ...] | None = None
+
+    def __post_init__(self) -> None:
+        ids = [node.node_id for node in self.nodes]
+        if ids != list(range(len(ids))):
+            raise PatternDefinitionError(
+                f"pattern {self.name!r} node ids must be dense from 0"
+            )
+        for edge in self.edges:
+            if edge.source >= len(ids) or edge.target >= len(ids):
+                raise PatternDefinitionError(
+                    f"pattern {self.name!r} edge {edge} references missing node"
+                )
+        if self.count_nodes is not None:
+            for node_id in self.count_nodes:
+                if node_id >= len(self.nodes):
+                    raise PatternDefinitionError(
+                        f"pattern {self.name!r}: count node u{node_id} "
+                        "does not exist"
+                    )
+        for node in self.nodes:
+            if node.approx is not None and not (
+                node.approx.variables <= node.expr.variables
+            ):
+                raise PatternDefinitionError(
+                    f"pattern {self.name!r} node {node.name}: approximate "
+                    "expression variables must be a subset of the exact "
+                    "expression's (Definition 4)"
+                )
+
+    @property
+    def variables(self) -> frozenset[str]:
+        merged: set[str] = set()
+        for node in self.nodes:
+            merged |= node.variables
+        return frozenset(merged)
+
+    def node(self, node_id: int) -> PatternNode:
+        return self.nodes[node_id]
+
+    def edges_touching(self, node_id: int) -> list[GraphEdge]:
+        return [
+            e for e in self.edges if e.source == node_id or e.target == node_id
+        ]
+
+    def __str__(self) -> str:
+        lines = [f"Pattern {self.name}: {self.description}"]
+        for node in self.nodes:
+            lines.append(f"  {node}")
+        for edge in self.edges:
+            lines.append(f"  u{edge.source} -> u{edge.target} [{edge.type}]")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# constraints
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """Base class for constraints correlating several patterns.
+
+    ``name`` identifies the constraint in feedback; the two feedback
+    templates describe the satisfied/violated outcomes.
+    """
+
+    name: str
+    feedback_correct: str = ""
+    feedback_incorrect: str = ""
+
+    def referenced_patterns(self) -> tuple[str, ...]:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class EqualityConstraint(Constraint):
+    """Definition 8: nodes from two patterns match the *same* graph node."""
+
+    pattern_i: str = ""
+    node_i: int = 0
+    pattern_j: str = ""
+    node_j: int = 0
+
+    def referenced_patterns(self) -> tuple[str, ...]:
+        return (self.pattern_i, self.pattern_j)
+
+
+@dataclass(frozen=True)
+class EdgeExistenceConstraint(Constraint):
+    """Definition 9: an edge of ``edge_type`` links nodes of two patterns."""
+
+    pattern_i: str = ""
+    node_i: int = 0
+    pattern_j: str = ""
+    node_j: int = 0
+    edge_type: EdgeType = EdgeType.DATA
+
+    def referenced_patterns(self) -> tuple[str, ...]:
+        return (self.pattern_i, self.pattern_j)
+
+
+@dataclass(frozen=True)
+class ContainmentConstraint(Constraint):
+    """Definition 10: a node of the main pattern contains an expression
+    over variables drawn from *supporting* patterns.
+
+    ``expr`` is an :class:`ExprTemplate` whose variables come from the
+    main pattern and/or any of the supporting patterns' variable sets.
+    """
+
+    pattern: str = ""
+    node: int = 0
+    expr: ExprTemplate = field(
+        default_factory=lambda: ExprTemplate("", frozenset())
+    )
+    supporting: tuple[str, ...] = ()
+
+    def referenced_patterns(self) -> tuple[str, ...]:
+        return (self.pattern, *self.supporting)

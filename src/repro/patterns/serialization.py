@@ -1,0 +1,154 @@
+"""JSON-friendly (de)serialization of patterns and constraints.
+
+The paper ships its knowledge base as files in a public repository; this
+module provides the equivalent round-trip so the KB can be exported,
+version-controlled, and re-imported without executing Python definitions.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PatternDefinitionError
+from repro.patterns.model import (
+    Constraint,
+    ContainmentConstraint,
+    EdgeExistenceConstraint,
+    EqualityConstraint,
+    Pattern,
+    PatternNode,
+)
+from repro.patterns.template import ExprTemplate
+from repro.pdg.graph import EdgeType, GraphEdge, NodeType
+
+
+def pattern_to_dict(pattern: Pattern) -> dict:
+    """Serialize a pattern to a JSON-compatible dict."""
+    return {
+        "name": pattern.name,
+        "description": pattern.description,
+        "feedback_present": pattern.feedback_present,
+        "feedback_missing": pattern.feedback_missing,
+        "count_nodes": (
+            None if pattern.count_nodes is None
+            else list(pattern.count_nodes)
+        ),
+        "nodes": [
+            {
+                "id": node.node_id,
+                "type": node.type.value,
+                "expr": node.expr.source,
+                "variables": sorted(node.expr.variables),
+                "approx": None if node.approx is None else node.approx.source,
+                "approx_variables": (
+                    [] if node.approx is None else sorted(node.approx.variables)
+                ),
+                "feedback_correct": node.feedback_correct,
+                "feedback_incorrect": node.feedback_incorrect,
+            }
+            for node in pattern.nodes
+        ],
+        "edges": [
+            {"source": e.source, "target": e.target, "type": e.type.value}
+            for e in pattern.edges
+        ],
+    }
+
+
+def pattern_from_dict(data: dict) -> Pattern:
+    """Deserialize a pattern produced by :func:`pattern_to_dict`."""
+    nodes = []
+    for raw in data["nodes"]:
+        approx = None
+        if raw.get("approx") is not None:
+            approx = ExprTemplate(
+                raw["approx"], frozenset(raw.get("approx_variables", []))
+            )
+        nodes.append(
+            PatternNode(
+                node_id=raw["id"],
+                type=NodeType(raw["type"]),
+                expr=ExprTemplate(raw["expr"], frozenset(raw["variables"])),
+                approx=approx,
+                feedback_correct=raw.get("feedback_correct", ""),
+                feedback_incorrect=raw.get("feedback_incorrect", ""),
+            )
+        )
+    edges = [
+        GraphEdge(raw["source"], raw["target"], EdgeType(raw["type"]))
+        for raw in data["edges"]
+    ]
+    count_nodes = data.get("count_nodes")
+    return Pattern(
+        name=data["name"],
+        description=data.get("description", ""),
+        nodes=nodes,
+        edges=edges,
+        feedback_present=data.get("feedback_present", ""),
+        feedback_missing=data.get("feedback_missing", ""),
+        count_nodes=None if count_nodes is None else tuple(count_nodes),
+    )
+
+
+def constraint_to_dict(constraint: Constraint) -> dict:
+    """Serialize a constraint to a JSON-compatible dict."""
+    base = {
+        "name": constraint.name,
+        "feedback_correct": constraint.feedback_correct,
+        "feedback_incorrect": constraint.feedback_incorrect,
+    }
+    if isinstance(constraint, EqualityConstraint):
+        base.update(
+            kind="equality",
+            pattern_i=constraint.pattern_i, node_i=constraint.node_i,
+            pattern_j=constraint.pattern_j, node_j=constraint.node_j,
+        )
+    elif isinstance(constraint, EdgeExistenceConstraint):
+        base.update(
+            kind="edge",
+            pattern_i=constraint.pattern_i, node_i=constraint.node_i,
+            pattern_j=constraint.pattern_j, node_j=constraint.node_j,
+            edge_type=constraint.edge_type.value,
+        )
+    elif isinstance(constraint, ContainmentConstraint):
+        base.update(
+            kind="containment",
+            pattern=constraint.pattern, node=constraint.node,
+            expr=constraint.expr.source,
+            variables=sorted(constraint.expr.variables),
+            supporting=list(constraint.supporting),
+        )
+    else:
+        raise PatternDefinitionError(
+            f"unknown constraint type {type(constraint).__name__}"
+        )
+    return base
+
+
+def constraint_from_dict(data: dict) -> Constraint:
+    """Deserialize a constraint produced by :func:`constraint_to_dict`."""
+    kind = data.get("kind")
+    common = {
+        "name": data["name"],
+        "feedback_correct": data.get("feedback_correct", ""),
+        "feedback_incorrect": data.get("feedback_incorrect", ""),
+    }
+    if kind == "equality":
+        return EqualityConstraint(
+            pattern_i=data["pattern_i"], node_i=data["node_i"],
+            pattern_j=data["pattern_j"], node_j=data["node_j"],
+            **common,
+        )
+    if kind == "edge":
+        return EdgeExistenceConstraint(
+            pattern_i=data["pattern_i"], node_i=data["node_i"],
+            pattern_j=data["pattern_j"], node_j=data["node_j"],
+            edge_type=EdgeType(data["edge_type"]),
+            **common,
+        )
+    if kind == "containment":
+        return ContainmentConstraint(
+            pattern=data["pattern"], node=data["node"],
+            expr=ExprTemplate(data["expr"], frozenset(data["variables"])),
+            supporting=tuple(data.get("supporting", [])),
+            **common,
+        )
+    raise PatternDefinitionError(f"unknown constraint kind {kind!r}")

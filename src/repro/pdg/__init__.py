@@ -1,0 +1,29 @@
+"""Extended program dependence graphs (paper Section III-A).
+
+An EPDG combines control flow (``Ctrl`` edges from each ``Cond`` node to
+the statements it directly governs) and data flow (``Data`` edges from
+definitions to uses) with typed nodes carrying the canonical Java
+expression they perform.  :func:`extract_epdg` builds one graph per
+method, following the paper's construction choices:
+
+* transitive ``Ctrl`` edges are omitted (each node is linked only from its
+  *nearest* enclosing condition);
+* ``Data`` edges assume every condition holds and every loop body executes
+  exactly once (Bhattacharjee & Jamil), so there are no loop back-edges
+  and no "condition was false" edges.
+"""
+
+from repro.pdg.graph import EdgeType, Epdg, GraphEdge, GraphNode, NodeType
+from repro.pdg.builder import extract_epdg, extract_all_epdgs
+from repro.pdg.dot import to_dot
+
+__all__ = [
+    "EdgeType",
+    "Epdg",
+    "GraphEdge",
+    "GraphNode",
+    "NodeType",
+    "extract_epdg",
+    "extract_all_epdgs",
+    "to_dot",
+]

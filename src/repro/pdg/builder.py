@@ -1,0 +1,300 @@
+"""EPDG construction from a method AST (paper Section III-A).
+
+The builder walks statements in source order while maintaining
+
+* the *control parent*: the nearest enclosing ``Cond`` node, which is the
+  only node a new node receives a ``Ctrl`` edge from (this yields exactly
+  the non-transitive control edges the paper keeps after pruning);
+* a *reaching-definitions* environment mapping each variable to the set of
+  nodes that may have produced its current value, evaluated under the
+  paper's static execution model — every condition is assumed true and
+  every loop body runs exactly once (Bhattacharjee & Jamil), so loop
+  back-edges and "condition may fail" edges are never generated.
+
+``if``/``else`` and ``switch`` merge branch environments (a definition
+from either branch survives), the one place where the linear model needs
+a join.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+from repro.java import ast
+from repro.java.printer import print_expression
+from repro.pdg.expressions import defined_variables, used_variables
+from repro.pdg.negation import negate_condition
+from repro.pdg.graph import EdgeType, Epdg, GraphNode, NodeType
+
+_ReachingDefs = dict[str, frozenset[int]]
+
+
+class _Builder:
+    def __init__(self, method: ast.MethodDecl,
+                 synthesize_else_conditions: bool = False):
+        self._method = method
+        self._graph = Epdg(method.name)
+        self._synthesize_else = synthesize_else_conditions
+
+    def build(self) -> Epdg:
+        defs: _ReachingDefs = {}
+        for parameter in self._method.parameters:
+            node = self._new_node(
+                NodeType.DECL,
+                parameter.name,
+                defines=frozenset({parameter.name}),
+                uses=frozenset(),
+                parent=None,
+                defs=defs,
+            )
+            defs[parameter.name] = frozenset({node.node_id})
+        self._statements(self._method.body.statements, None, defs)
+        return self._graph
+
+    # ------------------------------------------------------------------
+    # node creation
+
+    def _new_node(
+        self,
+        node_type: NodeType,
+        content: str,
+        defines: frozenset[str],
+        uses: frozenset[str],
+        parent: int | None,
+        defs: _ReachingDefs,
+    ) -> GraphNode:
+        node = GraphNode(
+            node_id=len(self._graph),
+            type=node_type,
+            content=content,
+            defines=defines,
+            uses=uses,
+        )
+        self._graph.add_node(node)
+        if parent is not None:
+            self._graph.add_edge(parent, node.node_id, EdgeType.CTRL)
+        for variable in sorted(uses):
+            for definition in sorted(defs.get(variable, ())):
+                self._graph.add_edge(definition, node.node_id, EdgeType.DATA)
+        for variable in defines:
+            defs[variable] = frozenset({node.node_id})
+        return node
+
+    def _expression_node(
+        self,
+        expression: ast.Expression,
+        parent: int | None,
+        defs: _ReachingDefs,
+        node_type: NodeType | None = None,
+    ) -> GraphNode:
+        """Create the node for a statement-level expression."""
+        if node_type is None:
+            if isinstance(expression, ast.Assignment) or (
+                isinstance(expression, ast.Unary)
+                and expression.operator in ("++", "--")
+            ):
+                node_type = NodeType.ASSIGN
+            else:
+                node_type = NodeType.CALL
+        return self._new_node(
+            node_type,
+            print_expression(expression),
+            defines=defined_variables(expression),
+            uses=used_variables(expression),
+            parent=parent,
+            defs=defs,
+        )
+
+    # ------------------------------------------------------------------
+    # statement walking
+
+    def _statements(
+        self,
+        statements: list[ast.Statement],
+        parent: int | None,
+        defs: _ReachingDefs,
+    ) -> None:
+        for statement in statements:
+            self._statement(statement, parent, defs)
+
+    def _statement(
+        self,
+        node: ast.Statement,
+        parent: int | None,
+        defs: _ReachingDefs,
+    ) -> None:
+        if isinstance(node, ast.Block):
+            self._statements(node.statements, parent, defs)
+        elif isinstance(node, ast.LocalVarDecl):
+            for declarator in node.declarators:
+                if declarator.initializer is None:
+                    # a bare `int x;` performs no operation; the defining
+                    # node will be the first assignment to x
+                    continue
+                content = (
+                    f"{declarator.name} = "
+                    f"{print_expression(declarator.initializer)}"
+                )
+                self._new_node(
+                    NodeType.ASSIGN,
+                    content,
+                    defines=frozenset({declarator.name}),
+                    uses=used_variables(declarator.initializer),
+                    parent=parent,
+                    defs=defs,
+                )
+        elif isinstance(node, ast.ExpressionStatement):
+            self._expression_node(node.expression, parent, defs)
+        elif isinstance(node, ast.If):
+            cond = self._cond_node(node.condition, parent, defs)
+            then_defs = dict(defs)
+            self._statement(node.then_branch, cond.node_id, then_defs)
+            if node.else_branch is None:
+                defs.clear()
+                defs.update(then_defs)
+            else:
+                else_defs = dict(defs)
+                else_parent = cond.node_id
+                if self._synthesize_else:
+                    # Section VII future work: the else branch hangs off
+                    # its own Cond node carrying the negated condition,
+                    # so patterns written for the positive form match
+                    # either arm
+                    negated = self._cond_node(
+                        negate_condition(node.condition), parent, else_defs
+                    )
+                    else_parent = negated.node_id
+                self._statement(node.else_branch, else_parent, else_defs)
+                defs.clear()
+                defs.update(_merge(then_defs, else_defs))
+        elif isinstance(node, ast.While):
+            cond = self._cond_node(node.condition, parent, defs)
+            self._statement(node.body, cond.node_id, defs)
+        elif isinstance(node, ast.DoWhile):
+            # the body of a do-while always runs, so it is not
+            # control-dependent on the condition; the condition node comes
+            # after the body in the static execution order
+            self._statement(node.body, parent, defs)
+            self._cond_node(node.condition, parent, defs)
+        elif isinstance(node, ast.For):
+            self._statements(node.init, parent, defs)
+            condition = node.condition
+            if condition is None:
+                condition_content = "true"
+                cond = self._new_node(
+                    NodeType.COND, condition_content,
+                    defines=frozenset(), uses=frozenset(),
+                    parent=parent, defs=defs,
+                )
+            else:
+                cond = self._cond_node(condition, parent, defs)
+            self._statement(node.body, cond.node_id, defs)
+            for update in node.update:
+                self._expression_node(update, cond.node_id, defs)
+        elif isinstance(node, ast.ForEach):
+            content = f"{node.name} : {print_expression(node.iterable)}"
+            cond = self._new_node(
+                NodeType.COND,
+                content,
+                defines=frozenset({node.name}),
+                uses=used_variables(node.iterable),
+                parent=parent,
+                defs=defs,
+            )
+            self._statement(node.body, cond.node_id, defs)
+        elif isinstance(node, ast.Break):
+            self._new_node(
+                NodeType.BREAK, "break",
+                defines=frozenset(), uses=frozenset(),
+                parent=parent, defs=defs,
+            )
+        elif isinstance(node, ast.Continue):
+            # Definition 1 has no Continue type; we model `continue` as a
+            # Break-typed node whose content disambiguates it
+            self._new_node(
+                NodeType.BREAK, "continue",
+                defines=frozenset(), uses=frozenset(),
+                parent=parent, defs=defs,
+            )
+        elif isinstance(node, ast.Return):
+            content = (
+                "return" if node.value is None
+                else f"return {print_expression(node.value)}"
+            )
+            self._new_node(
+                NodeType.RETURN,
+                content,
+                defines=frozenset(),
+                uses=used_variables(node.value),
+                parent=parent,
+                defs=defs,
+            )
+        elif isinstance(node, ast.Switch):
+            cond = self._cond_node(node.selector, parent, defs)
+            branch_envs: list[_ReachingDefs] = []
+            for case in node.cases:
+                case_defs = dict(defs)
+                self._statements(case.statements, cond.node_id, case_defs)
+                branch_envs.append(case_defs)
+            merged = dict(defs)
+            for branch in branch_envs:
+                merged = _merge(merged, branch)
+            defs.clear()
+            defs.update(merged)
+        elif isinstance(node, ast.EmptyStatement):
+            pass
+        else:
+            raise ReproError(
+                f"cannot build EPDG for statement {type(node).__name__}"
+            )
+
+    def _cond_node(
+        self,
+        condition: ast.Expression,
+        parent: int | None,
+        defs: _ReachingDefs,
+    ) -> GraphNode:
+        return self._new_node(
+            NodeType.COND,
+            print_expression(condition),
+            defines=defined_variables(condition),
+            uses=used_variables(condition),
+            parent=parent,
+            defs=defs,
+        )
+
+
+def _merge(left: _ReachingDefs, right: _ReachingDefs) -> _ReachingDefs:
+    merged: _ReachingDefs = {}
+    for variable in set(left) | set(right):
+        merged[variable] = left.get(variable, frozenset()) | right.get(
+            variable, frozenset()
+        )
+    return merged
+
+
+def extract_epdg(
+    method: ast.MethodDecl, synthesize_else_conditions: bool = False
+) -> Epdg:
+    """Build the extended program dependence graph of one method.
+
+    ``synthesize_else_conditions`` enables the Section VII extension:
+    every else branch receives a synthetic ``Cond`` node carrying the
+    negated condition (``if (i % 2 == 0) ... else ...`` also exposes
+    ``i % 2 != 0``), letting positive-form patterns match either arm.
+    """
+    return _Builder(method, synthesize_else_conditions).build()
+
+
+def extract_all_epdgs(
+    unit: ast.CompilationUnit, synthesize_else_conditions: bool = False
+) -> dict[str, Epdg]:
+    """Build one EPDG per method in the submission (paper's ExtractEPDG).
+
+    When a submission declares two methods with the same name (an
+    overload), the later one wins — intro assignments in the corpus never
+    overload, and Algorithm 2 matches methods by name.
+    """
+    return {
+        m.name: extract_epdg(m, synthesize_else_conditions)
+        for m in unit.methods()
+    }

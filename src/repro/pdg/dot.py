@@ -1,0 +1,55 @@
+"""Graphviz DOT export of EPDGs.
+
+Solid arrows are ``Data`` edges and dashed arrows are ``Ctrl`` edges,
+matching the paper's Figure 3 rendering.
+"""
+
+from __future__ import annotations
+
+from repro.pdg.graph import EdgeType, Epdg
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def pattern_to_dot(pattern) -> str:
+    """Render a pattern (Figures 4-6 style) as a Graphviz digraph.
+
+    Nodes show the type plus the exact expression ``r``; an approximate
+    expression ``r̂`` is appended on its own line when present.
+    """
+    lines = [f'digraph "{_escape(pattern.name)}" {{']
+    lines.append("  node [shape=box, fontname=monospace];")
+    for node in pattern.nodes:
+        label = f"{node.name} [{node.type}]\\n{_escape(node.expr.source)}"
+        if node.approx is not None:
+            label += f"\\n~ {_escape(node.approx.source)}"
+        lines.append(f'  {node.name} [label="{label}"];')
+    for edge in pattern.edges:
+        style = "dashed" if edge.type is EdgeType.CTRL else "solid"
+        lines.append(
+            f"  u{edge.source} -> u{edge.target} "
+            f'[style={style}, label="{edge.type}"];'
+        )
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def to_dot(graph: Epdg) -> str:
+    """Render ``graph`` as a Graphviz digraph string."""
+    lines = [f'digraph "{_escape(graph.method_name)}" {{']
+    lines.append("  node [shape=box, fontname=monospace];")
+    for node in graph.nodes:
+        label = f"{node.name} [{node.type}]\\n{_escape(node.content)}"
+        lines.append(f'  {node.name} [label="{label}"];')
+    for edge in sorted(
+        graph.edges, key=lambda e: (e.source, e.target, e.type.value)
+    ):
+        style = "dashed" if edge.type is EdgeType.CTRL else "solid"
+        lines.append(
+            f"  v{edge.source} -> v{edge.target} "
+            f'[style={style}, label="{edge.type}"];'
+        )
+    lines.append("}")
+    return "\n".join(lines) + "\n"

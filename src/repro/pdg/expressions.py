@@ -1,0 +1,89 @@
+"""Variable analysis of Java expressions for EPDG construction.
+
+Distinguishes *variables* from method names, field names, and well-known
+static classes so that graph nodes expose exactly the identifier sets the
+matcher's variable mapping γ ranges over (``a.length`` mentions variable
+``a``, not ``length``; ``Math.pow(x, i)`` mentions ``x`` and ``i``).
+"""
+
+from __future__ import annotations
+
+from repro.java import ast
+
+#: Identifiers treated as static class references, never as variables.
+STATIC_CLASSES = frozenset(
+    {"System", "Math", "Integer", "String", "Character", "Double",
+     "Boolean", "Long", "Arrays", "this"}
+)
+
+
+def used_variables(node: ast.Expression | None) -> frozenset[str]:
+    """Variables *read* by an expression."""
+    if node is None:
+        return frozenset()
+    result: set[str] = set()
+    _collect_uses(node, result)
+    return frozenset(result)
+
+
+def _collect_uses(node: ast.Expression, result: set[str]) -> None:
+    if isinstance(node, ast.Name):
+        if node.identifier not in STATIC_CLASSES:
+            result.add(node.identifier)
+        return
+    if isinstance(node, ast.FieldAccess):
+        _collect_uses(node.target, result)
+        return
+    if isinstance(node, ast.MethodCall):
+        if node.target is not None:
+            _collect_uses(node.target, result)
+        for argument in node.arguments:
+            _collect_uses(argument, result)
+        return
+    if isinstance(node, ast.Assignment):
+        # compound assignment reads the target as well
+        if node.operator != "=":
+            _collect_uses(node.target, result)
+        elif isinstance(node.target, ast.ArrayAccess):
+            # a[i] = v reads i (and the array reference a)
+            _collect_uses(node.target, result)
+        _collect_uses(node.value, result)
+        return
+    if isinstance(node, ast.Unary):
+        _collect_uses(node.operand, result)
+        return
+    for child in node.children():
+        if isinstance(child, ast.Expression):
+            _collect_uses(child, result)
+
+
+def defined_variables(node: ast.Expression) -> frozenset[str]:
+    """Variables *written* by an expression.
+
+    An assignment to ``a[i]`` defines ``a`` (the array variable holds a new
+    state), matching how the paper's examples treat ``d[i - 1] = ...``.
+    """
+    result: set[str] = set()
+    _collect_defs(node, result)
+    return frozenset(result)
+
+
+def _collect_defs(node: ast.Expression, result: set[str]) -> None:
+    if isinstance(node, ast.Assignment):
+        _collect_target(node.target, result)
+        _collect_defs(node.value, result)
+        return
+    if isinstance(node, ast.Unary) and node.operator in ("++", "--"):
+        _collect_target(node.operand, result)
+        return
+    for child in node.children():
+        if isinstance(child, ast.Expression):
+            _collect_defs(child, result)
+
+
+def _collect_target(node: ast.Expression, result: set[str]) -> None:
+    if isinstance(node, ast.Name):
+        if node.identifier not in STATIC_CLASSES:
+            result.add(node.identifier)
+    elif isinstance(node, ast.ArrayAccess):
+        _collect_target(node.array, result)

@@ -1,0 +1,163 @@
+"""Graph model for extended program dependence graphs (Defs. 1-3)."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class NodeType(enum.Enum):
+    """Graph node types from Definition 1 (plus ``Untyped`` for patterns)."""
+
+    ASSIGN = "Assign"
+    BREAK = "Break"
+    CALL = "Call"
+    COND = "Cond"
+    DECL = "Decl"
+    RETURN = "Return"
+    UNTYPED = "Untyped"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class EdgeType(enum.Enum):
+    """Graph edge types from Definition 2."""
+
+    CTRL = "Ctrl"
+    DATA = "Data"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class GraphNode:
+    """A node ``v = (t_v, c)``: a typed Java expression in the submission.
+
+    ``defines``/``uses`` cache the variable sets of the expression so the
+    matcher and constraint checker never re-parse node content.
+    """
+
+    node_id: int
+    type: NodeType
+    content: str
+    defines: frozenset[str] = frozenset()
+    uses: frozenset[str] = frozenset()
+
+    @property
+    def variables(self) -> frozenset[str]:
+        """All variables mentioned by the node (definitions and uses)."""
+        return self.defines | self.uses
+
+    @property
+    def name(self) -> str:
+        """Display name, matching the paper's ``v0, v1, ...`` convention."""
+        return f"v{self.node_id}"
+
+    def __str__(self) -> str:
+        return f"{self.name}[{self.type}] {self.content}"
+
+
+@dataclass(frozen=True)
+class GraphEdge:
+    """An edge ``e = (v_s, v_t, t_e)`` between two graph nodes."""
+
+    source: int
+    target: int
+    type: EdgeType
+
+    def __str__(self) -> str:
+        arrow = "->" if self.type is EdgeType.DATA else "=>"
+        return f"v{self.source} {arrow} v{self.target} [{self.type}]"
+
+
+class Epdg:
+    """An extended program dependence graph ``g = (V, E)`` for one method."""
+
+    def __init__(self, method_name: str):
+        self.method_name = method_name
+        self._nodes: list[GraphNode] = []
+        self._edges: set[GraphEdge] = set()
+        self._out: dict[int, set[GraphEdge]] = {}
+        self._in: dict[int, set[GraphEdge]] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+
+    def add_node(self, node: GraphNode) -> GraphNode:
+        if node.node_id != len(self._nodes):
+            raise ValueError(
+                f"node ids must be dense: expected {len(self._nodes)}, "
+                f"got {node.node_id}"
+            )
+        self._nodes.append(node)
+        self._out.setdefault(node.node_id, set())
+        self._in.setdefault(node.node_id, set())
+        return node
+
+    def add_edge(self, source: int, target: int, edge_type: EdgeType) -> None:
+        edge = GraphEdge(source, target, edge_type)
+        if edge in self._edges:
+            return
+        if source >= len(self._nodes) or target >= len(self._nodes):
+            raise ValueError(f"edge endpoints out of range: {edge}")
+        self._edges.add(edge)
+        self._out[source].add(edge)
+        self._in[target].add(edge)
+
+    # ------------------------------------------------------------------
+    # queries
+
+    @property
+    def nodes(self) -> list[GraphNode]:
+        return list(self._nodes)
+
+    @property
+    def edges(self) -> set[GraphEdge]:
+        return set(self._edges)
+
+    def node(self, node_id: int) -> GraphNode:
+        return self._nodes[node_id]
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def has_edge(self, source: int, target: int, edge_type: EdgeType) -> bool:
+        return GraphEdge(source, target, edge_type) in self._edges
+
+    def out_edges(self, node_id: int) -> set[GraphEdge]:
+        return set(self._out.get(node_id, ()))
+
+    def in_edges(self, node_id: int) -> set[GraphEdge]:
+        return set(self._in.get(node_id, ()))
+
+    def successors(self, node_id: int, edge_type: EdgeType | None = None) -> list[int]:
+        return sorted(
+            e.target
+            for e in self._out.get(node_id, ())
+            if edge_type is None or e.type is edge_type
+        )
+
+    def predecessors(self, node_id: int, edge_type: EdgeType | None = None) -> list[int]:
+        return sorted(
+            e.source
+            for e in self._in.get(node_id, ())
+            if edge_type is None or e.type is edge_type
+        )
+
+    def nodes_of_type(self, node_type: NodeType) -> list[GraphNode]:
+        return [n for n in self._nodes if n.type is node_type]
+
+    def find_by_content(self, content: str) -> list[GraphNode]:
+        """All nodes whose canonical content equals ``content`` exactly."""
+        return [n for n in self._nodes if n.content == content]
+
+    def __str__(self) -> str:
+        lines = [f"EPDG of {self.method_name}: {len(self._nodes)} nodes, "
+                 f"{len(self._edges)} edges"]
+        for node in self._nodes:
+            lines.append(f"  {node}")
+        for edge in sorted(self._edges, key=lambda e: (e.source, e.target, e.type.value)):
+            lines.append(f"  {edge}")
+        return "\n".join(lines)

@@ -1,0 +1,57 @@
+"""Condition negation — the paper's else-expression future work.
+
+Section VII: "Our patterns will support else expressions, e.g., a
+pattern to ensure accessing odd positions in a submission using
+``if (i % 2 == 0) {...} else {...}`` will only work by computing the
+functional equivalence, i.e., transforming else into
+``if (i % 2 == 1)``."
+
+:func:`negate_condition` computes the (simplified) negation of a
+condition expression: comparison operators flip (``==`` ↔ ``!=``,
+``<`` ↔ ``>=``...), double negations cancel, De Morgan distributes over
+``&&``/``||``, and anything else is wrapped in ``!``.  The EPDG builder
+uses it (when ``synthesize_else_conditions`` is on) to give each else
+branch its own ``Cond`` node carrying the negated condition, so
+patterns written for the positive form match either arm.
+"""
+
+from __future__ import annotations
+
+import copy
+
+from repro.java import ast
+
+_FLIPPED = {
+    "==": "!=", "!=": "==",
+    "<": ">=", ">=": "<",
+    ">": "<=", "<=": ">",
+}
+
+
+def negate_condition(condition: ast.Expression) -> ast.Expression:
+    """The logical negation of ``condition``, simplified."""
+    if isinstance(condition, ast.Unary) and condition.operator == "!":
+        # !!c => c
+        return copy.deepcopy(condition.operand)
+    if isinstance(condition, ast.Literal) and condition.kind == "boolean":
+        return ast.Literal(not condition.value, "boolean")
+    if isinstance(condition, ast.Binary):
+        if condition.operator in _FLIPPED:
+            return ast.Binary(
+                _FLIPPED[condition.operator],
+                copy.deepcopy(condition.left),
+                copy.deepcopy(condition.right),
+            )
+        if condition.operator == "&&":
+            return ast.Binary(
+                "||",
+                negate_condition(condition.left),
+                negate_condition(condition.right),
+            )
+        if condition.operator == "||":
+            return ast.Binary(
+                "&&",
+                negate_condition(condition.left),
+                negate_condition(condition.right),
+            )
+    return ast.Unary("!", copy.deepcopy(condition), prefix=True)

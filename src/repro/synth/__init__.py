@@ -1,0 +1,24 @@
+"""Synthetic student-submission generation (paper Section VI-A).
+
+The paper follows Singh et al.'s hypothesis that novice errors are
+predictable, encoding them as rules (``i = 0 → i = 1``) whose combinations
+span an explicit search space of correct and incorrect submissions.  Here
+each assignment declares :class:`ChoicePoint` objects over a reference
+template; a :class:`SubmissionSpace` enumerates the full cartesian product
+lazily (mixed-radix indexing), so spaces with millions of programs cost
+nothing until a submission is materialized.
+"""
+
+from repro.synth.rules import ChoicePoint, Option, correct, wrong
+from repro.synth.spaces import SubmissionSpace
+from repro.synth.generator import sample_indices, sample_submissions
+
+__all__ = [
+    "ChoicePoint",
+    "Option",
+    "correct",
+    "wrong",
+    "SubmissionSpace",
+    "sample_indices",
+    "sample_submissions",
+]

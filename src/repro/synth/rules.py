@@ -1,0 +1,77 @@
+"""Error-model rules: choice points and their options.
+
+A :class:`ChoicePoint` is one independent location in the reference
+solution where students make predictable choices — some correct
+alternatives (``for`` vs ``while``), some classic mistakes (``i = 1``
+instead of ``i = 0``).  Singh et al.'s error-model rules map directly onto
+choice points whose first option is the reference text and whose other
+options are the rule right-hand sides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class Option:
+    """One alternative for a choice point.
+
+    ``correct`` marks options that keep the program functionally correct
+    *in isolation*; the ground truth for a full submission is still the
+    functional test suite (options can interact), but the flag lets
+    benchmarks sample correct-leaning or error-leaning submissions.
+    """
+
+    text: str
+    correct: bool
+    label: str = ""
+
+
+def correct(text: str, label: str = "") -> Option:
+    """Shorthand for a functionally-correct option."""
+    return Option(text=text, correct=True, label=label)
+
+
+def wrong(text: str, label: str = "") -> Option:
+    """Shorthand for an error-model option (a student mistake)."""
+    return Option(text=text, correct=False, label=label)
+
+
+@dataclass(frozen=True)
+class ChoicePoint:
+    """A named slot in the reference template with its options.
+
+    The first option is by convention the reference text.  Slot names
+    appear in templates as ``{{name}}``.
+    """
+
+    name: str
+    options: tuple[Option, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.options) < 2:
+            raise ReproError(
+                f"choice point {self.name!r} needs at least two options"
+            )
+        if not self.options[0].correct:
+            raise ReproError(
+                f"choice point {self.name!r}: the first option must be the "
+                "correct reference text"
+            )
+
+    @property
+    def arity(self) -> int:
+        return len(self.options)
+
+
+def binary(name: str, reference: str, mistake: str) -> ChoicePoint:
+    """A two-option choice point: the reference text and one mistake."""
+    return ChoicePoint(name, (correct(reference), wrong(mistake)))
+
+
+def variants(name: str, *texts: str) -> ChoicePoint:
+    """A choice point whose options are all functionally correct."""
+    return ChoicePoint(name, tuple(correct(t) for t in texts))

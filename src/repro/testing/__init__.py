@@ -1,0 +1,21 @@
+"""Functional-testing harness (Table I column ``T`` and the D oracle).
+
+Runs an assignment's :class:`~repro.core.assignment.FunctionalTest` suite
+over a submission in the interpreter and reports pass/fail per test.
+A submission that fails to parse, crashes, or exceeds its step budget
+fails the suite — matching how a JUnit harness would treat it.
+"""
+
+from repro.testing.functional import (
+    FunctionalReport,
+    TestResult,
+    run_tests,
+    run_tests_on_source,
+)
+
+__all__ = [
+    "FunctionalReport",
+    "TestResult",
+    "run_tests",
+    "run_tests_on_source",
+]

@@ -1,0 +1,157 @@
+"""Functional test execution over the interpreter."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.assignment import FunctionalTest
+from repro.errors import (
+    BudgetExceededError,
+    JavaRuntimeError,
+    JavaSyntaxError,
+    ReproError,
+)
+from repro.interp.interpreter import run_method
+from repro.interp.values import JavaArray
+from repro.java import ast, parse_submission
+
+#: Per-test step budget.  Reference solutions for all twelve assignments
+#: finish in well under ten thousand steps, so 100k reliably separates
+#: bugs from non-termination while keeping suites over error-model
+#: mutants (many of which loop forever) fast.
+DEFAULT_TEST_BUDGET = 100_000
+
+
+@dataclass(frozen=True)
+class TestResult:
+    """Outcome of one functional test."""
+
+    test: FunctionalTest
+    passed: bool
+    actual_stdout: str | None = None
+    actual_return: object = None
+    error: str | None = None
+
+
+@dataclass
+class FunctionalReport:
+    """Outcome of a whole test suite on one submission."""
+
+    results: list[TestResult]
+    parse_error: str | None = None
+
+    @property
+    def passed(self) -> bool:
+        """True when the submission parsed and every test passed."""
+        return self.parse_error is None and all(r.passed for r in self.results)
+
+    @property
+    def failures(self) -> list[TestResult]:
+        return [r for r in self.results if not r.passed]
+
+    def summary(self) -> str:
+        if self.parse_error is not None:
+            return f"does not compile: {self.parse_error}"
+        passed = sum(1 for r in self.results if r.passed)
+        return f"{passed}/{len(self.results)} tests passed"
+
+
+def _materialize_argument(argument):
+    """Turn plain Python values from test specs into runtime values.
+
+    Lists/tuples become ``int[]`` (or ``String[]``/``double[]`` based on
+    element types), matching how a JUnit harness would construct inputs.
+    """
+    if isinstance(argument, (list, tuple)):
+        if argument and isinstance(argument[0], str):
+            element = "String"
+        elif any(isinstance(v, float) for v in argument):
+            element = "double"
+            argument = [float(v) for v in argument]
+        else:
+            element = "int"
+        return JavaArray(element, list(argument))
+    return argument
+
+
+def _returns_match(expected, actual) -> bool:
+    if isinstance(expected, (list, tuple)):
+        return isinstance(actual, JavaArray) and list(expected) == list(
+            actual.elements
+        )
+    return expected == actual
+
+
+def run_tests(
+    unit: ast.CompilationUnit,
+    tests: list[FunctionalTest],
+    step_budget: int = DEFAULT_TEST_BUDGET,
+) -> FunctionalReport:
+    """Run a test suite over a parsed submission.
+
+    A submission that exhausts its step budget (non-termination) fails
+    the remaining tests without running them: re-running an infinite
+    loop on every input would only multiply the cost of the same
+    verdict.
+    """
+    results: list[TestResult] = []
+    timed_out = False
+    for test in tests:
+        if timed_out:
+            results.append(TestResult(
+                test=test, passed=False,
+                error="skipped: earlier test exceeded the step budget",
+            ))
+            continue
+        arguments = [_materialize_argument(a) for a in test.arguments]
+        try:
+            execution = run_method(
+                unit,
+                test.method,
+                arguments,
+                files=test.files_dict(),
+                stdin=test.stdin,
+                step_budget=step_budget,
+            )
+        except BudgetExceededError as error:
+            timed_out = True
+            results.append(
+                TestResult(test=test, passed=False, error=str(error))
+            )
+            continue
+        except (JavaRuntimeError, ReproError) as error:
+            results.append(
+                TestResult(test=test, passed=False, error=str(error))
+            )
+            continue
+        passed = True
+        if test.expected_stdout is not None:
+            passed = passed and execution.stdout == test.expected_stdout
+        if test.compare_return:
+            passed = passed and _returns_match(
+                test.expected_return, execution.return_value
+            )
+        if test.check is not None:
+            passed = passed and bool(test.check(execution))
+        results.append(
+            TestResult(
+                test=test,
+                passed=passed,
+                actual_stdout=execution.stdout,
+                actual_return=execution.return_value,
+            )
+        )
+    return FunctionalReport(results=results)
+
+
+def run_tests_on_source(
+    source: str,
+    tests: list[FunctionalTest],
+    step_budget: int = DEFAULT_TEST_BUDGET,
+) -> FunctionalReport:
+    """Parse ``source`` and run the suite; parse errors fail the suite."""
+    try:
+        unit = parse_submission(source)
+    except JavaSyntaxError as error:
+        return FunctionalReport(results=[], parse_error=str(error))
+    return run_tests(unit, tests, step_budget=step_budget)

@@ -1,0 +1,85 @@
+"""Unit tests for the AutoGrader/Sketch baseline simulator."""
+
+import pytest
+
+from repro.baselines import AutoGraderSim
+from repro.kb import get_assignment
+
+
+@pytest.fixture(scope="module")
+def sim():
+    assignment = get_assignment("assignment1")
+    return AutoGraderSim(assignment, assignment.space())
+
+
+def choices_with(sim, **slots):
+    names = [cp.name for cp in sim.space.choice_points]
+    choices = [0] * len(names)
+    for slot, option in slots.items():
+        choices[names.index(slot)] = option
+    return choices
+
+
+class TestRepairSearch:
+    def test_correct_submission_needs_no_repairs(self, sim):
+        result = sim.repair(choices_with(sim))
+        assert result.repaired and result.repair_count == 0
+
+    def test_single_error_single_repair(self, sim):
+        result = sim.repair(choices_with(sim, **{"odd-init": 1}))
+        assert result.repaired
+        assert result.repair_count == 1
+        (repair,) = result.repairs
+        assert repair.choice_point == "odd-init"
+        assert (repair.from_text, repair.to_text) == ("1", "0")
+
+    def test_two_errors_two_repairs(self, sim):
+        result = sim.repair(choices_with(sim, **{"odd-init": 1, "bound": 1}))
+        assert result.repaired and result.repair_count == 2
+
+    def test_repairs_render_like_autograder_feedback(self, sim):
+        result = sim.repair(choices_with(sim, **{"odd-init": 1}))
+        assert "Change '1' to '0'" in result.render()
+
+    def test_work_grows_with_repair_count(self, sim):
+        work = []
+        for slots in (
+            {"odd-init": 1},
+            {"odd-init": 1, "bound": 1},
+            {"odd-init": 1, "bound": 1, "i-init": 1},
+        ):
+            result = sim.repair(choices_with(sim, **slots))
+            assert result.repaired
+            work.append(result.work)
+        # the paper: performance degrades combinatorially with repairs
+        assert work[0] < work[1] < work[2]
+        assert work[2] > 10 * work[1] or work[1] > 10 * work[0]
+
+    def test_max_repairs_bound_respected(self):
+        assignment = get_assignment("assignment1")
+        small = AutoGraderSim(assignment, assignment.space(), max_repairs=1)
+        result = small.repair(
+            choices_with(small, **{"odd-init": 1, "bound": 1})
+        )
+        assert not result.repaired
+
+    def test_budget_exhaustion_reported(self):
+        assignment = get_assignment("assignment1")
+        tiny = AutoGraderSim(assignment, assignment.space(), work_budget=5)
+        result = tiny.repair(
+            choices_with(tiny, **{"odd-init": 1, "bound": 1})
+        )
+        assert not result.repaired and result.exhausted_budget
+        assert "budget" in result.render()
+
+    def test_repair_lands_on_functional_equivalent_not_reference(self, sim):
+        # a print-order swap: AutoGrader demands exact-output equivalence,
+        # so it *does* request a repair our technique would not
+        result = sim.repair(choices_with(sim, prints=1))
+        assert result.repaired
+        assert result.repair_count >= 1
+
+    def test_repair_by_space_index(self, sim):
+        index = sim.space.encode(choices_with(sim, **{"odd-init": 1}))
+        result = sim.repair_source_in_space(index)
+        assert result.repaired and result.repair_count == 1

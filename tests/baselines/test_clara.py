@@ -1,0 +1,134 @@
+"""Unit tests for the CLARA baseline simulator."""
+
+import pytest
+
+from repro.baselines import ClaraSim, trace_of
+from repro.baselines.clara import event_trace_of
+from repro.core.assignment import FunctionalTest
+from repro.errors import ReproError
+from repro.kb import get_assignment
+from repro.kb.assignments.assignment1 import (
+    FIGURE_2B,
+    FIGURE_8A,
+    FIGURE_8B,
+)
+
+
+@pytest.fixture(scope="module")
+def a1():
+    return get_assignment("assignment1")
+
+
+class TestTraces:
+    def test_trace_of_simple_program(self):
+        test = FunctionalTest("f", (3,))
+        traces = trace_of(
+            "void f(int n) { int x = n + 1; System.out.println(x); }",
+            test,
+        )
+        assert traces["n"] == (3,)
+        assert traces["x"] == (4,)
+        assert traces["out"] == ("4\n",)
+
+    def test_event_trace_preserves_order(self):
+        test = FunctionalTest("f", ())
+        events = event_trace_of(
+            "void f() { int a = 1; int b = 2; a = 3; }", test
+        )
+        assert events == ("1", "2", "3")
+
+    def test_different_interleavings_different_event_traces(self):
+        test = FunctionalTest("f", ())
+        first = event_trace_of("void f() { int a = 1; int b = 2; }", test)
+        second = event_trace_of("void f() { int b = 2; int a = 1; }", test)
+        assert first != second
+
+
+class TestClustering:
+    def test_fit_requires_sources(self, a1):
+        with pytest.raises(ReproError):
+            ClaraSim(a1).fit([])
+
+    def test_match_requires_fit(self, a1):
+        with pytest.raises(ReproError):
+            ClaraSim(a1).match(FIGURE_2B)
+
+    def test_value_equivalent_variants_share_a_cluster(self, a1):
+        space = a1.space()
+        sources = [space.submission(i).source
+                   for i in space.correct_indices(limit=12)]
+        sim = ClaraSim(a1)
+        # i++ vs i += 1 etc. produce identical traces
+        assert sim.fit(sources) < len(sources)
+
+    def test_structural_variants_fragment_clusters(self, a1):
+        sim = ClaraSim(a1)
+        count = sim.fit([
+            a1.reference_solutions[0], FIGURE_2B, FIGURE_8A, FIGURE_8B,
+        ])
+        # the paper: CLARA needs one reference per variation
+        assert count == 4
+
+    def test_exact_member_matches_its_cluster(self, a1):
+        sim = ClaraSim(a1)
+        sim.fit([a1.reference_solutions[0]])
+        result = sim.match(a1.reference_solutions[0])
+        assert result.matched and result.distance == 0
+
+
+class TestFigure8:
+    def test_8a_reference_does_not_match_8b(self, a1):
+        # the paper's Figure 8 claim verbatim
+        sim = ClaraSim(a1)
+        sim.fit([FIGURE_8A])
+        result = sim.match(FIGURE_8B)
+        assert not result.matched
+        assert result.distance > 0
+        assert result.repairs  # low-level line repairs offered
+
+    def test_adding_8b_as_reference_fixes_it(self, a1):
+        sim = ClaraSim(a1)
+        sim.fit([FIGURE_8A, FIGURE_8B])
+        assert sim.cluster_count == 2
+        assert sim.match(FIGURE_8B).matched
+
+    def test_repair_feedback_is_line_level(self, a1):
+        sim = ClaraSim(a1)
+        sim.fit([FIGURE_8A])
+        result = sim.match(FIGURE_8B)
+        assert any(line.startswith("Change line") for line in result.repairs)
+
+
+class TestFailureModes:
+    def test_infinite_loop_times_out(self, a1):
+        sim = ClaraSim(a1, step_budget=5_000)
+        sim.fit([a1.reference_solutions[0]])
+        looping = """
+        void assignment1(int[] a) {
+            int i = 0;
+            while (i < 10) { int x = 1; }
+        }
+        """
+        result = sim.match(looping)
+        assert result.timed_out
+        assert "timed out" in result.render()
+
+    def test_crash_reported(self, a1):
+        sim = ClaraSim(a1)
+        sim.fit([a1.reference_solutions[0]])
+        crashing = """
+        void assignment1(int[] a) {
+            int x = a[999];
+        }
+        """
+        result = sim.match(crashing)
+        assert result.crashed and not result.timed_out
+
+    def test_trace_cost_grows_with_input_size(self, a1):
+        # ours is input-independent; CLARA's tracing cost is not
+        big = FunctionalTest("assignment1", (list(range(500)),))
+        small = FunctionalTest("assignment1", ([1, 2],))
+        long_events = event_trace_of(a1.reference_solutions[0], big)
+        short_events = event_trace_of(a1.reference_solutions[0], small)
+        assert len(long_events) > 100 * len(short_events) / 10
+        assert len(long_events) > len(short_events)

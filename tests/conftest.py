@@ -1,0 +1,24 @@
+"""Shared fixtures: cached assignments, engines, and helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import FeedbackEngine
+from repro.kb import all_assignment_names, get_assignment
+
+
+@pytest.fixture(scope="session", params=all_assignment_names())
+def assignment(request):
+    """Each of the twelve Table I assignments, parametrized."""
+    return get_assignment(request.param)
+
+
+@pytest.fixture(scope="session")
+def assignment1():
+    return get_assignment("assignment1")
+
+
+@pytest.fixture(scope="session")
+def engine1(assignment1):
+    return FeedbackEngine(assignment1)

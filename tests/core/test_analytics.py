@@ -1,0 +1,110 @@
+"""Unit tests for cohort analytics."""
+
+import pytest
+
+from repro.core.analytics import analyze_cohort
+from repro.kb import get_assignment
+from repro.kb.assignments.assignment1 import FIGURE_2A, FIGURE_2B
+from repro.synth import sample_submissions
+
+
+@pytest.fixture(scope="module")
+def analysis():
+    assignment = get_assignment("assignment1")
+    sources = [
+        ("reference", assignment.reference_solutions[0]),
+        ("fig2a", FIGURE_2A),
+        ("fig2b", FIGURE_2B),
+    ]
+    return analyze_cohort(assignment, sources)
+
+
+class TestCohortAnalysis:
+    def test_counts(self, analysis):
+        assert analysis.size == 3
+        assert analysis.positive_count == 2  # reference + fig2b
+        assert analysis.negative_count == 1
+
+    def test_labels_preserved(self, analysis):
+        assert [o.label for o in analysis.outcomes] == \
+            ["reference", "fig2a", "fig2b"]
+
+    def test_tests_recorded(self, analysis):
+        by_label = {o.label: o for o in analysis.outcomes}
+        assert by_label["reference"].tests_passed is True
+        assert by_label["fig2a"].tests_passed is False
+
+    def test_figure_2b_is_the_classic_discrepancy(self, analysis):
+        # Fig 2b prints both values in one comma-separated print: the
+        # strict functional suite rejects it while the patterns accept
+        # it — the paper's print-independence discrepancy, surfaced by
+        # the analytics
+        (discrepancy,) = analysis.discrepancies
+        assert discrepancy.label == "fig2b"
+        assert discrepancy.positive and not discrepancy.tests_passed
+        assert analysis.discrepancy_rate == pytest.approx(1 / 3)
+
+    def test_mistakes_aggregated(self, analysis):
+        mistakes = dict(analysis.top_mistakes())
+        assert any("seq-even-access" in key for key in mistakes)
+
+    def test_rows_are_flat(self, analysis):
+        rows = analysis.to_rows()
+        assert len(rows) == 3
+        assert set(rows[0]) == {
+            "label", "positive", "tests_passed", "discrepancy",
+            "score", "max_score",
+        }
+
+    def test_summary_text(self, analysis):
+        text = analysis.summary()
+        assert "3 submissions" in text
+        assert "2 positive" in text
+        assert "ms per submission" in text
+
+    def test_timing_positive(self, analysis):
+        assert analysis.grading_seconds > 0
+        assert analysis.grading_ms_per_submission > 0
+
+
+class TestCohortOptions:
+    def test_plain_string_sources(self):
+        assignment = get_assignment("assignment1")
+        analysis = analyze_cohort(
+            assignment, [assignment.reference_solutions[0]],
+            run_tests=False,
+        )
+        assert analysis.outcomes[0].label == "#0"
+        assert analysis.outcomes[0].tests_passed is None
+        assert analysis.testing_seconds == 0.0
+
+    def test_discrepancy_detection(self):
+        # swapped prints: pattern-positive, test-failing
+        assignment = get_assignment("assignment1")
+        space = assignment.space()
+        names = [cp.name for cp in space.choice_points]
+        choices = [0] * len(names)
+        choices[names.index("prints")] = 1
+        swapped = space.submission(space.encode(choices)).source
+        analysis = analyze_cohort(assignment, [swapped])
+        assert len(analysis.discrepancies) == 1
+
+    def test_synthetic_cohort_end_to_end(self):
+        assignment = get_assignment("esc-LAB-3-P2-V2")
+        cohort = [
+            s.source for s in sample_submissions(
+                assignment.space(), 30, seed=4
+            )
+        ]
+        analysis = analyze_cohort(assignment, cohort)
+        assert analysis.size == 30
+        assert analysis.positive_count >= 1  # the reference is included
+        # paper Table I: this assignment has no discrepancies
+        assert analysis.discrepancies == []
+
+    def test_empty_cohort(self):
+        assignment = get_assignment("assignment1")
+        analysis = analyze_cohort(assignment, [])
+        assert analysis.size == 0
+        assert analysis.discrepancy_rate == 0.0
+        assert analysis.grading_ms_per_submission == 0.0

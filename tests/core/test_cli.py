@@ -1,0 +1,123 @@
+"""Unit tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.kb import get_assignment
+
+
+@pytest.fixture()
+def reference_file(tmp_path):
+    path = tmp_path / "Submission.java"
+    path.write_text(get_assignment("assignment1").reference_solutions[0])
+    return str(path)
+
+
+@pytest.fixture()
+def buggy_file(tmp_path):
+    source = get_assignment("assignment1").reference_solutions[0]
+    path = tmp_path / "Buggy.java"
+    path.write_text(source.replace("int odd = 0;", "int odd = 1;"))
+    return str(path)
+
+
+class TestListAndShow:
+    def test_list_prints_all_assignments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "assignment1" in out and "rit-medals-by-ath" in out
+        assert "640,000" in out
+
+    def test_show_prints_spec(self, capsys):
+        assert main(["show", "assignment1"]) == 0
+        out = capsys.readouterr().out
+        assert "seq-odd-access" in out
+        assert "reference solution" in out
+
+    def test_unknown_assignment_errors(self, capsys):
+        assert main(["show", "nope"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestGrade:
+    def test_correct_submission_exits_zero(self, capsys, reference_file):
+        assert main(["grade", "assignment1", reference_file]) == 0
+        assert "[Correct]" in capsys.readouterr().out
+
+    def test_buggy_submission_exits_one(self, capsys, buggy_file):
+        assert main(["grade", "assignment1", buggy_file]) == 1
+        out = capsys.readouterr().out
+        assert "should start at 0" in out
+
+    def test_stdin_submission(self, capsys, monkeypatch):
+        import io
+        source = get_assignment("assignment1").reference_solutions[0]
+        monkeypatch.setattr("sys.stdin", io.StringIO(source))
+        assert main(["grade", "assignment1", "-"]) == 0
+
+    def test_missing_file_errors(self, capsys, tmp_path):
+        missing = str(tmp_path / "nope.java")
+        assert main(["grade", "assignment1", missing]) == 2
+
+    def test_syntax_error_reported(self, capsys, tmp_path):
+        path = tmp_path / "Broken.java"
+        path.write_text("void assignment1(int[] a) { int = ; }")
+        assert main(["grade", "assignment1", str(path)]) in (1, 2)
+
+
+class TestTest:
+    def test_passing_suite(self, capsys, reference_file):
+        assert main(["test", "assignment1", reference_file]) == 0
+        assert "6/6" in capsys.readouterr().out
+
+    def test_failing_suite_details(self, capsys, buggy_file):
+        assert main(["test", "assignment1", buggy_file]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out
+
+
+class TestEpdg:
+    def test_text_output(self, capsys, reference_file):
+        assert main(["epdg", "assignment1", reference_file]) == 0
+        out = capsys.readouterr().out
+        assert "EPDG of assignment1" in out
+        assert "[Cond]" in out
+
+    def test_dot_output(self, capsys, reference_file):
+        assert main(["epdg", "assignment1", reference_file, "--dot"]) == 0
+        assert "digraph" in capsys.readouterr().out
+
+
+class TestExportKb:
+    def test_export_writes_all_files(self, capsys, tmp_path):
+        out_dir = tmp_path / "kb"
+        assert main(["export-kb", str(out_dir)]) == 0
+        patterns = list((out_dir / "patterns").glob("*.json"))
+        assignments = list((out_dir / "assignments").glob("*.json"))
+        assert len(patterns) == 24
+        assert len(assignments) == 12
+
+    def test_exported_pattern_round_trips(self, tmp_path):
+        from repro.patterns import pattern_from_dict
+        out_dir = tmp_path / "kb"
+        main(["export-kb", str(out_dir)])
+        payload = json.loads(
+            (out_dir / "patterns" / "seq-odd-access.json").read_text()
+        )
+        pattern = pattern_from_dict(payload)
+        assert pattern.name == "seq-odd-access"
+        assert len(pattern.nodes) == 6
+
+    def test_exported_assignment_references_known_patterns(self, tmp_path):
+        from repro.kb import all_patterns
+        out_dir = tmp_path / "kb"
+        main(["export-kb", str(out_dir)])
+        payload = json.loads(
+            (out_dir / "assignments" / "assignment1.json").read_text()
+        )
+        known = set(all_patterns())
+        for method in payload["expected_methods"]:
+            for entry in method["patterns"]:
+                assert entry["pattern"] in known

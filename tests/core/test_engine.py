@@ -1,0 +1,77 @@
+"""Unit tests for the public grading API."""
+
+import pytest
+
+from repro import FeedbackEngine, FeedbackStatus, get_assignment
+from repro.java import parse_submission
+from repro.kb.assignments.assignment1 import FIGURE_2B
+
+
+class TestFeedbackEngine:
+    def test_grade_source(self, engine1):
+        report = engine1.grade(FIGURE_2B)
+        assert report.ok and report.is_positive
+
+    def test_grade_parse_error(self, engine1):
+        report = engine1.grade("void assignment1(int[] a) { int = ; }")
+        assert not report.ok
+        assert report.parse_error is not None
+        assert not report.is_positive
+        assert report.score == 0.0
+        assert "does not compile" in report.render()
+
+    def test_grade_unit(self, engine1):
+        report = engine1.grade_unit(parse_submission(FIGURE_2B))
+        assert report.is_positive
+
+    def test_grade_graphs(self, engine1):
+        graphs = engine1.extract(FIGURE_2B)
+        report = engine1.grade_graphs(graphs)
+        assert report.is_positive
+
+    def test_engine_is_reusable_across_submissions(self, engine1):
+        first = engine1.grade(FIGURE_2B)
+        second = engine1.grade("void assignment1(int[] a) { }")
+        third = engine1.grade(FIGURE_2B)
+        assert first.is_positive and third.is_positive
+        assert not second.is_positive
+
+
+class TestGradingReport:
+    def test_by_status(self, engine1):
+        report = engine1.grade("void assignment1(int[] a) { }")
+        assert report.by_status(FeedbackStatus.NOT_EXPECTED)
+        assert report.by_status(FeedbackStatus.CORRECT) == []
+
+    def test_score_bounds(self, engine1):
+        report = engine1.grade(FIGURE_2B)
+        assert 0 < report.score == report.max_score
+
+    def test_render_contains_score_line(self, engine1):
+        report = engine1.grade(FIGURE_2B)
+        assert "Score:" in report.render()
+
+    def test_render_is_student_readable(self, engine1):
+        report = engine1.grade(FIGURE_2B)
+        text = report.render()
+        assert "[Correct]" in text
+        assert "odd positions" in text
+
+
+class TestPublicApi:
+    def test_top_level_imports(self):
+        import repro
+        assert repro.__version__
+        assert len(repro.all_assignment_names()) == 12
+        assert len(repro.all_patterns()) == 24
+
+    def test_assignment_helpers(self):
+        assignment = get_assignment("assignment1")
+        assert assignment.method_names() == ["assignment1"]
+        assert assignment.pattern_count == 6
+
+    def test_assignment_without_space(self):
+        from repro.core import Assignment
+        bare = Assignment(name="x", title="t", statement="s")
+        with pytest.raises(ValueError, match="no submission space"):
+            bare.space()

@@ -1,0 +1,338 @@
+"""Unit tests for the tree-walking interpreter."""
+
+import pytest
+
+from repro.errors import BudgetExceededError, JavaRuntimeError
+from repro.interp import JavaArray, run_method
+from repro.java import parse_submission
+
+
+def run(source, method="f", args=(), **kwargs):
+    return run_method(parse_submission(source), method, list(args), **kwargs)
+
+
+def value(source, method="f", args=(), **kwargs):
+    return run(source, method, args, **kwargs).return_value
+
+
+class TestArithmetic:
+    def test_int_arithmetic(self):
+        assert value("int f() { return 2 + 3 * 4; }") == 14
+
+    def test_int_division_truncates(self):
+        assert value("int f() { return -7 / 2; }") == -3
+
+    def test_int_remainder_sign(self):
+        assert value("int f() { return -7 % 2; }") == -1
+
+    def test_int_overflow_wraps(self):
+        assert value(
+            "int f() { int x = 2147483647; return x + 1; }"
+        ) == -2147483648
+
+    def test_double_arithmetic(self):
+        assert value("double f() { return 1.0 / 4.0; }") == 0.25
+
+    def test_mixed_promotes_to_double(self):
+        assert value("double f() { return 1 / 4.0; }") == 0.25
+
+    def test_double_division_by_zero_is_infinity(self):
+        assert value("double f() { return 1.0 / 0.0; }") == float("inf")
+
+    def test_int_division_by_zero_raises(self):
+        with pytest.raises(JavaRuntimeError, match="by zero"):
+            run("int f() { return 1 / 0; }")
+
+    def test_unary_minus_and_not(self):
+        assert value("int f() { int x = 5; return -x; }") == -5
+        assert value("boolean f() { return !false; }") is True
+
+    def test_bitwise_ops(self):
+        assert value("int f() { return 6 & 3; }") == 2
+        assert value("int f() { return 6 | 3; }") == 7
+        assert value("int f() { return 6 ^ 3; }") == 5
+        assert value("int f() { return ~0; }") == -1
+
+    def test_shifts(self):
+        assert value("int f() { return 1 << 4; }") == 16
+        assert value("int f() { return -8 >> 1; }") == -4
+        assert value("int f() { return -8 >>> 1; }") == 2147483644
+
+    def test_compound_assignment(self):
+        assert value("int f() { int x = 10; x += 5; x *= 2; return x; }") == 30
+
+    def test_increment_decrement(self):
+        assert value("int f() { int i = 0; i++; ++i; i--; return i; }") == 1
+
+    def test_postfix_vs_prefix_value(self):
+        assert value("int f() { int i = 5; return i++; }") == 5
+        assert value("int f() { int i = 5; return ++i; }") == 6
+
+    def test_ternary(self):
+        assert value("int f(int x) { return x > 0 ? 1 : -1; }", args=[5]) == 1
+        assert value("int f(int x) { return x > 0 ? 1 : -1; }", args=[-5]) == -1
+
+    def test_cast_truncates(self):
+        assert value("int f() { return (int) 3.9; }") == 3
+        assert value("int f() { return (int) -3.9; }") == -3
+
+
+class TestStrings:
+    def test_concatenation(self):
+        assert value('String f() { return "a" + "b"; }') == "ab"
+
+    def test_concat_with_int(self):
+        assert value('String f() { return "n=" + 5; }') == "n=5"
+
+    def test_concat_with_double(self):
+        assert value('String f() { return "" + 1.0; }') == "1.0"
+
+    def test_concat_with_boolean(self):
+        assert value('String f() { return "" + true; }') == "true"
+
+    def test_string_equality_by_value(self):
+        assert value('boolean f() { return "ab" == "ab"; }') is True
+
+    def test_char_arithmetic(self):
+        assert value("int f() { return '9' - '0'; }") == 9
+
+
+class TestControlFlow:
+    def test_if_else(self):
+        source = "int f(int x) { if (x > 0) return 1; else return 2; }"
+        assert value(source, args=[3]) == 1
+        assert value(source, args=[-3]) == 2
+
+    def test_while_loop(self):
+        assert value(
+            "int f() { int s = 0; int i = 0; "
+            "while (i < 5) { s += i; i++; } return s; }"
+        ) == 10
+
+    def test_for_loop(self):
+        assert value(
+            "int f() { int s = 0; for (int i = 1; i <= 4; i++) s += i; "
+            "return s; }"
+        ) == 10
+
+    def test_do_while_runs_at_least_once(self):
+        assert value(
+            "int f() { int i = 10; do { i++; } while (i < 5); return i; }"
+        ) == 11
+
+    def test_break(self):
+        assert value(
+            "int f() { int i = 0; while (true) { if (i == 3) break; i++; } "
+            "return i; }"
+        ) == 3
+
+    def test_continue(self):
+        assert value(
+            "int f() { int s = 0; for (int i = 0; i < 5; i++) { "
+            "if (i % 2 == 0) continue; s += i; } return s; }"
+        ) == 4
+
+    def test_continue_in_for_still_updates(self):
+        # continue must not skip the for-update (would loop forever)
+        assert value(
+            "int f() { for (int i = 0; i < 5; i++) { continue; } return 7; }",
+            step_budget=5_000,
+        ) == 7
+
+    def test_nested_loops_break_inner_only(self):
+        assert value(
+            "int f() { int c = 0; for (int i = 0; i < 3; i++) { "
+            "for (int j = 0; j < 3; j++) { if (j == 1) break; c++; } } "
+            "return c; }"
+        ) == 3
+
+    def test_switch_with_fallthrough(self):
+        source = """
+        int f(int x) {
+            int r = 0;
+            switch (x) {
+                case 1: r += 1;
+                case 2: r += 2; break;
+                default: r = 99;
+            }
+            return r;
+        }
+        """
+        assert value(source, args=[1]) == 3  # falls through 1 -> 2
+        assert value(source, args=[2]) == 2
+        assert value(source, args=[7]) == 99
+
+    def test_for_each_over_array(self):
+        assert value(
+            "int f(int[] a) { int s = 0; for (int v : a) s += v; return s; }",
+            args=[JavaArray("int", [1, 2, 3])],
+        ) == 6
+
+    def test_condition_must_be_boolean(self):
+        with pytest.raises(JavaRuntimeError, match="boolean"):
+            run("int f() { if (1) return 1; return 0; }")
+
+    def test_block_scoping(self):
+        # a variable declared in an inner block does not leak
+        with pytest.raises(JavaRuntimeError, match="undefined"):
+            run("int f() { { int x = 1; } return x; }")
+
+
+class TestArrays:
+    def test_creation_and_access(self):
+        assert value(
+            "int f() { int[] a = new int[3]; a[1] = 7; return a[1]; }"
+        ) == 7
+
+    def test_zero_initialized(self):
+        assert value("int f() { int[] a = new int[2]; return a[0] + a[1]; }") == 0
+
+    def test_length_field(self):
+        assert value("int f(int[] a) { return a.length; }",
+                     args=[JavaArray("int", [1, 2, 3])]) == 3
+
+    def test_initializer(self):
+        assert value(
+            "int f() { int[] a = {4, 5, 6}; return a[2]; }"
+        ) == 6
+
+    def test_out_of_bounds_raises(self):
+        with pytest.raises(JavaRuntimeError, match="IndexOutOfBounds"):
+            run("int f(int[] a) { return a[5]; }",
+                args=[JavaArray("int", [1])])
+
+    def test_two_dimensional(self):
+        assert value(
+            "int f() { int[][] m = new int[2][3]; m[1][2] = 9; "
+            "return m[1][2]; }"
+        ) == 9
+
+    def test_array_element_compound_assign(self):
+        assert value(
+            "int f() { int[] a = {1, 2}; a[0] += 10; return a[0]; }"
+        ) == 11
+
+
+class TestMethods:
+    def test_call_between_methods(self):
+        assert value(
+            "int g(int x) { return x * 2; } int f() { return g(21); }"
+        ) == 42
+
+    def test_recursion(self):
+        assert value(
+            "int f(int n) { if (n <= 1) return 1; return n * f(n - 1); }",
+            args=[5],
+        ) == 120
+
+    def test_mutual_recursion(self):
+        source = """
+        boolean even(int n) { if (n == 0) return true; return odd(n - 1); }
+        boolean odd(int n) { if (n == 0) return false; return even(n - 1); }
+        """
+        assert run_method(parse_submission(source), "even", [10]).return_value
+
+    def test_missing_method_raises(self):
+        with pytest.raises(JavaRuntimeError, match="no method"):
+            run("int f() { return g(); }")
+
+    def test_unbounded_recursion_raises(self):
+        with pytest.raises(BudgetExceededError, match="StackOverflow"):
+            run("int f(int n) { return f(n + 1); }", args=[0])
+
+    def test_void_method_returns_none(self):
+        assert value("void f() { int x = 1; }") is None
+
+    def test_arguments_are_local(self):
+        source = """
+        void g(int x) { x = 99; }
+        int f() { int x = 1; g(x); return x; }
+        """
+        assert value(source) == 1
+
+    def test_arrays_pass_by_reference(self):
+        source = """
+        void g(int[] a) { a[0] = 99; }
+        int f() { int[] a = {1}; g(a); return a[0]; }
+        """
+        assert value(source) == 99
+
+
+class TestOutput:
+    def test_println(self):
+        assert run('void f() { System.out.println("hi"); }').stdout == "hi\n"
+
+    def test_print_no_newline(self):
+        assert run('void f() { System.out.print(1); }').stdout == "1"
+
+    def test_println_empty(self):
+        assert run("void f() { System.out.println(); }").stdout == "\n"
+
+    def test_printf(self):
+        assert run(
+            'void f() { System.out.printf("%d-%s", 1, "a"); }'
+        ).stdout == "1-a"
+
+    def test_print_double(self):
+        assert run("void f() { System.out.println(1.0); }").stdout == "1.0\n"
+
+    def test_interleaved_output(self):
+        source = """
+        void f() {
+            for (int i = 0; i < 3; i++)
+                System.out.print(i);
+        }
+        """
+        assert run(source).stdout == "012"
+
+
+class TestBudget:
+    def test_infinite_while_raises(self):
+        with pytest.raises(BudgetExceededError):
+            run("void f() { while (true) { int x = 1; } }",
+                step_budget=5_000)
+
+    def test_infinite_for_raises(self):
+        with pytest.raises(BudgetExceededError):
+            run("void f() { for (;;) { } }", step_budget=5_000)
+
+    def test_budget_error_is_runtime_error(self):
+        # the functional harness catches one exception type for both
+        assert issubclass(BudgetExceededError, JavaRuntimeError)
+
+    def test_steps_are_reported(self):
+        result = run("void f() { int x = 0; x++; }")
+        assert result.steps > 0
+
+
+class TestMathAndLibrary:
+    def test_math_pow(self):
+        assert value("double f() { return Math.pow(2, 10); }") == 1024.0
+
+    def test_math_abs(self):
+        assert value("int f() { return Math.abs(-5); }") == 5
+
+    def test_math_max_min(self):
+        assert value("int f() { return Math.max(2, 3) + Math.min(2, 3); }") == 5
+
+    def test_math_sqrt(self):
+        assert value("double f() { return Math.sqrt(16.0); }") == 4.0
+
+    def test_integer_parse_int(self):
+        assert value('int f() { return Integer.parseInt("42"); }') == 42
+
+    def test_integer_max_value(self):
+        assert value("int f() { return Integer.MAX_VALUE; }") == 2 ** 31 - 1
+
+    def test_string_length_method(self):
+        assert value('int f() { return "hello".length(); }') == 5
+
+    def test_string_char_at_digit(self):
+        assert value("int f(String s) { return s.charAt(0) - '0'; }",
+                     args=["7"]) == 7
+
+    def test_string_equals(self):
+        assert value(
+            'boolean f(String a) { return a.equals("Bolt"); }',
+            args=["Bolt"],
+        ) is True

@@ -1,0 +1,124 @@
+"""Property-based tests: interpreter arithmetic matches Java semantics."""
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.interp import run_method
+from repro.interp.values import java_div, java_rem, wrap_int
+from repro.java import parse_submission
+
+_INTS = st.integers(min_value=-(2 ** 31), max_value=2 ** 31 - 1)
+_SMALL = st.integers(min_value=-10_000, max_value=10_000)
+
+
+def evaluate(expr, **params):
+    names = ", ".join(f"int {name}" for name in params)
+    source = f"int f({names}) {{ return {expr}; }}"
+    return run_method(
+        parse_submission(source), "f", list(params.values())
+    ).return_value
+
+
+class TestIntegerSemantics:
+    @given(_INTS, _INTS)
+    @settings(max_examples=200, deadline=None)
+    def test_addition_wraps_like_java(self, a, b):
+        assert evaluate("a + b", a=a, b=b) == wrap_int(a + b)
+
+    @given(_INTS, _INTS)
+    @settings(max_examples=200, deadline=None)
+    def test_multiplication_wraps_like_java(self, a, b):
+        assert evaluate("a * b", a=a, b=b) == wrap_int(a * b)
+
+    @given(_INTS, _INTS)
+    @settings(max_examples=200, deadline=None)
+    def test_division_truncates_toward_zero(self, a, b):
+        assume(b != 0)
+        expected = abs(a) // abs(b)
+        if (a < 0) != (b < 0):
+            expected = -expected
+        assert evaluate("a / b", a=a, b=b) == wrap_int(expected)
+
+    @given(_INTS, _INTS)
+    @settings(max_examples=200, deadline=None)
+    def test_div_rem_identity(self, a, b):
+        assume(b != 0)
+        quotient = java_div(a, b)
+        remainder = java_rem(a, b)
+        assert wrap_int(quotient * b + remainder) == wrap_int(a)
+
+    @given(_SMALL)
+    @settings(max_examples=100, deadline=None)
+    def test_unary_minus(self, a):
+        assert evaluate("-a", a=a) == -a
+
+    @given(_INTS)
+    @settings(max_examples=100, deadline=None)
+    def test_bitwise_not(self, a):
+        assert evaluate("~a", a=a) == wrap_int(~a)
+
+
+class TestProgramProperties:
+    @given(st.integers(min_value=0, max_value=10 ** 8))
+    @settings(max_examples=100, deadline=None)
+    def test_reverse_of_reverse_strips_trailing_zeros(self, n):
+        source = """
+        int rev(int n) {
+            int r = 0;
+            while (n != 0) {
+                r = r * 10 + n % 10;
+                n /= 10;
+            }
+            return r;
+        }
+        int f(int n) { return rev(rev(n)); }
+        """
+        result = run_method(parse_submission(source), "f", [n]).return_value
+        expected = int(str(n).rstrip("0")) if n else 0
+        assert result == expected
+
+    @given(st.lists(_SMALL, max_size=20))
+    @settings(max_examples=100, deadline=None)
+    def test_array_sum_matches_python(self, values):
+        from repro.interp import JavaArray
+        source = """
+        int f(int[] a) {
+            int s = 0;
+            for (int i = 0; i < a.length; i++)
+                s += a[i];
+            return s;
+        }
+        """
+        result = run_method(
+            parse_submission(source), "f", [JavaArray("int", list(values))]
+        ).return_value
+        assert result == wrap_int(sum(values))
+
+    @given(st.integers(min_value=1, max_value=12))
+    @settings(max_examples=30, deadline=None)
+    def test_factorial_matches_math(self, n):
+        import math
+        source = """
+        int f(int m) {
+            int r = 1;
+            for (int i = 1; i <= m; i++)
+                r *= i;
+            return r;
+        }
+        """
+        result = run_method(parse_submission(source), "f", [n]).return_value
+        assert result == math.factorial(n)
+
+    @given(st.text(
+        alphabet=st.characters(min_codepoint=32, max_codepoint=126,
+                               exclude_characters='"\\'),
+        max_size=30,
+    ))
+    @settings(max_examples=100, deadline=None)
+    def test_string_literal_round_trip_through_println(self, text):
+        source = f'void f() {{ System.out.println("{_escape(text)}"); }}'
+        result = run_method(parse_submission(source), "f", [])
+        assert result.stdout == text + "\n"
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')

@@ -1,0 +1,254 @@
+"""Unit tests for the Java standard-library shims."""
+
+import pytest
+
+from repro.errors import JavaRuntimeError
+from repro.interp import run_method
+from repro.interp.stdlib import ScannerObject, VirtualFileSystem
+from repro.java import parse_submission
+
+
+def value(source, method="f", args=(), **kwargs):
+    return run_method(
+        parse_submission(source), method, list(args), **kwargs
+    ).return_value
+
+
+class TestScannerObject:
+    def test_token_iteration(self):
+        scanner = ScannerObject("a b  c\n d")
+        tokens = []
+        while scanner.has_next():
+            tokens.append(scanner.next())
+        assert tokens == ["a", "b", "c", "d"]
+
+    def test_next_int(self):
+        scanner = ScannerObject("1 -2 30")
+        assert [scanner.next_int() for _ in range(3)] == [1, -2, 30]
+
+    def test_has_next_int(self):
+        scanner = ScannerObject("x 1")
+        assert not scanner.has_next_int()
+        scanner.next()
+        assert scanner.has_next_int()
+
+    def test_next_int_on_word_raises(self):
+        with pytest.raises(JavaRuntimeError, match="InputMismatch"):
+            ScannerObject("abc").next_int()
+
+    def test_next_on_empty_raises(self):
+        with pytest.raises(JavaRuntimeError, match="NoSuchElement"):
+            ScannerObject("").next()
+
+    def test_next_double(self):
+        assert ScannerObject("2.5").next_double() == 2.5
+
+    def test_next_line(self):
+        scanner = ScannerObject("one two\nthree\n")
+        assert scanner.next_line() == "one two"
+        assert scanner.next_line() == "three"
+        assert not scanner.has_next_line()
+
+    def test_next_then_next_line_gets_rest(self):
+        scanner = ScannerObject("a b\nc")
+        scanner.next()
+        assert scanner.next_line() == " b"
+
+    def test_close_flag(self):
+        scanner = ScannerObject("x")
+        scanner.close()
+        assert scanner.closed
+
+
+class TestVirtualFileSystem:
+    def test_read_registered_file(self):
+        vfs = VirtualFileSystem({"data.txt": "hello"})
+        assert vfs.read("data.txt") == "hello"
+
+    def test_missing_file_raises(self):
+        with pytest.raises(JavaRuntimeError, match="FileNotFound"):
+            VirtualFileSystem().read("nope.txt")
+
+    def test_add_and_exists(self):
+        vfs = VirtualFileSystem()
+        vfs.add("a.txt", "x")
+        assert vfs.exists("a.txt")
+        assert not vfs.exists("b.txt")
+
+
+class TestScannerInPrograms:
+    def test_scanner_over_file(self):
+        source = """
+        int f() {
+            Scanner s = new Scanner(new File("nums.txt"));
+            int total = 0;
+            while (s.hasNextInt())
+                total += s.nextInt();
+            s.close();
+            return total;
+        }
+        """
+        assert value(source, files={"nums.txt": "1 2 3 4"}) == 10
+
+    def test_scanner_over_stdin(self):
+        source = """
+        int f() {
+            Scanner s = new Scanner(System.in);
+            return s.nextInt() + s.nextInt();
+        }
+        """
+        assert value(source, stdin="20 22") == 42
+
+    def test_scanner_over_string(self):
+        source = """
+        String f() {
+            Scanner s = new Scanner("alpha beta");
+            return s.next();
+        }
+        """
+        assert value(source) == "alpha"
+
+    def test_missing_file_surfaces_as_runtime_error(self):
+        source = 'void f() { Scanner s = new Scanner(new File("x.txt")); }'
+        with pytest.raises(JavaRuntimeError, match="FileNotFound"):
+            value(source)
+
+
+class TestStringMethods:
+    @pytest.mark.parametrize("expr,expected", [
+        ('"hello".length()', 5),
+        ('"hello".substring(1, 3)', "el"),
+        ('"hello".substring(2)', "llo"),
+        ('"hello".indexOf("l")', 2),
+        ('"hello".contains("ell")', True),
+        ('"HELLO".toLowerCase()', "hello"),
+        ('"hello".toUpperCase()', "HELLO"),
+        ('"  x  ".trim()', "x"),
+        ('"".isEmpty()', True),
+        ('"a".concat("b")', "ab"),
+        ('"abc".startsWith("ab")', True),
+        ('"abc".endsWith("bc")', True),
+        ('"Bolt".equalsIgnoreCase("BOLT")', True),
+    ])
+    def test_method(self, expr, expected):
+        assert value(f"Object f() {{ return {expr}; }}") == expected
+
+    def test_char_at_out_of_bounds(self):
+        with pytest.raises(JavaRuntimeError, match="StringIndexOutOfBounds"):
+            value('char f() { return "ab".charAt(9); }')
+
+    def test_split(self):
+        source = 'int f() { String[] p = "a,b,c".split(","); return p.length; }'
+        assert value(source) == 3
+
+    def test_to_char_array(self):
+        source = """
+        int f() {
+            char[] cs = "ab".toCharArray();
+            return cs[0] + cs[1];
+        }
+        """
+        assert value(source) == ord("a") + ord("b")
+
+    def test_compare_to(self):
+        assert value('int f() { return "a".compareTo("b"); }') == -1
+
+
+class TestMathAndWrappers:
+    def test_math_floor_ceil_round(self):
+        assert value("double f() { return Math.floor(2.7); }") == 2.0
+        assert value("double f() { return Math.ceil(2.1); }") == 3.0
+        assert value("int f() { return Math.round(2.5); }") == 3
+
+    def test_math_log10(self):
+        assert value("double f() { return Math.log10(1000); }") == 3.0
+
+    def test_math_log10_non_positive_raises(self):
+        with pytest.raises(JavaRuntimeError):
+            value("double f() { return Math.log10(0); }")
+
+    def test_math_sqrt_negative_is_nan(self):
+        result = value("double f() { return Math.sqrt(-1.0); }")
+        assert result != result  # NaN
+
+    def test_integer_parse_int_failure(self):
+        with pytest.raises(JavaRuntimeError, match="NumberFormat"):
+            value('int f() { return Integer.parseInt("abc"); }')
+
+    def test_string_value_of(self):
+        assert value("String f() { return String.valueOf(5); }") == "5"
+
+    def test_character_is_digit(self):
+        assert value("boolean f() { return Character.isDigit('7'); }") is True
+        assert value("boolean f() { return Character.isDigit('x'); }") is False
+
+    def test_character_numeric_value(self):
+        assert value(
+            "int f() { return Character.getNumericValue('8'); }"
+        ) == 8
+
+    def test_math_pi(self):
+        import math
+        assert value("double f() { return Math.PI; }") == math.pi
+
+    def test_unknown_math_method_raises(self):
+        with pytest.raises(JavaRuntimeError, match="Math has no method"):
+            value("double f() { return Math.frobnicate(1); }")
+
+
+class TestStringBuilder:
+    def test_append_and_to_string(self):
+        assert value(
+            'String f() { StringBuilder sb = new StringBuilder(); '
+            'sb.append("a"); sb.append(1); return sb.toString(); }'
+        ) == "a1"
+
+    def test_fluent_chaining(self):
+        assert value(
+            'String f() { return new StringBuilder("x")'
+            '.append("y").append("z").toString(); }'
+        ) == "xyz"
+
+    def test_reverse(self):
+        assert value(
+            'String f() { return new StringBuilder("abc")'
+            '.reverse().toString(); }'
+        ) == "cba"
+
+    def test_length_and_char_at(self):
+        assert value(
+            "int f() { StringBuilder sb = new StringBuilder(\"hey\"); "
+            "return sb.length() + (sb.charAt(0) - 'a'); }"
+        ) == 3 + ord("h") - ord("a")
+
+    def test_delete_char_at(self):
+        assert value(
+            'String f() { StringBuilder sb = new StringBuilder("abc"); '
+            'sb.deleteCharAt(1); return sb.toString(); }'
+        ) == "ac"
+
+    def test_insert(self):
+        assert value(
+            'String f() { StringBuilder sb = new StringBuilder("ac"); '
+            'sb.insert(1, "b"); return sb.toString(); }'
+        ) == "abc"
+
+    def test_char_at_out_of_bounds(self):
+        with pytest.raises(JavaRuntimeError, match="StringIndexOutOfBounds"):
+            value('char f() { return new StringBuilder("a").charAt(5); }')
+
+    def test_string_palindrome_idiom(self):
+        source = """
+        boolean f(int k) {
+            String s = "" + k;
+            String r = new StringBuilder(s).reverse().toString();
+            return s.equals(r);
+        }
+        """
+        assert value(source, args=[1221]) is True
+        assert value(source, args=[1231]) is False
+
+    def test_string_buffer_alias(self):
+        assert value(
+            'String f() { return new StringBuffer("ok").toString(); }'
+        ) == "ok"

@@ -1,0 +1,53 @@
+"""Unit tests for execution tracing."""
+
+from repro.interp import run_method
+from repro.java import parse_submission
+
+
+def trace(source, method="f", args=()):
+    result = run_method(parse_submission(source), method, list(args),
+                        trace=True)
+    return result.tracer
+
+
+class TestTracer:
+    def test_assignments_recorded_in_order(self):
+        tracer = trace("void f() { int x = 1; x = 2; x = 3; }")
+        assert tracer.variable_trace("x") == [1, 2, 3]
+
+    def test_parameters_are_traced(self):
+        tracer = trace("void f(int n) { }", args=[7])
+        assert tracer.variable_trace("n") == [7]
+
+    def test_output_traced_as_out_variable(self):
+        tracer = trace('void f() { System.out.println("hi"); }')
+        assert tracer.variable_trace("out") == ["hi\n"]
+
+    def test_loop_produces_value_sequence(self):
+        tracer = trace(
+            "void f() { int s = 0; for (int i = 0; i < 3; i++) s += i; }"
+        )
+        assert tracer.variable_trace("s") == [0, 0, 1, 3]
+        assert tracer.variable_trace("i") == [0, 1, 2, 3]
+
+    def test_array_snapshots_are_immutable(self):
+        tracer = trace(
+            "void f() { int[] a = new int[2]; a[0] = 1; a[1] = 2; }"
+        )
+        snapshots = tracer.variable_trace("a")
+        assert snapshots == [(0, 0), (1, 0), (1, 2)]
+
+    def test_variables_in_first_appearance_order(self):
+        tracer = trace("void f() { int b = 1; int a = 2; b = 3; }")
+        assert tracer.variables() == ["b", "a"]
+
+    def test_as_mapping(self):
+        tracer = trace("void f() { int x = 1; int y = 2; }")
+        assert tracer.as_mapping() == {"x": [1], "y": [2]}
+
+    def test_method_attribution(self):
+        tracer = trace(
+            "int g() { int z = 5; return z; } void f() { int x = g(); }"
+        )
+        methods = {e.method for e in tracer.events}
+        assert methods == {"f", "g"}

@@ -1,0 +1,159 @@
+"""Unit tests for Java value semantics."""
+
+import pytest
+
+from repro.errors import JavaRuntimeError
+from repro.interp.values import (
+    INT_MAX,
+    INT_MIN,
+    JavaArray,
+    JavaChar,
+    java_div,
+    java_rem,
+    java_str,
+    numeric_value,
+    wrap_int,
+)
+
+
+class TestWrapInt:
+    def test_identity_in_range(self):
+        assert wrap_int(42) == 42
+        assert wrap_int(-42) == -42
+
+    def test_overflow_wraps(self):
+        assert wrap_int(INT_MAX + 1) == INT_MIN
+
+    def test_underflow_wraps(self):
+        assert wrap_int(INT_MIN - 1) == INT_MAX
+
+    def test_extremes_stable(self):
+        assert wrap_int(INT_MAX) == INT_MAX
+        assert wrap_int(INT_MIN) == INT_MIN
+
+    def test_large_multiple_wrap(self):
+        assert wrap_int(2 ** 32) == 0
+        assert wrap_int(2 ** 33 + 5) == 5
+
+
+class TestDivision:
+    def test_positive_division(self):
+        assert java_div(7, 2) == 3
+
+    def test_negative_dividend_truncates_toward_zero(self):
+        # Python's -7 // 2 == -4; Java gives -3
+        assert java_div(-7, 2) == -3
+
+    def test_negative_divisor(self):
+        assert java_div(7, -2) == -3
+
+    def test_both_negative(self):
+        assert java_div(-7, -2) == 3
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(JavaRuntimeError, match="by zero"):
+            java_div(1, 0)
+
+    def test_remainder_takes_dividend_sign(self):
+        assert java_rem(-7, 2) == -1
+        assert java_rem(7, -2) == 1
+        assert java_rem(-7, -2) == -1
+
+    def test_remainder_by_zero_raises(self):
+        with pytest.raises(JavaRuntimeError, match="by zero"):
+            java_rem(1, 0)
+
+    def test_digit_reversal_identity(self):
+        # the semantics the palindrome assignments depend on
+        n = -73
+        digit = java_rem(n, 10)
+        rest = java_div(n, 10)
+        assert (digit, rest) == (-3, -7)
+
+
+class TestJavaArray:
+    def test_of_length_defaults(self):
+        assert JavaArray.of_length("int", 3).elements == [0, 0, 0]
+        assert JavaArray.of_length("boolean", 2).elements == [False, False]
+        assert JavaArray.of_length("double", 1).elements == [0.0]
+        assert JavaArray.of_length("String", 1).elements == [None]
+
+    def test_char_array_defaults(self):
+        arr = JavaArray.of_length("char", 2)
+        assert all(isinstance(c, JavaChar) for c in arr.elements)
+
+    def test_negative_length_raises(self):
+        with pytest.raises(JavaRuntimeError, match="NegativeArraySize"):
+            JavaArray.of_length("int", -1)
+
+    def test_get_set(self):
+        arr = JavaArray("int", [1, 2, 3])
+        arr.set(1, 9)
+        assert arr.get(1) == 9
+
+    def test_out_of_bounds_raises(self):
+        arr = JavaArray("int", [1])
+        with pytest.raises(JavaRuntimeError, match="IndexOutOfBounds"):
+            arr.get(1)
+        with pytest.raises(JavaRuntimeError, match="IndexOutOfBounds"):
+            arr.get(-1)
+        with pytest.raises(JavaRuntimeError, match="IndexOutOfBounds"):
+            arr.set(5, 0)
+
+    def test_length(self):
+        assert JavaArray("int", [1, 2]).length == 2
+
+    def test_reference_equality(self):
+        a = JavaArray("int", [1])
+        b = JavaArray("int", [1])
+        assert a == a
+        assert a != b
+
+
+class TestJavaChar:
+    def test_code_point(self):
+        assert JavaChar("0").code == 48
+
+    def test_equality_with_char_and_int(self):
+        assert JavaChar("a") == JavaChar("a")
+        assert JavaChar("a") == 97
+        assert JavaChar("a") != JavaChar("b")
+
+    def test_numeric_value_promotes(self):
+        assert numeric_value(JavaChar("0")) == 48
+
+
+class TestJavaStr:
+    @pytest.mark.parametrize("value,expected", [
+        (None, "null"),
+        (True, "true"),
+        (False, "false"),
+        (42, "42"),
+        (1.0, "1.0"),
+        (2.5, "2.5"),
+        (float("nan"), "NaN"),
+        (float("inf"), "Infinity"),
+        (float("-inf"), "-Infinity"),
+        ("text", "text"),
+    ])
+    def test_formatting(self, value, expected):
+        assert java_str(value) == expected
+
+    def test_char_formats_as_glyph(self):
+        assert java_str(JavaChar("x")) == "x"
+
+    def test_array_formats_as_reference(self):
+        text = java_str(JavaArray("int", [1]))
+        assert text.startswith("[int@")
+
+
+class TestNumericValue:
+    def test_bool_is_not_numeric(self):
+        assert numeric_value(True) is None
+
+    def test_string_is_not_numeric(self):
+        assert numeric_value("12") is None
+
+    def test_int_and_float(self):
+        assert numeric_value(3) == 3
+        assert numeric_value(2.5) == 2.5

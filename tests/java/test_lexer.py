@@ -1,0 +1,186 @@
+"""Unit tests for the Java lexer."""
+
+import pytest
+
+from repro.errors import JavaSyntaxError
+from repro.java.lexer import Token, TokenType, tokenize
+
+
+def kinds(source):
+    return [t.type for t in tokenize(source)[:-1]]
+
+
+def values(source):
+    return [t.value for t in tokenize(source)[:-1]]
+
+
+class TestBasicTokens:
+    def test_empty_input_yields_only_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].type is TokenType.EOF
+
+    def test_identifier(self):
+        assert kinds("medals") == [TokenType.IDENTIFIER]
+
+    def test_identifier_with_dollar_and_underscore(self):
+        assert values("_x $y a1") == ["_x", "$y", "a1"]
+        assert kinds("_x $y a1") == [TokenType.IDENTIFIER] * 3
+
+    def test_keyword(self):
+        assert kinds("while") == [TokenType.KEYWORD]
+
+    def test_keyword_prefix_is_identifier(self):
+        # `whilex` is an identifier, not the keyword plus `x`
+        assert kinds("whilex") == [TokenType.IDENTIFIER]
+
+    def test_boolean_literals(self):
+        assert kinds("true false") == [TokenType.BOOL_LITERAL] * 2
+
+    def test_null_literal(self):
+        assert kinds("null") == [TokenType.NULL_LITERAL]
+
+    def test_separators(self):
+        assert kinds("( ) { } [ ] ; , .") == [TokenType.SEPARATOR] * 9
+
+
+class TestNumbers:
+    def test_int_literal(self):
+        token = tokenize("42")[0]
+        assert token.type is TokenType.INT_LITERAL
+        assert token.value == "42"
+
+    def test_int_literal_at_end_of_input_stays_int(self):
+        # regression: EOF peek used to promote trailing ints to doubles
+        assert kinds("x == 1")[-1] is TokenType.INT_LITERAL
+
+    def test_double_literal(self):
+        assert kinds("3.5") == [TokenType.DOUBLE_LITERAL]
+
+    def test_double_with_exponent(self):
+        assert kinds("1e10 1.5e-3 2E+4") == [TokenType.DOUBLE_LITERAL] * 3
+
+    def test_float_suffix(self):
+        assert kinds("1f 2.0F 3d 4D") == [TokenType.DOUBLE_LITERAL] * 4
+
+    def test_long_suffix(self):
+        assert kinds("10L 11l") == [TokenType.LONG_LITERAL] * 2
+
+    def test_hex_literal(self):
+        token = tokenize("0x1F")[0]
+        assert token.type is TokenType.INT_LITERAL
+        assert token.value == "0x1F"
+
+    def test_underscore_separator(self):
+        assert values("1_000_000") == ["1_000_000"]
+
+    def test_leading_dot_number(self):
+        assert kinds(".5") == [TokenType.DOUBLE_LITERAL]
+
+    def test_member_access_is_not_a_double(self):
+        # `a.length` must not lex `a.` as a number
+        assert kinds("a.length") == [
+            TokenType.IDENTIFIER, TokenType.SEPARATOR, TokenType.IDENTIFIER,
+        ]
+
+
+class TestStringsAndChars:
+    def test_string_literal(self):
+        token = tokenize('"hello"')[0]
+        assert token.type is TokenType.STRING_LITERAL
+        assert token.value == "hello"
+
+    def test_string_escapes(self):
+        token = tokenize(r'"a\nb\tc\"d\\e"')[0]
+        assert token.value == 'a\nb\tc"d\\e'
+
+    def test_empty_string(self):
+        assert tokenize('""')[0].value == ""
+
+    def test_char_literal(self):
+        token = tokenize("'x'")[0]
+        assert token.type is TokenType.CHAR_LITERAL
+        assert token.value == "x"
+
+    def test_char_escape(self):
+        assert tokenize(r"'\n'")[0].value == "\n"
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(JavaSyntaxError):
+            tokenize('"abc')
+
+    def test_newline_in_string_raises(self):
+        with pytest.raises(JavaSyntaxError):
+            tokenize('"ab\ncd"')
+
+    def test_bad_escape_raises(self):
+        with pytest.raises(JavaSyntaxError):
+            tokenize(r'"\q"')
+
+
+class TestOperators:
+    @pytest.mark.parametrize("op", [
+        "+", "-", "*", "/", "%", "=", "==", "!=", "<", ">", "<=", ">=",
+        "&&", "||", "!", "~", "&", "|", "^", "++", "--", "+=", "-=",
+        "*=", "/=", "%=", "<<", ">>", ">>>", "?", ":",
+    ])
+    def test_single_operator(self, op):
+        tokens = tokenize(f"a {op} b" if op not in ("++", "--", "!", "~")
+                          else f"{op} b")
+        assert any(t.value == op and t.type is TokenType.OPERATOR
+                   for t in tokens)
+
+    def test_maximal_munch(self):
+        # `>>>=` and `<=` must win over their prefixes
+        assert values("a >>>= b")[1] == ">>>="
+        assert values("a <= b")[1] == "<="
+
+    def test_increment_vs_plus(self):
+        assert values("i++ + ++j") == ["i", "++", "+", "++", "j"]
+
+
+class TestComments:
+    def test_line_comment_skipped(self):
+        assert values("a // comment\n b") == ["a", "b"]
+
+    def test_block_comment_skipped(self):
+        assert values("a /* x\ny */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(JavaSyntaxError):
+            tokenize("a /* never closed")
+
+    def test_comment_inside_string_is_content(self):
+        assert tokenize('"a // b"')[0].value == "a // b"
+
+
+class TestPositions:
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("a\n  bb")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_error_carries_position(self):
+        with pytest.raises(JavaSyntaxError) as excinfo:
+            tokenize("a\n  #")
+        assert excinfo.value.line == 2
+        assert excinfo.value.column == 3
+
+    def test_token_repr_is_informative(self):
+        assert "IDENTIFIER" in repr(Token(TokenType.IDENTIFIER, "x", 1, 1))
+
+
+class TestRealisticSnippets:
+    def test_full_method_header(self):
+        source = "void assignment1(int[] a) {"
+        assert values(source) == [
+            "void", "assignment1", "(", "int", "[", "]", "a", ")", "{",
+        ]
+
+    def test_modulo_condition(self):
+        assert values("i % 2 == 1") == ["i", "%", "2", "==", "1"]
+
+    def test_scanner_construction(self):
+        source = 'new Scanner(new File("f.txt"))'
+        vals = values(source)
+        assert vals[0] == "new" and "f.txt" in vals

@@ -1,0 +1,157 @@
+"""Unit tests for the canonical printer."""
+
+import pytest
+
+from repro.java import parse_expression, parse_submission, to_source
+
+
+def canon(source):
+    """Canonical form of an expression."""
+    return to_source(parse_expression(source))
+
+
+class TestExpressionPrinting:
+    @pytest.mark.parametrize("source,expected", [
+        ("i%2==1", "i % 2 == 1"),
+        ("(i % 2) == 1", "i % 2 == 1"),
+        ("a+b*c", "a + b * c"),
+        ("(a + b) * c", "(a + b) * c"),
+        ("a - (b - c)", "a - (b - c)"),
+        ("(a - b) - c", "a - b - c"),
+        ("odd+=a[i]", "odd += a[i]"),
+        ("x = y = z", "x = y = z"),
+        ("!(a&&b)", "!(a && b)"),
+        ("-x * y", "-x * y"),
+        ("i++", "i++"),
+        ("++i", "++i"),
+        ("a?b:c", "a ? b : c"),
+        ("(int)x", "(int) x"),
+        ("new int[5]", "new int[5]"),
+        ("System.out.println(odd)", "System.out.println(odd)"),
+        ("Math.pow(x,i)", "Math.pow(x, i)"),
+        ("s.hasNext()", "s.hasNext()"),
+        ("a.length", "a.length"),
+        ("m[i][j]", "m[i][j]"),
+    ])
+    def test_canonical_form(self, source, expected):
+        assert canon(source) == expected
+
+    def test_string_literal_escaping(self):
+        assert canon(r'"a\nb"') == r'"a\nb"'
+
+    def test_char_literal(self):
+        assert canon("'x'") == "'x'"
+
+    def test_boolean_and_null(self):
+        assert canon("true") == "true"
+        assert canon("null") == "null"
+
+    def test_double_always_has_decimal(self):
+        assert canon("1.0") == "1.0"
+        assert canon("2.5") == "2.5"
+
+    def test_long_literal_suffix(self):
+        assert canon("5L") == "5L"
+
+    def test_array_initializer(self):
+        assert canon("new int[]{1, 2}") == "new int[1, 2]".replace(
+            "[1, 2]", " {1, 2}"
+        ) or canon("new int[]{1, 2}").endswith("{1, 2}")
+
+
+class TestIdempotence:
+    @pytest.mark.parametrize("source", [
+        "i % 2 == 1",
+        "(a + b) * c",
+        "odd += a[i]",
+        "!(fact(n) <= k && k < fact(n + 1))",
+        '"O: " + x + ", E: " + y',
+        "r += c[i] * (int) Math.pow(x, i)",
+        "a ? b + 1 : c * 2",
+    ])
+    def test_reparse_reprint_is_identity(self, source):
+        once = canon(source)
+        assert canon(once) == once
+
+
+class TestStatementPrinting:
+    def test_method_round_trip(self):
+        source = """
+void f(int[] a) {
+    int odd = 0;
+    for (int i = 0; i < a.length; i++) {
+        if (i % 2 == 1) {
+            odd += a[i];
+        }
+    }
+    System.out.println(odd);
+}
+"""
+        printed = to_source(parse_submission(source))
+        reparsed = to_source(parse_submission(printed))
+        assert printed == reparsed
+
+    def test_while_and_do_while(self):
+        source = "void f() { do { i++; } while (i < n); }"
+        printed = to_source(parse_submission(source))
+        assert "do {" in printed and "} while (i < n);" in printed
+
+    def test_if_else(self):
+        source = "void f() { if (a) x = 1; else x = 2; }"
+        printed = to_source(parse_submission(source))
+        assert "} else {" in printed
+
+    def test_switch(self):
+        source = ("void f() { switch (x) { case 1: y = 1; break; "
+                  "default: y = 0; } }")
+        printed = to_source(parse_submission(source))
+        assert "case 1:" in printed and "default:" in printed
+
+    def test_for_each(self):
+        printed = to_source(parse_submission(
+            "void f(int[] a) { for (int v : a) s += v; }"
+        ))
+        assert "for (int v : a) {" in printed
+
+    def test_class_with_field(self):
+        printed = to_source(parse_submission(
+            "class C { int x = 1; void f() { } }"
+        ))
+        assert "class C {" in printed and "int x = 1;" in printed
+
+    def test_imports_printed(self):
+        printed = to_source(parse_submission(
+            "import java.util.Scanner; void f() { }"
+        ))
+        assert printed.startswith("import java.util.Scanner;")
+
+    def test_break_continue_return(self):
+        printed = to_source(parse_submission(
+            "int f() { while (true) { break; } return 1; }"
+        ))
+        assert "break;" in printed and "return 1;" in printed
+
+    def test_empty_statement(self):
+        printed = to_source(parse_submission("void f() { ; }"))
+        assert ";" in printed
+
+    def test_multi_declarator(self):
+        printed = to_source(parse_submission("void f() { int o = 0, e = 1; }"))
+        assert "int o = 0, e = 1;" in printed
+
+
+class TestSemanticPreservation:
+    """Printing must never change what the program computes."""
+
+    @pytest.mark.parametrize("source,method,args,expected", [
+        ("int f() { return 2 + 3 * 4; }", "f", [], 14),
+        ("int f() { return (2 + 3) * 4; }", "f", [], 20),
+        ("int f() { return 10 - (4 - 1); }", "f", [], 7),
+        ("int f() { return -(2 + 3); }", "f", [], -5),
+        ("int f(int n) { return n % 10; }", "f", [-27], -7),
+    ])
+    def test_round_trip_preserves_value(self, source, method, args, expected):
+        from repro.interp import run_method
+        original = parse_submission(source)
+        round_tripped = parse_submission(to_source(original))
+        assert run_method(round_tripped, method, args).return_value == expected

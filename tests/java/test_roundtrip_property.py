@@ -1,0 +1,87 @@
+"""Property-based tests: parse/print round-trips on generated ASTs.
+
+Strategy: build random expression ASTs, print them, re-parse, re-print —
+the two printed forms must be identical (printing is a normal form), and
+for side-effect-free integer expressions the interpreted value must be
+preserved.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.java import ast, parse_expression, parse_submission, to_source
+from repro.interp import run_method
+
+_NAMES = st.sampled_from(["a", "b", "c", "x", "y", "odd", "even", "i"])
+_INT_LITERALS = st.integers(min_value=0, max_value=1000).map(
+    lambda v: ast.Literal(v, "int")
+)
+_BINARY_OPS = st.sampled_from(["+", "-", "*", "/", "%"])
+_COMPARE_OPS = st.sampled_from(["==", "!=", "<", "<=", ">", ">="])
+
+
+def _expressions(depth: int = 3):
+    base = st.one_of(_INT_LITERALS, _NAMES.map(ast.Name))
+    if depth == 0:
+        return base
+    sub = _expressions(depth - 1)
+    return st.one_of(
+        base,
+        st.builds(ast.Binary, _BINARY_OPS, sub, sub),
+        st.builds(ast.Binary, _COMPARE_OPS, sub, sub),
+        # unary minus over names only: the parser folds `-<literal>` into
+        # a negative literal, which is a different (equivalent) tree
+        st.builds(
+            ast.Unary, st.just("-"), _NAMES.map(ast.Name), st.just(True)
+        ),
+        st.builds(ast.ArrayAccess, _NAMES.map(ast.Name), sub),
+        st.builds(
+            ast.MethodCall,
+            st.none(),
+            st.sampled_from(["f", "g"]),
+            st.lists(sub, max_size=2),
+        ),
+        st.builds(ast.Ternary, sub, sub, sub),
+    )
+
+
+class TestPrintParseRoundTrip:
+    @given(_expressions())
+    @settings(max_examples=300, deadline=None)
+    def test_print_is_a_normal_form(self, expr):
+        printed = to_source(expr)
+        reparsed = parse_expression(printed)
+        assert to_source(reparsed) == printed
+
+    @given(_expressions())
+    @settings(max_examples=200, deadline=None)
+    def test_reparse_twice_is_stable(self, expr):
+        once = to_source(parse_expression(to_source(expr)))
+        twice = to_source(parse_expression(once))
+        assert once == twice
+
+
+_PURE_INT_OPS = st.sampled_from(["+", "-", "*"])
+
+
+def _pure_int_expressions(depth: int = 3):
+    base = st.integers(min_value=-50, max_value=50).map(
+        lambda v: ast.Literal(v, "int")
+    )
+    if depth == 0:
+        return base
+    sub = _pure_int_expressions(depth - 1)
+    return st.one_of(base, st.builds(ast.Binary, _PURE_INT_OPS, sub, sub))
+
+
+class TestValuePreservation:
+    @given(_pure_int_expressions())
+    @settings(max_examples=200, deadline=None)
+    def test_round_trip_preserves_integer_value(self, expr):
+        source = to_source(expr)
+        program = f"int f() {{ return {source}; }}"
+        direct = run_method(parse_submission(program), "f", []).return_value
+        round_tripped = to_source(parse_submission(program))
+        again = run_method(
+            parse_submission(round_tripped), "f", []
+        ).return_value
+        assert direct == again

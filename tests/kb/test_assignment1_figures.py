@@ -1,0 +1,109 @@
+"""Grade the paper's Figure 2 submissions (Section III)."""
+
+import pytest
+
+from repro.kb.assignments.assignment1 import (
+    FIGURE_2A,
+    FIGURE_2B,
+    FIGURE_2C,
+    FIGURE_8A,
+    FIGURE_8B,
+)
+from repro.matching import FeedbackStatus
+from repro.testing import run_tests_on_source
+
+
+class TestFigure2A:
+    """Incorrect: even init 0, i <= a.length, i%2==1 for even, even not
+    effectively printed."""
+
+    def test_negative_verdict(self, engine1):
+        assert not engine1.grade(FIGURE_2A).is_positive
+
+    def test_fails_functional_tests(self, assignment1):
+        assert not run_tests_on_source(FIGURE_2A, assignment1.tests).passed
+
+    def test_even_access_reported_missing(self, engine1):
+        report = engine1.grade(FIGURE_2A)
+        comment = next(c for c in report.comments
+                       if c.source == "seq-even-access")
+        assert comment.status is FeedbackStatus.NOT_EXPECTED
+        assert "i % 2 == 0" in comment.message
+
+    def test_even_product_initialization_flagged(self, engine1):
+        report = engine1.grade(FIGURE_2A)
+        comment = next(c for c in report.comments
+                       if c.source == "cond-cumulative-mul")
+        assert comment.status is FeedbackStatus.INCORRECT
+        assert any("should start at 1" in d for d in comment.details)
+
+
+class TestFigure2B:
+    """Correct: while loop, combined single print."""
+
+    def test_fully_positive(self, engine1):
+        report = engine1.grade(FIGURE_2B)
+        assert report.is_positive, report.render()
+
+    def test_feedback_uses_student_variable_names(self, engine1):
+        report = engine1.grade(FIGURE_2B)
+        odd = next(c for c in report.comments
+                   if c.source == "cond-cumulative-add")
+        assert "o" in odd.message
+
+    def test_print_order_independence(self, engine1):
+        # a single concatenated print still satisfies both print patterns
+        report = engine1.grade(FIGURE_2B)
+        prints = next(c for c in report.comments
+                      if c.source == "assign-print")
+        assert prints.status is FeedbackStatus.CORRECT
+
+
+class TestFigure2C:
+    """Incorrect: x and y initializations swapped (x *= on 0 stays 0)."""
+
+    def test_negative_verdict(self, engine1):
+        assert not engine1.grade(FIGURE_2C).is_positive
+
+    def test_fails_functional_tests(self, assignment1):
+        assert not run_tests_on_source(FIGURE_2C, assignment1.tests).passed
+
+    def test_initializations_flagged(self, engine1):
+        report = engine1.grade(FIGURE_2C)
+        add = next(c for c in report.comments
+                   if c.source == "cond-cumulative-add")
+        mul = next(c for c in report.comments
+                   if c.source == "cond-cumulative-mul")
+        # x *= (should be the sum's var) and y += are cross-wired, so both
+        # accumulator patterns report problems
+        assert add.status is not FeedbackStatus.CORRECT
+        assert mul.status is not FeedbackStatus.CORRECT
+
+
+class TestFigure8:
+    def test_8a_and_8b_are_functionally_equivalent(self, assignment1):
+        from repro.interp import JavaArray, run_method
+        from repro.java import parse_submission
+        for array in ([3, 4, 5, 6], [], [7]):
+            out_a = run_method(
+                parse_submission(FIGURE_8A), "assignment1",
+                [JavaArray("int", list(array))],
+            ).stdout
+            out_b = run_method(
+                parse_submission(FIGURE_8B), "assignment1",
+                [JavaArray("int", list(array))],
+            ).stdout
+            assert out_a == out_b
+
+    def test_both_variants_satisfy_our_patterns(self, engine1):
+        # unlike CLARA, the pattern matcher is independent of the
+        # variable ordering difference between 8a and 8b
+        for source in (FIGURE_8A, FIGURE_8B):
+            report = engine1.grade(source)
+            for name in ("seq-odd-access", "seq-even-access",
+                         "cond-cumulative-add", "cond-cumulative-mul"):
+                comment = next(c for c in report.comments
+                               if c.source == name)
+                assert comment.status is FeedbackStatus.CORRECT, (
+                    f"{name}: {comment.message}"
+                )

@@ -1,0 +1,377 @@
+"""Hand-written student-style submissions graded per assignment.
+
+The synthetic corpus exercises the error-model axes; these tests grade
+submissions written the way real students write them — different loop
+styles, helper structure, and variable names — and assert both the
+verdict and the specific feedback the instructor configured.
+"""
+
+import pytest
+
+from repro.core import FeedbackEngine
+from repro.kb import get_assignment
+from repro.matching import FeedbackStatus
+from repro.testing import run_tests_on_source
+
+
+def engine(name):
+    return FeedbackEngine(get_assignment(name))
+
+
+def comment(report, source):
+    return next(c for c in report.comments if c.source == source)
+
+
+class TestEscLab3P1V1:
+    def test_for_loop_factorial_style(self):
+        source = """
+        int fact(int m) {
+            int f = 1;
+            int i = 1;
+            while (i <= m) {
+                f = f * i;
+                i += 1;
+            }
+            return f;
+        }
+        void lab3p1(int k) {
+            int n = 0;
+            while (!(fact(n) <= k && k < fact(n + 1)))
+                n += 1;
+            System.out.println(n);
+        }
+        """
+        report = engine("esc-LAB-3-P1-V1").grade(source)
+        assert report.is_positive, report.render()
+
+    def test_wrong_factorial_seed_gets_seed_feedback(self):
+        source = """
+        int fact(int m) {
+            int f = 0;
+            int i = 1;
+            while (i <= m) { f *= i; i++; }
+            return f;
+        }
+        void lab3p1(int k) {
+            int n = 0;
+            while (!(fact(n) <= k && k < fact(n + 1)))
+                n++;
+            System.out.println(n);
+        }
+        """
+        report = engine("esc-LAB-3-P1-V1").grade(source)
+        factorial = comment(report, "factorial-loop")
+        assert factorial.status is FeedbackStatus.INCORRECT
+        assert any("must start at 1" in d for d in factorial.details)
+
+    def test_printing_the_input_violates_print_constraint(self):
+        source = """
+        int fact(int m) {
+            int f = 1;
+            int i = 1;
+            while (i <= m) { f *= i; i++; }
+            return f;
+        }
+        void lab3p1(int k) {
+            int n = 0;
+            while (!(fact(n) <= k && k < fact(n + 1)))
+                n++;
+            System.out.println(k);
+        }
+        """
+        report = engine("esc-LAB-3-P1-V1").grade(source)
+        printed = comment(report, "result-counter-is-printed")
+        assert printed.status is not FeedbackStatus.CORRECT
+
+
+class TestEscLab3P2V2:
+    def test_do_while_style_is_accepted(self):
+        # digit loops written as do-while still satisfy every pattern:
+        # the body runs unconditionally but the condition node and data
+        # edges are present
+        source = """
+        void isSpecial(int k) {
+            int s = 0;
+            int n = k;
+            while (n > 0) {
+                int d = n % 10;
+                s = s + d * d * d;
+                n = n / 10;
+            }
+            if (s == k)
+                System.out.println("special");
+            else
+                System.out.println("not special");
+        }
+        """
+        report = engine("esc-LAB-3-P2-V2").grade(source)
+        assert report.is_positive, report.render()
+
+    def test_square_instead_of_cube_feedback(self):
+        source = """
+        void isSpecial(int k) {
+            int s = 0;
+            int n = k;
+            while (n != 0) {
+                int d = n % 10;
+                s += d * d;
+                n /= 10;
+            }
+            if (s == k)
+                System.out.println("special");
+            else
+                System.out.println("not special");
+        }
+        """
+        report = engine("esc-LAB-3-P2-V2").grade(source)
+        cube = comment(report, "cube-sum")
+        assert cube.status is FeedbackStatus.INCORRECT
+        assert any("d * d * d" in d for d in cube.details)
+
+    def test_consumed_copy_comparison_is_pattern_invisible(self):
+        source = """
+        void isSpecial(int k) {
+            int s = 0;
+            int n = k;
+            while (n != 0) {
+                int d = n % 10;
+                s += d * d * d;
+                n /= 10;
+            }
+            if (s == n)
+                System.out.println("special");
+            else
+                System.out.println("not special");
+        }
+        """
+        report = engine("esc-LAB-3-P2-V2").grade(source)
+        # documented limit: the constraint can only see that the cube
+        # sum participates in the comparison; the consumed copy on the
+        # other side is pattern-invisible, so only functional testing
+        # catches it (which is why the error model excludes this rule,
+        # keeping the assignment at the paper's D = 0)
+        check = comment(report, "comparison-uses-cube-sum")
+        assert check.status is FeedbackStatus.CORRECT
+        assignment = get_assignment("esc-LAB-3-P2-V2")
+        assert not run_tests_on_source(source, assignment.tests).passed
+
+
+class TestEscLab3P3V1:
+    def test_different_variable_names(self):
+        source = """
+        void reverseDiff(int k) {
+            int backwards = 0;
+            int remaining = k;
+            while (remaining != 0) {
+                int digit = remaining % 10;
+                backwards = backwards * 10 + digit;
+                remaining /= 10;
+            }
+            int answer = k - backwards;
+            System.out.println(answer);
+        }
+        """
+        report = engine("esc-LAB-3-P3-V1").grade(source)
+        assert report.is_positive, report.render()
+        reverse = comment(report, "reverse-build")
+        assert "backwards" in " ".join(reverse.details)
+
+    def test_printing_the_reverse_not_the_difference(self):
+        source = """
+        void reverseDiff(int k) {
+            int r = 0;
+            int n = k;
+            while (n != 0) {
+                int d = n % 10;
+                r = r * 10 + d;
+                n /= 10;
+            }
+            int diff = k - r;
+            System.out.println(r);
+        }
+        """
+        report = engine("esc-LAB-3-P3-V1").grade(source)
+        printed = comment(report, "difference-is-printed")
+        assert printed.status is not FeedbackStatus.CORRECT
+
+
+class TestEscLab3P4V1:
+    def test_yes_no_with_braces(self):
+        source = """
+        void isPalindrome(int k) {
+            int r = 0;
+            int n = k;
+            while (n != 0) {
+                int d = n % 10;
+                r = r * 10 + d;
+                n = n / 10;
+            }
+            if (r == k) {
+                System.out.println("yes");
+            } else {
+                System.out.println("no");
+            }
+        }
+        """
+        report = engine("esc-LAB-3-P4-V1").grade(source)
+        assert report.is_positive, report.render()
+
+    def test_digit_loop_missing(self):
+        source = """
+        void isPalindrome(int k) {
+            if (k == 0)
+                System.out.println("yes");
+            else
+                System.out.println("no");
+        }
+        """
+        report = engine("esc-LAB-3-P4-V1").grade(source)
+        assert not report.is_positive
+        assert comment(report, "reverse-build").status is \
+            FeedbackStatus.NOT_EXPECTED
+        assert comment(report, "shrink-by-ten").status is \
+            FeedbackStatus.NOT_EXPECTED
+
+
+class TestMitxDerivatives:
+    def test_renamed_everything(self):
+        source = """
+        void derivative(int[] coeffs) {
+            int[] result = new int[coeffs.length - 1];
+            int pos = 1;
+            while (pos < coeffs.length) {
+                result[pos - 1] = coeffs[pos] * pos;
+                System.out.println(result[pos - 1]);
+                pos++;
+            }
+        }
+        """
+        report = engine("mitx-derivatives").grade(source)
+        assert report.is_positive, report.render()
+
+    def test_missing_scale_factor(self):
+        source = """
+        void derivative(int[] c) {
+            int[] d = new int[c.length - 1];
+            int i = 1;
+            while (i < c.length) {
+                d[i - 1] = c[i];
+                System.out.println(d[i - 1]);
+                i++;
+            }
+        }
+        """
+        report = engine("mitx-derivatives").grade(source)
+        write = comment(report, "array-write-scaled")
+        assert write.status is FeedbackStatus.INCORRECT
+        rule = comment(report, "power-rule-scales-by-index")
+        assert rule.status is not FeedbackStatus.CORRECT
+
+
+class TestMitxPolynomials:
+    def test_long_accumulator_style(self):
+        source = """
+        void evaluate(int[] c, int x) {
+            long total = 0;
+            int i = 0;
+            while (i < c.length) {
+                total += c[i] * (int) Math.pow(x, i);
+                i++;
+            }
+            System.out.println(total);
+        }
+        """
+        report = engine("mitx-polynomials").grade(source)
+        assert report.is_positive, report.render()
+
+
+class TestRitAssignments:
+    def test_all_g_medals_differently_named(self):
+        source = """
+        void countGoldMedals(int year) {
+            int idx = 1;
+            int golds = 0;
+            int medalType = 0;
+            int when = 0;
+            String tok = "";
+            Scanner input = new Scanner(new File("summer_olympics.txt"));
+            while (input.hasNext()) {
+                if (idx % 5 == 1)
+                    tok = input.next();
+                if (idx % 5 == 2)
+                    tok = input.next();
+                if (idx % 5 == 3)
+                    medalType = input.nextInt();
+                if (idx % 5 == 4)
+                    when = input.nextInt();
+                if (idx % 5 == 0) {
+                    tok = input.next();
+                    if (when == year && medalType == 1)
+                        golds += 1;
+                }
+                idx++;
+            }
+            input.close();
+            System.out.println(golds);
+        }
+        """
+        assignment = get_assignment("rit-all-g-medals")
+        assert run_tests_on_source(source, assignment.tests).passed
+        report = engine("rit-all-g-medals").grade(source)
+        assert report.is_positive, report.render()
+        # feedback speaks the student's language
+        text = report.render()
+        assert "golds" in text and "input" in text
+
+    def test_forgetting_close_is_flagged_but_tests_pass(self):
+        assignment = get_assignment("rit-all-g-medals")
+        source = assignment.reference_solutions[0].replace("s.close();", "")
+        assert run_tests_on_source(source, assignment.tests).passed
+        report = engine("rit-all-g-medals").grade(source)
+        closing = comment(report, "scanner-close")
+        assert closing.status is FeedbackStatus.NOT_EXPECTED
+        assert "close" in closing.message
+
+    def test_by_ath_counts_all_medal_types(self):
+        assignment = get_assignment("rit-medals-by-ath")
+        report = engine("rit-medals-by-ath").grade(
+            assignment.reference_solutions[0]
+        )
+        assert report.is_positive
+
+    def test_bounded_loop_instead_of_hasnext_is_bad_pattern(self):
+        source = """
+        void countGoldMedals(int year) {
+            int i = 1;
+            int medals = 0;
+            int p = 0;
+            int y = 0;
+            String e = "";
+            int limit = 1000;
+            Scanner s = new Scanner(new File("summer_olympics.txt"));
+            int t = 0;
+            while (t <= limit) {
+                if (i % 5 == 1)
+                    e = s.next();
+                if (i % 5 == 2)
+                    e = s.next();
+                if (i % 5 == 3)
+                    p = s.nextInt();
+                if (i % 5 == 4)
+                    y = s.nextInt();
+                if (i % 5 == 0) {
+                    e = s.next();
+                    if (y == year && p == 1)
+                        medals += 1;
+                }
+                i++;
+                t++;
+            }
+            s.close();
+            System.out.println(medals);
+        }
+        """
+        report = engine("rit-all-g-medals").grade(source)
+        assert not report.is_positive
+        bound = comment(report, "accumulator-bound-loop")
+        assert bound.status is FeedbackStatus.NOT_EXPECTED

@@ -1,0 +1,218 @@
+"""Single-rule mutations of each reference produce the right feedback.
+
+For every assignment we flip one error-model rule at a time and check
+that the grading verdict flips to negative whenever functional testing
+fails for a reason the patterns/constraints cover.  This is the per-
+assignment sanity net behind Table I's column D.
+"""
+
+import pytest
+
+from repro.core import FeedbackEngine
+from repro.kb import get_assignment
+from repro.matching import FeedbackStatus
+from repro.testing import run_tests_on_source
+
+
+def mutate(space, **slot_options):
+    names = [cp.name for cp in space.choice_points]
+    choices = [0] * len(names)
+    for slot, option in slot_options.items():
+        choices[names.index(slot)] = option
+    return space.submission(space.encode(choices)).source
+
+
+class TestAssignment1Mutations:
+    @pytest.fixture(scope="class")
+    def ctx(self):
+        assignment = get_assignment("assignment1")
+        return assignment, assignment.space(), FeedbackEngine(assignment)
+
+    def test_odd_init_one_flagged(self, ctx):
+        assignment, space, engine = ctx
+        report = engine.grade(mutate(space, **{"odd-init": 1}))
+        assert not report.is_positive
+        add = next(c for c in report.comments
+                   if c.source == "cond-cumulative-add")
+        assert any("should start at 0" in d for d in add.details)
+
+    def test_bound_off_by_one_flagged(self, ctx):
+        assignment, space, engine = ctx
+        report = engine.grade(mutate(space, bound=1))
+        odd = next(c for c in report.comments
+                   if c.source == "seq-odd-access")
+        assert odd.status is FeedbackStatus.INCORRECT
+        assert any("out of bounds" in d for d in odd.details)
+
+    def test_even_guard_on_odd_condition_flagged(self, ctx):
+        assignment, space, engine = ctx
+        report = engine.grade(mutate(space, **{"even-strategy": 3}))
+        even = next(c for c in report.comments
+                    if c.source == "seq-even-access")
+        assert even.status is FeedbackStatus.NOT_EXPECTED
+
+    def test_swapped_prints_stay_positive(self, ctx):
+        # print order independence: the paper's discrepancy class
+        assignment, space, engine = ctx
+        source = mutate(space, prints=1)
+        assert engine.grade(source).is_positive
+        assert not run_tests_on_source(source, assignment.tests).passed
+
+    def test_equivalent_variants_stay_positive(self, ctx):
+        assignment, space, engine = ctx
+        source = mutate(space, advance=1, **{"odd-update": 1,
+                                             "even-strategy": 2,
+                                             "null-guard": 1})
+        assert engine.grade(source).is_positive
+        assert run_tests_on_source(source, assignment.tests).passed
+
+
+class TestEscLabMutations:
+    def test_p1v1_lower_bound_discrepancy(self):
+        assignment = get_assignment("esc-LAB-3-P1-V1")
+        space = assignment.space()
+        engine = FeedbackEngine(assignment)
+        source = mutate(space, **{"lower-bound": 1})
+        # the paper's 8-discrepancy rule: tests pass, technique objects
+        assert run_tests_on_source(source, assignment.tests).passed
+        report = engine.grade(source)
+        assert not report.is_positive
+        bound = next(c for c in report.comments
+                     if c.source == "accumulator-bound-loop")
+        assert bound.status is FeedbackStatus.INCORRECT
+
+    def test_p1v1_inlined_factorial_is_bad_pattern(self):
+        assignment = get_assignment("esc-LAB-3-P1-V1")
+        engine = FeedbackEngine(assignment)
+        inlined = """
+        int fact(int m) {
+            int f = 1;
+            int i = 1;
+            while (i <= m) { f *= i; i++; }
+            return f;
+        }
+        void lab3p1(int k) {
+            int n = 0;
+            int f = 1;
+            int i = 1;
+            while (i <= k) { f *= i; i++; }
+            while (!(fact(n) <= k && k < fact(n + 1))) { n++; }
+            System.out.println(n);
+        }
+        """
+        report = engine.grade(inlined)
+        bad = [c for c in report.comments
+               if c.source == "factorial-loop"
+               and c.status is FeedbackStatus.NOT_EXPECTED]
+        assert bad, report.render()
+
+    def test_p2v1_fib_lower_bound_discrepancy(self):
+        assignment = get_assignment("esc-LAB-3-P2-V1")
+        space = assignment.space()
+        source = mutate(space, lower=1)
+        assert run_tests_on_source(source, assignment.tests).passed
+        assert not FeedbackEngine(assignment).grade(source).is_positive
+
+    def test_p2v2_wrong_cube_flagged(self):
+        assignment = get_assignment("esc-LAB-3-P2-V2")
+        space = assignment.space()
+        report = FeedbackEngine(assignment).grade(mutate(space, cube=1))
+        cube = next(c for c in report.comments if c.source == "cube-sum")
+        assert cube.status is FeedbackStatus.INCORRECT
+
+    def test_p3v1_reversed_difference_is_discrepancy(self):
+        assignment = get_assignment("esc-LAB-3-P3-V1")
+        space = assignment.space()
+        source = mutate(space, diff=1)  # r - k instead of k - r
+        assert not run_tests_on_source(source, assignment.tests).passed
+        # the difference pattern accepts either direction: documented
+        # pattern-positive/test-fail discrepancy
+        assert FeedbackEngine(assignment).grade(source).is_positive
+
+    def test_p3v2_double_count_discrepancy(self):
+        assignment = get_assignment("esc-LAB-3-P3-V2")
+        space = assignment.space()
+        source = mutate(space, **{"i-start": 1})
+        assert not run_tests_on_source(source, assignment.tests).passed
+        # the paper's class: 1 counted twice (0! and 1!); patterns all hold
+        assert FeedbackEngine(assignment).grade(source).is_positive
+
+    def test_p4v1_wrong_digit_flagged(self):
+        assignment = get_assignment("esc-LAB-3-P4-V1")
+        space = assignment.space()
+        report = FeedbackEngine(assignment).grade(mutate(space, digit=1))
+        assert not report.is_positive
+
+    def test_p4v2_zero_start_discrepancy(self):
+        assignment = get_assignment("esc-LAB-3-P4-V2")
+        space = assignment.space()
+        source = mutate(space, **{"p-init": 1})
+        # functionally identical for n >= 1 but flagged: the paper's
+        # 248-discrepancy rule with "modify the starting point" feedback
+        assert run_tests_on_source(source, assignment.tests).passed
+        report = FeedbackEngine(assignment).grade(source)
+        assert not report.is_positive
+        start = next(c for c in report.comments
+                     if c.source == "fib-starts-at-one")
+        assert "starting point" in start.message
+
+
+class TestMitxMutations:
+    def test_derivatives_zero_start_flagged(self):
+        assignment = get_assignment("mitx-derivatives")
+        space = assignment.space()
+        report = FeedbackEngine(assignment).grade(
+            mutate(space, **{"i-start": 1})
+        )
+        assert not report.is_positive
+
+    def test_polynomials_swapped_pow_arguments_flagged(self):
+        assignment = get_assignment("mitx-polynomials")
+        space = assignment.space()
+        report = FeedbackEngine(assignment).grade(mutate(space, term=1))
+        assert not report.is_positive
+
+    def test_polynomials_wrong_print_caught_by_constraint(self):
+        # the paper reports D = 0 here: printing the evaluation point
+        # fails the tests AND violates the result-is-printed constraint
+        assignment = get_assignment("mitx-polynomials")
+        space = assignment.space()
+        source = mutate(space, print=1)
+        assert not run_tests_on_source(source, assignment.tests).passed
+        report = FeedbackEngine(assignment).grade(source)
+        assert not report.is_positive
+        printed = next(c for c in report.comments
+                       if c.source == "result-is-printed")
+        assert printed.status is not FeedbackStatus.CORRECT
+
+
+class TestRitMutations:
+    def test_missing_close_is_discrepancy(self):
+        assignment = get_assignment("rit-all-g-medals")
+        space = assignment.space()
+        source = mutate(space, close=1)
+        assert run_tests_on_source(source, assignment.tests).passed
+        report = FeedbackEngine(assignment).grade(source)
+        closing = next(c for c in report.comments
+                       if c.source == "scanner-close")
+        assert closing.status is FeedbackStatus.NOT_EXPECTED
+
+    def test_silver_check_flagged(self):
+        assignment = get_assignment("rit-all-g-medals")
+        space = assignment.space()
+        report = FeedbackEngine(assignment).grade(
+            mutate(space, **{"medal-check": 1})
+        )
+        gold = next(c for c in report.comments
+                    if c.source == "gold-check-tests-medal-type-one")
+        assert gold.status is FeedbackStatus.INCORRECT
+
+    def test_by_ath_first_name_only_flagged(self):
+        assignment = get_assignment("rit-medals-by-ath")
+        space = assignment.space()
+        source = mutate(space, **{"name-check": 1})
+        assert not run_tests_on_source(source, assignment.tests).passed
+        report = FeedbackEngine(assignment).grade(source)
+        both = next(c for c in report.comments
+                    if c.source == "both-names-are-checked")
+        assert both.status is not FeedbackStatus.CORRECT

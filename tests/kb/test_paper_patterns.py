@@ -1,0 +1,93 @@
+"""The paper's three illustrated patterns (Figures 4-6) behave as stated."""
+
+import pytest
+
+from repro.java import parse_submission
+from repro.kb import get_pattern
+from repro.kb.assignments.assignment1 import FIGURE_2A, FIGURE_2B
+from repro.matching import match_pattern
+from repro.pdg import NodeType, extract_epdg
+
+
+@pytest.fixture(scope="module")
+def graph_2a():
+    return extract_epdg(parse_submission(FIGURE_2A).method("assignment1"))
+
+
+@pytest.fixture(scope="module")
+def graph_2b():
+    return extract_epdg(parse_submission(FIGURE_2B).method("assignment1"))
+
+
+class TestPatternPo:
+    """Figure 4: accessing odd positions sequentially in an array."""
+
+    def test_shape(self):
+        pattern = get_pattern("seq-odd-access")
+        assert len(pattern.nodes) == 6
+        assert pattern.node(0).type is NodeType.UNTYPED
+        assert pattern.node(5).type is NodeType.UNTYPED
+        assert pattern.node(3).type is NodeType.COND
+        # u4 is crucial: no approximate expression, no incorrect feedback
+        assert pattern.node(4).approx is None
+        assert pattern.node(4).feedback_incorrect == ""
+
+    def test_sample_embedding_of_section_iv(self, graph_2a):
+        # the paper's worked embedding: γ = {s→a, x→i}, u3 approximate
+        embeddings = match_pattern(get_pattern("seq-odd-access"), graph_2a)
+        chosen = embeddings[0]
+        assert chosen.gamma_map == {"s": "a", "x": "i"}
+        mapped = {u: graph_2a.node(v).content for u, v in chosen.iota}
+        assert mapped[0] == "a"
+        assert mapped[1] == "i = 0"
+        assert mapped[3] == "i <= a.length"
+        assert 3 in chosen.incorrect_nodes
+
+    def test_combination_order_rejected(self, graph_2a):
+        # the paper: γ(s)=i, γ(x)=a never matches
+        for embedding in match_pattern(get_pattern("seq-odd-access"),
+                                       graph_2a):
+            assert embedding.gamma_map != {"s": "i", "x": "a"}
+
+
+class TestPatternPa:
+    """Figure 5: conditional cumulative adding."""
+
+    def test_matches_odd_accumulation(self, graph_2b):
+        embeddings = match_pattern(get_pattern("cond-cumulative-add"),
+                                   graph_2b)
+        (embedding,) = embeddings
+        assert embedding.gamma_map["c"] == "o"
+        accumulation = graph_2b.node(embedding.graph_node(3))
+        assert accumulation.content == "o += a[i]"
+
+    def test_reused_for_medal_counting(self):
+        # the same pattern recognizes `medals += 1` in the RIT assignment
+        from repro.kb import get_assignment
+        assignment = get_assignment("rit-all-g-medals")
+        graph = extract_epdg(
+            parse_submission(assignment.reference_solutions[0])
+            .method("countGoldMedals")
+        )
+        embeddings = match_pattern(get_pattern("cond-cumulative-add"), graph)
+        assert any(e.gamma_map["c"] == "medals" for e in embeddings)
+
+
+class TestPatternPp:
+    """Figure 6: assign and print to console."""
+
+    def test_matches_both_printed_variables(self, graph_2b):
+        embeddings = match_pattern(get_pattern("assign-print"), graph_2b)
+        printed = {e.gamma_map["z"] for e in embeddings}
+        assert printed == {"o", "e"}
+
+    def test_data_edge_required(self):
+        # printing an unrelated variable does not match
+        graph = extract_epdg(parse_submission("""
+        void f(int q) {
+            int x = 1;
+            System.out.println(q);
+        }
+        """).method("f"))
+        embeddings = match_pattern(get_pattern("assign-print"), graph)
+        assert {e.gamma_map["z"] for e in embeddings} == {"q"}

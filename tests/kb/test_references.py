@@ -1,0 +1,43 @@
+"""Every reference solution must pass its tests and grade fully positive."""
+
+from repro.core import FeedbackEngine
+from repro.matching import FeedbackStatus
+from repro.testing import run_tests_on_source
+
+
+class TestReferenceSolutions:
+    def test_reference_passes_functional_tests(self, assignment):
+        for reference in assignment.reference_solutions:
+            report = run_tests_on_source(reference, assignment.tests)
+            assert report.passed, (
+                f"{assignment.name}: {report.summary()}"
+            )
+
+    def test_reference_grades_fully_positive(self, assignment):
+        engine = FeedbackEngine(assignment)
+        for reference in assignment.reference_solutions:
+            report = engine.grade(reference)
+            negatives = [
+                c for c in report.comments
+                if c.status is not FeedbackStatus.CORRECT
+            ]
+            assert report.is_positive, (
+                f"{assignment.name}: " +
+                "; ".join(f"{c.source}={c.status}" for c in negatives)
+            )
+
+    def test_reference_equals_space_index_zero(self, assignment):
+        assert assignment.reference_solutions[0] == \
+            assignment.space().reference.source
+
+    def test_reference_score_is_maximal(self, assignment):
+        engine = FeedbackEngine(assignment)
+        report = engine.grade(assignment.reference_solutions[0])
+        assert report.score == report.max_score > 0
+
+    def test_grading_is_deterministic(self, assignment):
+        engine = FeedbackEngine(assignment)
+        first = engine.grade(assignment.reference_solutions[0])
+        second = engine.grade(assignment.reference_solutions[0])
+        assert [c.render() for c in first.comments] == \
+            [c.render() for c in second.comments]

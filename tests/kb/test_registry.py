@@ -1,0 +1,126 @@
+"""Knowledge-base invariants asserted against the paper's Table I."""
+
+import pytest
+
+from repro.errors import KnowledgeBaseError
+from repro.kb import (
+    all_assignment_names,
+    all_patterns,
+    get_assignment,
+    get_pattern,
+    table1_expectations,
+)
+
+
+class TestPatternLibrary:
+    def test_twenty_four_unique_patterns(self):
+        assert len(all_patterns()) == 24
+
+    def test_variable_names_globally_disjoint(self):
+        # Definition 10 requires disjoint variable sets when unioning γ
+        owners: dict[str, str] = {}
+        for name, pattern in all_patterns().items():
+            for variable in pattern.variables:
+                assert variable not in owners, (
+                    f"variable {variable!r} shared by {name} "
+                    f"and {owners[variable]}"
+                )
+                owners[variable] = name
+
+    def test_every_pattern_has_feedback(self):
+        for pattern in all_patterns().values():
+            assert pattern.feedback_present
+            assert pattern.feedback_missing
+            assert pattern.description
+
+    def test_get_pattern_unknown_raises(self):
+        with pytest.raises(KnowledgeBaseError):
+            get_pattern("no-such-pattern")
+
+    def test_every_pattern_used_by_some_assignment(self):
+        used = set()
+        for name in all_assignment_names():
+            assignment = get_assignment(name)
+            for method in assignment.expected_methods:
+                used.update(method.pattern_names())
+        assert used == set(all_patterns())
+
+
+class TestTableOne:
+    def test_twelve_assignments(self):
+        assert len(all_assignment_names()) == 12
+
+    def test_search_space_sizes_match_table1(self, assignment):
+        expected = table1_expectations(assignment.name)
+        assert assignment.space().size == expected["S"]
+
+    def test_pattern_counts_match_table1(self, assignment):
+        expected = table1_expectations(assignment.name)
+        assert assignment.pattern_count == expected["P"]
+
+    def test_constraint_counts_match_table1(self, assignment):
+        expected = table1_expectations(assignment.name)
+        assert assignment.constraint_count == expected["C"]
+
+    def test_pattern_uses_sum_to_81(self):
+        total = sum(
+            get_assignment(name).pattern_count
+            for name in all_assignment_names()
+        )
+        assert total == 81  # Table I column P summed
+
+    def test_unknown_assignment_raises(self):
+        with pytest.raises(KnowledgeBaseError):
+            get_assignment("no-such-assignment")
+        with pytest.raises(KnowledgeBaseError):
+            table1_expectations("no-such-assignment")
+
+    def test_assignments_are_cached(self):
+        assert get_assignment("assignment1") is get_assignment("assignment1")
+
+
+class TestAssignmentShape:
+    def test_has_reference_and_tests(self, assignment):
+        assert assignment.reference_solutions
+        assert len(assignment.tests) >= 5
+
+    def test_constraints_reference_known_patterns(self, assignment):
+        for method in assignment.expected_methods:
+            pattern_names = set(method.pattern_names())
+            for constraint in method.constraints:
+                for referenced in constraint.referenced_patterns():
+                    assert referenced in pattern_names, (
+                        f"{assignment.name}: constraint {constraint.name} "
+                        f"references {referenced} which the method does "
+                        "not use"
+                    )
+
+    def test_constraint_node_ids_exist(self, assignment):
+        from repro.patterns.model import (
+            ContainmentConstraint,
+            EdgeExistenceConstraint,
+            EqualityConstraint,
+        )
+        for method in assignment.expected_methods:
+            by_name = {p.name: p for p, _ in method.patterns}
+            for constraint in method.constraints:
+                if isinstance(constraint,
+                              (EqualityConstraint, EdgeExistenceConstraint)):
+                    assert constraint.node_i < len(
+                        by_name[constraint.pattern_i].nodes
+                    )
+                    assert constraint.node_j < len(
+                        by_name[constraint.pattern_j].nodes
+                    )
+                elif isinstance(constraint, ContainmentConstraint):
+                    assert constraint.node < len(
+                        by_name[constraint.pattern].nodes
+                    )
+
+    def test_average_loc_in_reasonable_range(self, assignment):
+        # Table I's L column spans 5.75 to 33.5 lines
+        loc = assignment.space().average_loc(
+            sample=list(range(0, assignment.space().size,
+                              max(1, assignment.space().size // 64)))[:64]
+        )
+        assert 4 <= loc <= 45

@@ -1,0 +1,72 @@
+"""Paper Figure 7: functionally correct but semantically incorrect.
+
+The submission reads record fields under duplicated/shifted ``i % 5``
+conditions that coincidentally consume the right tokens, so functional
+testing passes — but the technique detects the misplaced field selectors
+and provides targeted feedback (the source of the assignment's 1,872
+discrepancies)."""
+
+import pytest
+
+from repro.core import FeedbackEngine
+from repro.kb import get_assignment
+from repro.kb.assignments._olympics import (
+    FIGURE_7,
+    RECORDS,
+    file_content,
+    gold_medals_in,
+    medals_of,
+)
+from repro.matching import FeedbackStatus
+from repro.testing import run_tests_on_source
+
+
+@pytest.fixture(scope="module")
+def rit():
+    return get_assignment("rit-all-g-medals")
+
+
+class TestOlympicsData:
+    def test_file_has_five_fields_per_record(self):
+        for line in file_content().strip().splitlines():
+            assert len(line.split()) == 5
+
+    def test_ground_truth_helpers(self):
+        assert gold_medals_in(2012) == sum(
+            1 for _, _, m, y in RECORDS if m == 1 and y == 2012
+        )
+        assert medals_of("Usain", "Bolt") == 3
+
+    def test_shared_first_names_exist(self):
+        # needed so the by-athlete first-name-only bug is observable
+        firsts = {}
+        shared = False
+        for first, last, _, _ in RECORDS:
+            if first in firsts and firsts[first] != last:
+                shared = True
+            firsts.setdefault(first, last)
+        assert shared
+
+
+class TestFigure7:
+    def test_functionally_correct(self, rit):
+        report = run_tests_on_source(FIGURE_7, rit.tests)
+        assert report.passed, report.summary()
+
+    def test_semantically_flagged(self, rit):
+        report = FeedbackEngine(rit).grade(FIGURE_7)
+        assert not report.is_positive
+
+    def test_field_selector_feedback_is_specific(self, rit):
+        report = FeedbackEngine(rit).grade(FIGURE_7)
+        comment = next(c for c in report.comments
+                       if c.source == "record-position-read")
+        assert comment.status is FeedbackStatus.INCORRECT
+        details = " ".join(comment.details)
+        # the last name is read under a duplicated i % 5 == 1 condition;
+        # the feedback names the right selector
+        assert "i % 5 == 2" in details
+
+    def test_reference_is_not_flagged(self, rit):
+        report = FeedbackEngine(rit).grade(rit.reference_solutions[0])
+        assert report.is_positive

@@ -1,0 +1,156 @@
+"""Unit tests for constraint matching (Definitions 8-10)."""
+
+import pytest
+
+from repro.java import parse_submission
+from repro.kb import get_pattern
+from repro.kb.assignments.assignment1 import FIGURE_2B
+from repro.matching import FeedbackStatus, check_constraint, match_pattern
+from repro.patterns import (
+    ContainmentConstraint,
+    EdgeExistenceConstraint,
+    EqualityConstraint,
+    ExprTemplate,
+)
+from repro.pdg import EdgeType, extract_epdg
+
+
+@pytest.fixture(scope="module")
+def fig2b():
+    graph = extract_epdg(
+        parse_submission(FIGURE_2B).method("assignment1")
+    )
+    names = ("seq-odd-access", "seq-even-access", "cond-cumulative-add",
+             "cond-cumulative-mul", "assign-print")
+    embeddings = {
+        name: match_pattern(get_pattern(name), graph) for name in names
+    }
+    statuses = {
+        name: (FeedbackStatus.CORRECT if found else
+               FeedbackStatus.NOT_EXPECTED)
+        for name, found in embeddings.items()
+    }
+    return graph, embeddings, statuses
+
+
+class TestEqualityConstraint:
+    def test_satisfied(self, fig2b):
+        graph, embeddings, statuses = fig2b
+        # the paper's example: (p_o, u5, p_a, u3)
+        constraint = EqualityConstraint(
+            name="odd-sum", pattern_i="seq-odd-access", node_i=5,
+            pattern_j="cond-cumulative-add", node_j=3,
+        )
+        comment = check_constraint(constraint, graph, embeddings, statuses)
+        assert comment.status is FeedbackStatus.CORRECT
+
+    def test_violated(self, fig2b):
+        graph, embeddings, statuses = fig2b
+        # odd access node vs the *product* accumulation node: different
+        constraint = EqualityConstraint(
+            name="mixed", pattern_i="seq-odd-access", node_i=5,
+            pattern_j="cond-cumulative-mul", node_j=3,
+        )
+        comment = check_constraint(constraint, graph, embeddings, statuses)
+        assert comment.status is FeedbackStatus.INCORRECT
+
+    def test_feedback_instantiated_with_gamma(self, fig2b):
+        graph, embeddings, statuses = fig2b
+        constraint = EqualityConstraint(
+            name="odd-sum", pattern_i="seq-odd-access", node_i=5,
+            pattern_j="cond-cumulative-add", node_j=3,
+            feedback_correct="{c} sums the odd positions of {s}",
+        )
+        comment = check_constraint(constraint, graph, embeddings, statuses)
+        assert comment.message == "o sums the odd positions of a"
+
+
+class TestEdgeExistenceConstraint:
+    def test_satisfied(self, fig2b):
+        graph, embeddings, statuses = fig2b
+        # the paper's example: accumulated variable is printed
+        constraint = EdgeExistenceConstraint(
+            name="printed", pattern_i="cond-cumulative-add", node_i=3,
+            pattern_j="assign-print", node_j=1, edge_type=EdgeType.DATA,
+        )
+        comment = check_constraint(constraint, graph, embeddings, statuses)
+        assert comment.status is FeedbackStatus.CORRECT
+
+    def test_wrong_edge_type_fails(self, fig2b):
+        graph, embeddings, statuses = fig2b
+        constraint = EdgeExistenceConstraint(
+            name="ctrl", pattern_i="cond-cumulative-add", node_i=3,
+            pattern_j="assign-print", node_j=1, edge_type=EdgeType.CTRL,
+        )
+        comment = check_constraint(constraint, graph, embeddings, statuses)
+        assert comment.status is FeedbackStatus.INCORRECT
+
+
+class TestContainmentConstraint:
+    def test_satisfied(self, fig2b):
+        graph, embeddings, statuses = fig2b
+        # the paper's example: (p_o, u5, `c += s[x]`, {p_a})
+        constraint = ContainmentConstraint(
+            name="contains", pattern="seq-odd-access", node=5,
+            expr=ExprTemplate(r"c \+= s\[x\]", frozenset({"c", "s", "x"})),
+            supporting=("cond-cumulative-add",),
+        )
+        comment = check_constraint(constraint, graph, embeddings, statuses)
+        assert comment.status is FeedbackStatus.CORRECT
+
+    def test_violated(self, fig2b):
+        graph, embeddings, statuses = fig2b
+        constraint = ContainmentConstraint(
+            name="contains", pattern="seq-odd-access", node=5,
+            expr=ExprTemplate(r"c \*= s\[x\]", frozenset({"c", "s", "x"})),
+            supporting=("cond-cumulative-add",),
+        )
+        comment = check_constraint(constraint, graph, embeddings, statuses)
+        assert comment.status is FeedbackStatus.INCORRECT
+
+    def test_empty_supporting_set(self, fig2b):
+        graph, embeddings, statuses = fig2b
+        constraint = ContainmentConstraint(
+            name="self", pattern="seq-odd-access", node=1,
+            expr=ExprTemplate(r"x = 0", frozenset({"x"})),
+            supporting=(),
+        )
+        comment = check_constraint(constraint, graph, embeddings, statuses)
+        assert comment.status is FeedbackStatus.CORRECT
+
+    def test_variable_free_expression(self, fig2b):
+        graph, embeddings, statuses = fig2b
+        constraint = ContainmentConstraint(
+            name="plus-equals", pattern="cond-cumulative-add", node=3,
+            expr=ExprTemplate(r"\+=", frozenset()),
+            supporting=(),
+        )
+        comment = check_constraint(constraint, graph, embeddings, statuses)
+        assert comment.status is FeedbackStatus.CORRECT
+
+
+class TestNotExpectedPropagation:
+    def test_missing_pattern_propagates(self, fig2b):
+        graph, embeddings, statuses = fig2b
+        embeddings = dict(embeddings)
+        embeddings["cond-cumulative-add"] = []
+        statuses = dict(statuses)
+        statuses["cond-cumulative-add"] = FeedbackStatus.NOT_EXPECTED
+        constraint = EqualityConstraint(
+            name="odd-sum", pattern_i="seq-odd-access", node_i=5,
+            pattern_j="cond-cumulative-add", node_j=3,
+        )
+        comment = check_constraint(constraint, graph, embeddings, statuses)
+        assert comment.status is FeedbackStatus.NOT_EXPECTED
+        assert "could not be checked" in comment.message
+
+    def test_not_expected_status_propagates_even_with_embeddings(self, fig2b):
+        graph, embeddings, statuses = fig2b
+        statuses = dict(statuses)
+        statuses["seq-odd-access"] = FeedbackStatus.NOT_EXPECTED
+        constraint = EqualityConstraint(
+            name="odd-sum", pattern_i="seq-odd-access", node_i=5,
+            pattern_j="cond-cumulative-add", node_j=3,
+        )
+        comment = check_constraint(constraint, graph, embeddings, statuses)
+        assert comment.status is FeedbackStatus.NOT_EXPECTED

@@ -1,0 +1,123 @@
+"""Unit tests for ProvideFeedback and the Λ cost function."""
+
+import pytest
+
+from repro.matching import FeedbackStatus, cost, match_pattern, provide_feedback
+from repro.matching.feedback import FeedbackComment
+from repro.java import parse_submission
+from repro.kb import get_pattern
+from repro.kb.assignments.assignment1 import FIGURE_2A, FIGURE_2B
+from repro.pdg import extract_epdg
+
+
+def embeddings_for(source, pattern_name):
+    graph = extract_epdg(parse_submission(source).methods()[0])
+    return match_pattern(get_pattern(pattern_name), graph)
+
+
+class TestProvideFeedback:
+    def test_exact_match_is_correct(self):
+        found = embeddings_for(FIGURE_2B, "seq-odd-access")
+        comment = provide_feedback(found, get_pattern("seq-odd-access"), 1)
+        assert comment.status is FeedbackStatus.CORRECT
+        assert "odd positions" in comment.message
+        # node feedback instantiated with submission variable names
+        assert any("i is initialized to 0" in d for d in comment.details)
+
+    def test_missing_pattern_is_not_expected(self):
+        comment = provide_feedback([], get_pattern("seq-odd-access"), 1)
+        assert comment.status is FeedbackStatus.NOT_EXPECTED
+        assert "not accessing odd positions" in comment.message
+
+    def test_approximate_match_is_incorrect(self):
+        source = """
+        void f(int[] a) {
+            int o = 0;
+            for (int i = 0; i <= a.length; i++)
+                if (i % 2 == 1)
+                    o += a[i];
+        }
+        """
+        found = embeddings_for(source, "seq-odd-access")
+        comment = provide_feedback(found, get_pattern("seq-odd-access"), 1)
+        assert comment.status is FeedbackStatus.INCORRECT
+        assert any("out of bounds" in d for d in comment.details)
+
+    def test_wrong_count_is_not_expected(self):
+        found = embeddings_for(FIGURE_2A, "seq-odd-access")
+        comment = provide_feedback(found, get_pattern("seq-odd-access"), 1)
+        assert comment.status is FeedbackStatus.NOT_EXPECTED
+        assert "Found 2 occurrences" in comment.message
+
+    def test_count_none_means_at_least_one(self):
+        found = embeddings_for(FIGURE_2B, "print-call")
+        comment = provide_feedback(found, get_pattern("print-call"), None)
+        assert comment.status is FeedbackStatus.CORRECT
+
+    def test_bad_pattern_absent_is_correct(self):
+        comment = provide_feedback([], get_pattern("factorial-loop"), 0)
+        assert comment.status is FeedbackStatus.CORRECT
+        assert "avoids" in comment.message
+
+    def test_bad_pattern_present_is_not_expected(self):
+        source = """
+        void f(int m) {
+            int f = 1;
+            for (int i = 1; i <= m; i++)
+                f *= i;
+        }
+        """
+        found = embeddings_for(source, "factorial-loop")
+        comment = provide_feedback(found, get_pattern("factorial-loop"), 0)
+        assert comment.status is FeedbackStatus.NOT_EXPECTED
+
+    def test_bad_pattern_ignores_approximate_matches(self):
+        # only exact matches count against a bad pattern
+        source = """
+        void f(int m) {
+            int f = 0;
+            for (int i = 1; i <= m; i++)
+                f = i;
+        }
+        """
+        found = embeddings_for(source, "factorial-loop")
+        comment = provide_feedback(found, get_pattern("factorial-loop"), 0)
+        assert comment.status is FeedbackStatus.CORRECT
+
+
+class TestCostFunction:
+    def comment(self, status):
+        return FeedbackComment(source="s", kind="pattern", status=status,
+                               message="m")
+
+    def test_equation_3_weights(self):
+        comments = [
+            self.comment(FeedbackStatus.CORRECT),
+            self.comment(FeedbackStatus.INCORRECT),
+            self.comment(FeedbackStatus.NOT_EXPECTED),
+        ]
+        assert cost(comments) == 1.5
+
+    def test_empty_is_zero(self):
+        assert cost([]) == 0.0
+
+    def test_all_correct(self):
+        assert cost([self.comment(FeedbackStatus.CORRECT)] * 4) == 4.0
+
+
+class TestCommentRendering:
+    def test_render_includes_status_and_details(self):
+        comment = FeedbackComment(
+            source="p", kind="pattern", status=FeedbackStatus.INCORRECT,
+            message="head", details=("one", "two"),
+        )
+        text = comment.render()
+        assert "[Incorrect] head" in text
+        assert "- one" in text and "- two" in text
+
+    def test_render_without_message_falls_back_to_source(self):
+        comment = FeedbackComment(
+            source="p", kind="pattern", status=FeedbackStatus.CORRECT,
+            message="",
+        )
+        assert "p" in comment.render()

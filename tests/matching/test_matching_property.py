@@ -1,0 +1,99 @@
+"""Property-based tests: every embedding Algorithm 1 returns satisfies
+Definition 7, on random programs matched against the whole pattern
+library."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.java import parse_submission
+from repro.kb import all_patterns
+from repro.matching import match_pattern
+from repro.pdg import NodeType, extract_epdg
+
+_PATTERNS = list(all_patterns().values())
+
+_SNIPPETS = [
+    "int odd = 0;",
+    "int even = 1;",
+    "int i = 0;",
+    "int n = k;",
+    "odd += a[i];",
+    "even *= a[i];",
+    "i++;",
+    "n /= 10;",
+    "int d = n % 10;",
+    "System.out.println(odd);",
+    "if (i % 2 == 1) odd += a[i];",
+    "if (i % 2 == 0) even *= a[i];",
+    "while (i < a.length) { i++; }",
+    "while (n != 0) { n /= 10; }",
+    "for (int j = 0; j < a.length; j++) odd += a[j];",
+    "return;",
+]
+
+
+@st.composite
+def programs(draw):
+    chosen = draw(st.lists(st.sampled_from(_SNIPPETS), min_size=1,
+                           max_size=8))
+    body = "\n".join(chosen)
+    return (
+        "void f(int[] a, int k) {\n"
+        "int odd = 0; int even = 1; int i = 0; int n = k; int d = 0;\n"
+        f"{body}\n}}"
+    )
+
+
+class TestDefinitionSeven:
+    @given(programs(), st.sampled_from(_PATTERNS))
+    @settings(max_examples=250, deadline=None)
+    def test_embeddings_satisfy_definition_7(self, source, pattern):
+        graph = extract_epdg(parse_submission(source).methods()[0])
+        for embedding in match_pattern(pattern, graph):
+            iota = embedding.iota_map
+            gamma = embedding.gamma_map
+            # condition 1: total, type-respecting node mapping
+            assert set(iota) == {u.node_id for u in pattern.nodes}
+            for u in pattern.nodes:
+                v = graph.node(iota[u.node_id])
+                assert u.type is NodeType.UNTYPED or u.type is v.type
+                # the (possibly approximate) expression matched
+                bound = {
+                    name: gamma[name]
+                    for name in u.expr.variables if name in gamma
+                }
+                exact = len(bound) == len(u.expr.variables) and \
+                    u.expr.matches(v.content, bound)
+                approx = False
+                if u.approx is not None:
+                    approx_bound = {
+                        name: gamma[name]
+                        for name in u.approx.variables if name in gamma
+                    }
+                    approx = len(approx_bound) == len(u.approx.variables) \
+                        and u.approx.matches(v.content, approx_bound)
+                assert exact or approx
+            # condition 2: every pattern edge is realized in the graph
+            for edge in pattern.edges:
+                assert graph.has_edge(
+                    iota[edge.source], iota[edge.target], edge.type
+                )
+            # ι and γ are injective
+            assert len(set(iota.values())) == len(iota)
+            assert len(set(gamma.values())) == len(gamma)
+
+    @given(programs(), st.sampled_from(_PATTERNS))
+    @settings(max_examples=100, deadline=None)
+    def test_marks_cover_every_node(self, source, pattern):
+        graph = extract_epdg(parse_submission(source).methods()[0])
+        for embedding in match_pattern(pattern, graph):
+            assert set(embedding.marks_map) == {
+                u.node_id for u in pattern.nodes
+            }
+
+    @given(programs(), st.sampled_from(_PATTERNS))
+    @settings(max_examples=100, deadline=None)
+    def test_matching_is_deterministic(self, source, pattern):
+        graph = extract_epdg(parse_submission(source).methods()[0])
+        first = match_pattern(pattern, graph)
+        second = match_pattern(pattern, graph)
+        assert first == second

@@ -1,0 +1,239 @@
+"""Unit tests for Algorithm 1 (subgraph pattern matching)."""
+
+import pytest
+
+from repro.java import parse_submission
+from repro.kb import get_pattern
+from repro.kb.assignments.assignment1 import FIGURE_2A, FIGURE_2B
+from repro.matching import match_pattern
+from repro.patterns import ExprTemplate, Pattern, PatternNode
+from repro.pdg import EdgeType, NodeType, extract_epdg
+from repro.pdg.graph import GraphEdge
+
+
+def graph_of(source, method=None):
+    unit = parse_submission(source)
+    decl = unit.methods()[0] if method is None else unit.method(method)
+    return extract_epdg(decl)
+
+
+def make_pattern(nodes, edges=()):
+    return Pattern(name="test", description="test pattern",
+                   nodes=nodes, edges=list(edges))
+
+
+def node(node_id, node_type, expr, variables=(), approx=None,
+         approx_vars=None):
+    approx_template = None
+    if approx is not None:
+        approx_template = ExprTemplate(
+            approx,
+            frozenset(approx_vars if approx_vars is not None else variables),
+        )
+    return PatternNode(
+        node_id, node_type,
+        ExprTemplate(expr, frozenset(variables)),
+        approx=approx_template,
+    )
+
+
+class TestStructuralMatching:
+    def test_single_node_match(self):
+        graph = graph_of("void f() { int x = 0; }")
+        pattern = make_pattern([node(0, NodeType.ASSIGN, r"v = 0", ("v",))])
+        (embedding,) = match_pattern(pattern, graph)
+        assert embedding.gamma_map == {"v": "x"}
+
+    def test_type_filter(self):
+        graph = graph_of("void f(int x) { if (x > 0) x = 1; }")
+        pattern = make_pattern([node(0, NodeType.CALL, r"x", ("x",))])
+        assert match_pattern(pattern, graph) == []
+
+    def test_untyped_matches_any_type(self):
+        graph = graph_of("void f() { int x = 0; }")
+        pattern = make_pattern([node(0, NodeType.UNTYPED, r"v = 0", ("v",))])
+        assert len(match_pattern(pattern, graph)) == 1
+
+    def test_edge_requirement_prunes(self):
+        graph = graph_of("""
+        void f(int c) {
+            int x = 0;
+            if (c > 0)
+                x = 1;
+            int y = 5;
+        }
+        """)
+        pattern = make_pattern(
+            [
+                node(0, NodeType.COND, r"", ()),
+                node(1, NodeType.ASSIGN, r"v = 1", ("v",)),
+            ],
+            [GraphEdge(0, 1, EdgeType.CTRL)],
+        )
+        (embedding,) = match_pattern(pattern, graph)
+        assert embedding.gamma_map["v"] == "x"
+
+    def test_incoming_edges_also_checked(self):
+        # an edge from an already-matched node INTO the new node must hold
+        graph = graph_of("void f() { int x = 0; int y = x; int z = 1; }")
+        pattern = make_pattern(
+            [
+                node(0, NodeType.ASSIGN, r"", ()),
+                node(1, NodeType.ASSIGN, r"", ()),
+            ],
+            [GraphEdge(0, 1, EdgeType.DATA)],
+        )
+        embeddings = match_pattern(pattern, graph)
+        pairs = {
+            (graph.node(e.graph_node(0)).content,
+             graph.node(e.graph_node(1)).content)
+            for e in embeddings
+        }
+        assert pairs == {("x = 0", "y = x")}
+
+    def test_injective_node_mapping(self):
+        # two pattern nodes cannot map to the same graph node
+        graph = graph_of("void f() { int x = 0; }")
+        pattern = make_pattern([
+            node(0, NodeType.ASSIGN, r"", ()),
+            node(1, NodeType.ASSIGN, r"", ()),
+        ])
+        assert match_pattern(pattern, graph) == []
+
+    def test_empty_pattern_yields_nothing(self):
+        graph = graph_of("void f() { int x = 0; }")
+        assert match_pattern(make_pattern([]), graph) == []
+
+    def test_unmatchable_type_short_circuits(self):
+        graph = graph_of("void f() { int x = 0; }")
+        pattern = make_pattern([node(0, NodeType.RETURN, r"", ())])
+        assert match_pattern(pattern, graph) == []
+
+
+class TestVariableMatching:
+    def test_variables_bind_injectively(self):
+        graph = graph_of("void f() { int x = 0; int s = x + x; }")
+        pattern = make_pattern([
+            node(0, NodeType.ASSIGN, r"a \+ b", ("a", "b")),
+        ])
+        # `s = x + x` has only variable x besides s; a and b cannot both
+        # bind to x, and (a=s, b=x) fails the expression
+        assert match_pattern(pattern, graph) == []
+
+    def test_gamma_shared_across_nodes(self):
+        graph = graph_of("""
+        void f() {
+            int i = 0;
+            int j = 0;
+            i++;
+        }
+        """)
+        pattern = make_pattern(
+            [
+                node(0, NodeType.ASSIGN, r"v = 0", ("v",)),
+                node(1, NodeType.ASSIGN, r"v\+\+", ("v",)),
+            ],
+            [GraphEdge(0, 1, EdgeType.DATA)],
+        )
+        (embedding,) = match_pattern(pattern, graph)
+        assert embedding.gamma_map == {"v": "i"}
+
+    def test_fewer_pattern_vars_than_node_vars_allowed(self):
+        # our documented relaxation of the paper's |X| = |Y| rule
+        graph = graph_of("void f(int[] a, int i) { int odd = 0; odd += a[i]; }")
+        pattern = make_pattern([
+            node(0, NodeType.ASSIGN, r"s\[x\]", ("s", "x")),
+        ])
+        embeddings = match_pattern(pattern, graph)
+        assert any(
+            e.gamma_map.get("s") == "a" and e.gamma_map.get("x") == "i"
+            for e in embeddings
+        )
+
+    def test_more_pattern_vars_than_node_vars_fails(self):
+        graph = graph_of("void f() { int x = 0; }")
+        pattern = make_pattern([
+            node(0, NodeType.ASSIGN, r"a = b", ("a", "b")),
+        ])
+        assert match_pattern(pattern, graph) == []
+
+    def test_symmetric_bindings_both_kept(self):
+        # with a symmetric template both variable orders are embeddings
+        graph = graph_of("void f(int p, int q) { int t = p + q; }")
+        pattern = make_pattern([
+            node(0, NodeType.ASSIGN, r"a \+ b|b \+ a", ("a", "b")),
+        ])
+        gammas = {tuple(sorted(e.gamma_map.items()))
+                  for e in match_pattern(pattern, graph)}
+        assert (("a", "p"), ("b", "q")) in gammas
+        assert (("a", "q"), ("b", "p")) in gammas
+
+    def test_directional_template_picks_one_order(self):
+        graph = graph_of("void f(int p, int q) { int t = p + q; }")
+        pattern = make_pattern([
+            node(0, NodeType.ASSIGN, r"a \+ b", ("a", "b")),
+        ])
+        (embedding,) = match_pattern(pattern, graph)
+        assert embedding.gamma_map == {"a": "p", "b": "q"}
+
+
+class TestApproximateMatching:
+    def test_exact_match_marked_correct(self):
+        graph = graph_of("void f(int[] a, int i) { if (i < a.length) i++; }")
+        pattern = make_pattern([
+            node(0, NodeType.COND, r"x < s\.length", ("x", "s"),
+                 approx=r"x <= s\.length"),
+        ])
+        (embedding,) = match_pattern(pattern, graph)
+        assert embedding.is_fully_correct
+
+    def test_approximate_match_marked_incorrect(self):
+        graph = graph_of("void f(int[] a, int i) { if (i <= a.length) i++; }")
+        pattern = make_pattern([
+            node(0, NodeType.COND, r"x < s\.length", ("x", "s"),
+                 approx=r"x <= s\.length"),
+        ])
+        (embedding,) = match_pattern(pattern, graph)
+        assert not embedding.is_fully_correct
+        assert embedding.incorrect_nodes == (0,)
+
+    def test_no_approx_means_crucial_node(self):
+        graph = graph_of("void f(int i) { if (i % 2 == 0) i++; }")
+        pattern = make_pattern([
+            node(0, NodeType.COND, r"x % 2 == 1", ("x",)),
+        ])
+        assert match_pattern(pattern, graph) == []
+
+
+class TestPaperExample:
+    """Section IV's worked example: pattern p_o over Figure 3."""
+
+    def test_figure_2a_yields_approximate_embedding(self):
+        graph = graph_of(FIGURE_2A)
+        embeddings = match_pattern(get_pattern("seq-odd-access"), graph)
+        assert len(embeddings) == 2  # both ifs use i % 2 == 1
+        for embedding in embeddings:
+            assert embedding.gamma_map == {"s": "a", "x": "i"}
+            # u3 (the bound) only matches approximately: i <= a.length
+            assert 3 in embedding.incorrect_nodes
+
+    def test_figure_2b_yields_exact_embedding(self):
+        graph = graph_of(FIGURE_2B)
+        embeddings = match_pattern(get_pattern("seq-odd-access"), graph)
+        assert len(embeddings) == 1
+        assert embeddings[0].is_fully_correct
+        assert embeddings[0].gamma_map == {"s": "a", "x": "i"}
+
+    def test_embedding_reports_graph_nodes(self):
+        graph = graph_of(FIGURE_2B)
+        (embedding,) = match_pattern(get_pattern("seq-odd-access"), graph)
+        access = graph.node(embedding.graph_node(5))
+        assert access.content == "o += a[i]"
+
+
+class TestEmbeddingObject:
+    def test_str_form(self):
+        graph = graph_of(FIGURE_2B)
+        (embedding,) = match_pattern(get_pattern("seq-odd-access"), graph)
+        text = str(embedding)
+        assert "u0=v" in text and "s->a" in text

@@ -1,0 +1,183 @@
+"""Unit tests for pattern variant groups (Section VII future work)."""
+
+import pytest
+
+from repro.errors import PatternDefinitionError
+from repro.java import parse_submission
+from repro.kb import get_pattern
+from repro.kb.extensions import (
+    SKIP_INDEX_SUBMISSION,
+    even_access_group,
+    odd_access_group,
+)
+from repro.matching.groups import match_group
+from repro.patterns import (
+    ExprTemplate,
+    Pattern,
+    PatternGroup,
+    PatternNode,
+    PatternVariant,
+    group_of,
+)
+from repro.pdg import NodeType, extract_epdg
+
+
+def tiny_pattern(name, expr):
+    return Pattern(
+        name=name, description=name,
+        nodes=[PatternNode(0, NodeType.ASSIGN,
+                           ExprTemplate(expr, frozenset({"v"})))],
+    )
+
+
+class TestGroupValidation:
+    def test_empty_group_rejected(self):
+        with pytest.raises(PatternDefinitionError, match="needs variants"):
+            PatternGroup(variants=[])
+
+    def test_group_presents_primary_name(self):
+        group = group_of(tiny_pattern("alpha", "v = 0"))
+        assert group.name == "alpha"
+
+    def test_primary_gets_identity_node_map(self):
+        group = group_of(tiny_pattern("alpha", "v = 0"))
+        assert group.primary.node_map == {0: 0}
+
+    def test_out_of_range_node_map_rejected(self):
+        with pytest.raises(PatternDefinitionError, match="out of range"):
+            group_of(
+                tiny_pattern("alpha", "v = 0"),
+                (tiny_pattern("beta", "v = 1"), {0: 7}),
+            )
+
+    def test_duplicate_variant_names_rejected(self):
+        with pytest.raises(PatternDefinitionError, match="distinct"):
+            group_of(
+                tiny_pattern("alpha", "v = 0"),
+                (tiny_pattern("alpha", "v = 1"), {0: 0}),
+            )
+
+    def test_variant_translate(self):
+        variant = PatternVariant(tiny_pattern("beta", "v = 1"), {5: 0})
+        assert variant.translate(5) == 0
+        with pytest.raises(PatternDefinitionError, match="does not map"):
+            variant.translate(1)
+
+
+class TestGroupMatching:
+    def graph(self, source):
+        return extract_epdg(parse_submission(source).methods()[0])
+
+    def test_primary_wins_when_it_matches(self):
+        group = group_of(
+            tiny_pattern("alpha", "v = 0"),
+            (tiny_pattern("beta", "v = 1"), {0: 0}),
+        )
+        result = match_group(group, self.graph("void f() { int x = 0; }"))
+        assert result.pattern.name == "alpha"
+        assert result.embeddings
+
+    def test_variant_wins_when_primary_misses(self):
+        group = group_of(
+            tiny_pattern("alpha", "v = 0"),
+            (tiny_pattern("beta", "v = 1"), {0: 0}),
+        )
+        result = match_group(group, self.graph("void f() { int x = 1; }"))
+        assert result.pattern.name == "beta"
+
+    def test_exact_variant_beats_approximate_primary(self):
+        primary = Pattern(
+            name="alpha", description="",
+            nodes=[PatternNode(
+                0, NodeType.ASSIGN,
+                ExprTemplate("v = 0", frozenset({"v"})),
+                approx=ExprTemplate("v =", frozenset({"v"})),
+            )],
+        )
+        group = group_of(primary, (tiny_pattern("beta", "v = 1"), {0: 0}))
+        result = match_group(group, self.graph("void f() { int x = 1; }"))
+        assert result.pattern.name == "beta"
+        assert result.embeddings[0].is_fully_correct
+
+    def test_translated_embeddings_use_primary_ids(self):
+        variant = tiny_pattern("beta", "v = 1")
+        group = group_of(tiny_pattern("alpha", "v = 0"),
+                         (variant, {0: 0}))
+        result = match_group(group, self.graph("void f() { int x = 1; }"))
+        assert result.translated[0].iota_map.keys() == {0}
+
+    def test_no_match_returns_empty(self):
+        group = group_of(tiny_pattern("alpha", "v = 0"))
+        result = match_group(group, self.graph("void f() { return; }"))
+        assert result.embeddings == []
+
+
+class TestPaperVariantScenario:
+    """The paper's own example: even access via i % 2 == 0 or i += 2."""
+
+    def test_skip_variant_matches_jumping_loop(self):
+        graph = extract_epdg(
+            parse_submission(SKIP_INDEX_SUBMISSION).methods()[0]
+        )
+        result = match_group(even_access_group(), graph)
+        assert result.pattern.name == "seq-even-access-skip"
+        assert result.embeddings[0].is_fully_correct
+
+    def test_primary_still_matches_modulo_style(self):
+        from repro.kb import get_assignment
+        reference = get_assignment("assignment1").reference_solutions[0]
+        graph = extract_epdg(parse_submission(reference).methods()[0])
+        result = match_group(even_access_group(), graph)
+        assert result.pattern.name == "seq-even-access"
+
+    def test_translated_access_node_is_the_array_access(self):
+        graph = extract_epdg(
+            parse_submission(SKIP_INDEX_SUBMISSION).methods()[0]
+        )
+        result = match_group(odd_access_group(), graph)
+        # primary node 5 is the access node; its translation must land on
+        # the `odd += a[i]` graph node
+        access = graph.node(result.translated[0].iota_map[5])
+        assert access.content == "odd += a[i]"
+
+    def test_variants_do_not_cross_match_parities(self):
+        graph = extract_epdg(
+            parse_submission(SKIP_INDEX_SUBMISSION).methods()[0]
+        )
+        odd = match_group(odd_access_group(), graph)
+        even = match_group(even_access_group(), graph)
+        assert odd.embeddings[0].gamma_map["x"] == "i"
+        assert even.embeddings[0].gamma_map["w"] == "j"
+
+
+class TestAssignmentWithVariants:
+    def test_skip_submission_fully_positive(self):
+        from repro.core import FeedbackEngine
+        from repro.kb.extensions import assignment1_with_variants
+        engine = FeedbackEngine(assignment1_with_variants())
+        report = engine.grade(SKIP_INDEX_SUBMISSION)
+        assert report.is_positive, report.render()
+
+    def test_plain_kb_rejects_skip_submission(self):
+        # without the hierarchy this is the paper's discrepancy class 3
+        from repro.core import FeedbackEngine
+        from repro.kb import get_assignment
+        engine = FeedbackEngine(get_assignment("assignment1"))
+        assert not engine.grade(SKIP_INDEX_SUBMISSION).is_positive
+
+    def test_upgrade_preserves_existing_verdicts(self):
+        from repro.core import FeedbackEngine
+        from repro.kb import get_assignment
+        from repro.kb.assignments.assignment1 import FIGURE_2A, FIGURE_2B
+        from repro.kb.extensions import assignment1_with_variants
+        engine = FeedbackEngine(assignment1_with_variants())
+        assert engine.grade(FIGURE_2B).is_positive
+        assert not engine.grade(FIGURE_2A).is_positive
+        reference = get_assignment("assignment1").reference_solutions[0]
+        assert engine.grade(reference).is_positive
+
+    def test_library_counts_untouched(self):
+        # the extension must not change the Table I bookkeeping
+        from repro.kb import all_patterns, get_assignment
+        assert len(all_patterns()) == 24
+        assert get_assignment("assignment1").pattern_count == 6

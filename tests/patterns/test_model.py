@@ -1,0 +1,135 @@
+"""Unit tests for pattern/constraint models and serialization."""
+
+import pytest
+
+from repro.errors import PatternDefinitionError
+from repro.kb import all_patterns
+from repro.patterns import (
+    ContainmentConstraint,
+    EdgeExistenceConstraint,
+    EqualityConstraint,
+    ExprTemplate,
+    Pattern,
+    PatternNode,
+    constraint_from_dict,
+    constraint_to_dict,
+    pattern_from_dict,
+    pattern_to_dict,
+)
+from repro.pdg.graph import EdgeType, GraphEdge, NodeType
+
+
+def simple_pattern():
+    return Pattern(
+        name="p",
+        description="d",
+        nodes=[
+            PatternNode(0, NodeType.COND, ExprTemplate("x > 0",
+                                                       frozenset({"x"}))),
+            PatternNode(1, NodeType.ASSIGN,
+                        ExprTemplate(r"x \+= 1", frozenset({"x"})),
+                        approx=ExprTemplate("x", frozenset({"x"}))),
+        ],
+        edges=[GraphEdge(0, 1, EdgeType.CTRL)],
+        feedback_present="found",
+        feedback_missing="missing",
+    )
+
+
+class TestPatternValidation:
+    def test_dense_node_ids_required(self):
+        with pytest.raises(PatternDefinitionError, match="dense"):
+            Pattern(
+                name="bad", description="",
+                nodes=[PatternNode(1, NodeType.COND,
+                                   ExprTemplate("", frozenset()))],
+            )
+
+    def test_edge_endpoints_validated(self):
+        with pytest.raises(PatternDefinitionError, match="missing node"):
+            Pattern(
+                name="bad", description="",
+                nodes=[PatternNode(0, NodeType.COND,
+                                   ExprTemplate("", frozenset()))],
+                edges=[GraphEdge(0, 7, EdgeType.DATA)],
+            )
+
+    def test_approx_variables_must_be_subset(self):
+        # Definition 4: Y ⊆ X
+        with pytest.raises(PatternDefinitionError, match="subset"):
+            Pattern(
+                name="bad", description="",
+                nodes=[PatternNode(
+                    0, NodeType.COND,
+                    ExprTemplate("x", frozenset({"x"})),
+                    approx=ExprTemplate("y", frozenset({"y"})),
+                )],
+            )
+
+    def test_pattern_variables_union(self):
+        assert simple_pattern().variables == frozenset({"x"})
+
+    def test_edges_touching(self):
+        pattern = simple_pattern()
+        assert len(pattern.edges_touching(0)) == 1
+        assert len(pattern.edges_touching(1)) == 1
+
+    def test_str_rendering(self):
+        assert "u0[Cond]" in str(simple_pattern())
+
+
+class TestSerialization:
+    def test_pattern_round_trip(self):
+        original = simple_pattern()
+        restored = pattern_from_dict(pattern_to_dict(original))
+        assert restored.name == original.name
+        assert len(restored.nodes) == len(original.nodes)
+        assert restored.nodes[1].approx is not None
+        assert restored.edges == original.edges
+        assert restored.feedback_missing == "missing"
+
+    def test_whole_library_round_trips(self):
+        # the public knowledge base must be fully serializable
+        import json
+        for name, pattern in all_patterns().items():
+            payload = json.dumps(pattern_to_dict(pattern))
+            restored = pattern_from_dict(json.loads(payload))
+            assert restored.name == name
+            assert len(restored.nodes) == len(pattern.nodes)
+            assert restored.edges == pattern.edges
+            for mine, theirs in zip(pattern.nodes, restored.nodes):
+                assert mine.expr.source == theirs.expr.source
+                assert (mine.approx is None) == (theirs.approx is None)
+
+    @pytest.mark.parametrize("constraint", [
+        EqualityConstraint(name="eq", pattern_i="a", node_i=1,
+                           pattern_j="b", node_j=2),
+        EdgeExistenceConstraint(name="ed", pattern_i="a", node_i=0,
+                                pattern_j="b", node_j=1,
+                                edge_type=EdgeType.CTRL),
+        ContainmentConstraint(
+            name="ct", pattern="a", node=3,
+            expr=ExprTemplate("c", frozenset({"c"})),
+            supporting=("b",),
+        ),
+    ])
+    def test_constraint_round_trip(self, constraint):
+        restored = constraint_from_dict(constraint_to_dict(constraint))
+        assert type(restored) is type(constraint)
+        assert restored.name == constraint.name
+        assert restored.referenced_patterns() == \
+            constraint.referenced_patterns()
+
+    def test_unknown_constraint_kind_raises(self):
+        with pytest.raises(PatternDefinitionError, match="unknown"):
+            constraint_from_dict({"kind": "nope", "name": "x"})
+
+
+class TestConstraintModel:
+    def test_referenced_patterns(self):
+        constraint = ContainmentConstraint(
+            name="c", pattern="main", node=0,
+            expr=ExprTemplate("", frozenset()),
+            supporting=("s1", "s2"),
+        )
+        assert constraint.referenced_patterns() == ("main", "s1", "s2")

@@ -1,0 +1,279 @@
+"""Unit tests for EPDG construction (paper Section III-A)."""
+
+import pytest
+
+from repro.java import parse_submission
+from repro.pdg import EdgeType, NodeType, extract_all_epdgs, extract_epdg
+
+
+def build(source, method=None):
+    unit = parse_submission(source)
+    decl = unit.methods()[0] if method is None else unit.method(method)
+    return extract_epdg(decl)
+
+
+def node_by_content(graph, content):
+    (node,) = graph.find_by_content(content)
+    return node
+
+
+def has_edge(graph, source_content, target_content, edge_type):
+    source = node_by_content(graph, source_content)
+    target = node_by_content(graph, target_content)
+    return graph.has_edge(source.node_id, target.node_id, edge_type)
+
+
+class TestNodes:
+    def test_parameter_becomes_decl_node(self):
+        graph = build("void f(int[] a) { }")
+        (node,) = graph.nodes
+        assert node.type is NodeType.DECL
+        assert node.content == "a"
+
+    def test_initialized_declaration_becomes_assign(self):
+        graph = build("void f() { int x = 0; }")
+        node = node_by_content(graph, "x = 0")
+        assert node.type is NodeType.ASSIGN
+
+    def test_bare_declaration_produces_no_node(self):
+        graph = build("void f() { int x; }")
+        assert len(graph) == 0
+
+    def test_multi_declarator_splits(self):
+        graph = build("void f() { int o = 0, e = 1; }")
+        assert [n.content for n in graph.nodes] == ["o = 0", "e = 1"]
+
+    def test_call_node(self):
+        graph = build("void f(int x) { System.out.println(x); }")
+        node = node_by_content(graph, "System.out.println(x)")
+        assert node.type is NodeType.CALL
+
+    def test_condition_node(self):
+        graph = build("void f(int x) { if (x > 0) x = 1; }")
+        assert node_by_content(graph, "x > 0").type is NodeType.COND
+
+    def test_return_node(self):
+        graph = build("int f(int x) { return x + 1; }")
+        assert node_by_content(graph, "return x + 1").type is NodeType.RETURN
+
+    def test_void_return_node(self):
+        graph = build("void f() { return; }")
+        assert node_by_content(graph, "return").type is NodeType.RETURN
+
+    def test_break_and_continue_nodes(self):
+        graph = build(
+            "void f() { while (true) { break; } while (true) { continue; } }"
+        )
+        assert node_by_content(graph, "break").type is NodeType.BREAK
+        assert node_by_content(graph, "continue").type is NodeType.BREAK
+
+    def test_increment_is_assign_node(self):
+        graph = build("void f(int i) { i++; }")
+        assert node_by_content(graph, "i++").type is NodeType.ASSIGN
+
+    def test_node_variable_sets(self):
+        graph = build("void f(int[] a, int i) { int odd = 0; odd += a[i]; }")
+        node = node_by_content(graph, "odd += a[i]")
+        assert set(node.defines) == {"odd"}
+        assert set(node.uses) == {"odd", "a", "i"}
+
+
+class TestControlEdges:
+    def test_if_body_controlled_by_condition(self):
+        graph = build("void f(int x) { if (x > 0) x = 1; }")
+        assert has_edge(graph, "x > 0", "x = 1", EdgeType.CTRL)
+
+    def test_else_branch_also_controlled(self):
+        graph = build("void f(int x) { if (x > 0) x = 1; else x = 2; }")
+        assert has_edge(graph, "x > 0", "x = 1", EdgeType.CTRL)
+        assert has_edge(graph, "x > 0", "x = 2", EdgeType.CTRL)
+
+    def test_no_transitive_control_edges(self):
+        graph = build("""
+        void f(int x) {
+            if (x > 0)
+                if (x > 1)
+                    x = 2;
+        }
+        """)
+        assert has_edge(graph, "x > 0", "x > 1", EdgeType.CTRL)
+        assert has_edge(graph, "x > 1", "x = 2", EdgeType.CTRL)
+        assert not has_edge(graph, "x > 0", "x = 2", EdgeType.CTRL)
+
+    def test_while_body_controlled(self):
+        graph = build("void f(int i) { while (i < 3) i++; }")
+        assert has_edge(graph, "i < 3", "i++", EdgeType.CTRL)
+
+    def test_for_update_controlled_by_condition(self):
+        graph = build("void f() { for (int i = 0; i < 3; i++) { } }")
+        assert has_edge(graph, "i < 3", "i++", EdgeType.CTRL)
+
+    def test_for_init_not_controlled(self):
+        graph = build("void f() { for (int i = 0; i < 3; i++) { } }")
+        assert not has_edge(graph, "i < 3", "i = 0", EdgeType.CTRL)
+
+    def test_do_while_body_not_controlled_by_condition(self):
+        # a do-while body always runs at least once
+        graph = build("void f(int i) { do { i++; } while (i < 3); }")
+        assert not has_edge(graph, "i < 3", "i++", EdgeType.CTRL)
+
+    def test_top_level_statements_have_no_ctrl_parents(self):
+        graph = build("void f() { int x = 1; System.out.println(x); }")
+        for node in graph.nodes:
+            assert graph.predecessors(node.node_id, EdgeType.CTRL) == []
+
+    def test_for_without_condition_gets_true_cond(self):
+        graph = build("void f() { for (;;) { break; } }")
+        assert node_by_content(graph, "true").type is NodeType.COND
+
+    def test_switch_cases_controlled_by_selector(self):
+        graph = build("""
+        void f(int x) {
+            int y = 0;
+            switch (x) {
+                case 1: y = 1; break;
+                default: y = 2;
+            }
+        }
+        """)
+        selector = next(
+            n for n in graph.nodes
+            if n.type is NodeType.COND and n.content == "x"
+        )
+        for target_content in ("y = 1", "y = 2"):
+            target = node_by_content(graph, target_content)
+            assert graph.has_edge(
+                selector.node_id, target.node_id, EdgeType.CTRL
+            )
+
+
+class TestDataEdges:
+    def test_def_to_use(self):
+        graph = build("void f() { int x = 1; int y = x + 1; }")
+        assert has_edge(graph, "x = 1", "y = x + 1", EdgeType.DATA)
+
+    def test_reassignment_kills_previous_def(self):
+        graph = build("""
+        void f() {
+            int x = 1;
+            x = 2;
+            int y = x;
+        }
+        """)
+        assert has_edge(graph, "x = 2", "y = x", EdgeType.DATA)
+        assert not has_edge(graph, "x = 1", "y = x", EdgeType.DATA)
+
+    def test_parameter_flows_to_uses(self):
+        graph = build("void f(int n) { int x = n; }")
+        assert has_edge(graph, "n", "x = n", EdgeType.DATA)
+
+    def test_compound_assignment_reads_previous_def(self):
+        graph = build("void f() { int s = 0; s += 1; }")
+        assert has_edge(graph, "s = 0", "s += 1", EdgeType.DATA)
+
+    def test_loop_body_assumed_to_execute_once(self):
+        # paper: the def inside the loop kills the init for later uses
+        graph = build("""
+        void f(int[] a, int i) {
+            int odd = 0;
+            if (i % 2 == 1)
+                odd += a[i];
+            System.out.println(odd);
+        }
+        """)
+        assert has_edge(
+            graph, "odd += a[i]", "System.out.println(odd)", EdgeType.DATA
+        )
+        assert not has_edge(
+            graph, "odd = 0", "System.out.println(odd)", EdgeType.DATA
+        )
+
+    def test_no_loop_back_edges(self):
+        # paper (Bhattacharjee & Jamil): i++ does not feed the condition
+        graph = build("void f() { for (int i = 0; i < 3; i++) { } }")
+        assert not has_edge(graph, "i++", "i < 3", EdgeType.DATA)
+        assert has_edge(graph, "i = 0", "i < 3", EdgeType.DATA)
+
+    def test_init_flows_to_update(self):
+        graph = build("void f() { for (int i = 0; i < 3; i++) { } }")
+        assert has_edge(graph, "i = 0", "i++", EdgeType.DATA)
+
+    def test_if_else_merges_definitions(self):
+        graph = build("""
+        void f(int c) {
+            int x = 0;
+            if (c > 0)
+                x = 1;
+            else
+                x = 2;
+            int y = x;
+        }
+        """)
+        assert has_edge(graph, "x = 1", "y = x", EdgeType.DATA)
+        assert has_edge(graph, "x = 2", "y = x", EdgeType.DATA)
+        assert not has_edge(graph, "x = 0", "y = x", EdgeType.DATA)
+
+    def test_branch_without_else_kills_outer_def(self):
+        # the paper's "conditions are assumed true" model
+        graph = build("""
+        void f(int c) {
+            int x = 0;
+            if (c > 0)
+                x = 1;
+            int y = x;
+        }
+        """)
+        assert has_edge(graph, "x = 1", "y = x", EdgeType.DATA)
+        assert not has_edge(graph, "x = 0", "y = x", EdgeType.DATA)
+
+    def test_array_write_redefines_array(self):
+        graph = build("""
+        void f(int[] a) {
+            a[0] = 5;
+            System.out.println(a[0]);
+        }
+        """)
+        assert has_edge(
+            graph, "a[0] = 5", "System.out.println(a[0])", EdgeType.DATA
+        )
+
+    def test_condition_reads_definitions(self):
+        graph = build("void f() { int i = 0; while (i < 3) { i++; } }")
+        assert has_edge(graph, "i = 0", "i < 3", EdgeType.DATA)
+
+    def test_switch_branches_merge(self):
+        graph = build("""
+        void f(int x) {
+            int y = 0;
+            switch (x) {
+                case 1: y = 1; break;
+                default: y = 2;
+            }
+            int z = y;
+        }
+        """)
+        assert has_edge(graph, "y = 1", "z = y", EdgeType.DATA)
+        assert has_edge(graph, "y = 2", "z = y", EdgeType.DATA)
+
+
+class TestMultipleMethods:
+    def test_one_graph_per_method(self):
+        graphs = extract_all_epdgs(parse_submission("""
+        int fact(int m) { return m; }
+        void main(int k) { int x = fact(k); }
+        """))
+        assert set(graphs) == {"fact", "main"}
+
+    def test_call_argument_is_data_dependence(self):
+        graphs = extract_all_epdgs(parse_submission(
+            "void main(int k) { int x = fact(k); }"
+        ))
+        graph = graphs["main"]
+        assert has_edge(graph, "k", "x = fact(k)", EdgeType.DATA)
+
+
+class TestGraphStringForm:
+    def test_str_contains_nodes_and_edges(self):
+        graph = build("void f() { int x = 1; int y = x; }")
+        text = str(graph)
+        assert "x = 1" in text and "Data" in text

@@ -1,0 +1,122 @@
+"""Property-based tests: EPDG invariants over generated programs.
+
+A small program generator produces random (but well-formed) method
+bodies; every graph the builder emits must satisfy the paper's
+structural invariants regardless of the program's shape.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.java import parse_submission
+from repro.pdg import EdgeType, NodeType, extract_epdg
+
+_VARS = ["a", "b", "c", "s"]
+
+
+@st.composite
+def statements(draw, depth=2):
+    kind = draw(st.sampled_from(
+        ["assign", "increment", "print", "if", "while", "block"]
+        if depth > 0 else ["assign", "increment", "print"]
+    ))
+    variable = draw(st.sampled_from(_VARS))
+    other = draw(st.sampled_from(_VARS))
+    number = draw(st.integers(min_value=0, max_value=9))
+    if kind == "assign":
+        rhs = draw(st.sampled_from(
+            [f"{number}", f"{other} + {number}", f"{other} * 2"]
+        ))
+        return f"{variable} = {rhs};"
+    if kind == "increment":
+        return f"{variable}++;"
+    if kind == "print":
+        return f"System.out.println({variable});"
+    inner = draw(st.lists(statements(depth=depth - 1), min_size=1,
+                          max_size=3))
+    body = "\n".join(inner)
+    if kind == "if":
+        if draw(st.booleans()):
+            return f"if ({variable} > {number}) {{\n{body}\n}}"
+        else_body = "\n".join(
+            draw(st.lists(statements(depth=depth - 1), min_size=1,
+                          max_size=2))
+        )
+        return (f"if ({variable} > {number}) {{\n{body}\n}} "
+                f"else {{\n{else_body}\n}}")
+    if kind == "while":
+        return f"while ({variable} < {number}) {{\n{body}\n}}"
+    return f"{{\n{body}\n}}"
+
+
+@st.composite
+def programs(draw):
+    body = "\n".join(draw(st.lists(statements(), min_size=1, max_size=6)))
+    declarations = "\n".join(f"int {v} = 0;" for v in _VARS)
+    return f"void f(int[] arr) {{\n{declarations}\n{body}\n}}"
+
+
+def graph_of(source):
+    return extract_epdg(parse_submission(source).methods()[0])
+
+
+class TestStructuralInvariants:
+    @given(programs())
+    @settings(max_examples=150, deadline=None)
+    def test_node_ids_dense_and_ordered(self, source):
+        graph = graph_of(source)
+        assert [n.node_id for n in graph.nodes] == list(range(len(graph)))
+
+    @given(programs())
+    @settings(max_examples=150, deadline=None)
+    def test_ctrl_edges_come_only_from_cond_nodes(self, source):
+        graph = graph_of(source)
+        for edge in graph.edges:
+            if edge.type is EdgeType.CTRL:
+                assert graph.node(edge.source).type is NodeType.COND
+
+    @given(programs())
+    @settings(max_examples=150, deadline=None)
+    def test_at_most_one_ctrl_parent(self, source):
+        # non-transitive control dependence: every node hangs off its
+        # nearest enclosing condition only
+        graph = graph_of(source)
+        for node in graph.nodes:
+            parents = graph.predecessors(node.node_id, EdgeType.CTRL)
+            assert len(parents) <= 1
+
+    @given(programs())
+    @settings(max_examples=150, deadline=None)
+    def test_data_edges_connect_defs_to_uses(self, source):
+        graph = graph_of(source)
+        for edge in graph.edges:
+            if edge.type is EdgeType.DATA:
+                source_node = graph.node(edge.source)
+                target_node = graph.node(edge.target)
+                shared = set(source_node.defines) & set(target_node.uses)
+                assert shared, f"no def-use variable on {edge}"
+
+    @given(programs())
+    @settings(max_examples=150, deadline=None)
+    def test_data_edges_point_forward(self, source):
+        # without loop back-edges, definition order is topological
+        graph = graph_of(source)
+        for edge in graph.edges:
+            if edge.type is EdgeType.DATA:
+                assert edge.source < edge.target
+
+    @given(programs())
+    @settings(max_examples=150, deadline=None)
+    def test_ctrl_edges_are_acyclic(self, source):
+        graph = graph_of(source)
+        for edge in graph.edges:
+            if edge.type is EdgeType.CTRL:
+                assert edge.source < edge.target
+
+    @given(programs())
+    @settings(max_examples=100, deadline=None)
+    def test_builder_is_deterministic(self, source):
+        first = graph_of(source)
+        second = graph_of(source)
+        assert [n.content for n in first.nodes] == \
+            [n.content for n in second.nodes]
+        assert first.edges == second.edges

@@ -1,0 +1,83 @@
+"""Unit tests for expression variable analysis."""
+
+from repro.java import parse_expression
+from repro.pdg.expressions import defined_variables, used_variables
+
+
+def uses(source):
+    return set(used_variables(parse_expression(source)))
+
+
+def defines(source):
+    return set(defined_variables(parse_expression(source)))
+
+
+class TestUsedVariables:
+    def test_simple_name(self):
+        assert uses("x") == {"x"}
+
+    def test_binary(self):
+        assert uses("a + b * c") == {"a", "b", "c"}
+
+    def test_field_access_skips_field_name(self):
+        assert uses("a.length") == {"a"}
+
+    def test_static_classes_excluded(self):
+        assert uses("System.out.println(x)") == {"x"}
+        assert uses("Math.pow(x, i)") == {"x", "i"}
+        assert uses("Integer.MAX_VALUE") == set()
+
+    def test_method_name_excluded(self):
+        assert uses("fact(n + 1)") == {"n"}
+
+    def test_array_access(self):
+        assert uses("a[i]") == {"a", "i"}
+
+    def test_plain_assignment_does_not_use_target(self):
+        assert uses("x = y + 1") == {"y"}
+
+    def test_compound_assignment_uses_target(self):
+        assert uses("x += y") == {"x", "y"}
+
+    def test_array_write_uses_index_and_reference(self):
+        assert uses("a[i] = v") == {"a", "i", "v"}
+
+    def test_increment_does_not_count_as_pure_use(self):
+        # i++ reads i (via the operand) — it must appear in uses
+        assert uses("i++") == {"i"}
+
+    def test_scanner_construction(self):
+        assert uses('new Scanner(new File("f.txt"))') == set()
+
+    def test_instance_call_uses_receiver(self):
+        assert uses("s.nextInt()") == {"s"}
+
+    def test_string_concat(self):
+        assert uses('"O: " + x + ", E: " + y') == {"x", "y"}
+
+    def test_none_expression(self):
+        assert set(used_variables(None)) == set()
+
+
+class TestDefinedVariables:
+    def test_plain_assignment(self):
+        assert defines("x = 1") == {"x"}
+
+    def test_compound_assignment(self):
+        assert defines("x += 1") == {"x"}
+
+    def test_increment(self):
+        assert defines("i++") == {"i"}
+        assert defines("--j") == {"j"}
+
+    def test_array_write_defines_array_variable(self):
+        assert defines("d[i - 1] = c[i] * i") == {"d"}
+
+    def test_call_defines_nothing(self):
+        assert defines("System.out.println(x)") == set()
+
+    def test_nested_assignment_in_value(self):
+        assert defines("x = (y = 2)") == {"x", "y"}
+
+    def test_condition_defines_nothing(self):
+        assert defines("i % 2 == 1") == set()

@@ -1,0 +1,113 @@
+"""Reproduce the paper's Figure 3: the EPDG of the Figure 2a submission.
+
+The paper's node numbering differs (we emit the for-update after the
+body), so assertions are by node content, which is unambiguous here.
+"""
+
+import pytest
+
+from repro.java import parse_submission
+from repro.kb.assignments.assignment1 import FIGURE_2A
+from repro.pdg import EdgeType, NodeType, extract_epdg
+
+
+@pytest.fixture(scope="module")
+def figure3():
+    unit = parse_submission(FIGURE_2A)
+    return extract_epdg(unit.method("assignment1"))
+
+
+def node(graph, content, index=0):
+    nodes = graph.find_by_content(content)
+    return nodes[index]
+
+
+class TestFigure3Nodes:
+    def test_node_count(self, figure3):
+        # Decl a; even=0; odd=0; i=0; cond; 2x(if-cond, update); i++;
+        # 2x println = 12 nodes
+        assert len(figure3) == 12
+
+    def test_expected_contents(self, figure3):
+        contents = [n.content for n in figure3.nodes]
+        for expected in [
+            "a", "even = 0", "odd = 0", "i = 0", "i <= a.length",
+            "odd += a[i]", "even *= a[i]", "i++",
+            "System.out.println(odd)", "System.out.println(even)",
+        ]:
+            assert expected in contents
+        assert contents.count("i % 2 == 1") == 2
+
+    def test_node_types(self, figure3):
+        assert node(figure3, "a").type is NodeType.DECL
+        assert node(figure3, "even = 0").type is NodeType.ASSIGN
+        assert node(figure3, "i <= a.length").type is NodeType.COND
+        assert node(figure3, "i % 2 == 1").type is NodeType.COND
+        assert node(figure3, "odd += a[i]").type is NodeType.ASSIGN
+        assert node(figure3, "System.out.println(odd)").type is NodeType.CALL
+
+
+class TestFigure3Edges:
+    def edge(self, graph, source, target, edge_type, si=0, ti=0):
+        return graph.has_edge(
+            node(graph, source, si).node_id,
+            node(graph, target, ti).node_id,
+            edge_type,
+        )
+
+    def test_ctrl_edges_from_loop_condition(self, figure3):
+        assert self.edge(figure3, "i <= a.length", "i % 2 == 1",
+                         EdgeType.CTRL, ti=0)
+        assert self.edge(figure3, "i <= a.length", "i % 2 == 1",
+                         EdgeType.CTRL, ti=1)
+        assert self.edge(figure3, "i <= a.length", "i++", EdgeType.CTRL)
+
+    def test_ctrl_edges_from_if_conditions(self, figure3):
+        assert self.edge(figure3, "i % 2 == 1", "odd += a[i]",
+                         EdgeType.CTRL, si=0)
+        assert self.edge(figure3, "i % 2 == 1", "even *= a[i]",
+                         EdgeType.CTRL, si=1)
+
+    def test_transitive_ctrl_edges_removed(self, figure3):
+        # the paper removes loop-cond => body-statement edges
+        assert not self.edge(figure3, "i <= a.length", "odd += a[i]",
+                             EdgeType.CTRL)
+        assert not self.edge(figure3, "i <= a.length", "even *= a[i]",
+                             EdgeType.CTRL)
+
+    def test_data_edges_from_declarations(self, figure3):
+        assert self.edge(figure3, "a", "i <= a.length", EdgeType.DATA)
+        assert self.edge(figure3, "a", "odd += a[i]", EdgeType.DATA)
+        assert self.edge(figure3, "a", "even *= a[i]", EdgeType.DATA)
+
+    def test_data_edges_from_index(self, figure3):
+        for target in ("i <= a.length", "odd += a[i]", "even *= a[i]", "i++"):
+            assert self.edge(figure3, "i = 0", target, EdgeType.DATA)
+
+    def test_accumulators_flow_to_prints(self, figure3):
+        assert self.edge(figure3, "odd += a[i]", "System.out.println(odd)",
+                         EdgeType.DATA)
+        assert self.edge(figure3, "even *= a[i]", "System.out.println(even)",
+                         EdgeType.DATA)
+
+    def test_no_edge_from_initializers_to_prints(self, figure3):
+        # the paper's discussion: no Data edge odd=0 -> println(odd)
+        # because the loop body is assumed to execute
+        assert not self.edge(figure3, "odd = 0", "System.out.println(odd)",
+                             EdgeType.DATA)
+        assert not self.edge(figure3, "even = 0", "System.out.println(even)",
+                             EdgeType.DATA)
+
+    def test_no_loop_back_data_edges(self, figure3):
+        assert not self.edge(figure3, "i++", "i <= a.length", EdgeType.DATA)
+        assert not self.edge(figure3, "i++", "odd += a[i]", EdgeType.DATA)
+
+
+class TestDotExport:
+    def test_dot_renders_both_edge_styles(self, figure3):
+        from repro.pdg import to_dot
+        dot = to_dot(figure3)
+        assert dot.startswith("digraph")
+        assert "style=dashed" in dot  # Ctrl
+        assert "style=solid" in dot   # Data
+        assert "odd += a[i]" in dot

@@ -1,0 +1,149 @@
+"""Unit tests for condition negation and else-branch synthesis."""
+
+import pytest
+
+from repro.java import parse_expression, parse_submission, to_source
+from repro.pdg import NodeType, extract_epdg
+from repro.pdg.negation import negate_condition
+
+
+def negated(source):
+    return to_source(negate_condition(parse_expression(source)))
+
+
+class TestNegateCondition:
+    @pytest.mark.parametrize("source,expected", [
+        ("i % 2 == 0", "i % 2 != 0"),
+        ("i % 2 != 0", "i % 2 == 0"),
+        ("i < n", "i >= n"),
+        ("i >= n", "i < n"),
+        ("i > n", "i <= n"),
+        ("i <= n", "i > n"),
+        ("true", "false"),
+        ("false", "true"),
+        ("!done", "done"),
+    ])
+    def test_simple_negations(self, source, expected):
+        assert negated(source) == expected
+
+    def test_de_morgan_and(self):
+        assert negated("a == 1 && b < 2") == "a != 1 || b >= 2"
+
+    def test_de_morgan_or(self):
+        assert negated("a == 1 || b < 2") == "a != 1 && b >= 2"
+
+    def test_fallback_wraps_in_not(self):
+        assert negated("s.hasNext()") == "!s.hasNext()"
+
+    def test_double_negation_via_fallback(self):
+        once = negate_condition(parse_expression("s.hasNext()"))
+        twice = negate_condition(once)
+        assert to_source(twice) == "s.hasNext()"
+
+    def test_negation_is_semantically_inverse(self):
+        from repro.interp import run_method
+        for condition in ("x % 2 == 0", "x < 5", "x >= 3 && x != 7"):
+            source = f"""
+            boolean orig(int x) {{ return {condition}; }}
+            boolean neg(int x) {{ return {negated(condition)}; }}
+            """
+            unit = parse_submission(source)
+            for x in range(-3, 10):
+                original = run_method(unit, "orig", [x]).return_value
+                negative = run_method(unit, "neg", [x]).return_value
+                assert original != negative
+
+
+ELSE_SOURCE = """
+void f(int[] a, int i) {
+    int odd = 0;
+    int even = 1;
+    if (i % 2 == 0)
+        even *= a[i];
+    else
+        odd += a[i];
+}
+"""
+
+
+class TestElseSynthesis:
+    def test_disabled_by_default(self):
+        graph = extract_epdg(parse_submission(ELSE_SOURCE).methods()[0])
+        assert graph.find_by_content("i % 2 != 0") == []
+
+    def test_synthesized_negated_condition(self):
+        graph = extract_epdg(
+            parse_submission(ELSE_SOURCE).methods()[0],
+            synthesize_else_conditions=True,
+        )
+        (node,) = graph.find_by_content("i % 2 != 0")
+        assert node.type is NodeType.COND
+
+    def test_else_branch_controlled_by_synthetic_condition(self):
+        from repro.pdg import EdgeType
+        graph = extract_epdg(
+            parse_submission(ELSE_SOURCE).methods()[0],
+            synthesize_else_conditions=True,
+        )
+        (negated_node,) = graph.find_by_content("i % 2 != 0")
+        (else_stmt,) = graph.find_by_content("odd += a[i]")
+        assert graph.has_edge(
+            negated_node.node_id, else_stmt.node_id, EdgeType.CTRL
+        )
+        # the then branch stays under the original condition
+        (positive,) = graph.find_by_content("i % 2 == 0")
+        (then_stmt,) = graph.find_by_content("even *= a[i]")
+        assert graph.has_edge(
+            positive.node_id, then_stmt.node_id, EdgeType.CTRL
+        )
+
+    def test_positive_form_patterns_match_the_else_arm(self):
+        from repro.kb import get_pattern
+        from repro.matching import match_pattern
+        source = """
+        void assignment1(int[] a) {
+            int odd = 0;
+            int i = 0;
+            while (i < a.length) {
+                if (i % 2 == 0)
+                    odd = odd;
+                else
+                    odd += a[i];
+                i++;
+            }
+        }
+        """
+        method = parse_submission(source).methods()[0]
+        plain = extract_epdg(method)
+        extended = extract_epdg(method, synthesize_else_conditions=True)
+        pattern = get_pattern("seq-odd-access")
+        assert match_pattern(pattern, plain) == []
+        found = match_pattern(pattern, extended)
+        assert found and found[0].is_fully_correct
+
+    def test_engine_flag_threads_through(self):
+        import dataclasses
+        from repro.core import FeedbackEngine
+        from repro.kb import get_assignment
+        source = """
+        void assignment1(int[] a) {
+            int odd = 0;
+            int even = 1;
+            int i = 0;
+            while (i < a.length) {
+                if (i % 2 == 0)
+                    even *= a[i];
+                else
+                    odd += a[i];
+                i++;
+            }
+            System.out.println(odd);
+            System.out.println(even);
+        }
+        """
+        base = get_assignment("assignment1")
+        assert not FeedbackEngine(base).grade(source).is_positive
+        upgraded = dataclasses.replace(
+            base, synthesize_else_conditions=True
+        )
+        assert FeedbackEngine(upgraded).grade(source).is_positive

@@ -1,0 +1,160 @@
+"""Unit and property tests for submission spaces (error models)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ReproError
+from repro.kb import all_assignment_names, get_assignment, table1_expectations
+from repro.synth import ChoicePoint, SubmissionSpace, correct, wrong
+from repro.synth.rules import binary, variants
+
+
+def toy_space():
+    template = "a={{a}} b={{b}} c={{c}}"
+    return SubmissionSpace("toy", template, [
+        ChoicePoint("a", (correct("0"), wrong("1"))),
+        ChoicePoint("b", (correct("x"), wrong("y"), wrong("z"))),
+        ChoicePoint("c", (correct("p"), wrong("q"))),
+    ])
+
+
+class TestChoicePoints:
+    def test_requires_two_options(self):
+        with pytest.raises(ReproError, match="two options"):
+            ChoicePoint("x", (correct("a"),))
+
+    def test_first_option_must_be_correct(self):
+        with pytest.raises(ReproError, match="first option"):
+            ChoicePoint("x", (wrong("a"), correct("b")))
+
+    def test_binary_helper(self):
+        point = binary("x", "good", "bad")
+        assert point.arity == 2
+        assert point.options[0].correct and not point.options[1].correct
+
+    def test_variants_helper(self):
+        point = variants("x", "a", "b", "c")
+        assert all(o.correct for o in point.options)
+
+
+class TestSubmissionSpace:
+    def test_size_is_product_of_arities(self):
+        assert toy_space().size == 2 * 3 * 2
+
+    def test_template_slot_mismatch_rejected(self):
+        with pytest.raises(ReproError, match="slots"):
+            SubmissionSpace("bad", "only {{a}}", [
+                ChoicePoint("a", (correct("0"), wrong("1"))),
+                ChoicePoint("b", (correct("0"), wrong("1"))),
+            ])
+
+    def test_undeclared_slot_rejected(self):
+        with pytest.raises(ReproError, match="slots"):
+            SubmissionSpace("bad", "{{a}} {{mystery}}", [
+                ChoicePoint("a", (correct("0"), wrong("1"))),
+            ])
+
+    def test_repeated_slot_substitutes_everywhere(self):
+        space = SubmissionSpace("rep", "{{v}} + {{v}}", [
+            ChoicePoint("v", (correct("x"), wrong("y"))),
+        ])
+        assert space.submission(1).source == "y + y"
+
+    def test_reference_is_index_zero(self):
+        assert toy_space().reference.source == "a=0 b=x c=p"
+
+    def test_materialization(self):
+        space = toy_space()
+        last = space.submission(space.size - 1)
+        assert last.source == "a=1 b=z c=q"
+        assert not last.all_options_correct
+
+    def test_out_of_range_index(self):
+        with pytest.raises(IndexError):
+            toy_space().submission(999)
+        with pytest.raises(IndexError):
+            toy_space().submission(-1)
+
+    def test_correct_count(self):
+        assert toy_space().correct_count() == 1
+
+    def test_correct_indices_yield_correct_submissions(self):
+        space = SubmissionSpace("v", "{{a}} {{b}}", [
+            ChoicePoint("a", (correct("0"), correct("00"), wrong("1"))),
+            ChoicePoint("b", (correct("x"), wrong("y"))),
+        ])
+        indices = list(space.correct_indices())
+        assert len(indices) == space.correct_count() == 2
+        assert all(space.submission(i).all_options_correct for i in indices)
+
+    def test_correct_indices_limit(self):
+        space = toy_space()
+        assert len(list(space.correct_indices(limit=1))) == 1
+
+    def test_average_loc(self):
+        space = SubmissionSpace("l", "{{a}}", [
+            ChoicePoint("a", (correct("x = 1;\ny = 2;"), wrong("x = 1;"))),
+        ])
+        assert space.average_loc() == 1.5
+
+
+class TestEncoding:
+    @given(st.integers(min_value=0, max_value=11))
+    @settings(max_examples=12, deadline=None)
+    def test_decode_encode_round_trip(self, index):
+        space = toy_space()
+        assert space.encode(space.decode(index)) == index
+
+    def test_encode_validates_lengths(self):
+        with pytest.raises(ReproError, match="expected"):
+            toy_space().encode([0])
+
+    def test_encode_validates_ranges(self):
+        with pytest.raises(ReproError, match="out of range"):
+            toy_space().encode([0, 9, 0])
+
+    def test_all_indices_distinct_sources(self):
+        space = toy_space()
+        sources = {space.submission(i).source for i in range(space.size)}
+        assert len(sources) == space.size
+
+
+class TestSampling:
+    def test_sample_is_deterministic(self):
+        from repro.synth import sample_indices
+        space = get_assignment("assignment1").space()
+        assert sample_indices(space, 50, seed=7) == \
+            sample_indices(space, 50, seed=7)
+
+    def test_sample_includes_reference(self):
+        from repro.synth import sample_indices
+        space = get_assignment("assignment1").space()
+        assert 0 in sample_indices(space, 50, seed=7)
+
+    def test_sample_larger_than_space_returns_all(self):
+        from repro.synth import sample_indices
+        space = toy_space()
+        assert sample_indices(space, 1000) == list(range(space.size))
+
+    def test_sample_submissions_materializes(self):
+        from repro.synth import sample_submissions
+        space = toy_space()
+        subs = sample_submissions(space, 3, seed=1)
+        assert len(subs) == 3 and all(s.source for s in subs)
+
+
+class TestPaperSpaces:
+    """Every assignment's space parses and behaves across a sample."""
+
+    @pytest.mark.parametrize("name", all_assignment_names())
+    def test_sampled_submissions_all_parse(self, name):
+        from repro.java import parse_submission
+        from repro.synth import sample_submissions
+        space = get_assignment(name).space()
+        for submission in sample_submissions(space, 25, seed=3):
+            parse_submission(submission.source)  # must not raise
+
+    @pytest.mark.parametrize("name", all_assignment_names())
+    def test_space_size_matches_paper(self, name):
+        assert get_assignment(name).space().size == \
+            table1_expectations(name)["S"]

@@ -1,0 +1,192 @@
+"""Unit tests for the functional-testing harness."""
+
+import pytest
+
+from repro.core.assignment import FunctionalTest
+from repro.testing import run_tests, run_tests_on_source
+from repro.java import parse_submission
+
+ADD = "int add(int a, int b) { return a + b; }"
+ECHO = 'void echo(int x) { System.out.println(x); }'
+
+
+class TestStdoutComparison:
+    def test_pass(self):
+        report = run_tests_on_source(ECHO, [
+            FunctionalTest("echo", (7,), expected_stdout="7\n"),
+        ])
+        assert report.passed
+
+    def test_fail_on_content(self):
+        report = run_tests_on_source(ECHO, [
+            FunctionalTest("echo", (7,), expected_stdout="8\n"),
+        ])
+        assert not report.passed
+
+    def test_fail_on_missing_newline(self):
+        # output comparison is strict: the print-vs-println discrepancy
+        report = run_tests_on_source(ECHO, [
+            FunctionalTest("echo", (7,), expected_stdout="7"),
+        ])
+        assert not report.passed
+
+    def test_actual_output_recorded(self):
+        report = run_tests_on_source(ECHO, [
+            FunctionalTest("echo", (7,), expected_stdout="8\n"),
+        ])
+        assert report.results[0].actual_stdout == "7\n"
+
+
+class TestReturnComparison:
+    def test_pass(self):
+        report = run_tests_on_source(ADD, [
+            FunctionalTest("add", (2, 3), expected_return=5,
+                           compare_return=True),
+        ])
+        assert report.passed
+
+    def test_fail(self):
+        report = run_tests_on_source(ADD, [
+            FunctionalTest("add", (2, 3), expected_return=6,
+                           compare_return=True),
+        ])
+        assert not report.passed
+
+    def test_array_return_comparison(self):
+        source = "int[] mk() { int[] a = {1, 2}; return a; }"
+        report = run_tests_on_source(source, [
+            FunctionalTest("mk", (), expected_return=[1, 2],
+                           compare_return=True),
+        ])
+        assert report.passed
+
+
+class TestArgumentMaterialization:
+    def test_list_becomes_int_array(self):
+        source = "int first(int[] a) { return a[0]; }"
+        report = run_tests_on_source(source, [
+            FunctionalTest("first", ([9, 8],), expected_return=9,
+                           compare_return=True),
+        ])
+        assert report.passed
+
+    def test_string_array(self):
+        source = "String first(String[] a) { return a[0]; }"
+        report = run_tests_on_source(source, [
+            FunctionalTest("first", ((["x", "y"]),), expected_return="x",
+                           compare_return=True),
+        ])
+        assert report.passed
+
+    def test_double_array(self):
+        source = "double first(double[] a) { return a[0]; }"
+        report = run_tests_on_source(source, [
+            FunctionalTest("first", ([1.5, 2],), expected_return=1.5,
+                           compare_return=True),
+        ])
+        assert report.passed
+
+
+class TestFailureModes:
+    def test_parse_error_fails_suite(self):
+        report = run_tests_on_source("void f( {", [
+            FunctionalTest("f", ()),
+        ])
+        assert not report.passed
+        assert report.parse_error is not None
+        assert "does not compile" in report.summary()
+
+    def test_runtime_error_fails_test(self):
+        source = "int f() { return 1 / 0; }"
+        report = run_tests_on_source(source, [
+            FunctionalTest("f", (), expected_return=0, compare_return=True),
+        ])
+        assert not report.passed
+        assert "zero" in report.results[0].error
+
+    def test_infinite_loop_fails_test(self):
+        source = "void f() { while (true) { int x = 1; } }"
+        report = run_tests_on_source(
+            source, [FunctionalTest("f", ())], step_budget=5_000
+        )
+        assert not report.passed
+        assert "budget" in report.results[0].error
+
+    def test_missing_method_fails(self):
+        report = run_tests_on_source(ADD, [FunctionalTest("nope", ())])
+        assert not report.passed
+
+    def test_later_tests_still_run_after_failure(self):
+        source = "int f(int x) { return 10 / x; }"
+        report = run_tests_on_source(source, [
+            FunctionalTest("f", (0,), expected_return=0,
+                           compare_return=True),
+            FunctionalTest("f", (2,), expected_return=5,
+                           compare_return=True),
+        ])
+        assert [r.passed for r in report.results] == [False, True]
+        assert len(report.failures) == 1
+
+
+class TestFilesAndStdin:
+    def test_virtual_file(self):
+        source = """
+        int f() {
+            Scanner s = new Scanner(new File("d.txt"));
+            return s.nextInt();
+        }
+        """
+        report = run_tests_on_source(source, [
+            FunctionalTest("f", (), expected_return=5, compare_return=True,
+                           files=(("d.txt", "5"),)),
+        ])
+        assert report.passed
+
+    def test_stdin(self):
+        source = """
+        int f() {
+            Scanner s = new Scanner(System.in);
+            return s.nextInt();
+        }
+        """
+        report = run_tests_on_source(source, [
+            FunctionalTest("f", (), expected_return=3, compare_return=True,
+                           stdin="3"),
+        ])
+        assert report.passed
+
+
+class TestCustomCheck:
+    def test_check_predicate(self):
+        report = run_tests_on_source(ECHO, [
+            FunctionalTest("echo", (5,),
+                           check=lambda res: "5" in res.stdout),
+        ])
+        assert report.passed
+
+    def test_check_combined_with_stdout(self):
+        report = run_tests_on_source(ECHO, [
+            FunctionalTest("echo", (5,), expected_stdout="5\n",
+                           check=lambda res: res.steps > 0),
+        ])
+        assert report.passed
+
+
+class TestRunTestsOnUnit:
+    def test_parsed_unit_accepted(self):
+        unit = parse_submission(ADD)
+        report = run_tests(unit, [
+            FunctionalTest("add", (1, 1), expected_return=2,
+                           compare_return=True),
+        ])
+        assert report.passed
+
+    def test_summary_counts(self):
+        unit = parse_submission(ADD)
+        report = run_tests(unit, [
+            FunctionalTest("add", (1, 1), expected_return=2,
+                           compare_return=True),
+            FunctionalTest("add", (1, 1), expected_return=3,
+                           compare_return=True),
+        ])
+        assert report.summary() == "1/2 tests passed"
