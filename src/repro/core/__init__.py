@@ -4,12 +4,22 @@
 assignment — expected methods with patterns/counts/constraints, reference
 solutions, functional tests, and (for the evaluation) the synthetic error
 model.  :class:`FeedbackEngine` grades submissions against an assignment
-and returns :class:`GradingReport` objects.
+and returns :class:`GradingReport` objects.  :class:`BatchGrader` grades
+whole cohorts with worker pools, a content-keyed result cache, and
+per-phase :class:`PipelineStats` metrics (see ``docs/SCALING.md``).
 """
 
 from repro.core.analytics import CohortAnalysis, analyze_cohort
 from repro.core.assignment import Assignment, FunctionalTest
 from repro.core.engine import FeedbackEngine
+from repro.core.metrics import PipelineStats
+from repro.core.pipeline import (
+    BatchGrader,
+    BatchResult,
+    GradedSubmission,
+    ResultCache,
+    source_key,
+)
 from repro.core.report import GradingReport
 
 __all__ = [
@@ -19,4 +29,10 @@ __all__ = [
     "FunctionalTest",
     "FeedbackEngine",
     "GradingReport",
+    "BatchGrader",
+    "BatchResult",
+    "GradedSubmission",
+    "ResultCache",
+    "PipelineStats",
+    "source_key",
 ]

@@ -1,0 +1,365 @@
+"""Batch grading pipeline: workers + content-keyed caching + metrics.
+
+A MOOC assignment receives its submissions as a *stream* with heavy
+duplication — students resubmit unchanged files, and cohorts converge
+on identical solutions.  :class:`BatchGrader` exploits that: it grades
+an iterable of submissions against one assignment using
+
+* a **content-keyed result cache** (:class:`ResultCache`) so identical
+  or resubmitted sources skip parse + EPDG build + matching entirely —
+  duplicates inside one batch are graded exactly once, and the cache
+  persists across batches of the same grader;
+* a configurable **worker pool** (``mode="serial" | "thread" |
+  "process"``) — serial is fully deterministic and dependency-free,
+  threads share one stateless engine, processes sidestep the GIL for
+  CPU-bound cohorts on multicore hosts;
+* an **instrumentation layer** (:mod:`repro.core.metrics`) recording
+  per-phase wall time, cache hit rate, error counts, and throughput as
+  a structured :class:`~repro.core.metrics.PipelineStats`.
+
+Results are **order-stable and mode-independent**: the reports come
+back in input order and are identical whichever mode produced them
+(grading is deterministic, and duplicates share the representative's
+report).  A submission that fails to parse — or whose grading raises —
+is isolated into a ``parse-error`` / ``error`` report instead of
+aborting the batch.
+
+Usage:
+
+>>> from repro import get_assignment
+>>> from repro.core.pipeline import BatchGrader
+>>> assignment = get_assignment("assignment1")
+>>> good = assignment.reference_solutions[0]
+>>> grader = BatchGrader(assignment)  # mode="serial", cache on
+>>> result = grader.grade_batch(
+...     [("alice", good), ("bob", good), ("carol", "int x = ;")]
+... )
+>>> [item.report.status for item in result.items]
+['ok', 'ok', 'parse-error']
+>>> [item.from_cache for item in result.items]  # bob reuses alice's work
+[False, True, False]
+>>> (result.stats.submissions, result.stats.graded, result.stats.cache_hits)
+(3, 2, 1)
+>>> again = grader.grade_batch([good])  # cross-batch cache hit
+>>> (again.stats.cache_hits, again.stats.graded)
+(1, 0)
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.core.assignment import Assignment
+from repro.core.engine import FeedbackEngine
+from repro.core.metrics import PipelineStats
+from repro.core.report import GradingReport
+from repro.instrumentation import PhaseCollector, collecting
+
+#: Supported worker models.
+MODES = ("serial", "thread", "process")
+
+#: Report statuses that are deterministic functions of the source text
+#: and therefore safe to cache.  Internal ``error`` reports may be
+#: transient (e.g. a worker dying), so they are never cached.
+_CACHEABLE_STATUSES = frozenset({"ok", "rejected", "parse-error"})
+
+
+def source_key(source: str) -> str:
+    """Content key for a submission: SHA-256 of its normalized text.
+
+    Normalization is deliberately conservative — it must never change
+    what the parser sees.  Line endings are canonicalized, trailing
+    whitespace is stripped per line, and leading/trailing blank lines
+    are dropped; so a resubmission that only differs in CRLFs or a
+    stray trailing newline still hits the cache.
+    """
+    lines = source.replace("\r\n", "\n").replace("\r", "\n").split("\n")
+    normalized = "\n".join(line.rstrip() for line in lines).strip("\n")
+    return hashlib.sha256(normalized.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Bounded LRU cache of :class:`GradingReport` keyed by content.
+
+    Grading is deterministic and the engine stateless, so a report can
+    be replayed verbatim for any submission with the same key.  Eviction
+    is least-recently-used; invalidation is by construction — the key
+    is the content, so a changed submission is a different key, and a
+    changed *assignment* requires a new cache (one cache belongs to one
+    :class:`BatchGrader`, which is bound to one assignment).
+    """
+
+    def __init__(self, maxsize: int = 8192):
+        if maxsize <= 0:
+            raise ValueError("maxsize must be positive")
+        self.maxsize = maxsize
+        self._entries: OrderedDict[str, GradingReport] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def get(self, key: str) -> GradingReport | None:
+        report = self._entries.get(key)
+        if report is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return report
+
+    def put(self, key: str, report: GradingReport) -> None:
+        if report.status not in _CACHEABLE_STATUSES:
+            return
+        self._entries[key] = report
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+@dataclass(frozen=True)
+class GradedSubmission:
+    """One batch item: its label, content key, and report."""
+
+    label: str
+    key: str
+    report: GradingReport
+    #: True when the report was replayed (cross-batch cache hit or
+    #: duplicate of an earlier submission in the same batch) rather
+    #: than graded fresh for this item.
+    from_cache: bool
+
+
+@dataclass
+class BatchResult:
+    """Everything one :meth:`BatchGrader.grade_batch` call produced."""
+
+    assignment_name: str
+    items: list[GradedSubmission] = field(default_factory=list)
+    stats: PipelineStats = field(default_factory=PipelineStats)
+
+    @property
+    def reports(self) -> list[GradingReport]:
+        return [item.report for item in self.items]
+
+    def status_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for item in self.items:
+            status = item.report.status
+            counts[status] = counts.get(status, 0) + 1
+        return counts
+
+    def rendered(self) -> list[str]:
+        """Per-submission feedback texts, in input order."""
+        return [item.report.render() for item in self.items]
+
+
+# -- process-pool plumbing (must be module-level for pickling) -----------
+
+_WORKER_ENGINE: FeedbackEngine | None = None
+
+
+def _init_process_worker(assignment: Assignment) -> None:
+    """Build one engine per worker process (assignment pickled once)."""
+    global _WORKER_ENGINE
+    _WORKER_ENGINE = FeedbackEngine(assignment)
+
+
+def _process_grade(job: tuple[str, str]):
+    key, source = job
+    assert _WORKER_ENGINE is not None
+    return (key, *_grade_one(_WORKER_ENGINE, source))
+
+
+def _grade_one(
+    engine: FeedbackEngine, source: str
+) -> tuple[GradingReport, PhaseCollector, float]:
+    """Grade one source with per-phase timing and error isolation."""
+    collector = PhaseCollector()
+    started = time.perf_counter()
+    try:
+        with collecting(collector):
+            report = engine.grade(source)
+    except Exception as exc:  # noqa: BLE001 - isolate, don't abort the batch
+        report = GradingReport(
+            assignment_name=engine.assignment.name,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+    return report, collector, time.perf_counter() - started
+
+
+class BatchGrader:
+    """Grades many submissions against one assignment.
+
+    Parameters
+    ----------
+    assignment:
+        The assignment to grade against.
+    mode:
+        ``"serial"`` (deterministic in-process loop, the default),
+        ``"thread"`` (one shared engine across a thread pool), or
+        ``"process"`` (one engine per worker process; requires the
+        assignment to be picklable, which every registry assignment is).
+    workers:
+        Pool size for the parallel modes; defaults to the host's CPU
+        count.  Ignored in serial mode.
+    cache:
+        ``True`` (default) for a private :class:`ResultCache`, ``False``
+        to disable caching, or a :class:`ResultCache` instance to share
+        one cache across graders/batches.
+    """
+
+    def __init__(
+        self,
+        assignment: Assignment,
+        mode: str = "serial",
+        workers: int | None = None,
+        cache: ResultCache | bool = True,
+    ):
+        if mode not in MODES:
+            raise ValueError(
+                f"unknown mode {mode!r}; expected one of {MODES}"
+            )
+        self.assignment = assignment
+        self.engine = FeedbackEngine(assignment)
+        self.mode = mode
+        self.workers = (
+            1 if mode == "serial"
+            else max(1, workers if workers is not None
+                     else (os.cpu_count() or 1))
+        )
+        if cache is True:
+            self.cache: ResultCache | None = ResultCache()
+        elif cache is False:
+            self.cache = None
+        else:
+            self.cache = cache
+
+    def grade_batch(
+        self, submissions: Iterable[str | tuple[str, str]]
+    ) -> BatchResult:
+        """Grade a batch; returns reports in input order plus stats.
+
+        ``submissions`` yields source texts or ``(label, source)``
+        pairs; bare sources are labelled ``#0``, ``#1``, …
+        """
+        started = time.perf_counter()
+        labelled = self._labelled(submissions)
+        keys = [source_key(source) for _, source in labelled]
+        # With the cache off, every item is its own job — no within-batch
+        # dedupe either, so ``cache=False`` is a true no-reuse baseline.
+        reuse = self.cache is not None
+        job_keys = keys if reuse else [str(i) for i in range(len(keys))]
+
+        # Resolve cross-batch cache hits, then dedupe what remains so
+        # each unique uncached source is graded exactly once.
+        replayed: dict[str, GradingReport] = {}
+        jobs: list[tuple[str, str]] = []
+        seen: set[str] = set()
+        for (_, source), job_key in zip(labelled, job_keys):
+            if job_key in seen or job_key in replayed:
+                continue
+            cached = self.cache.get(job_key) if reuse else None
+            if cached is not None:
+                replayed[job_key] = cached
+            else:
+                seen.add(job_key)
+                jobs.append((job_key, source))
+
+        stats = PipelineStats(mode=self.mode, workers=self.workers)
+        fresh = self._run_jobs(jobs, stats)
+        if reuse:
+            for job_key, report in fresh.items():
+                self.cache.put(job_key, report)
+
+        # Reassemble in input order; only the first occurrence of a
+        # freshly graded key counts as "graded", the rest are hits.
+        items: list[GradedSubmission] = []
+        first_use: set[str] = set()
+        for (label, _), key, job_key in zip(labelled, keys, job_keys):
+            if job_key in fresh and job_key not in first_use:
+                first_use.add(job_key)
+                report, from_cache = fresh[job_key], False
+            else:
+                report = fresh.get(job_key) or replayed[job_key]
+                from_cache = True
+                stats.record_submission(cache_hit=True)
+            items.append(
+                GradedSubmission(
+                    label=label, key=key, report=report,
+                    from_cache=from_cache,
+                )
+            )
+        stats.wall_seconds = time.perf_counter() - started
+        return BatchResult(
+            assignment_name=self.assignment.name, items=items, stats=stats
+        )
+
+    # -- internals -------------------------------------------------------
+
+    @staticmethod
+    def _labelled(
+        submissions: Iterable[str | tuple[str, str]]
+    ) -> list[tuple[str, str]]:
+        labelled = []
+        for position, item in enumerate(submissions):
+            if isinstance(item, tuple):
+                labelled.append(item)
+            else:
+                labelled.append((f"#{position}", item))
+        return labelled
+
+    def _run_jobs(
+        self, jobs: Sequence[tuple[str, str]], stats: PipelineStats
+    ) -> dict[str, GradingReport]:
+        """Grade unique uncached jobs under the configured worker model."""
+        results: dict[str, GradingReport] = {}
+        if not jobs:
+            return results
+        if self.mode == "serial":
+            outcomes = (
+                (key, *_grade_one(self.engine, source))
+                for key, source in jobs
+            )
+        elif self.mode == "thread":
+            pool = ThreadPoolExecutor(
+                max_workers=self.workers,
+                thread_name_prefix="repro-grade",
+            )
+            with pool:
+                outcomes = list(
+                    pool.map(
+                        lambda job: (job[0], *_grade_one(self.engine, job[1])),
+                        jobs,
+                    )
+                )
+        else:  # process
+            pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=_init_process_worker,
+                initargs=(self.assignment,),
+            )
+            with pool:
+                outcomes = list(pool.map(_process_grade, jobs))
+        for key, report, collector, seconds in outcomes:
+            results[key] = report
+            stats.merge_phases(collector)
+            stats.record_submission(
+                seconds=seconds,
+                parse_error=report.status == "parse-error",
+                error=report.status == "error",
+            )
+        return results

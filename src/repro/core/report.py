@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.matching.feedback import FeedbackComment, FeedbackStatus
 from repro.matching.submission import MatchOutcome
@@ -12,14 +12,32 @@ from repro.matching.submission import MatchOutcome
 class GradingReport:
     """The personalized feedback for one submission.
 
-    ``parse_error`` is set (and ``outcome`` is ``None``) when the
-    submission did not parse; otherwise ``outcome`` holds the full
-    Algorithm 2 result.
+    Exactly one of three shapes, distinguished by :attr:`status`:
+
+    ``"ok"`` / ``"rejected"``
+        ``outcome`` holds the full Algorithm 2 result; ``ok`` when every
+        comment is Correct, ``rejected`` when at least one is not.
+    ``"parse-error"``
+        ``parse_error`` is set: the submission did not compile, so no
+        matching was attempted.
+    ``"error"``
+        ``error`` is set: grading itself failed unexpectedly (the batch
+        pipeline isolates such failures instead of aborting the batch).
     """
 
     assignment_name: str
     outcome: MatchOutcome | None = None
     parse_error: str | None = None
+    error: str | None = None
+
+    @property
+    def status(self) -> str:
+        """``"ok"`` | ``"rejected"`` | ``"parse-error"`` | ``"error"``."""
+        if self.parse_error is not None:
+            return "parse-error"
+        if self.error is not None or self.outcome is None:
+            return "error"
+        return "ok" if self.outcome.is_fully_correct else "rejected"
 
     @property
     def ok(self) -> bool:
@@ -52,13 +70,40 @@ class GradingReport:
     def by_status(self, status: FeedbackStatus) -> list[FeedbackComment]:
         return [c for c in self.comments if c.status is status]
 
+    def to_dict(self) -> dict:
+        """Flat JSON-friendly view (used by ``grade-batch --json``)."""
+        return {
+            "assignment": self.assignment_name,
+            "status": self.status,
+            "score": self.score,
+            "max_score": self.max_score,
+            "parse_error": self.parse_error,
+            "error": self.error,
+            "comments": [
+                {
+                    "source": c.source,
+                    "kind": c.kind,
+                    "status": str(c.status),
+                    "message": c.message,
+                    "details": list(c.details),
+                }
+                for c in self.comments
+            ],
+        }
+
     def render(self) -> str:
         """Human-readable feedback text for the student."""
-        lines = [f"Feedback for {self.assignment_name}:"]
+        lines = [f"Feedback for {self.assignment_name} [{self.status}]:"]
         if self.parse_error is not None:
             lines.append(f"  Your submission does not compile: {self.parse_error}")
             return "\n".join(lines)
-        assert self.outcome is not None
+        if self.error is not None or self.outcome is None:
+            lines.append(
+                "  Your submission could not be graded due to an internal "
+                f"error: {self.error or 'unknown failure'}"
+            )
+            lines.append("  Please report this to the course staff.")
+            return "\n".join(lines)
         for comment in self.outcome.comments:
             lines.extend("  " + line for line in comment.render().splitlines())
         lines.append(f"  Score: {self.score:g} / {self.max_score:g}")

@@ -1,0 +1,115 @@
+"""Low-level phase-timing primitives shared by all pipeline layers.
+
+The batch pipeline (:mod:`repro.core.pipeline`) wants per-phase wall
+time — parse / EPDG build / pattern match / constraint match — but the
+phases live in different layers (``repro.java``, ``repro.pdg``,
+``repro.matching``).  Threading a recorder object through every
+signature would churn the whole public API, so instead the timed code
+wraps itself in :func:`phase` and an *ambient* collector (a
+:class:`contextvars.ContextVar`) decides whether anything is recorded.
+
+When no collector is installed — the common case for one-off
+``FeedbackEngine.grade`` calls — :func:`phase` is a no-op costing one
+context-variable read.  The batch pipeline installs a fresh
+:class:`PhaseCollector` per submission via :func:`collecting`, which
+also makes the mechanism safe under thread pools: each worker task
+installs its own collector in its own context.
+
+This module deliberately imports nothing from the rest of ``repro`` so
+every layer (including :mod:`repro.matching`, which :mod:`repro.core`
+itself imports) can depend on it without cycles.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+#: Ambient per-context collector; ``None`` disables all recording.
+_collector: contextvars.ContextVar["PhaseCollector | None"] = (
+    contextvars.ContextVar("repro_phase_collector", default=None)
+)
+
+#: Canonical phase names emitted by the grading pipeline, in data-flow
+#: order.  Other layers may emit additional names; consumers should not
+#: assume this list is exhaustive.
+PIPELINE_PHASES = (
+    "parse",
+    "epdg_build",
+    "pattern_match",
+    "constraint_match",
+)
+
+
+class PhaseCollector:
+    """Accumulates wall seconds and entry counts per phase name."""
+
+    __slots__ = ("seconds", "counts")
+
+    def __init__(self) -> None:
+        self.seconds: dict[str, float] = {}
+        self.counts: dict[str, int] = {}
+
+    def add(self, name: str, elapsed: float) -> None:
+        self.seconds[name] = self.seconds.get(name, 0.0) + elapsed
+        self.counts[name] = self.counts.get(name, 0) + 1
+
+    def merge(self, other: "PhaseCollector") -> None:
+        """Fold another collector's totals into this one."""
+        for name, elapsed in other.seconds.items():
+            self.seconds[name] = self.seconds.get(name, 0.0) + elapsed
+        for name, count in other.counts.items():
+            self.counts[name] = self.counts.get(name, 0) + count
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = ", ".join(
+            f"{name}={self.seconds[name] * 1000:.2f}ms"
+            for name in sorted(self.seconds)
+        )
+        return f"PhaseCollector({parts})"
+
+
+@contextmanager
+def phase(name: str) -> Iterator[None]:
+    """Time the enclosed block under ``name`` if a collector is active.
+
+    The elapsed time is recorded even when the block raises, so error
+    paths (a submission failing mid-match) still show up in the totals.
+    """
+    collector = _collector.get()
+    if collector is None:
+        yield
+        return
+    started = time.perf_counter()
+    try:
+        yield
+    finally:
+        collector.add(name, time.perf_counter() - started)
+
+
+@contextmanager
+def collecting(
+    collector: PhaseCollector | None = None,
+) -> Iterator[PhaseCollector]:
+    """Install ``collector`` (or a fresh one) as the ambient collector.
+
+    Returns the collector so callers can read the totals afterwards::
+
+        with collecting() as phases:
+            engine.grade(source)
+        print(phases.seconds)
+    """
+    if collector is None:
+        collector = PhaseCollector()
+    token = _collector.set(collector)
+    try:
+        yield collector
+    finally:
+        _collector.reset(token)
+
+
+def active_collector() -> PhaseCollector | None:
+    """The collector currently installed in this context, if any."""
+    return _collector.get()

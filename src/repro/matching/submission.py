@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from itertools import permutations
 
+from repro.instrumentation import phase
 from repro.java import ast
 from repro.matching.constraints import check_constraint
 from repro.matching.embeddings import Embedding
@@ -172,30 +173,32 @@ def _grade_assignment(
         embeddings: dict[str, list[Embedding]] = {}
         statuses: dict[str, FeedbackStatus] = {}
         # 2.1: match every pattern (or variant group) of this method
-        for pattern, expected_count in q.patterns:
-            if isinstance(pattern, PatternGroup):
-                group_match = match_group(pattern, graph)
-                embeddings[pattern.name] = group_match.translated
-                comment = provide_feedback(
-                    group_match.embeddings,
-                    group_match.pattern,
-                    expected_count,
-                )
-                if comment.source != pattern.name:
-                    # constraints and statuses key on the group's
-                    # (primary) name, whichever variant matched
-                    comment = replace(comment, source=pattern.name)
-            else:
-                found = match_pattern(pattern, graph)
-                embeddings[pattern.name] = found
-                comment = provide_feedback(found, pattern, expected_count)
-            statuses[pattern.name] = comment.status
-            comments.append(comment)
+        with phase("pattern_match"):
+            for pattern, expected_count in q.patterns:
+                if isinstance(pattern, PatternGroup):
+                    group_match = match_group(pattern, graph)
+                    embeddings[pattern.name] = group_match.translated
+                    comment = provide_feedback(
+                        group_match.embeddings,
+                        group_match.pattern,
+                        expected_count,
+                    )
+                    if comment.source != pattern.name:
+                        # constraints and statuses key on the group's
+                        # (primary) name, whichever variant matched
+                        comment = replace(comment, source=pattern.name)
+                else:
+                    found = match_pattern(pattern, graph)
+                    embeddings[pattern.name] = found
+                    comment = provide_feedback(found, pattern, expected_count)
+                statuses[pattern.name] = comment.status
+                comments.append(comment)
         # 2.2: check the constraints correlating those patterns
-        for constraint in q.constraints:
-            comments.append(
-                check_constraint(constraint, graph, embeddings, statuses)
-            )
+        with phase("constraint_match"):
+            for constraint in q.constraints:
+                comments.append(
+                    check_constraint(constraint, graph, embeddings, statuses)
+                )
         all_embeddings[q.name] = embeddings
     return MatchOutcome(
         comments=comments,

@@ -67,6 +67,68 @@ class TestGrade:
         assert main(["grade", "assignment1", str(path)]) in (1, 2)
 
 
+class TestGradeBatch:
+    def test_files_and_summary_lines(self, capsys, reference_file,
+                                     buggy_file):
+        assert main(["grade-batch", "assignment1", reference_file,
+                     buggy_file]) == 0
+        out = capsys.readouterr().out
+        assert "Submission.java: ok" in out
+        assert "Buggy.java: rejected" in out
+
+    def test_directory_input(self, capsys, tmp_path):
+        source = get_assignment("assignment1").reference_solutions[0]
+        for name in ("a.java", "b.java"):
+            (tmp_path / name).write_text(source)
+        assert main(["grade-batch", "assignment1", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "a.java: ok" in out
+        assert "b.java: ok 10/10 (cached)" in out
+
+    def test_broken_submission_does_not_abort(self, capsys, reference_file,
+                                              tmp_path):
+        broken = tmp_path / "Broken.java"
+        broken.write_text("void assignment1(int[] a) { int = ; }")
+        assert main(["grade-batch", "assignment1", reference_file,
+                     str(broken)]) == 0
+        out = capsys.readouterr().out
+        assert "Broken.java: parse-error" in out
+        assert "Submission.java: ok" in out
+
+    def test_stats_flag(self, capsys, reference_file):
+        assert main(["grade-batch", "assignment1", reference_file,
+                     reference_file, "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "Pipeline stats (mode=serial" in out
+        assert "cache hit rate: 50.0%" in out
+        assert "pattern_match" in out
+
+    def test_synthetic_cohort(self, capsys):
+        assert main(["grade-batch", "assignment1", "--synthetic", "5",
+                     "--mode", "thread", "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("synthetic-") == 5
+
+    def test_json_output(self, capsys, reference_file, tmp_path):
+        out_file = tmp_path / "batch.json"
+        assert main(["grade-batch", "assignment1", reference_file,
+                     "--json", str(out_file)]) == 0
+        payload = json.loads(out_file.read_text())
+        assert payload["assignment"] == "assignment1"
+        assert payload["stats"]["submissions"] == 1
+        assert payload["submissions"][0]["status"] == "ok"
+
+    def test_render_flag(self, capsys, reference_file):
+        assert main(["grade-batch", "assignment1", reference_file,
+                     "--render"]) == 0
+        out = capsys.readouterr().out
+        assert "[Correct]" in out and "Score:" in out
+
+    def test_empty_batch_errors(self, capsys):
+        assert main(["grade-batch", "assignment1"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
 class TestTest:
     def test_passing_suite(self, capsys, reference_file):
         assert main(["test", "assignment1", reference_file]) == 0

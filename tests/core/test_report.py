@@ -1,0 +1,79 @@
+"""Unit tests for GradingReport statuses and rendering."""
+
+from __future__ import annotations
+
+from repro.core import GradingReport
+
+BROKEN = "void assignment1(int[] a) { int = ; }"
+EMPTY = "void assignment1(int[] a) { }"
+
+
+class TestStatus:
+    def test_ok(self, engine1, assignment1):
+        report = engine1.grade(assignment1.reference_solutions[0])
+        assert report.status == "ok"
+
+    def test_rejected(self, engine1):
+        report = engine1.grade(EMPTY)
+        assert report.status == "rejected"
+        assert report.ok  # graded, just not fully correct
+
+    def test_parse_error(self, engine1):
+        report = engine1.grade(BROKEN)
+        assert report.status == "parse-error"
+        assert not report.ok
+
+    def test_internal_error(self):
+        report = GradingReport(assignment_name="a", error="boom")
+        assert report.status == "error"
+        assert not report.ok
+
+
+class TestRenderDistinguishable:
+    """Parse errors, match failures, and internal errors must not look
+    alike (the satellite fix this PR carries)."""
+
+    def test_headers_carry_the_status(self, engine1, assignment1):
+        ok = engine1.grade(assignment1.reference_solutions[0]).render()
+        rejected = engine1.grade(EMPTY).render()
+        parse = engine1.grade(BROKEN).render()
+        error = GradingReport(assignment_name="assignment1",
+                              error="boom").render()
+        assert "[ok]" in ok
+        assert "[rejected]" in rejected
+        assert "[parse-error]" in parse
+        assert "[error]" in error
+
+    def test_parse_error_render(self, engine1):
+        text = engine1.grade(BROKEN).render()
+        assert "does not compile" in text
+        assert "Score:" not in text
+
+    def test_match_failure_render_differs_from_parse_error(self, engine1):
+        text = engine1.grade(EMPTY).render()
+        assert "does not compile" not in text
+        assert "Score:" in text
+
+    def test_internal_error_render(self):
+        text = GradingReport(assignment_name="a", error="boom").render()
+        assert "internal error: boom" in text
+        assert "does not compile" not in text
+
+
+class TestToDict:
+    def test_roundtrips_through_json(self, engine1, assignment1):
+        import json
+
+        report = engine1.grade(assignment1.reference_solutions[0])
+        payload = report.to_dict()
+        assert json.loads(json.dumps(payload)) == payload
+        assert payload["status"] == "ok"
+        assert payload["score"] == report.score
+        assert len(payload["comments"]) == len(report.comments)
+        assert payload["comments"][0]["status"] == "Correct"
+
+    def test_parse_error_payload(self, engine1):
+        payload = engine1.grade(BROKEN).to_dict()
+        assert payload["status"] == "parse-error"
+        assert payload["parse_error"]
+        assert payload["comments"] == []
