@@ -31,7 +31,7 @@ Usage — the fields are plain data, so stats can also be built by hand
 >>> stats.throughput
 4.0
 >>> sorted(stats.to_dict())[:4]
-['cache_hit_rate', 'cache_hits', 'errors', 'graded']
+['cache_hit_rate', 'cache_hits', 'counters', 'errors']
 >>> print(stats.summary())
 Pipeline stats (mode=thread, workers=4)
   submissions: 2 (1 graded, 1 cache hits, 0 parse errors, 0 errors)
@@ -81,6 +81,9 @@ class PipelineStats:
     grading_seconds: float = 0.0
     phase_seconds: dict[str, float] = field(default_factory=dict)
     phase_counts: dict[str, int] = field(default_factory=dict)
+    #: Event counters from :func:`repro.instrumentation.count` — matcher
+    #: search statistics such as ``match.candidates_pruned``.
+    counters: dict[str, int] = field(default_factory=dict)
 
     # -- recording -------------------------------------------------------
 
@@ -107,10 +110,15 @@ class PipelineStats:
         self.phase_seconds[name] = self.phase_seconds.get(name, 0.0) + seconds
         self.phase_counts[name] = self.phase_counts.get(name, 0) + calls
 
+    def record_counter(self, name: str, amount: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + amount
+
     def merge_phases(self, collector: PhaseCollector) -> None:
         """Fold a per-submission :class:`PhaseCollector` into the totals."""
         for name, seconds in collector.seconds.items():
             self.record_phase(name, seconds, collector.counts.get(name, 1))
+        for name, amount in collector.counters.items():
+            self.record_counter(name, amount)
 
     def merge(self, other: "PipelineStats") -> None:
         """Fold another run's counters in (sharded / multi-batch use)."""
@@ -123,6 +131,8 @@ class PipelineStats:
         self.grading_seconds += other.grading_seconds
         for name, seconds in other.phase_seconds.items():
             self.record_phase(name, seconds, other.phase_counts.get(name, 1))
+        for name, amount in other.counters.items():
+            self.record_counter(name, amount)
 
     # -- derived ---------------------------------------------------------
 
@@ -164,6 +174,7 @@ class PipelineStats:
                 for name, seconds in sorted(self.phase_seconds.items())
             },
             "phase_calls": dict(sorted(self.phase_counts.items())),
+            "counters": dict(sorted(self.counters.items())),
         }
 
     def summary(self) -> str:
@@ -186,4 +197,8 @@ class PipelineStats:
                     f"    {name:16s} {1000 * self.phase_seconds[name]:8.1f}ms"
                     f"  ({self.phase_counts.get(name, 0)} calls)"
                 )
+        if self.counters:
+            lines.append("  matcher counters:")
+            for name in sorted(self.counters):
+                lines.append(f"    {name:32s} {self.counters[name]:>10d}")
         return "\n".join(lines)

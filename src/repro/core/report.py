@@ -67,6 +67,17 @@ class GradingReport:
         """
         return self.outcome is not None and self.outcome.is_fully_correct
 
+    @property
+    def truncated(self) -> bool:
+        """True when a matcher safety cap cut grading short.
+
+        Either Algorithm 1 hit its per-pattern embedding cap or the
+        method-assignment sweep hit its permutation cap; the feedback
+        is still delivered, but it may rest on incomplete search
+        results, and :meth:`render` says so.
+        """
+        return self.outcome is not None and self.outcome.truncated
+
     def by_status(self, status: FeedbackStatus) -> list[FeedbackComment]:
         return [c for c in self.comments if c.status is status]
 
@@ -79,6 +90,7 @@ class GradingReport:
             "max_score": self.max_score,
             "parse_error": self.parse_error,
             "error": self.error,
+            "truncated": self.truncated,
             "comments": [
                 {
                     "source": c.source,
@@ -106,5 +118,10 @@ class GradingReport:
             return "\n".join(lines)
         for comment in self.outcome.comments:
             lines.extend("  " + line for line in comment.render().splitlines())
+        if self.truncated:
+            lines.append(
+                "  Note: grading was truncated by a search safety cap; "
+                "some feedback may be based on incomplete matching."
+            )
         lines.append(f"  Score: {self.score:g} / {self.max_score:g}")
         return "\n".join(lines)

@@ -44,17 +44,27 @@ PIPELINE_PHASES = (
 
 
 class PhaseCollector:
-    """Accumulates wall seconds and entry counts per phase name."""
+    """Accumulates wall seconds, entry counts, and event counters.
 
-    __slots__ = ("seconds", "counts")
+    ``seconds``/``counts`` come from :func:`phase` blocks; ``counters``
+    are plain event tallies recorded with :func:`count` — the matcher
+    uses them for search statistics (candidates pruned, nodes visited,
+    cache hits) that have no meaningful duration.
+    """
+
+    __slots__ = ("seconds", "counts", "counters")
 
     def __init__(self) -> None:
         self.seconds: dict[str, float] = {}
         self.counts: dict[str, int] = {}
+        self.counters: dict[str, int] = {}
 
     def add(self, name: str, elapsed: float) -> None:
         self.seconds[name] = self.seconds.get(name, 0.0) + elapsed
         self.counts[name] = self.counts.get(name, 0) + 1
+
+    def increment(self, name: str, amount: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + amount
 
     def merge(self, other: "PhaseCollector") -> None:
         """Fold another collector's totals into this one."""
@@ -62,6 +72,8 @@ class PhaseCollector:
             self.seconds[name] = self.seconds.get(name, 0.0) + elapsed
         for name, count in other.counts.items():
             self.counts[name] = self.counts.get(name, 0) + count
+        for name, amount in other.counters.items():
+            self.counters[name] = self.counters.get(name, 0) + amount
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         parts = ", ".join(
@@ -87,6 +99,33 @@ def phase(name: str) -> Iterator[None]:
         yield
     finally:
         collector.add(name, time.perf_counter() - started)
+
+
+def count(name: str, amount: int = 1) -> None:
+    """Record ``amount`` occurrences of ``name`` on the ambient collector.
+
+    A no-op (one context-variable read) when no collector is installed,
+    exactly like :func:`phase` — the matcher calls this from its inner
+    loops, so the uninstrumented path must stay free.
+
+    Counter names emitted by the matching engine:
+
+    ``match.nodes_visited``
+        Backtracking search states expanded by Algorithm 1.
+    ``match.candidates_pruned``
+        Graph nodes removed from the search space Φ by the degree and
+        variable-arity filters before the search started.
+    ``match.cache_hits`` / ``match.cache_misses``
+        Engine-level ``match_pattern`` result-cache outcomes.
+    ``match.embeddings_truncated``
+        Times the :data:`~repro.matching.pattern_matching.MAX_EMBEDDINGS`
+        safety valve cut a search short.
+    ``match.assignments_truncated``
+        Times the method-assignment sweep hit its permutation cap.
+    """
+    collector = _collector.get()
+    if collector is not None:
+        collector.increment(name, amount)
 
 
 @contextmanager

@@ -1,0 +1,107 @@
+"""Engine-level ``match_pattern`` result cache.
+
+Algorithm 2 asks for the same (pattern, graph) match many times: every
+candidate method assignment re-examines the same expected method against
+the same submission method, a pattern shared by two expected methods
+(e.g. ``factorial-loop`` appearing both as a required pattern of
+``fact`` and a *bad* pattern of ``lab3p1``) is matched once per use, and
+every variant of a pattern group is re-matched per assignment.  Since
+patterns and EPDGs are immutable once built, the embeddings are a pure
+function of ``(pattern, graph, order)`` and can be computed exactly
+once per submission.
+
+The cache is *ambient* (a :class:`contextvars.ContextVar`), mirroring
+:mod:`repro.instrumentation`: threading a cache object through
+``match_group`` → ``match_pattern`` would churn every signature in the
+matching layer, and the ambient form is safe under the batch pipeline's
+thread pool because each worker task runs in its own context.
+
+Keys are object identities — patterns are not hashable (mutable
+dataclasses) and deep-hashing graphs would cost more than matching.
+The cache holds strong references to its keys, so an id can never be
+recycled while its entry is alive; a cache is scoped to one submission
+(installed by ``match_graphs``), keeping it small and making
+invalidation structural, exactly like the batch pipeline's result
+cache.
+"""
+
+from __future__ import annotations
+
+import contextvars
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Iterator
+
+from repro.instrumentation import count
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.matching.embeddings import Embedding
+    from repro.patterns.model import Pattern
+    from repro.pdg.graph import Epdg
+
+_cache: contextvars.ContextVar["MatchCache | None"] = contextvars.ContextVar(
+    "repro_match_cache", default=None
+)
+
+
+class MatchCache:
+    """Memo of ``match_pattern`` results keyed by ``(pattern, graph, order)``."""
+
+    __slots__ = ("_entries", "_pins", "hits", "misses")
+
+    def __init__(self) -> None:
+        self._entries: dict[tuple[int, int, str], list] = {}
+        # strong references keeping keyed objects (and thus ids) alive
+        self._pins: list[object] = []
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, pattern: "Pattern", graph: "Epdg", order: str):
+        found = self._entries.get((id(pattern), id(graph), order))
+        if found is None:
+            self.misses += 1
+            count("match.cache_misses")
+        else:
+            self.hits += 1
+            count("match.cache_hits")
+        return found
+
+    def put(
+        self,
+        pattern: "Pattern",
+        graph: "Epdg",
+        order: str,
+        embeddings: "list[Embedding]",
+    ) -> None:
+        self._entries[(id(pattern), id(graph), order)] = embeddings
+        self._pins.append(pattern)
+        self._pins.append(graph)
+
+
+def active_match_cache() -> MatchCache | None:
+    """The cache currently installed in this context, if any."""
+    return _cache.get()
+
+
+@contextmanager
+def match_caching(cache: MatchCache | None = None) -> Iterator[MatchCache]:
+    """Install ``cache`` (or a fresh one) as the ambient match cache.
+
+    Nesting is cooperative: if a cache is already active and none is
+    passed explicitly, the existing cache is reused so an outer scope
+    (e.g. a benchmark timing several submissions) can share one cache
+    across inner ``match_graphs`` calls.
+    """
+    if cache is None:
+        existing = _cache.get()
+        if existing is not None:
+            yield existing
+            return
+        cache = MatchCache()
+    token = _cache.set(cache)
+    try:
+        yield cache
+    finally:
+        _cache.reset(token)

@@ -74,13 +74,19 @@ def _quality(embeddings: list[Embedding]) -> tuple[int, int]:
     return (tier, -best)
 
 
-def match_group(group: PatternGroup, graph: Epdg) -> GroupMatch:
-    """Match every variant and keep the best, primary-first on ties."""
+def match_group(
+    group: PatternGroup, graph: Epdg, order: str = "connectivity"
+) -> GroupMatch:
+    """Match every variant and keep the best, primary-first on ties.
+
+    ``order`` is forwarded to :func:`match_pattern` so callers can run
+    the whole group through the naive reference ordering.
+    """
     best_variant = group.primary
     best_embeddings: list[Embedding] = []
     best_quality = (0, 0)
     for variant in group.variants:
-        embeddings = match_pattern(variant.pattern, graph)
+        embeddings = match_pattern(variant.pattern, graph, order=order)
         quality = _quality(embeddings)
         if quality > best_quality:
             best_variant, best_embeddings = variant, embeddings

@@ -3,7 +3,7 @@
 The search backtracks over pattern nodes, pruning candidates with
 
 1. the type-based search space Φ (``Untyped`` pattern nodes admit every
-   graph node);
+   graph node), served by the EPDG's type buckets instead of a scan;
 2. structural consistency — every pattern edge between the new node and
    already-matched nodes must exist in the graph (we check both edge
    directions, a correctness tightening of the paper's line 13 which only
@@ -18,16 +18,32 @@ all injective partial assignments when ``|X| ≤ |Y|``: the relaxation is
 needed to accept the paper's own worked example (node ``u5`` of pattern
 ``p_o``), and reduces to the paper's rule when the sizes agree.
 
-Node ordering is a connectivity-first heuristic (matched-adjacent nodes
-before disconnected ones, smaller search spaces first), one of the
-standard subgraph-isomorphism optimizations the paper points to.
+The default ``"connectivity"`` order runs off a **compiled search plan**
+(:mod:`repro.matching.plan`): pattern adjacency lists and degree
+requirements are extracted once per pattern, the connectivity-first node
+order is fixed up front (it never depends on *how* nodes are mapped,
+only on which are matched), and Φ is additionally pruned by degree
+profiles and variable-arity floors.  Both prunes are exact — they only
+drop candidates the backtracking would reject in every branch — so the
+embeddings, including their discovery order, are identical to the
+unpruned search.  ``"naive"`` keeps the paper's literal line 11 (any
+unmatched node, declaration order) with no pruning, serving as the
+reference for the ablation benchmark and the differential test suite.
+
+When an ambient :class:`~repro.matching.cache.MatchCache` is installed
+(Algorithm 2 installs one per submission), results are memoized by
+``(pattern, graph, order)`` so repeated method assignments and pattern
+groups never re-run the search.
 """
 
 from __future__ import annotations
 
 from itertools import permutations
 
+from repro.instrumentation import count
+from repro.matching.cache import active_match_cache
 from repro.matching.embeddings import Embedding
+from repro.matching.plan import SearchPlan, compile_plan
 from repro.patterns.model import Pattern, PatternNode
 from repro.pdg.graph import Epdg, NodeType
 
@@ -36,38 +52,129 @@ from repro.pdg.graph import Epdg, NodeType
 MAX_EMBEDDINGS = 512
 
 
+class EmbeddingList(list):
+    """A ``list[Embedding]`` that also records search truncation.
+
+    ``truncated`` is ``True`` when the :data:`MAX_EMBEDDINGS` safety
+    valve stopped the search, i.e. the result may be incomplete.  The
+    subclass keeps the public ``match_pattern`` contract (callers treat
+    the result as a plain list) while letting Algorithm 2 surface the
+    truncation instead of silently dropping work.
+    """
+
+    truncated: bool = False
+
+
 def match_pattern(
     pattern: Pattern, graph: Epdg, order: str = "connectivity"
-) -> list[Embedding]:
+) -> EmbeddingList:
     """Compute all embeddings of ``pattern`` in ``graph`` (Algorithm 1).
 
     ``order`` selects the node-ordering heuristic: ``"connectivity"``
-    (default — matched-adjacent nodes first, smaller search spaces
-    first) or ``"naive"`` (the paper's line 11: any unmatched node, in
-    declaration order).  Both return the same embeddings; the ablation
-    benchmark measures the cost difference.
+    (default — compiled plan with static connectivity-first order and
+    degree/arity pruning) or ``"naive"`` (the paper's line 11: any
+    unmatched node, in declaration order, no pruning).  Both return the
+    same embeddings; the ablation benchmark measures the cost
+    difference.
     """
     if not pattern.nodes:
-        return []
-    search_space = _search_space(pattern, graph)
-    if any(not candidates for candidates in search_space.values()):
-        return []
-    state = _SearchState(pattern, graph, search_space, order=order)
-    state.search({}, {}, {})
-    return state.embeddings
+        return EmbeddingList()
+    cache = active_match_cache()
+    if cache is not None:
+        cached = cache.get(pattern, graph, order)
+        if cached is not None:
+            return cached
+    embeddings = _match_uncached(pattern, graph, order)
+    if cache is not None:
+        cache.put(pattern, graph, order, embeddings)
+    return embeddings
+
+
+def _match_uncached(
+    pattern: Pattern, graph: Epdg, order: str
+) -> EmbeddingList:
+    space = _search_space(pattern, graph)
+    if any(not candidates for candidates in space.values()):
+        return EmbeddingList()
+    plan = compile_plan(pattern)
+    if order == "naive":
+        node_order = tuple(range(len(pattern.nodes)))
+    else:
+        sizes = {u_id: len(candidates) for u_id, candidates in space.items()}
+        node_order = plan.static_order(sizes)
+        pruned = _prune_space(plan, graph, space, node_order)
+        count("match.candidates_pruned", pruned)
+        if any(not candidates for candidates in space.values()):
+            return EmbeddingList()
+    state = _SearchState(pattern, graph, plan, space, node_order)
+    state.search(0, {}, {}, {})
+    count("match.nodes_visited", state.nodes_visited)
+    result = EmbeddingList(state.embeddings)
+    if len(result) >= MAX_EMBEDDINGS:
+        result.truncated = True
+        count("match.embeddings_truncated")
+    return result
 
 
 def _search_space(pattern: Pattern, graph: Epdg) -> dict[int, list[int]]:
-    """Φ: the graph nodes each pattern node may map to, by node type."""
+    """Φ: the graph nodes each pattern node may map to, by node type.
+
+    Served from the EPDG's type buckets — candidate lists stay in node
+    id order, exactly as the previous full-graph scan produced them.
+    """
     space: dict[int, list[int]] = {}
     for u in pattern.nodes:
         if u.type is NodeType.UNTYPED:
             space[u.node_id] = [v.node_id for v in graph.nodes]
         else:
             space[u.node_id] = [
-                v.node_id for v in graph.nodes if v.type is u.type
+                v.node_id for v in graph.nodes_of_type(u.type)
             ]
     return space
+
+
+def _prune_space(
+    plan: SearchPlan,
+    graph: Epdg,
+    space: dict[int, list[int]],
+    node_order: tuple[int, ...],
+) -> int:
+    """Drop Φ candidates that can never complete an embedding.
+
+    Two exact filters (they remove only candidates the backtracking
+    search would reject in every branch, so results — and their order —
+    are unchanged):
+
+    * **degree**: ι is injective, so a pattern node with ``k`` outgoing
+      Data edges needs an image with at least ``k`` outgoing Data edges
+      (likewise for each direction × type);
+    * **arity**: with the node order fixed, the variables bound before
+      node ``u`` is matched are known statically, so ``u`` must bind its
+      remaining variables injectively into the candidate's variables —
+      impossible when the candidate has fewer variables than that.
+
+    Returns the number of candidates removed.
+    """
+    floors = plan.arity_floors(node_order)
+    pruned = 0
+    for node_plan in plan.node_plans:
+        requirement = node_plan.degree_requirement
+        floor = floors[node_plan.node_id]
+        candidates = space[node_plan.node_id]
+        kept = []
+        for v_id in candidates:
+            profile = graph.degree_profile(v_id)
+            if (
+                profile[0] >= requirement[0]
+                and profile[1] >= requirement[1]
+                and profile[2] >= requirement[2]
+                and profile[3] >= requirement[3]
+                and len(graph.node(v_id).variables) >= floor
+            ):
+                kept.append(v_id)
+        pruned += len(candidates) - len(kept)
+        space[node_plan.node_id] = kept
+    return pruned
 
 
 class _SearchState:
@@ -75,52 +182,39 @@ class _SearchState:
         self,
         pattern: Pattern,
         graph: Epdg,
+        plan: SearchPlan,
         space: dict[int, list[int]],
-        order: str = "connectivity",
+        node_order: tuple[int, ...],
     ):
         self._pattern = pattern
         self._graph = graph
+        self._plan = plan
         self._space = space
-        self._order = order
+        self._order = node_order
         self.embeddings: list[Embedding] = []
         self._seen: set[tuple] = set()
         self.nodes_visited = 0  # instrumentation for the ablation bench
 
-    # -- node ordering --------------------------------------------------
-
-    def _next_node(self, iota: dict[int, int]) -> PatternNode:
-        """Pick the next pattern node: prefer nodes adjacent to matched
-        ones, break ties by smaller search space."""
-        unmatched = [
-            u for u in self._pattern.nodes if u.node_id not in iota
-        ]
-        if self._order == "naive":
-            return unmatched[0]
-        def key(u: PatternNode) -> tuple[int, int, int]:
-            adjacent = any(
-                (e.source in iota) != (e.target in iota)
-                and (e.source == u.node_id or e.target == u.node_id)
-                for e in self._pattern.edges_touching(u.node_id)
-            )
-            return (0 if adjacent else 1, len(self._space[u.node_id]), u.node_id)
-        return min(unmatched, key=key)
-
     # -- consistency checks ----------------------------------------------
 
     def _edges_consistent(self, u_id: int, v_id: int, iota: dict[int, int]) -> bool:
-        for edge in self._pattern.edges_touching(u_id):
-            if edge.source == u_id and edge.target in iota:
-                if not self._graph.has_edge(v_id, iota[edge.target], edge.type):
+        has_edge = self._graph.has_edge
+        for edge_type, other, outgoing in self._plan.node_plans[u_id].adjacency:
+            mapped = iota.get(other)
+            if mapped is None:
+                continue
+            if outgoing:
+                if not has_edge(v_id, mapped, edge_type):
                     return False
-            elif edge.target == u_id and edge.source in iota:
-                if not self._graph.has_edge(iota[edge.source], v_id, edge.type):
-                    return False
+            elif not has_edge(mapped, v_id, edge_type):
+                return False
         return True
 
     # -- main search ------------------------------------------------------
 
     def search(
         self,
+        depth: int,
         iota: dict[int, int],
         gamma: dict[str, str],
         marks: dict[int, bool],
@@ -128,7 +222,7 @@ class _SearchState:
         self.nodes_visited += 1
         if len(self.embeddings) >= MAX_EMBEDDINGS:
             return
-        if len(iota) == len(self._pattern.nodes):
+        if depth == len(self._order):
             embedding = Embedding.build(iota, gamma, marks)
             # distinct (ι, γ) pairs are all kept: constraints may need a
             # specific variable mapping even when the node mapping repeats
@@ -137,23 +231,24 @@ class _SearchState:
                 self._seen.add(key)
                 self.embeddings.append(embedding)
             return
-        u = self._next_node(iota)
+        u_id = self._order[depth]
+        u = self._pattern.nodes[u_id]
         used_graph_nodes = set(iota.values())
-        for v_id in self._space[u.node_id]:
+        for v_id in self._space[u_id]:
             if v_id in used_graph_nodes:
                 continue
-            if not self._edges_consistent(u.node_id, v_id, iota):
+            if not self._edges_consistent(u_id, v_id, iota):
                 continue
             v = self._graph.node(v_id)
             for extension, correct in self._variable_matches(u, v, gamma):
-                iota[u.node_id] = v_id
-                marks[u.node_id] = correct
+                iota[u_id] = v_id
+                marks[u_id] = correct
                 gamma.update(extension)
-                self.search(iota, gamma, marks)
+                self.search(depth + 1, iota, gamma, marks)
                 for name in extension:
                     del gamma[name]
-                del iota[u.node_id]
-                del marks[u.node_id]
+                del iota[u_id]
+                del marks[u_id]
 
     # -- variable combinations --------------------------------------------
 
@@ -163,7 +258,9 @@ class _SearchState:
         ``new_bindings`` extends γ injectively from the node's unbound
         pattern variables into the graph node's unbound variables.
         """
-        unbound_pattern = sorted(u.variables - gamma.keys())
+        unbound_pattern = sorted(
+            self._plan.node_plans[u.node_id].variables - gamma.keys()
+        )
         bound_submission = set(gamma.values())
         unbound_submission = sorted(v.variables - bound_submission)
         if len(unbound_pattern) > len(unbound_submission):

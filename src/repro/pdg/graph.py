@@ -1,9 +1,25 @@
-"""Graph model for extended program dependence graphs (Defs. 1-3)."""
+"""Graph model for extended program dependence graphs (Defs. 1-3).
+
+The :class:`Epdg` maintains incremental indexes alongside the raw node
+and edge stores so the matcher's hot queries never scan the whole graph:
+
+* a **type bucket** per :class:`NodeType` (the search space Φ of
+  Algorithm 1 is exactly a type bucket);
+* a **content index** mapping canonical content strings to nodes
+  (:meth:`Epdg.find_by_content` used to scan every node);
+* **degree profiles** counting in/out edges per :class:`EdgeType` for
+  every node, which the compiled search plans use to prune candidates
+  that cannot possibly carry a pattern node's edges.
+
+``nodes``/``edges`` return *cached immutable views* — the backtracking
+matcher reads them inside its inner loop, and the previous
+copy-per-access behaviour dominated small-pattern match time.
+"""
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 class NodeType(enum.Enum):
@@ -72,6 +88,10 @@ class GraphEdge:
         return f"v{self.source} {arrow} v{self.target} [{self.type}]"
 
 
+#: Index positions inside a degree profile tuple.
+_OUT_CTRL, _OUT_DATA, _IN_CTRL, _IN_DATA = range(4)
+
+
 class Epdg:
     """An extended program dependence graph ``g = (V, E)`` for one method."""
 
@@ -81,6 +101,13 @@ class Epdg:
         self._edges: set[GraphEdge] = set()
         self._out: dict[int, set[GraphEdge]] = {}
         self._in: dict[int, set[GraphEdge]] = {}
+        # incremental indexes (see module docstring)
+        self._by_type: dict[NodeType, list[GraphNode]] = {}
+        self._by_content: dict[str, list[GraphNode]] = {}
+        self._degrees: list[list[int]] = []  # [out_ctrl, out_data, in_ctrl, in_data]
+        # cached immutable views, invalidated by mutation
+        self._nodes_view: tuple[GraphNode, ...] | None = None
+        self._edges_view: frozenset[GraphEdge] | None = None
 
     # ------------------------------------------------------------------
     # construction
@@ -94,6 +121,10 @@ class Epdg:
         self._nodes.append(node)
         self._out.setdefault(node.node_id, set())
         self._in.setdefault(node.node_id, set())
+        self._by_type.setdefault(node.type, []).append(node)
+        self._by_content.setdefault(node.content, []).append(node)
+        self._degrees.append([0, 0, 0, 0])
+        self._nodes_view = None
         return node
 
     def add_edge(self, source: int, target: int, edge_type: EdgeType) -> None:
@@ -105,17 +136,28 @@ class Epdg:
         self._edges.add(edge)
         self._out[source].add(edge)
         self._in[target].add(edge)
+        out_slot = _OUT_CTRL if edge_type is EdgeType.CTRL else _OUT_DATA
+        in_slot = _IN_CTRL if edge_type is EdgeType.CTRL else _IN_DATA
+        self._degrees[source][out_slot] += 1
+        self._degrees[target][in_slot] += 1
+        self._edges_view = None
 
     # ------------------------------------------------------------------
     # queries
 
     @property
-    def nodes(self) -> list[GraphNode]:
-        return list(self._nodes)
+    def nodes(self) -> tuple[GraphNode, ...]:
+        """All nodes in id order, as a cached immutable view."""
+        if self._nodes_view is None:
+            self._nodes_view = tuple(self._nodes)
+        return self._nodes_view
 
     @property
-    def edges(self) -> set[GraphEdge]:
-        return set(self._edges)
+    def edges(self) -> frozenset[GraphEdge]:
+        """All edges, as a cached immutable view."""
+        if self._edges_view is None:
+            self._edges_view = frozenset(self._edges)
+        return self._edges_view
 
     def node(self, node_id: int) -> GraphNode:
         return self._nodes[node_id]
@@ -147,11 +189,34 @@ class Epdg:
         )
 
     def nodes_of_type(self, node_type: NodeType) -> list[GraphNode]:
-        return [n for n in self._nodes if n.type is node_type]
+        """All nodes of ``node_type``, in id order (indexed lookup)."""
+        return list(self._by_type.get(node_type, ()))
 
     def find_by_content(self, content: str) -> list[GraphNode]:
         """All nodes whose canonical content equals ``content`` exactly."""
-        return [n for n in self._nodes if n.content == content]
+        return list(self._by_content.get(content, ()))
+
+    def degree_profile(self, node_id: int) -> tuple[int, int, int, int]:
+        """``(out_ctrl, out_data, in_ctrl, in_data)`` edge counts of a node.
+
+        The compiled search plans compare these against a pattern node's
+        edge requirements: a graph node with fewer edges of some
+        direction/type than the pattern node demands can never complete
+        an (injective) embedding, so Φ drops it up front.
+        """
+        return tuple(self._degrees[node_id])
+
+    def out_degree(self, node_id: int, edge_type: EdgeType | None = None) -> int:
+        profile = self._degrees[node_id]
+        if edge_type is None:
+            return profile[_OUT_CTRL] + profile[_OUT_DATA]
+        return profile[_OUT_CTRL if edge_type is EdgeType.CTRL else _OUT_DATA]
+
+    def in_degree(self, node_id: int, edge_type: EdgeType | None = None) -> int:
+        profile = self._degrees[node_id]
+        if edge_type is None:
+            return profile[_IN_CTRL] + profile[_IN_DATA]
+        return profile[_IN_CTRL if edge_type is EdgeType.CTRL else _IN_DATA]
 
     def __str__(self) -> str:
         lines = [f"EPDG of {self.method_name}: {len(self._nodes)} nodes, "

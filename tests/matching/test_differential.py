@@ -1,0 +1,252 @@
+"""Differential tests: the optimized matcher vs the naive reference paths.
+
+The engine promises three equivalences, each verified here:
+
+* **bipartite vs permutation** (same ordering): byte-identical outcomes —
+  render, Λ score, method assignment, truncation flag — across every
+  knowledge-base assignment, both header modes, and sampled synthetic
+  submissions.
+* **connectivity vs naive ordering**: identical verdicts (Λ score,
+  comment statuses, method assignment) and identical pattern occurrence
+  sets.  Variable bindings are inherently order-sensitive (an
+  under-constrained template binds γ at whichever node is matched first,
+  see ``bench_ablation_ordering.py``), so feedback *detail wording* may
+  legitimately differ between orderings; everything the grade depends on
+  must not.
+* **γ-free patterns**: with no variables in play the embedding set is a
+  pure function of the pattern and graph, so both orderings — including
+  the compiled plan's degree and arity pruning — must return exactly the
+  same embeddings and marks.  Verified on randomized synthetic EPDGs
+  with patterns drawn from their own subgraphs (so at least one
+  embedding always exists).
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from functools import lru_cache
+
+import pytest
+
+from repro.java import parse_submission
+from repro.kb import get_assignment
+from repro.kb.registry import all_assignment_names
+from repro.matching.pattern_matching import match_pattern
+from repro.matching.submission import match_graphs
+from repro.patterns.groups import PatternGroup
+from repro.patterns.model import Pattern, PatternNode
+from repro.patterns.template import ExprTemplate
+from repro.pdg.builder import extract_all_epdgs
+from repro.pdg.graph import EdgeType, Epdg, GraphEdge, GraphNode, NodeType
+from repro.synth import sample_submissions
+
+
+@lru_cache(maxsize=None)
+def _reference_case(name: str):
+    assignment = get_assignment(name)
+    unit = parse_submission(assignment.reference_solutions[0])
+    graphs = extract_all_epdgs(
+        unit, assignment.synthesize_else_conditions
+    )
+    return assignment, graphs
+
+
+def _outcome_key(outcome):
+    """Everything a delivered grade consists of, byte-comparable."""
+    return (
+        outcome.render(),
+        outcome.score,
+        outcome.method_assignment,
+        outcome.truncated,
+    )
+
+
+# -- strategy equivalence: bipartite vs permutation ----------------------
+
+@pytest.mark.parametrize("enforce_headers", [True, False])
+@pytest.mark.parametrize("name", all_assignment_names())
+def test_bipartite_identical_to_permutation(name, enforce_headers):
+    assignment, graphs = _reference_case(name)
+    for order in ("connectivity", "naive"):
+        sweep = match_graphs(
+            graphs, assignment.expected_methods, enforce_headers,
+            strategy="permutation", order=order,
+        )
+        fast = match_graphs(
+            graphs, assignment.expected_methods, enforce_headers,
+            strategy="bipartite", order=order,
+        )
+        assert _outcome_key(fast) == _outcome_key(sweep), (
+            f"{name}: bipartite differs from sweep (order={order})"
+        )
+
+
+@pytest.mark.parametrize(
+    "name",
+    ["assignment1", "esc-LAB-3-P1-V1", "mitx-derivatives",
+     "rit-all-g-medals"],
+)
+def test_bipartite_identical_on_sampled_submissions(name):
+    assignment = get_assignment(name)
+    for submission in sample_submissions(assignment.space(), 3, seed=7):
+        unit = parse_submission(submission.source)
+        graphs = extract_all_epdgs(
+            unit, assignment.synthesize_else_conditions
+        )
+        sweep = match_graphs(
+            graphs, assignment.expected_methods,
+            assignment.enforce_headers, strategy="permutation",
+        )
+        fast = match_graphs(
+            graphs, assignment.expected_methods,
+            assignment.enforce_headers, strategy="bipartite",
+        )
+        assert _outcome_key(fast) == _outcome_key(sweep)
+
+
+def test_scrambled_methods_recovered_without_headers():
+    """The bipartite engine must find the sweep's method assignment."""
+    assignment = get_assignment("esc-LAB-3-P1-V1")
+    source = (
+        assignment.reference_solutions[0]
+        .replace("fact", "m_fact")
+        .replace("lab3p1", "m_drv")
+    )
+    distractors = "\n".join(
+        f"int helper{i}(int a{i}) {{\n"
+        f"    int r{i} = a{i} + {i};\n"
+        f"    System.out.println(r{i});\n"
+        f"    return r{i};\n"
+        f"}}\n"
+        for i in range(2)
+    )
+    unit = parse_submission(source + "\n" + distractors)
+    graphs = extract_all_epdgs(
+        unit, assignment.synthesize_else_conditions
+    )
+    sweep = match_graphs(graphs, assignment.expected_methods, False,
+                         strategy="permutation")
+    fast = match_graphs(graphs, assignment.expected_methods, False)
+    assert fast.method_assignment == {"fact": "m_fact", "lab3p1": "m_drv"}
+    assert _outcome_key(fast) == _outcome_key(sweep)
+
+
+# -- ordering equivalence: connectivity (plan + pruning) vs naive --------
+
+@pytest.mark.parametrize("name", all_assignment_names())
+def test_orderings_agree_on_verdicts(name):
+    assignment, graphs = _reference_case(name)
+    naive = match_graphs(
+        graphs, assignment.expected_methods, assignment.enforce_headers,
+        order="naive",
+    )
+    fast = match_graphs(
+        graphs, assignment.expected_methods, assignment.enforce_headers,
+        order="connectivity",
+    )
+    assert fast.score == naive.score
+    assert fast.method_assignment == naive.method_assignment
+    assert fast.truncated == naive.truncated
+    assert (
+        [c.status for c in fast.comments]
+        == [c.status for c in naive.comments]
+    )
+
+
+@pytest.mark.parametrize("name", all_assignment_names())
+def test_orderings_agree_on_occurrence_sets(name):
+    assignment, graphs = _reference_case(name)
+    for method in assignment.expected_methods:
+        graph = graphs.get(method.name)
+        if graph is None:
+            continue
+        for entry, _ in method.patterns:
+            patterns = (
+                [variant.pattern for variant in entry.variants]
+                if isinstance(entry, PatternGroup) else [entry]
+            )
+            for pattern in patterns:
+                fast = match_pattern(pattern, graph, order="connectivity")
+                naive = match_pattern(pattern, graph, order="naive")
+                occurrences_fast = {
+                    frozenset(v for _, v in e.iota) for e in fast
+                }
+                occurrences_naive = {
+                    frozenset(v for _, v in e.iota) for e in naive
+                }
+                assert occurrences_fast == occurrences_naive, (
+                    f"{name}/{method.name}/{pattern.name}: "
+                    "occurrence sets differ between orderings"
+                )
+                assert (
+                    any(e.is_fully_correct for e in fast)
+                    == any(e.is_fully_correct for e in naive)
+                )
+
+
+# -- randomized synthetic EPDGs: exact equality on γ-free patterns ------
+
+_TYPES = (NodeType.ASSIGN, NodeType.COND, NodeType.CALL,
+          NodeType.DECL, NodeType.RETURN)
+
+
+def _random_graph(rng: random.Random) -> Epdg:
+    """A random EPDG with a small content alphabet (so patterns repeat).
+
+    Contents are fixed-width tokens: with the matcher's substring
+    semantics, no token can accidentally match inside another.
+    """
+    graph = Epdg("synthetic")
+    size = rng.randint(6, 12)
+    for node_id in range(size):
+        graph.add_node(GraphNode(
+            node_id=node_id,
+            type=rng.choice(_TYPES),
+            content=f"expr_{rng.randint(0, 3):02d}",
+        ))
+    for source in range(size):
+        for target in range(size):
+            if source != target and rng.random() < 0.25:
+                edge_type = (
+                    EdgeType.CTRL if rng.random() < 0.5 else EdgeType.DATA
+                )
+                graph.add_edge(source, target, edge_type)
+    return graph
+
+
+def _pattern_from_subgraph(rng: random.Random, graph: Epdg) -> Pattern:
+    """A γ-free pattern copied from a random subgraph (so it must match)."""
+    chosen = rng.sample(range(len(graph.nodes)), rng.randint(2, 4))
+    renumber = {v_id: u_id for u_id, v_id in enumerate(chosen)}
+    nodes = []
+    for v_id in chosen:
+        v = graph.node(v_id)
+        node_type = v.type if rng.random() < 0.7 else NodeType.UNTYPED
+        nodes.append(PatternNode(
+            node_id=renumber[v_id],
+            type=node_type,
+            expr=ExprTemplate(re.escape(v.content), frozenset()),
+        ))
+    edges = [
+        GraphEdge(renumber[e.source], renumber[e.target], e.type)
+        for e in graph.edges
+        if e.source in renumber and e.target in renumber
+    ]
+    return Pattern(
+        name="synthetic", description="randomized differential case",
+        nodes=nodes, edges=edges,
+    )
+
+
+@pytest.mark.parametrize("seed", range(30))
+def test_random_epdg_orderings_exactly_equal(seed):
+    rng = random.Random(seed)
+    graph = _random_graph(rng)
+    pattern = _pattern_from_subgraph(rng, graph)
+    fast = match_pattern(pattern, graph, order="connectivity")
+    naive = match_pattern(pattern, graph, order="naive")
+    key = lambda e: (e.iota, e.gamma, e.marks)  # noqa: E731
+    assert fast, "subgraph-derived pattern must embed at least once"
+    assert {key(e) for e in fast} == {key(e) for e in naive}
+    assert fast.truncated == naive.truncated
