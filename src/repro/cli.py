@@ -8,6 +8,7 @@ Usage::
     repro grade assignment1 -            # read the submission from stdin
     repro grade-batch assignment1 submissions/ --stats
     repro grade-batch assignment1 --synthetic 200 --mode thread --stats
+    repro serve --port 8652 --workers 4
     repro test assignment1 Submission.java
     repro epdg assignment1 Submission.java [--dot]
     repro export-kb out_dir/
@@ -151,6 +152,40 @@ def _cmd_grade_batch(args) -> int:
     return 1 if result.stats.errors else 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.serve import GradingService, ServiceConfig
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        pool_mode=args.pool_mode,
+        queue_capacity=args.queue,
+        default_deadline_seconds=args.deadline,
+        max_deadline_seconds=max(args.deadline, args.max_deadline),
+        cache_size=args.cache_size,
+        drain_timeout_seconds=args.drain_timeout,
+        debug_hooks=args.debug_hooks,
+    )
+    if args.workers is not None:
+        config.workers = max(1, args.workers)
+    service = GradingService(config)
+
+    async def run() -> int:
+        await service.start()
+        print(
+            f"repro grading service on http://{config.host}:{service.port} "
+            f"({config.workers} {config.pool_mode} workers, "
+            f"queue {config.queue_capacity}, "
+            f"deadline {config.default_deadline_seconds:g}s)",
+            flush=True,
+        )
+        return await service.serve_forever()
+
+    return asyncio.run(run())
+
+
 def _cmd_test(args) -> int:
     assignment = get_assignment(args.assignment)
     report = run_tests_on_source(
@@ -270,6 +305,39 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--json", metavar="FILE",
                        help="write reports + stats as JSON (- for stdout)")
     batch.set_defaults(func=_cmd_grade_batch)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the asyncio grading service (see docs/SERVING.md)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8652,
+                       help="listen port (0 for ephemeral; default 8652)")
+    serve.add_argument("--workers", type=int, default=None,
+                       help="grading worker processes (default: up to 4)")
+    serve.add_argument("--pool-mode", choices=["process", "inline"],
+                       default="process",
+                       help="process workers (hard deadline kills) or "
+                            "inline threads (cooperative deadline only)")
+    serve.add_argument("--queue", type=int, default=64,
+                       help="admitted requests allowed to wait for a "
+                            "worker before 429 (default 64)")
+    serve.add_argument("--deadline", type=float, default=10.0,
+                       help="default per-request grading deadline in "
+                            "seconds (default 10)")
+    serve.add_argument("--max-deadline", type=float, default=30.0,
+                       help="cap on client-requested deadlines "
+                            "(default 30)")
+    serve.add_argument("--cache-size", type=int, default=8192,
+                       help="per-assignment result-cache entries "
+                            "(default 8192)")
+    serve.add_argument("--drain-timeout", type=float, default=30.0,
+                       help="seconds to wait for in-flight work on "
+                            "SIGTERM (default 30)")
+    serve.add_argument("--debug-hooks", action="store_true",
+                       help="honor the debug_sleep_seconds request "
+                            "field (load testing only)")
+    serve.set_defaults(func=_cmd_serve)
 
     test = sub.add_parser("test", help="run the functional tests")
     test.add_argument("assignment")

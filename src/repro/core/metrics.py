@@ -34,7 +34,7 @@ Usage — the fields are plain data, so stats can also be built by hand
 ['cache_hit_rate', 'cache_hits', 'counters', 'errors']
 >>> print(stats.summary())
 Pipeline stats (mode=thread, workers=4)
-  submissions: 2 (1 graded, 1 cache hits, 0 parse errors, 0 errors)
+  submissions: 2 (1 graded, 1 cache hits, 0 parse errors, 0 timeouts, 0 errors)
   cache hit rate: 50.0%
   throughput: 4.0 submissions/s (wall 0.500 s)
   per-phase wall time:
@@ -65,6 +65,10 @@ class PipelineStats:
     ``parse_errors``
         Submissions rejected by the Java frontend (still *answered*:
         they get a ``parse-error`` report).
+    ``timeouts``
+        Submissions abandoned by the per-submission wall-clock guard
+        (``max_seconds``) or a serving-layer deadline; they get a
+        ``timeout`` report.
     ``errors``
         Submissions whose grading raised unexpectedly; the pipeline
         isolates these into ``error`` reports instead of aborting.
@@ -76,6 +80,7 @@ class PipelineStats:
     graded: int = 0
     cache_hits: int = 0
     parse_errors: int = 0
+    timeouts: int = 0
     errors: int = 0
     wall_seconds: float = 0.0
     grading_seconds: float = 0.0
@@ -92,6 +97,7 @@ class PipelineStats:
         cache_hit: bool = False,
         seconds: float = 0.0,
         parse_error: bool = False,
+        timeout: bool = False,
         error: bool = False,
     ) -> None:
         """Count one batch item and its grading time (0 for cache hits)."""
@@ -103,6 +109,8 @@ class PipelineStats:
             self.grading_seconds += seconds
         if parse_error:
             self.parse_errors += 1
+        if timeout:
+            self.timeouts += 1
         if error:
             self.errors += 1
 
@@ -126,6 +134,7 @@ class PipelineStats:
         self.graded += other.graded
         self.cache_hits += other.cache_hits
         self.parse_errors += other.parse_errors
+        self.timeouts += other.timeouts
         self.errors += other.errors
         self.wall_seconds += other.wall_seconds
         self.grading_seconds += other.grading_seconds
@@ -165,6 +174,7 @@ class PipelineStats:
             "cache_hits": self.cache_hits,
             "cache_hit_rate": round(self.cache_hit_rate, 4),
             "parse_errors": self.parse_errors,
+            "timeouts": self.timeouts,
             "errors": self.errors,
             "wall_seconds": round(self.wall_seconds, 6),
             "grading_seconds": round(self.grading_seconds, 6),
@@ -183,7 +193,7 @@ class PipelineStats:
             f"Pipeline stats (mode={self.mode}, workers={self.workers})",
             f"  submissions: {self.submissions} ({self.graded} graded, "
             f"{self.cache_hits} cache hits, {self.parse_errors} parse "
-            f"errors, {self.errors} errors)",
+            f"errors, {self.timeouts} timeouts, {self.errors} errors)",
             f"  cache hit rate: {100 * self.cache_hit_rate:.1f}%",
             f"  throughput: {self.throughput:.1f} submissions/s "
             f"(wall {self.wall_seconds:.3f} s)",

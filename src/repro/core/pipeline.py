@@ -59,14 +59,20 @@ from repro.core.assignment import Assignment
 from repro.core.engine import FeedbackEngine
 from repro.core.metrics import PipelineStats
 from repro.core.report import GradingReport
-from repro.instrumentation import PhaseCollector, collecting
+from repro.instrumentation import (
+    DeadlineExceeded,
+    PhaseCollector,
+    collecting,
+    deadline,
+)
 
 #: Supported worker models.
 MODES = ("serial", "thread", "process")
 
 #: Report statuses that are deterministic functions of the source text
 #: and therefore safe to cache.  Internal ``error`` reports may be
-#: transient (e.g. a worker dying), so they are never cached.
+#: transient (e.g. a worker dying) and ``timeout`` reports depend on
+#: host load and the configured budget, so neither is ever cached.
 _CACHEABLE_STATUSES = frozenset({"ok", "rejected", "parse-error"})
 
 
@@ -170,29 +176,50 @@ class BatchResult:
 # -- process-pool plumbing (must be module-level for pickling) -----------
 
 _WORKER_ENGINE: FeedbackEngine | None = None
+_WORKER_MAX_SECONDS: float | None = None
 
 
-def _init_process_worker(assignment: Assignment) -> None:
+def _init_process_worker(
+    assignment: Assignment, max_seconds: float | None = None
+) -> None:
     """Build one engine per worker process (assignment pickled once)."""
-    global _WORKER_ENGINE
+    global _WORKER_ENGINE, _WORKER_MAX_SECONDS
     _WORKER_ENGINE = FeedbackEngine(assignment)
+    _WORKER_MAX_SECONDS = max_seconds
 
 
 def _process_grade(job: tuple[str, str]):
     key, source = job
     assert _WORKER_ENGINE is not None
-    return (key, *_grade_one(_WORKER_ENGINE, source))
+    return (key, *_grade_one(_WORKER_ENGINE, source, _WORKER_MAX_SECONDS))
 
 
 def _grade_one(
-    engine: FeedbackEngine, source: str
+    engine: FeedbackEngine, source: str, max_seconds: float | None = None
 ) -> tuple[GradingReport, PhaseCollector, float]:
-    """Grade one source with per-phase timing and error isolation."""
+    """Grade one source with per-phase timing and error isolation.
+
+    ``max_seconds`` installs a cooperative wall-clock deadline around
+    the grade: the pipeline phases and the matcher's search loop check
+    it, so a pathological parse/match is abandoned (``timeout`` report)
+    instead of hanging its worker.  Phases completed before the
+    deadline fired are still in the returned collector — partial work
+    is accounted for, not dropped.
+    """
     collector = PhaseCollector()
     started = time.perf_counter()
     try:
-        with collecting(collector):
+        with collecting(collector), deadline(max_seconds):
             report = engine.grade(source)
+    except DeadlineExceeded:
+        report = GradingReport(
+            assignment_name=engine.assignment.name,
+            timeout=(
+                f"grading exceeded the {max_seconds:g}s wall-clock limit"
+                if max_seconds is not None
+                else "grading exceeded its wall-clock limit"
+            ),
+        )
     except Exception as exc:  # noqa: BLE001 - isolate, don't abort the batch
         report = GradingReport(
             assignment_name=engine.assignment.name,
@@ -220,6 +247,13 @@ class BatchGrader:
         ``True`` (default) for a private :class:`ResultCache`, ``False``
         to disable caching, or a :class:`ResultCache` instance to share
         one cache across graders/batches.
+    max_seconds:
+        Optional per-submission wall-clock budget.  A submission whose
+        parse/match exceeds it is abandoned cooperatively (the matcher
+        checks the ambient deadline in its search loop) and reported
+        with ``status == "timeout"`` instead of hanging its worker.
+        Timeout reports are never cached — they depend on host load,
+        not just the source text.
     """
 
     def __init__(
@@ -228,11 +262,15 @@ class BatchGrader:
         mode: str = "serial",
         workers: int | None = None,
         cache: ResultCache | bool = True,
+        max_seconds: float | None = None,
     ):
         if mode not in MODES:
             raise ValueError(
                 f"unknown mode {mode!r}; expected one of {MODES}"
             )
+        if max_seconds is not None and max_seconds <= 0:
+            raise ValueError("max_seconds must be positive")
+        self.max_seconds = max_seconds
         self.assignment = assignment
         self.engine = FeedbackEngine(assignment)
         self.mode = mode
@@ -331,7 +369,7 @@ class BatchGrader:
             return results
         if self.mode == "serial":
             outcomes = (
-                (key, *_grade_one(self.engine, source))
+                (key, *_grade_one(self.engine, source, self.max_seconds))
                 for key, source in jobs
             )
         elif self.mode == "thread":
@@ -342,7 +380,11 @@ class BatchGrader:
             with pool:
                 outcomes = list(
                     pool.map(
-                        lambda job: (job[0], *_grade_one(self.engine, job[1])),
+                        lambda job: (
+                            job[0],
+                            *_grade_one(self.engine, job[1],
+                                        self.max_seconds),
+                        ),
                         jobs,
                     )
                 )
@@ -350,16 +392,21 @@ class BatchGrader:
             pool = ProcessPoolExecutor(
                 max_workers=self.workers,
                 initializer=_init_process_worker,
-                initargs=(self.assignment,),
+                initargs=(self.assignment, self.max_seconds),
             )
             with pool:
                 outcomes = list(pool.map(_process_grade, jobs))
+        # Each outcome carries the child's PhaseCollector back to the
+        # parent (it crosses the process boundary by pickle), so the
+        # batch snapshot aggregates per-phase timings and matcher
+        # counters identically in all three modes.
         for key, report, collector, seconds in outcomes:
             results[key] = report
             stats.merge_phases(collector)
             stats.record_submission(
                 seconds=seconds,
                 parse_error=report.status == "parse-error",
+                timeout=report.status == "timeout",
                 error=report.status == "error",
             )
         return results

@@ -12,7 +12,7 @@ from repro.matching.submission import MatchOutcome
 class GradingReport:
     """The personalized feedback for one submission.
 
-    Exactly one of three shapes, distinguished by :attr:`status`:
+    Exactly one of four shapes, distinguished by :attr:`status`:
 
     ``"ok"`` / ``"rejected"``
         ``outcome`` holds the full Algorithm 2 result; ``ok`` when every
@@ -20,6 +20,10 @@ class GradingReport:
     ``"parse-error"``
         ``parse_error`` is set: the submission did not compile, so no
         matching was attempted.
+    ``"timeout"``
+        ``timeout`` is set: grading exceeded its wall-clock budget (the
+        batch pipeline's ``max_seconds`` guard or the serving layer's
+        per-request deadline) and was abandoned.
     ``"error"``
         ``error`` is set: grading itself failed unexpectedly (the batch
         pipeline isolates such failures instead of aborting the batch).
@@ -29,12 +33,16 @@ class GradingReport:
     outcome: MatchOutcome | None = None
     parse_error: str | None = None
     error: str | None = None
+    timeout: str | None = None
 
     @property
     def status(self) -> str:
-        """``"ok"`` | ``"rejected"`` | ``"parse-error"`` | ``"error"``."""
+        """``"ok"`` | ``"rejected"`` | ``"parse-error"`` | ``"timeout"``
+        | ``"error"``."""
         if self.parse_error is not None:
             return "parse-error"
+        if self.timeout is not None:
+            return "timeout"
         if self.error is not None or self.outcome is None:
             return "error"
         return "ok" if self.outcome.is_fully_correct else "rejected"
@@ -82,7 +90,8 @@ class GradingReport:
         return [c for c in self.comments if c.status is status]
 
     def to_dict(self) -> dict:
-        """Flat JSON-friendly view (used by ``grade-batch --json``)."""
+        """Flat JSON-friendly view (``grade-batch --json``, the grading
+        service's response bodies).  :meth:`from_dict` inverts it."""
         return {
             "assignment": self.assignment_name,
             "status": self.status,
@@ -90,7 +99,12 @@ class GradingReport:
             "max_score": self.max_score,
             "parse_error": self.parse_error,
             "error": self.error,
+            "timeout": self.timeout,
             "truncated": self.truncated,
+            "method_assignment": (
+                {} if self.outcome is None
+                else dict(self.outcome.method_assignment)
+            ),
             "comments": [
                 {
                     "source": c.source,
@@ -103,11 +117,65 @@ class GradingReport:
             ],
         }
 
+    @classmethod
+    def from_dict(cls, payload: dict) -> "GradingReport":
+        """Rebuild a report from :meth:`to_dict` output.
+
+        The inverse is *feedback-preserving*, not structure-preserving:
+        comments, statuses, scores, the method assignment, and the
+        truncation flag round-trip exactly (so :meth:`render` of the
+        rebuilt report matches the original), but the node-level
+        embeddings — internal matcher state that ``to_dict`` never
+        exports — come back empty.  This is what service clients need
+        to re-render feedback from a JSON response.
+        """
+        if payload.get("parse_error") is not None:
+            return cls(
+                assignment_name=payload["assignment"],
+                parse_error=payload["parse_error"],
+            )
+        if payload.get("timeout") is not None:
+            return cls(
+                assignment_name=payload["assignment"],
+                timeout=payload["timeout"],
+            )
+        if payload.get("status") == "error":
+            return cls(
+                assignment_name=payload["assignment"],
+                error=payload.get("error"),
+            )
+        comments = [
+            FeedbackComment(
+                source=c["source"],
+                kind=c["kind"],
+                status=FeedbackStatus(c["status"]),
+                message=c["message"],
+                details=tuple(c.get("details", ())),
+            )
+            for c in payload.get("comments", ())
+        ]
+        outcome = MatchOutcome(
+            comments=comments,
+            method_assignment=dict(payload.get("method_assignment", {})),
+            score=payload["score"],
+            truncated=bool(payload.get("truncated", False)),
+        )
+        return cls(assignment_name=payload["assignment"], outcome=outcome)
+
     def render(self) -> str:
         """Human-readable feedback text for the student."""
         lines = [f"Feedback for {self.assignment_name} [{self.status}]:"]
         if self.parse_error is not None:
             lines.append(f"  Your submission does not compile: {self.parse_error}")
+            return "\n".join(lines)
+        if self.timeout is not None:
+            lines.append(
+                "  Your submission could not be graded within the time "
+                f"limit: {self.timeout}"
+            )
+            lines.append(
+                "  Please simplify your solution or resubmit later."
+            )
             return "\n".join(lines)
         if self.error is not None or self.outcome is None:
             lines.append(

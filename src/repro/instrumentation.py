@@ -32,6 +32,12 @@ _collector: contextvars.ContextVar["PhaseCollector | None"] = (
     contextvars.ContextVar("repro_phase_collector", default=None)
 )
 
+#: Ambient grading deadline as a ``time.monotonic()`` timestamp;
+#: ``None`` disables all deadline checking.
+_deadline: contextvars.ContextVar["float | None"] = (
+    contextvars.ContextVar("repro_deadline", default=None)
+)
+
 #: Canonical phase names emitted by the grading pipeline, in data-flow
 #: order.  Other layers may emit additional names; consumers should not
 #: assume this list is exhaustive.
@@ -83,13 +89,81 @@ class PhaseCollector:
         return f"PhaseCollector({parts})"
 
 
+class DeadlineExceeded(Exception):
+    """Raised by :func:`check_deadline` when the ambient deadline passed.
+
+    Deliberately *not* a :class:`repro.errors.ReproError`: the batch
+    pipeline and the serving layer convert it into a ``timeout`` report
+    at the grading boundary, so it should never cross the public API —
+    and keeping it here keeps this module import-free.
+    """
+
+    def __init__(self, limit_seconds: float | None = None):
+        self.limit_seconds = limit_seconds
+        limit = (
+            f" (limit {limit_seconds:g}s)" if limit_seconds is not None else ""
+        )
+        super().__init__(f"grading deadline exceeded{limit}")
+
+
+@contextmanager
+def deadline(seconds: float | None) -> Iterator[None]:
+    """Install a wall-clock deadline for the enclosed block.
+
+    ``None`` is a no-op, so callers can thread an optional limit without
+    branching.  Nested deadlines keep the *earliest* expiry — an outer
+    budget can only be tightened, never extended, by an inner scope.
+    Instrumented code observes the deadline through
+    :func:`check_deadline`, which raises :class:`DeadlineExceeded`; the
+    pipeline phases check on entry and the matcher's search loop checks
+    periodically, so a pathological submission is abandoned within a
+    bounded number of search steps rather than hanging its worker.
+    """
+    if seconds is None:
+        yield
+        return
+    expires = time.monotonic() + seconds
+    current = _deadline.get()
+    if current is not None and current < expires:
+        # inherit the tighter outer deadline; remember our own limit
+        # only for the error message
+        expires = current
+    token = _deadline.set(expires)
+    try:
+        yield
+    finally:
+        _deadline.reset(token)
+
+
+def check_deadline(limit_hint: float | None = None) -> None:
+    """Raise :class:`DeadlineExceeded` if the ambient deadline passed.
+
+    A no-op (one context-variable read) when no deadline is installed —
+    the matcher calls this from its inner loop, so the unlimited path
+    must stay free, exactly like :func:`phase` and :func:`count`.
+    """
+    expires = _deadline.get()
+    if expires is not None and time.monotonic() > expires:
+        raise DeadlineExceeded(limit_hint)
+
+
+def active_deadline() -> float | None:
+    """Monotonic expiry of the ambient deadline, if one is installed."""
+    return _deadline.get()
+
+
 @contextmanager
 def phase(name: str) -> Iterator[None]:
     """Time the enclosed block under ``name`` if a collector is active.
 
     The elapsed time is recorded even when the block raises, so error
     paths (a submission failing mid-match) still show up in the totals.
+    Entering a phase also checks the ambient deadline — phase
+    boundaries are natural cancellation points, and checking here means
+    even layers without inner-loop checks cannot start new work past
+    their budget.
     """
+    check_deadline()
     collector = _collector.get()
     if collector is None:
         yield

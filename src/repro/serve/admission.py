@@ -1,0 +1,85 @@
+"""Bounded admission control with explicit backpressure.
+
+MOOC cohorts are bursty — a deadline hour can multiply the request
+rate by orders of magnitude.  An unbounded server queue turns that
+burst into unbounded latency for *everyone*; the controller instead
+bounds the number of admitted-but-unfinished requests and refuses the
+excess immediately with ``429 Too Many Requests`` plus a
+``Retry-After`` estimate, so clients back off instead of piling on.
+
+The estimate is honest rather than fancy: an exponentially-weighted
+average of recent service times, scaled by the queue depth ahead of
+the retrying client and divided by the worker count.  All accounting
+happens on the event-loop thread, so plain integers suffice.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Smoothing factor for the service-time EWMA (≈ last ~10 requests).
+_EWMA_ALPHA = 0.2
+
+#: Fallback service-time guess (seconds) before any request finished.
+_DEFAULT_SERVICE_SECONDS = 0.25
+
+
+class AdmissionController:
+    """Counts in-flight work and refuses admissions beyond capacity.
+
+    ``capacity`` bounds admitted-but-unfinished requests: the ones
+    being graded by workers *plus* the ones waiting for a worker.  A
+    drain (:meth:`begin_drain`) refuses all new admissions while
+    letting the in-flight ones finish.
+    """
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.pending = 0
+        self.draining = False
+        self._ewma_seconds: float | None = None
+
+    def try_admit(self) -> bool:
+        """Admit one request, or refuse (full / draining)."""
+        if self.draining or self.pending >= self.capacity:
+            return False
+        self.pending += 1
+        return True
+
+    def release(self, service_seconds: float | None = None) -> None:
+        """One admitted request finished (however it ended)."""
+        if self.pending <= 0:
+            raise RuntimeError("release() without a matching try_admit()")
+        self.pending -= 1
+        if service_seconds is not None and service_seconds >= 0:
+            if self._ewma_seconds is None:
+                self._ewma_seconds = service_seconds
+            else:
+                self._ewma_seconds += _EWMA_ALPHA * (
+                    service_seconds - self._ewma_seconds
+                )
+
+    def retry_after_seconds(self, workers: int) -> int:
+        """Whole-second ``Retry-After`` estimate for a refused client.
+
+        Time to clear the current backlog through ``workers`` grading
+        slots at the recent average service time, clamped to [1, 60] —
+        a floor so clients never hot-loop, a ceiling so a slow spell
+        does not park the cohort for minutes.
+        """
+        per_request = (
+            self._ewma_seconds
+            if self._ewma_seconds is not None
+            else _DEFAULT_SERVICE_SECONDS
+        )
+        estimate = self.pending * per_request / max(1, workers)
+        return max(1, min(60, math.ceil(estimate)))
+
+    def begin_drain(self) -> None:
+        self.draining = True
+
+    @property
+    def idle(self) -> bool:
+        return self.pending == 0

@@ -1,0 +1,169 @@
+"""Per-assignment circuit breakers quarantining pathological traffic.
+
+One assignment with a matcher-hostile pattern/cohort combination must
+not consume the whole worker fleet request after request.  Each
+assignment gets a breaker watching a sliding window of recent
+outcomes; when timeouts dominate, the breaker *opens* and the service
+answers that assignment's requests with ``503`` immediately — no
+worker time spent — until a cooldown passes.  Then a few *probe*
+requests are let through (*half-open*): if they complete, the breaker
+closes and traffic resumes; if any times out again, it re-opens for
+another cooldown.
+
+The clock is injectable so tests drive state transitions without
+sleeping.  Only deadline failures count against the breaker — parse
+errors and rejected submissions are *successful* gradings of bad
+student code, not signs of a sick assignment.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from collections import deque
+
+
+class BreakerState(enum.Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class CircuitBreaker:
+    """Sliding-window breaker for one assignment's request flow.
+
+    Parameters
+    ----------
+    window:
+        Number of recent outcomes considered.
+    min_volume:
+        Outcomes required in the window before the ratio can trip the
+        breaker (a single early timeout must not quarantine an
+        assignment).
+    failure_ratio:
+        Trip threshold: open when ``failures / window_size`` reaches
+        this with at least ``min_volume`` outcomes recorded.
+    cooldown_seconds:
+        How long an open breaker refuses traffic before probing.
+    half_open_probes:
+        Probe requests admitted in the half-open state; all must
+        succeed to close the breaker.
+    """
+
+    def __init__(
+        self,
+        window: int = 20,
+        min_volume: int = 5,
+        failure_ratio: float = 0.5,
+        cooldown_seconds: float = 30.0,
+        half_open_probes: int = 2,
+        clock=time.monotonic,
+    ):
+        if window <= 0 or min_volume <= 0 or half_open_probes <= 0:
+            raise ValueError("window, min_volume, half_open_probes "
+                             "must be positive")
+        if not 0 < failure_ratio <= 1:
+            raise ValueError("failure_ratio must be in (0, 1]")
+        self.window = window
+        self.min_volume = min_volume
+        self.failure_ratio = failure_ratio
+        self.cooldown_seconds = cooldown_seconds
+        self.half_open_probes = half_open_probes
+        self._clock = clock
+        self._outcomes: deque[bool] = deque(maxlen=window)  # True = failure
+        self._state = BreakerState.CLOSED
+        self._opened_at = 0.0
+        self._probes_started = 0
+        self._probes_succeeded = 0
+        self.trips = 0
+
+    @property
+    def state(self) -> BreakerState:
+        # promote OPEN → HALF_OPEN lazily on observation
+        if (
+            self._state is BreakerState.OPEN
+            and self._clock() - self._opened_at >= self.cooldown_seconds
+        ):
+            self._state = BreakerState.HALF_OPEN
+            self._probes_started = 0
+            self._probes_succeeded = 0
+        return self._state
+
+    def allow(self) -> bool:
+        """May the next request for this assignment reach a worker?"""
+        state = self.state
+        if state is BreakerState.CLOSED:
+            return True
+        if state is BreakerState.HALF_OPEN:
+            if self._probes_started < self.half_open_probes:
+                self._probes_started += 1
+                return True
+            return False
+        return False
+
+    def record(self, failure: bool) -> None:
+        """Record one finished request (``failure`` = deadline hit)."""
+        state = self.state
+        if state is BreakerState.HALF_OPEN:
+            if failure:
+                self._trip()
+            else:
+                self._probes_succeeded += 1
+                if self._probes_succeeded >= self.half_open_probes:
+                    self._state = BreakerState.CLOSED
+                    self._outcomes.clear()
+            return
+        if state is BreakerState.OPEN:
+            # a request admitted before the trip finishing late; the
+            # open window already made its decision
+            return
+        self._outcomes.append(failure)
+        if len(self._outcomes) >= self.min_volume:
+            failures = sum(self._outcomes)
+            if failures / len(self._outcomes) >= self.failure_ratio:
+                self._trip()
+
+    def _trip(self) -> None:
+        self._state = BreakerState.OPEN
+        self._opened_at = self._clock()
+        self._outcomes.clear()
+        self.trips += 1
+
+    def retry_after_seconds(self) -> int:
+        """Seconds until the cooldown elapses (min 1)."""
+        remaining = self.cooldown_seconds - (self._clock() - self._opened_at)
+        return max(1, int(remaining) + 1) if self._state is BreakerState.OPEN \
+            else 1
+
+    def snapshot(self) -> dict:
+        return {
+            "state": str(self.state),
+            "window_failures": sum(self._outcomes),
+            "window_size": len(self._outcomes),
+            "trips": self.trips,
+        }
+
+
+class BreakerRegistry:
+    """One :class:`CircuitBreaker` per assignment, created on demand."""
+
+    def __init__(self, clock=time.monotonic, **params):
+        self._params = params
+        self._clock = clock
+        self._breakers: dict[str, CircuitBreaker] = {}
+
+    def get(self, assignment_name: str) -> CircuitBreaker:
+        breaker = self._breakers.get(assignment_name)
+        if breaker is None:
+            breaker = CircuitBreaker(clock=self._clock, **self._params)
+            self._breakers[assignment_name] = breaker
+        return breaker
+
+    def snapshot(self) -> dict[str, dict]:
+        return {
+            name: breaker.snapshot()
+            for name, breaker in sorted(self._breakers.items())
+        }

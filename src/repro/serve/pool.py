@@ -1,0 +1,416 @@
+"""Process-backed grading workers with deadline kills and respawn.
+
+The batch pipeline's :class:`~concurrent.futures.ProcessPoolExecutor`
+is the wrong tool for an always-on service: it cannot cancel a running
+job, and killing a worker poisons the whole pool.  This pool manages
+its workers directly — one long-lived process per slot, each with a
+private pipe — so a request that blows through its deadline is ended
+by killing *that* worker and respawning it, while every other in-flight
+request keeps running.
+
+Deadlines are two-layered, mirroring the batch pipeline's
+``max_seconds`` guard:
+
+* the **cooperative** deadline travels with the job; the child's
+  grading phases and matcher search loop check it and return a
+  ``timeout`` report quickly — the cheap, common path;
+* the **hard** deadline (cooperative + a grace period) is enforced
+  parent-side with a pipe poll; if the child has not answered by then
+  it is assumed wedged (C-level loop, pathological parse) and killed.
+
+Workers keep one :class:`~repro.core.engine.FeedbackEngine` per
+assignment alive across requests, so pattern search plans and
+assignment state — the PR-2 caches — are reused for the whole worker
+lifetime, not rebuilt per request.  The content-keyed result cache
+lives in the *parent* (the service), in front of this pool.
+
+``mode="inline"`` grades in the event loop's executor threads with
+only the cooperative deadline — no processes, no hard kill.  It exists
+for unit tests and platforms where fork is expensive; the service
+default is ``"process"``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import os
+import signal
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from multiprocessing import resource_tracker
+
+from repro.core.engine import FeedbackEngine
+from repro.core.pipeline import _grade_one
+from repro.core.report import GradingReport
+from repro.instrumentation import PhaseCollector
+from repro.kb import get_assignment
+
+POOL_MODES = ("process", "inline")
+
+#: Extra wall-clock seconds the parent grants beyond the cooperative
+#: deadline before it kills the worker.
+DEFAULT_KILL_GRACE = 0.5
+
+
+@dataclass
+class PoolResult:
+    """One grading job's outcome as seen by the service."""
+
+    report: GradingReport
+    #: Child-side phase timings/counters; ``None`` when the worker was
+    #: killed before answering (its partial stats die with it).
+    collector: PhaseCollector | None
+    seconds: float
+    #: True when the hard deadline killed the worker (the report is a
+    #: parent-synthesized ``timeout``).
+    killed: bool = False
+
+
+def _timeout_report(assignment_name: str, max_seconds: float | None,
+                    killed: bool) -> GradingReport:
+    if killed:
+        detail = (
+            f"grading exceeded the {max_seconds:g}s deadline and the "
+            "worker was terminated"
+            if max_seconds is not None
+            else "grading exceeded its deadline and the worker was "
+                 "terminated"
+        )
+    else:
+        detail = (
+            f"grading exceeded the {max_seconds:g}s wall-clock limit"
+            if max_seconds is not None
+            else "grading exceeded its wall-clock limit"
+        )
+    return GradingReport(assignment_name=assignment_name, timeout=detail)
+
+
+# -- child side ----------------------------------------------------------
+
+def _close_inherited_fds(keep: frozenset[int]) -> None:
+    """Close fds a forked worker inherited but does not own.
+
+    A fork copies *every* open parent fd: sibling workers' pipes (whose
+    stray write ends stop a dead sibling's sentinel from ever firing,
+    stalling ``Process.join``) and live client sockets (whose stray
+    dups suppress the EOF clients expect after the parent closes a
+    connection).  Only the worker's own pipe, its parent sentinel, and
+    stdio survive.  Best-effort: without procfs this is a no-op.
+    """
+    try:
+        fds = [int(name) for name in os.listdir("/proc/self/fd")]
+    except (OSError, ValueError):  # pragma: no cover - no procfs
+        return
+    for fd in fds:
+        if fd > 2 and fd not in keep:
+            try:
+                os.close(fd)
+            except OSError:  # pragma: no cover - already closed
+                pass
+
+
+def _worker_main(conn) -> None:
+    """Child loop: engines cached per assignment, one job at a time.
+
+    Jobs are ``(assignment_name, source, max_seconds, hang_seconds)``;
+    replies are ``(report, collector, seconds)``.  ``hang_seconds`` is
+    the load-test hook: it stalls the worker *before* grading, standing
+    in for the pathological submission the hard deadline exists for.
+    A ``None`` job is the shutdown sentinel.
+    """
+    signal.signal(signal.SIGINT, signal.SIG_IGN)  # parent drives shutdown
+    keep = {conn.fileno()}
+    parent = multiprocessing.parent_process()
+    if parent is not None and parent.sentinel is not None:
+        keep.add(parent.sentinel)
+    tracker_fd = getattr(
+        getattr(resource_tracker, "_resource_tracker", None), "_fd", None
+    )
+    if tracker_fd is not None:
+        keep.add(tracker_fd)
+    _close_inherited_fds(frozenset(keep))
+    engines: dict[str, FeedbackEngine] = {}
+    while True:
+        try:
+            job = conn.recv()
+        except (EOFError, OSError):
+            return
+        if job is None:
+            return
+        assignment_name, source, max_seconds, hang_seconds = job
+        try:
+            if hang_seconds:
+                time.sleep(hang_seconds)
+            engine = engines.get(assignment_name)
+            if engine is None:
+                engine = FeedbackEngine(get_assignment(assignment_name))
+                engines[assignment_name] = engine
+            result = _grade_one(engine, source, max_seconds)
+        except Exception as exc:  # noqa: BLE001 - keep the worker alive
+            result = (
+                GradingReport(
+                    assignment_name=assignment_name,
+                    error=f"{type(exc).__name__}: {exc}",
+                ),
+                PhaseCollector(),
+                0.0,
+            )
+        try:
+            conn.send(result)
+        except (BrokenPipeError, OSError):
+            return
+
+
+# -- parent side ---------------------------------------------------------
+
+class _WorkerHandle:
+    """One worker process + its pipe; used by one request at a time."""
+
+    #: Serializes forks: two handles created concurrently from executor
+    #: threads must not leak each other's pipe/sentinel fds into their
+    #: children, or a dead worker's sentinel never fires and ``join``
+    #: stalls for its full timeout.
+    _spawn_lock = threading.Lock()
+
+    def __init__(self, context):
+        self._context = context
+        with self._spawn_lock:
+            parent_conn, child_conn = context.Pipe(duplex=True)
+            self.conn = parent_conn
+            self.process = context.Process(
+                target=_worker_main, args=(child_conn,), daemon=True
+            )
+            self.process.start()
+            child_conn.close()
+
+    def execute(
+        self,
+        assignment_name: str,
+        source: str,
+        max_seconds: float | None,
+        hang_seconds: float,
+        hard_timeout: float | None,
+    ) -> tuple[PoolResult, bool]:
+        """Run one job (blocking); returns ``(result, worker_dead)``."""
+        started = time.perf_counter()
+        try:
+            self.conn.send((assignment_name, source, max_seconds,
+                            hang_seconds))
+            if self.conn.poll(hard_timeout):
+                report, collector, seconds = self.conn.recv()
+                return PoolResult(report, collector, seconds), False
+        except (BrokenPipeError, EOFError, OSError):
+            self.terminate()
+            elapsed = time.perf_counter() - started
+            return (
+                PoolResult(
+                    GradingReport(
+                        assignment_name=assignment_name,
+                        error="grading worker died unexpectedly",
+                    ),
+                    None,
+                    elapsed,
+                ),
+                True,
+            )
+        # hard deadline: the worker is wedged — kill it
+        self.terminate()
+        elapsed = time.perf_counter() - started
+        return (
+            PoolResult(
+                _timeout_report(assignment_name, max_seconds, killed=True),
+                None,
+                elapsed,
+                killed=True,
+            ),
+            True,
+        )
+
+    def terminate(self) -> None:
+        try:
+            self.process.kill()
+            self.process.join(timeout=1)
+        except (OSError, ValueError):  # pragma: no cover - already gone
+            pass
+        try:
+            self.conn.close()
+        except OSError:  # pragma: no cover
+            pass
+
+    def shutdown(self) -> None:
+        """Polite stop: sentinel, short join, then kill."""
+        try:
+            self.conn.send(None)
+        except (BrokenPipeError, OSError):
+            pass
+        self.process.join(timeout=2)
+        if self.process.is_alive():
+            self.terminate()
+        else:
+            try:
+                self.conn.close()
+            except OSError:  # pragma: no cover
+                pass
+
+
+class GradingWorkerPool:
+    """Fixed-size pool of grading workers behind an asyncio free-list.
+
+    :meth:`grade` takes a free worker, runs the blocking pipe exchange
+    in a thread, and returns the worker — or its freshly-spawned
+    replacement after a kill — to the free-list.  Capacity is exactly
+    ``workers``: callers queue on the free-list, and the service's
+    admission controller bounds how many may wait.
+    """
+
+    def __init__(
+        self,
+        workers: int = 2,
+        mode: str = "process",
+        kill_grace_seconds: float = DEFAULT_KILL_GRACE,
+    ):
+        if mode not in POOL_MODES:
+            raise ValueError(
+                f"unknown pool mode {mode!r}; expected one of {POOL_MODES}"
+            )
+        if workers <= 0:
+            raise ValueError("workers must be positive")
+        self.workers = workers
+        self.mode = mode
+        self.kill_grace_seconds = kill_grace_seconds
+        self.respawns = 0
+        self._free: asyncio.Queue = asyncio.Queue()
+        self._executor: ThreadPoolExecutor | None = None
+        self._context = None
+        self._engines: dict[str, FeedbackEngine] = {}  # inline mode
+        self._started = False
+
+    async def start(self) -> None:
+        if self._started:
+            return
+        # +workers threads so respawns never wait behind executions
+        self._executor = ThreadPoolExecutor(
+            max_workers=2 * self.workers,
+            thread_name_prefix="repro-serve-pool",
+        )
+        if self.mode == "process":
+            methods = multiprocessing.get_all_start_methods()
+            self._context = multiprocessing.get_context(
+                "fork" if "fork" in methods else "spawn"
+            )
+            loop = asyncio.get_running_loop()
+            handles = await asyncio.gather(*[
+                loop.run_in_executor(
+                    self._executor, _WorkerHandle, self._context
+                )
+                for _ in range(self.workers)
+            ])
+            for handle in handles:
+                self._free.put_nowait(handle)
+        else:
+            for _ in range(self.workers):
+                self._free.put_nowait(None)  # inline slots
+        self._started = True
+
+    async def grade(
+        self,
+        assignment_name: str,
+        source: str,
+        max_seconds: float | None,
+        hang_seconds: float = 0.0,
+    ) -> PoolResult:
+        """Grade one submission on the next free worker."""
+        if not self._started:
+            raise RuntimeError("pool not started")
+        slot = await self._free.get()
+        loop = asyncio.get_running_loop()
+        try:
+            if self.mode == "inline":
+                return await self._grade_inline(
+                    loop, assignment_name, source, max_seconds, hang_seconds
+                )
+            hard_timeout = (
+                max_seconds + self.kill_grace_seconds
+                if max_seconds is not None
+                else None
+            )
+            result, worker_dead = await loop.run_in_executor(
+                self._executor, slot.execute,
+                assignment_name, source, max_seconds, hang_seconds,
+                hard_timeout,
+            )
+            if worker_dead:
+                self.respawns += 1
+                slot = await loop.run_in_executor(
+                    self._executor, _WorkerHandle, self._context
+                )
+            return result
+        finally:
+            self._free.put_nowait(slot)
+
+    async def _grade_inline(
+        self, loop, assignment_name, source, max_seconds, hang_seconds
+    ) -> PoolResult:
+        def run():
+            try:
+                if hang_seconds:
+                    time.sleep(hang_seconds)
+                engine = self._engines.get(assignment_name)
+                if engine is None:
+                    engine = FeedbackEngine(get_assignment(assignment_name))
+                    self._engines[assignment_name] = engine
+                return _grade_one(engine, source, max_seconds)
+            except Exception as exc:  # noqa: BLE001 - mirror process mode
+                return (
+                    GradingReport(
+                        assignment_name=assignment_name,
+                        error=f"{type(exc).__name__}: {exc}",
+                    ),
+                    PhaseCollector(),
+                    0.0,
+                )
+
+        hard_timeout = (
+            max_seconds + self.kill_grace_seconds
+            if max_seconds is not None
+            else None
+        )
+        future = loop.run_in_executor(self._executor, run)
+        try:
+            report, collector, seconds = await asyncio.wait_for(
+                asyncio.shield(future), hard_timeout
+            )
+            return PoolResult(report, collector, seconds)
+        except asyncio.TimeoutError:
+            # no process to kill inline: abandon the thread (it still
+            # holds an executor slot until it returns) and answer with
+            # the same synthesized timeout the process mode produces
+            self.respawns += 1
+            return PoolResult(
+                _timeout_report(assignment_name, max_seconds, killed=True),
+                None,
+                hard_timeout or 0.0,
+                killed=True,
+            )
+
+    async def stop(self) -> None:
+        """Shut every worker down; in-flight jobs should be done."""
+        if not self._started:
+            return
+        self._started = False
+        loop = asyncio.get_running_loop()
+        shutdowns = []
+        while not self._free.empty():
+            slot = self._free.get_nowait()
+            if slot is not None:
+                shutdowns.append(
+                    loop.run_in_executor(self._executor, slot.shutdown)
+                )
+        if shutdowns:
+            await asyncio.gather(*shutdowns, return_exceptions=True)
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None

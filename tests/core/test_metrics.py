@@ -3,14 +3,21 @@
 from __future__ import annotations
 
 import doctest
+import time
+
+import pytest
 
 import repro.core.metrics
 import repro.core.pipeline
 from repro.core.metrics import PipelineStats
 from repro.instrumentation import (
+    DeadlineExceeded,
     PhaseCollector,
     active_collector,
+    active_deadline,
+    check_deadline,
     collecting,
+    deadline,
     phase,
 )
 
@@ -149,3 +156,68 @@ class TestModuleDoctests:
     def test_pipeline_doctest(self):
         failures, tested = doctest.testmod(repro.core.pipeline)
         assert tested > 0 and failures == 0
+
+
+class TestDeadline:
+    """Cooperative deadline primitives in repro.instrumentation."""
+
+    def test_none_is_a_no_op(self):
+        with deadline(None):
+            assert active_deadline() is None
+            check_deadline()  # never raises
+
+    def test_expired_deadline_raises(self):
+        with deadline(1e-9):
+            time.sleep(0.002)
+            with pytest.raises(DeadlineExceeded):
+                check_deadline()
+
+    def test_unexpired_deadline_passes(self):
+        with deadline(60.0):
+            check_deadline()
+
+    def test_phase_checks_deadline_on_entry(self):
+        with deadline(1e-9):
+            time.sleep(0.002)
+            with pytest.raises(DeadlineExceeded):
+                with phase("parse"):
+                    pass
+
+    def test_nested_keeps_earliest_expiry(self):
+        with deadline(60.0):
+            outer = active_deadline()
+            with deadline(1e-9):
+                assert active_deadline() < outer
+                time.sleep(0.002)
+                with pytest.raises(DeadlineExceeded):
+                    check_deadline()
+            # inner scope popped; the outer budget is intact
+            assert active_deadline() == outer
+            check_deadline()
+
+    def test_inner_cannot_extend_outer(self):
+        with deadline(1e-9):
+            tight = active_deadline()
+            with deadline(3600.0):
+                assert active_deadline() == tight
+
+    def test_reset_after_block(self):
+        with deadline(5.0):
+            pass
+        assert active_deadline() is None
+        check_deadline()
+
+    def test_limit_hint_in_message(self):
+        error = DeadlineExceeded(2.5)
+        assert "2.5" in str(error)
+        assert error.limit_seconds == 2.5
+
+    def test_engine_grade_times_out_under_expired_deadline(
+        self, engine1, assignment1
+    ):
+        # the pipeline converts this into a timeout report; at the
+        # engine level the exception itself escapes
+        with deadline(1e-9):
+            time.sleep(0.002)
+            with pytest.raises(DeadlineExceeded):
+                engine1.grade(assignment1.reference_solutions[0])

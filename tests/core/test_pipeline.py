@@ -233,3 +233,91 @@ class TestBatchGraderApi:
         result = BatchGrader(assignment1).grade_batch([])
         assert result.items == []
         assert result.stats.submissions == 0
+
+
+class TestMaxSeconds:
+    """The per-submission wall-clock guard (this PR's satellite)."""
+
+    def test_rejects_nonpositive_limit(self, assignment1):
+        with pytest.raises(ValueError, match="max_seconds"):
+            BatchGrader(assignment1, max_seconds=0)
+        with pytest.raises(ValueError, match="max_seconds"):
+            BatchGrader(assignment1, max_seconds=-1.0)
+
+    def test_expired_budget_yields_timeout_reports(self, assignment1):
+        source = assignment1.reference_solutions[0]
+        result = BatchGrader(
+            assignment1, max_seconds=1e-9, cache=False
+        ).grade_batch([source, source + "//2"])
+        assert [i.report.status for i in result.items] == [
+            "timeout", "timeout",
+        ]
+        assert result.stats.timeouts == 2
+        assert "wall-clock limit" in result.items[0].report.timeout
+
+    def test_generous_budget_changes_nothing(self, assignment1):
+        source = assignment1.reference_solutions[0]
+        unlimited = BatchGrader(assignment1, cache=False).grade_batch(
+            [source]
+        )
+        limited = BatchGrader(
+            assignment1, max_seconds=300.0, cache=False
+        ).grade_batch([source])
+        assert (
+            limited.reports[0].to_dict() == unlimited.reports[0].to_dict()
+        )
+        assert limited.stats.timeouts == 0
+
+    def test_timeout_reports_are_not_cached(self, assignment1):
+        source = assignment1.reference_solutions[0]
+        grader = BatchGrader(assignment1, max_seconds=1e-9)
+        assert grader.grade_batch([source]).reports[0].status == "timeout"
+        # a fresh grader sharing the cache must regrade, not replay
+        retry = BatchGrader(assignment1, cache=grader.cache).grade_batch(
+            [source]
+        )
+        assert retry.reports[0].status == "ok"
+        assert retry.stats.cache_hits == 0
+
+    def test_timeout_applies_in_process_mode(self, assignment1):
+        source = assignment1.reference_solutions[0]
+        result = BatchGrader(
+            assignment1, mode="process", workers=2,
+            max_seconds=1e-9, cache=False,
+        ).grade_batch([source, source + "//2"])
+        assert [i.report.status for i in result.items] == [
+            "timeout", "timeout",
+        ]
+        assert result.stats.timeouts == 2
+
+
+class TestCrossModeStats:
+    """Pin the cross-process stats aggregation (this PR's satellite):
+    per-phase call counts and matcher counters must be identical no
+    matter which execution mode graded the batch."""
+
+    def test_process_stats_match_serial(self, assignment1, cohort):
+        serial = BatchGrader(
+            assignment1, mode="serial", cache=False
+        ).grade_batch(cohort)
+        process = BatchGrader(
+            assignment1, mode="process", workers=2, cache=False
+        ).grade_batch(cohort)
+        assert process.stats.phase_counts == serial.stats.phase_counts
+        assert process.stats.counters == serial.stats.counters
+        assert process.stats.graded == serial.stats.graded
+        assert process.stats.parse_errors == serial.stats.parse_errors
+        assert process.stats.timeouts == serial.stats.timeouts
+        assert process.stats.errors == serial.stats.errors
+        # wall time is mode-dependent, but phase time must be real
+        assert process.stats.phase_seconds["pattern_match"] > 0
+
+    def test_thread_stats_match_serial(self, assignment1, cohort):
+        serial = BatchGrader(
+            assignment1, mode="serial", cache=False
+        ).grade_batch(cohort)
+        threaded = BatchGrader(
+            assignment1, mode="thread", workers=4, cache=False
+        ).grade_batch(cohort)
+        assert threaded.stats.phase_counts == serial.stats.phase_counts
+        assert threaded.stats.counters == serial.stats.counters

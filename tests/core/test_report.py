@@ -2,10 +2,21 @@
 
 from __future__ import annotations
 
+import json
+
 from repro.core import GradingReport
+from repro.matching.feedback import FeedbackComment, FeedbackStatus
+from repro.matching.submission import MatchOutcome
 
 BROKEN = "void assignment1(int[] a) { int = ; }"
 EMPTY = "void assignment1(int[] a) { }"
+
+
+def json_roundtrip(report: GradingReport) -> GradingReport:
+    """to_dict → JSON wire → from_dict, as a service client would."""
+    return GradingReport.from_dict(
+        json.loads(json.dumps(report.to_dict()))
+    )
 
 
 class TestStatus:
@@ -27,6 +38,13 @@ class TestStatus:
         report = GradingReport(assignment_name="a", error="boom")
         assert report.status == "error"
         assert not report.ok
+
+    def test_timeout(self):
+        report = GradingReport(assignment_name="a", timeout="too slow")
+        assert report.status == "timeout"
+        assert not report.ok
+        assert "time limit" in report.render()
+        assert "too slow" in report.render()
 
 
 class TestRenderDistinguishable:
@@ -77,3 +95,74 @@ class TestToDict:
         assert payload["status"] == "parse-error"
         assert payload["parse_error"]
         assert payload["comments"] == []
+
+
+class TestFromDict:
+    """``from_dict`` must invert ``to_dict`` feedback-preservingly: a
+    service client re-rendering a JSON report gets the same text the
+    server would have rendered."""
+
+    def test_ok_report_roundtrips(self, engine1, assignment1):
+        report = engine1.grade(assignment1.reference_solutions[0])
+        rebuilt = json_roundtrip(report)
+        assert rebuilt.status == "ok"
+        assert rebuilt.score == report.score
+        assert rebuilt.render() == report.render()
+        assert rebuilt.to_dict() == report.to_dict()
+
+    def test_rejected_report_roundtrips(self, engine1):
+        report = engine1.grade(EMPTY)
+        rebuilt = json_roundtrip(report)
+        assert rebuilt.status == "rejected"
+        assert rebuilt.render() == report.render()
+        # comment statuses survive as real enum members
+        assert any(
+            c.status is FeedbackStatus.INCORRECT
+            or c.status is FeedbackStatus.NOT_EXPECTED
+            for c in rebuilt.comments
+        ) or not rebuilt.is_positive
+
+    def test_parse_error_roundtrips(self, engine1):
+        report = engine1.grade(BROKEN)
+        rebuilt = json_roundtrip(report)
+        assert rebuilt.status == "parse-error"
+        assert rebuilt.render() == report.render()
+
+    def test_timeout_roundtrips(self):
+        report = GradingReport(
+            assignment_name="assignment1",
+            timeout="grading exceeded the 0.5s wall-clock limit",
+        )
+        rebuilt = json_roundtrip(report)
+        assert rebuilt.status == "timeout"
+        assert rebuilt.timeout == report.timeout
+        assert rebuilt.render() == report.render()
+
+    def test_error_roundtrips(self):
+        report = GradingReport(assignment_name="a", error="boom")
+        rebuilt = json_roundtrip(report)
+        assert rebuilt.status == "error"
+        assert rebuilt.render() == report.render()
+
+    def test_truncated_flag_survives(self):
+        comment = FeedbackComment(
+            source="pattern",
+            kind="presence",
+            status=FeedbackStatus.CORRECT,
+            message="looks right",
+            details=("detail",),
+        )
+        report = GradingReport(
+            assignment_name="a",
+            outcome=MatchOutcome(
+                comments=[comment],
+                method_assignment={"m": "student_m"},
+                score=1.0,
+                truncated=True,
+            ),
+        )
+        rebuilt = json_roundtrip(report)
+        assert rebuilt.truncated
+        assert "truncated" in rebuilt.render()
+        assert rebuilt.render() == report.render()
+        assert rebuilt.outcome.method_assignment == {"m": "student_m"}

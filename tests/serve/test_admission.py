@@ -1,0 +1,81 @@
+"""Unit tests for the admission controller (repro.serve.admission)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import AdmissionController
+
+
+class TestAdmission:
+    def test_admits_up_to_capacity(self):
+        controller = AdmissionController(capacity=2)
+        assert controller.try_admit()
+        assert controller.try_admit()
+        assert not controller.try_admit()
+        assert controller.pending == 2
+
+    def test_release_frees_a_slot(self):
+        controller = AdmissionController(capacity=1)
+        assert controller.try_admit()
+        controller.release(0.1)
+        assert controller.try_admit()
+
+    def test_release_without_admit_raises(self):
+        controller = AdmissionController(capacity=1)
+        with pytest.raises(RuntimeError):
+            controller.release()
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            AdmissionController(capacity=0)
+
+    def test_drain_refuses_new_admissions(self):
+        controller = AdmissionController(capacity=4)
+        assert controller.try_admit()
+        controller.begin_drain()
+        assert not controller.try_admit()
+        assert not controller.idle  # in-flight request still out there
+        controller.release(0.1)
+        assert controller.idle
+
+
+class TestRetryAfter:
+    def test_floor_is_one_second(self):
+        controller = AdmissionController(capacity=4)
+        assert controller.retry_after_seconds(workers=4) == 1
+
+    def test_scales_with_backlog_and_service_time(self):
+        controller = AdmissionController(capacity=100)
+        for _ in range(20):
+            controller.try_admit()
+        # teach the EWMA a 2s service time
+        controller.try_admit()
+        controller.release(2.0)
+        # 20 pending * ~2s / 2 workers = ~20s
+        estimate = controller.retry_after_seconds(workers=2)
+        assert 10 <= estimate <= 30
+
+    def test_ceiling_is_sixty_seconds(self):
+        controller = AdmissionController(capacity=1000)
+        for _ in range(900):
+            controller.try_admit()
+        controller.release(30.0)
+        assert controller.retry_after_seconds(workers=1) == 60
+
+    def test_ewma_tracks_recent_service_times(self):
+        controller = AdmissionController(capacity=10)
+        for seconds in (1.0, 1.0, 1.0):
+            controller.try_admit()
+            controller.release(seconds)
+        first = controller._ewma_seconds
+        for _ in range(20):
+            controller.try_admit()
+            controller.release(0.01)
+        assert controller._ewma_seconds < first
+
+    def test_negative_service_time_ignored(self):
+        controller = AdmissionController(capacity=2)
+        controller.try_admit()
+        controller.release(-5.0)
+        assert controller._ewma_seconds is None

@@ -1,0 +1,108 @@
+"""Unit tests for service metrics (repro.serve.metrics)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import LatencyReservoir, ServiceMetrics, render_prometheus
+from repro.serve.metrics import SERVE_COUNTERS
+
+
+class TestLatencyReservoir:
+    def test_empty_quantiles_are_zero(self):
+        reservoir = LatencyReservoir()
+        assert reservoir.quantile(0.5) == 0.0
+        assert reservoir.snapshot()["p99_ms"] == 0.0
+
+    def test_single_observation(self):
+        reservoir = LatencyReservoir()
+        reservoir.observe(0.25)
+        assert reservoir.quantile(0.5) == 0.25
+        assert reservoir.quantile(0.99) == 0.25
+
+    def test_nearest_rank_median(self):
+        reservoir = LatencyReservoir()
+        for value in range(1, 101):
+            reservoir.observe(value / 1000)
+        assert reservoir.quantile(0.50) == pytest.approx(0.050)
+        assert reservoir.quantile(0.95) == pytest.approx(0.095)
+        assert reservoir.quantile(0.99) == pytest.approx(0.099)
+
+    def test_ring_keeps_most_recent_window(self):
+        reservoir = LatencyReservoir(capacity=4)
+        for value in (1, 2, 3, 4, 100, 200):
+            reservoir.observe(float(value))
+        snapshot = reservoir.snapshot()
+        assert snapshot["count"] == 6
+        assert snapshot["window"] == 4
+        # 1 and 2 were overwritten; the max must come from the window
+        assert snapshot["max_ms"] == 200_000.0
+
+    def test_snapshot_units_are_milliseconds(self):
+        reservoir = LatencyReservoir()
+        reservoir.observe(0.5)
+        assert reservoir.snapshot()["p50_ms"] == 500.0
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            LatencyReservoir(capacity=0)
+
+
+class TestServiceMetrics:
+    def test_all_counters_preregistered_at_zero(self):
+        metrics = ServiceMetrics()
+        assert set(SERVE_COUNTERS) <= set(metrics.counters)
+        assert all(value == 0 for value in metrics.counters.values())
+
+    def test_increment(self):
+        metrics = ServiceMetrics()
+        metrics.increment("serve.admitted")
+        metrics.increment("serve.admitted", 2)
+        assert metrics.counters["serve.admitted"] == 3
+
+    def test_snapshot_schema(self):
+        metrics = ServiceMetrics()
+        metrics.increment("serve.requests_total")
+        metrics.latency.observe(0.1)
+        snapshot = metrics.snapshot(
+            queue_depth=3,
+            queue_capacity=10,
+            workers=2,
+            breakers={"assignment1": {"state": "open"}},
+            draining=True,
+        )
+        assert snapshot["serve"]["serve.requests_total"] == 1
+        assert snapshot["queue"] == {
+            "depth": 3, "capacity": 10, "workers": 2,
+        }
+        assert snapshot["latency_ms"]["count"] == 1
+        assert snapshot["breakers"]["assignment1"]["state"] == "open"
+        assert snapshot["draining"] is True
+        assert snapshot["pipeline"]["mode"] == "serve"
+
+
+class TestRenderPrometheus:
+    def test_exposition_lines(self):
+        metrics = ServiceMetrics()
+        metrics.increment("serve.deadline_kills", 2)
+        metrics.latency.observe(0.1)
+        metrics.pipeline.record_submission(seconds=0.1)
+        text = render_prometheus(metrics.snapshot(
+            queue_depth=1,
+            queue_capacity=8,
+            workers=2,
+            breakers={"assignment1": {"state": "open"}},
+        ))
+        lines = text.splitlines()
+        assert "repro_serve_deadline_kills 2" in lines
+        assert "repro_serve_queue_depth 1" in lines
+        assert "repro_serve_queue_capacity 8" in lines
+        assert "repro_serve_draining 0" in lines
+        assert 'repro_serve_breaker_open{assignment="assignment1"} 1' in lines
+        assert "repro_pipeline_submissions 1" in lines
+        assert text.endswith("\n")
+
+    def test_every_counter_exported(self):
+        text = render_prometheus(ServiceMetrics().snapshot())
+        for name in SERVE_COUNTERS:
+            assert f"repro_{name.replace('.', '_')} 0" in text
