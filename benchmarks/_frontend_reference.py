@@ -1,0 +1,1402 @@
+"""Frozen seed frontend: the pre-optimization lexer, parser, and builder.
+
+This module is the frontend benchmark's *naive reference path* -- a
+verbatim-behavior copy of the character-at-a-time lexer, the Token-object
+parser helpers, and the re-printing EPDG builder as they existed before
+the frontend performance pass (commit ffe7ed2).  It plays the same role
+``strategy="permutation"`` plays for the matcher benchmark: a frozen
+baseline the optimized frontend must match byte-for-byte (token streams,
+ASTs via the canonical printer, EPDG text) while beating it on wall time.
+
+Only ``benchmarks/bench_frontend.py`` and the differential tests import
+this module.  Do not "fix" or optimize it; its value is that it does not
+change.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import JavaSyntaxError, ReproError
+from repro.java import ast
+from repro.pdg.negation import negate_condition
+from repro.pdg.graph import EdgeType, Epdg, GraphNode, NodeType
+
+
+# ======================================================================
+# seed lexer (repro/java/lexer.py at ffe7ed2)
+# ======================================================================
+
+class TokenType(enum.Enum):
+    """Lexical categories produced by :class:`Lexer`."""
+
+    IDENTIFIER = "identifier"
+    KEYWORD = "keyword"
+    INT_LITERAL = "int"
+    LONG_LITERAL = "long"
+    DOUBLE_LITERAL = "double"
+    STRING_LITERAL = "string"
+    CHAR_LITERAL = "char"
+    BOOL_LITERAL = "boolean"
+    NULL_LITERAL = "null"
+    OPERATOR = "operator"
+    SEPARATOR = "separator"
+    EOF = "eof"
+
+
+#: Reserved words recognized as keywords (subset relevant to intro courses).
+KEYWORDS = frozenset(
+    {
+        "abstract", "assert", "boolean", "break", "byte", "case", "catch",
+        "char", "class", "const", "continue", "default", "do", "double",
+        "else", "enum", "extends", "final", "finally", "float", "for",
+        "goto", "if", "implements", "import", "instanceof", "int",
+        "interface", "long", "native", "new", "package", "private",
+        "protected", "public", "return", "short", "static", "strictfp",
+        "super", "switch", "synchronized", "this", "throw", "throws",
+        "transient", "try", "void", "volatile", "while",
+    }
+)
+
+#: Multi-character operators, longest first so maximal munch works.
+_OPERATORS = (
+    ">>>=", "<<=", ">>=", ">>>",
+    "==", "!=", "<=", ">=", "&&", "||", "++", "--",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<", ">>",
+    "+", "-", "*", "/", "%", "=", "<", ">", "!", "~", "&", "|", "^", "?", ":",
+)
+
+_SEPARATORS = frozenset("(){}[];,.@")
+
+_ESCAPES = {
+    "n": "\n", "t": "\t", "r": "\r", "b": "\b", "f": "\f",
+    "0": "\0", "'": "'", '"': '"', "\\": "\\",
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token with its source position (1-based)."""
+
+    type: TokenType
+    value: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.type.name}, {self.value!r}, {self.line}:{self.column})"
+
+
+class Lexer:
+    """Single-pass scanner over a Java source string."""
+
+    def __init__(self, source: str):
+        self._source = source
+        self._pos = 0
+        self._line = 1
+        self._column = 1
+
+    def tokens(self) -> list[Token]:
+        """Scan the whole input and return the token list ending in EOF."""
+        result: list[Token] = []
+        while True:
+            token = self._next_token()
+            result.append(token)
+            if token.type is TokenType.EOF:
+                return result
+
+    # ------------------------------------------------------------------
+    # scanning machinery
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self._pos + offset
+        if index < len(self._source):
+            return self._source[index]
+        return ""
+
+    def _advance(self, count: int = 1) -> str:
+        text = self._source[self._pos:self._pos + count]
+        for ch in text:
+            if ch == "\n":
+                self._line += 1
+                self._column = 1
+            else:
+                self._column += 1
+        self._pos += count
+        return text
+
+    def _error(self, message: str) -> JavaSyntaxError:
+        return JavaSyntaxError(message, self._line, self._column)
+
+    def _skip_trivia(self) -> None:
+        while self._pos < len(self._source):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while self._pos < len(self._source) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                self._advance(2)
+                while self._pos < len(self._source):
+                    if self._peek() == "*" and self._peek(1) == "/":
+                        self._advance(2)
+                        break
+                    self._advance()
+                else:
+                    raise self._error("unterminated block comment")
+            else:
+                return
+
+    def _next_token(self) -> Token:
+        self._skip_trivia()
+        line, column = self._line, self._column
+        if self._pos >= len(self._source):
+            return Token(TokenType.EOF, "", line, column)
+        ch = self._peek()
+        if ch.isdigit() or (ch == "." and self._peek(1).isdigit()):
+            return self._number(line, column)
+        if ch.isalpha() or ch in "_$":
+            return self._word(line, column)
+        if ch == '"':
+            return self._string(line, column)
+        if ch == "'":
+            return self._char(line, column)
+        if ch in _SEPARATORS:
+            self._advance()
+            return Token(TokenType.SEPARATOR, ch, line, column)
+        for op in _OPERATORS:
+            if self._source.startswith(op, self._pos):
+                self._advance(len(op))
+                return Token(TokenType.OPERATOR, op, line, column)
+        raise self._error(f"unexpected character {ch!r}")
+
+    def _word(self, line: int, column: int) -> Token:
+        start = self._pos
+        while self._pos < len(self._source) and (
+            self._peek().isalnum() or self._peek() in "_$"
+        ):
+            self._advance()
+        text = self._source[start:self._pos]
+        if text in ("true", "false"):
+            return Token(TokenType.BOOL_LITERAL, text, line, column)
+        if text == "null":
+            return Token(TokenType.NULL_LITERAL, text, line, column)
+        if text in KEYWORDS:
+            return Token(TokenType.KEYWORD, text, line, column)
+        return Token(TokenType.IDENTIFIER, text, line, column)
+
+    def _number(self, line: int, column: int) -> Token:
+        start = self._pos
+        is_double = False
+        if self._peek() == "0" and self._peek(1) in "xX":
+            self._advance(2)
+            while self._peek() and self._peek() in "0123456789abcdefABCDEF_":
+                self._advance()
+        else:
+            while self._peek().isdigit() or self._peek() == "_":
+                self._advance()
+            if self._peek() == "." and self._peek(1).isdigit():
+                is_double = True
+                self._advance()
+                while self._peek().isdigit() or self._peek() == "_":
+                    self._advance()
+            if self._peek() and self._peek() in "eE" and (
+                self._peek(1).isdigit()
+                or (self._peek(1) in "+-" and self._peek(2).isdigit())
+            ):
+                is_double = True
+                self._advance()
+                if self._peek() in "+-":
+                    self._advance()
+                while self._peek().isdigit():
+                    self._advance()
+        if self._peek() and self._peek() in "dDfF":
+            self._advance()
+            text = self._source[start:self._pos]
+            return Token(TokenType.DOUBLE_LITERAL, text, line, column)
+        if self._peek() and self._peek() in "lL":
+            self._advance()
+            text = self._source[start:self._pos]
+            return Token(TokenType.LONG_LITERAL, text, line, column)
+        text = self._source[start:self._pos]
+        token_type = TokenType.DOUBLE_LITERAL if is_double else TokenType.INT_LITERAL
+        return Token(token_type, text, line, column)
+
+    def _string(self, line: int, column: int) -> Token:
+        self._advance()  # opening quote
+        chars: list[str] = []
+        while True:
+            if self._pos >= len(self._source):
+                raise self._error("unterminated string literal")
+            ch = self._advance()
+            if ch == '"':
+                break
+            if ch == "\n":
+                raise self._error("newline in string literal")
+            if ch == "\\":
+                escape = self._advance()
+                if escape not in _ESCAPES:
+                    raise self._error(f"unsupported escape \\{escape}")
+                chars.append(_ESCAPES[escape])
+            else:
+                chars.append(ch)
+        return Token(TokenType.STRING_LITERAL, "".join(chars), line, column)
+
+    def _char(self, line: int, column: int) -> Token:
+        self._advance()  # opening quote
+        ch = self._advance()
+        if ch == "\\":
+            escape = self._advance()
+            if escape not in _ESCAPES:
+                raise self._error(f"unsupported escape \\{escape}")
+            ch = _ESCAPES[escape]
+        if self._advance() != "'":
+            raise self._error("unterminated char literal")
+        return Token(TokenType.CHAR_LITERAL, ch, line, column)
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize ``source`` and return the token list (ending with EOF)."""
+    return Lexer(source).tokens()
+
+
+# ======================================================================
+# seed parser (repro/java/parser.py at ffe7ed2)
+# ======================================================================
+
+#: Primitive type keywords accepted in declarations.
+PRIMITIVE_TYPES = frozenset(
+    {"boolean", "byte", "char", "short", "int", "long", "float", "double"}
+)
+
+_MODIFIERS = frozenset(
+    {"public", "private", "protected", "static", "final", "abstract",
+     "synchronized", "native", "strictfp", "transient", "volatile"}
+)
+
+#: Binary operator precedence (higher binds tighter), per the JLS.
+_BINARY_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, ">": 7, "<=": 7, ">=": 7, "instanceof": 7,
+    "<<": 8, ">>": 8, ">>>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+
+_ASSIGN_OPERATORS = frozenset(
+    {"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>=", ">>>="}
+)
+
+
+class Parser:
+    """Parses a token stream produced by :mod:`repro.java.lexer`."""
+
+    def __init__(self, source: str):
+        self._tokens = tokenize(source)
+        self._pos = 0
+
+    # ------------------------------------------------------------------
+    # token helpers
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.type is not TokenType.EOF:
+            self._pos += 1
+        return token
+
+    def _check(self, value: str, offset: int = 0) -> bool:
+        token = self._peek(offset)
+        return token.value == value and token.type in (
+            TokenType.KEYWORD, TokenType.OPERATOR, TokenType.SEPARATOR
+        )
+
+    def _match(self, value: str) -> bool:
+        if self._check(value):
+            self._advance()
+            return True
+        return False
+
+    def _expect(self, value: str) -> Token:
+        if not self._check(value):
+            token = self._peek()
+            raise JavaSyntaxError(
+                f"expected {value!r} but found {token.value!r}",
+                token.line, token.column,
+            )
+        return self._advance()
+
+    def _expect_identifier(self) -> str:
+        token = self._peek()
+        if token.type is not TokenType.IDENTIFIER:
+            raise JavaSyntaxError(
+                f"expected identifier but found {token.value!r}",
+                token.line, token.column,
+            )
+        return self._advance().value
+
+    def _at_eof(self) -> bool:
+        return self._peek().type is TokenType.EOF
+
+    def _error(self, message: str) -> JavaSyntaxError:
+        token = self._peek()
+        return JavaSyntaxError(message, token.line, token.column)
+
+    # ------------------------------------------------------------------
+    # top level
+
+    def parse_submission(self) -> ast.CompilationUnit:
+        """Parse a whole submission (classes and/or bare methods)."""
+        unit = ast.CompilationUnit()
+        while self._match("import"):
+            parts = [self._expect_identifier()]
+            while self._match("."):
+                if self._match("*"):
+                    parts.append("*")
+                    break
+                parts.append(self._expect_identifier())
+            self._expect(";")
+            unit.imports.append(".".join(parts))
+        while not self._at_eof():
+            modifiers = self._parse_modifiers()
+            if self._check("class"):
+                unit.classes.append(self._parse_class(modifiers))
+            else:
+                unit.bare_methods.append(self._parse_method(modifiers))
+        return unit
+
+    def parse_expression_only(self) -> ast.Expression:
+        """Parse exactly one expression; trailing tokens are an error."""
+        expression = self._parse_expression()
+        if not self._at_eof():
+            raise self._error("unexpected trailing tokens after expression")
+        return expression
+
+    def _parse_modifiers(self) -> list[str]:
+        modifiers = []
+        while self._peek().type is TokenType.KEYWORD and self._peek().value in _MODIFIERS:
+            modifiers.append(self._advance().value)
+        return modifiers
+
+    def _parse_class(self, modifiers: list[str]) -> ast.ClassDecl:
+        self._expect("class")
+        name = self._expect_identifier()
+        if self._match("extends"):
+            self._expect_identifier()
+        if self._match("implements"):
+            self._expect_identifier()
+            while self._match(","):
+                self._expect_identifier()
+        self._expect("{")
+        cls = ast.ClassDecl(name=name, modifiers=modifiers)
+        while not self._check("}"):
+            if self._at_eof():
+                raise self._error("unterminated class body")
+            member_modifiers = self._parse_modifiers()
+            if self._looks_like_method():
+                cls.methods.append(self._parse_method(member_modifiers))
+            else:
+                decl = self._parse_local_var_decl()
+                self._expect(";")
+                cls.fields.append(
+                    ast.FieldDecl(
+                        type=decl.type,
+                        declarators=decl.declarators,
+                        modifiers=member_modifiers,
+                    )
+                )
+        self._expect("}")
+        return cls
+
+    def _looks_like_method(self) -> bool:
+        """Disambiguate method declarations from field declarations.
+
+        After the (already consumed) modifiers, a method looks like
+        ``Type name (`` whereas a field looks like ``Type name =|;|,``.
+        """
+        offset = 0
+        token = self._peek(offset)
+        if token.type not in (TokenType.KEYWORD, TokenType.IDENTIFIER):
+            return False
+        offset += 1
+        while self._check("[", offset) and self._check("]", offset + 1):
+            offset += 2
+        if self._peek(offset).type is not TokenType.IDENTIFIER:
+            return False
+        offset += 1
+        return self._check("(", offset)
+
+    def _parse_method(self, modifiers: list[str]) -> ast.MethodDecl:
+        return_type = self._parse_type()
+        name = self._expect_identifier()
+        self._expect("(")
+        parameters: list[ast.Parameter] = []
+        if not self._check(")"):
+            while True:
+                param_type = self._parse_type()
+                param_name = self._expect_identifier()
+                while self._match("["):
+                    self._expect("]")
+                    param_type = ast.Type(param_type.name, param_type.dimensions + 1)
+                parameters.append(ast.Parameter(type=param_type, name=param_name))
+                if not self._match(","):
+                    break
+        self._expect(")")
+        throws: list[str] = []
+        if self._match("throws"):
+            throws.append(self._expect_identifier())
+            while self._match(","):
+                throws.append(self._expect_identifier())
+        body = self._parse_block()
+        return ast.MethodDecl(
+            name=name,
+            return_type=return_type,
+            parameters=parameters,
+            body=body,
+            modifiers=modifiers,
+            throws=throws,
+        )
+
+    # ------------------------------------------------------------------
+    # types
+
+    def _parse_type(self) -> ast.Type:
+        token = self._peek()
+        if token.type is TokenType.KEYWORD and token.value in PRIMITIVE_TYPES | {"void"}:
+            name = self._advance().value
+        elif token.type is TokenType.IDENTIFIER:
+            name = self._advance().value
+            while self._check(".") and self._peek(1).type is TokenType.IDENTIFIER:
+                self._advance()
+                name += "." + self._advance().value
+        else:
+            raise self._error(f"expected type but found {token.value!r}")
+        dimensions = 0
+        while self._check("[") and self._check("]", 1):
+            self._advance()
+            self._advance()
+            dimensions += 1
+        return ast.Type(name, dimensions)
+
+    def _at_type_start(self) -> bool:
+        """True when the upcoming tokens begin a local variable declaration."""
+        token = self._peek()
+        if token.type is TokenType.KEYWORD and token.value in PRIMITIVE_TYPES:
+            return True
+        if token.type is not TokenType.IDENTIFIER:
+            return False
+        # `Ident Ident`  ->  declaration (e.g. `Scanner s`)
+        if self._peek(1).type is TokenType.IDENTIFIER:
+            return True
+        # `Ident [ ] Ident`  ->  array declaration (e.g. `int[] a` spelled
+        # with a class type, `String[] words`)
+        offset = 1
+        saw_brackets = False
+        while self._check("[", offset) and self._check("]", offset + 1):
+            saw_brackets = True
+            offset += 2
+        return saw_brackets and self._peek(offset).type is TokenType.IDENTIFIER
+
+    # ------------------------------------------------------------------
+    # statements
+
+    def _parse_block(self) -> ast.Block:
+        self._expect("{")
+        block = ast.Block()
+        while not self._check("}"):
+            if self._at_eof():
+                raise self._error("unterminated block")
+            block.statements.append(self._parse_statement())
+        self._expect("}")
+        return block
+
+    def _parse_statement(self) -> ast.Statement:
+        if self._check("{"):
+            return self._parse_block()
+        if self._check(";"):
+            self._advance()
+            return ast.EmptyStatement()
+        if self._check("if"):
+            return self._parse_if()
+        if self._check("while"):
+            return self._parse_while()
+        if self._check("do"):
+            return self._parse_do_while()
+        if self._check("for"):
+            return self._parse_for()
+        if self._check("switch"):
+            return self._parse_switch()
+        if self._check("break"):
+            self._advance()
+            label = None
+            if self._peek().type is TokenType.IDENTIFIER:
+                label = self._advance().value
+            self._expect(";")
+            return ast.Break(label)
+        if self._check("continue"):
+            self._advance()
+            label = None
+            if self._peek().type is TokenType.IDENTIFIER:
+                label = self._advance().value
+            self._expect(";")
+            return ast.Continue(label)
+        if self._check("return"):
+            self._advance()
+            value = None
+            if not self._check(";"):
+                value = self._parse_expression()
+            self._expect(";")
+            return ast.Return(value)
+        if self._check("final"):
+            self._advance()
+            declaration = self._parse_local_var_decl()
+            self._expect(";")
+            return declaration
+        if self._at_type_start():
+            declaration = self._parse_local_var_decl()
+            self._expect(";")
+            return declaration
+        expression = self._parse_expression()
+        self._expect(";")
+        return ast.ExpressionStatement(expression)
+
+    def _parse_local_var_decl(self) -> ast.LocalVarDecl:
+        var_type = self._parse_type()
+        declarators = [self._parse_declarator()]
+        while self._match(","):
+            declarators.append(self._parse_declarator())
+        return ast.LocalVarDecl(type=var_type, declarators=declarators)
+
+    def _parse_declarator(self) -> ast.VarDeclarator:
+        name = self._expect_identifier()
+        extra_dimensions = 0
+        while self._check("[") and self._check("]", 1):
+            self._advance()
+            self._advance()
+            extra_dimensions += 1
+        initializer = None
+        if self._match("="):
+            if self._check("{"):
+                initializer = self._parse_array_initializer()
+            else:
+                initializer = self._parse_expression()
+        return ast.VarDeclarator(
+            name=name, initializer=initializer, extra_dimensions=extra_dimensions
+        )
+
+    def _parse_if(self) -> ast.If:
+        self._expect("if")
+        self._expect("(")
+        condition = self._parse_expression()
+        self._expect(")")
+        then_branch = self._parse_statement()
+        else_branch = None
+        if self._match("else"):
+            else_branch = self._parse_statement()
+        return ast.If(condition, then_branch, else_branch)
+
+    def _parse_while(self) -> ast.While:
+        self._expect("while")
+        self._expect("(")
+        condition = self._parse_expression()
+        self._expect(")")
+        body = self._parse_statement()
+        return ast.While(condition, body)
+
+    def _parse_do_while(self) -> ast.DoWhile:
+        self._expect("do")
+        body = self._parse_statement()
+        self._expect("while")
+        self._expect("(")
+        condition = self._parse_expression()
+        self._expect(")")
+        self._expect(";")
+        return ast.DoWhile(body, condition)
+
+    def _parse_for(self) -> ast.Statement:
+        self._expect("for")
+        self._expect("(")
+        # enhanced for: `for (Type name : expr)`
+        checkpoint = self._pos
+        if self._at_type_start() or (
+            self._peek().type is TokenType.KEYWORD
+            and self._peek().value in PRIMITIVE_TYPES
+        ):
+            try:
+                item_type = self._parse_type()
+                name = self._expect_identifier()
+                if self._match(":"):
+                    iterable = self._parse_expression()
+                    self._expect(")")
+                    body = self._parse_statement()
+                    return ast.ForEach(item_type, name, iterable, body)
+            except JavaSyntaxError:
+                pass
+            self._pos = checkpoint
+        init: list[ast.Statement] = []
+        if not self._check(";"):
+            if self._at_type_start():
+                init.append(self._parse_local_var_decl())
+            else:
+                init.append(ast.ExpressionStatement(self._parse_expression()))
+                while self._match(","):
+                    init.append(ast.ExpressionStatement(self._parse_expression()))
+        self._expect(";")
+        condition = None
+        if not self._check(";"):
+            condition = self._parse_expression()
+        self._expect(";")
+        update: list[ast.Expression] = []
+        if not self._check(")"):
+            update.append(self._parse_expression())
+            while self._match(","):
+                update.append(self._parse_expression())
+        self._expect(")")
+        body = self._parse_statement()
+        return ast.For(init, condition, update, body)
+
+    def _parse_switch(self) -> ast.Switch:
+        self._expect("switch")
+        self._expect("(")
+        selector = self._parse_expression()
+        self._expect(")")
+        self._expect("{")
+        cases: list[ast.SwitchCase] = []
+        while not self._check("}"):
+            labels: list[ast.Expression | None] = []
+            while self._check("case") or self._check("default"):
+                if self._match("case"):
+                    labels.append(self._parse_expression())
+                else:
+                    self._expect("default")
+                    labels.append(None)
+                self._expect(":")
+            if not labels:
+                raise self._error("expected 'case' or 'default' in switch body")
+            statements: list[ast.Statement] = []
+            while not (
+                self._check("case") or self._check("default") or self._check("}")
+            ):
+                statements.append(self._parse_statement())
+            cases.append(ast.SwitchCase(labels, statements))
+        self._expect("}")
+        return ast.Switch(selector, cases)
+
+    # ------------------------------------------------------------------
+    # expressions
+
+    def _parse_expression(self) -> ast.Expression:
+        return self._parse_assignment()
+
+    def _parse_assignment(self) -> ast.Expression:
+        left = self._parse_ternary()
+        token = self._peek()
+        if token.type is TokenType.OPERATOR and token.value in _ASSIGN_OPERATORS:
+            operator = self._advance().value
+            value = self._parse_assignment()
+            return ast.Assignment(target=left, operator=operator, value=value)
+        return left
+
+    def _parse_ternary(self) -> ast.Expression:
+        condition = self._parse_binary(1)
+        if self._match("?"):
+            if_true = self._parse_expression()
+            self._expect(":")
+            if_false = self._parse_assignment()
+            return ast.Ternary(condition, if_true, if_false)
+        return condition
+
+    def _parse_binary(self, min_precedence: int) -> ast.Expression:
+        left = self._parse_unary()
+        while True:
+            token = self._peek()
+            operator = token.value
+            if token.type is TokenType.KEYWORD and operator == "instanceof":
+                precedence = _BINARY_PRECEDENCE[operator]
+                if precedence < min_precedence:
+                    return left
+                self._advance()
+                right_type = self._parse_type()
+                left = ast.Binary("instanceof", left, ast.Name(str(right_type)))
+                continue
+            if token.type is not TokenType.OPERATOR:
+                return left
+            precedence = _BINARY_PRECEDENCE.get(operator)
+            if precedence is None or precedence < min_precedence:
+                return left
+            self._advance()
+            right = self._parse_binary(precedence + 1)
+            left = ast.Binary(operator, left, right)
+
+    def _parse_unary(self) -> ast.Expression:
+        token = self._peek()
+        if token.type is TokenType.OPERATOR and token.value in ("+", "-", "!", "~"):
+            operator = self._advance().value
+            operand = self._parse_unary()
+            # Fold unary minus into negative literals so `-1` renders as a
+            # single literal, matching how instructors write patterns.
+            if (
+                operator == "-"
+                and isinstance(operand, ast.Literal)
+                and operand.kind in ("int", "long", "double")
+            ):
+                return ast.Literal(-operand.value, operand.kind)  # type: ignore[operator]
+            return ast.Unary(operator, operand, prefix=True)
+        if token.type is TokenType.OPERATOR and token.value in ("++", "--"):
+            operator = self._advance().value
+            operand = self._parse_unary()
+            return ast.Unary(operator, operand, prefix=True)
+        if self._check("(") and self._is_cast():
+            self._expect("(")
+            cast_type = self._parse_type()
+            self._expect(")")
+            expression = self._parse_unary()
+            return ast.Cast(cast_type, expression)
+        return self._parse_postfix()
+
+    def _is_cast(self) -> bool:
+        """Lookahead check for `(type) unary` casts.
+
+        Only primitive-type casts are treated as casts; `(expr)` with a
+        class-type name is ambiguous in Java and intro submissions do not
+        need reference casts.
+        """
+        offset = 1
+        token = self._peek(offset)
+        if token.type is TokenType.KEYWORD and token.value in PRIMITIVE_TYPES:
+            offset += 1
+            while self._check("[", offset) and self._check("]", offset + 1):
+                offset += 2
+            return self._check(")", offset)
+        return False
+
+    def _parse_postfix(self) -> ast.Expression:
+        expression = self._parse_primary()
+        while True:
+            if self._check("."):
+                self._advance()
+                name = self._expect_identifier()
+                if self._check("("):
+                    arguments = self._parse_arguments()
+                    expression = ast.MethodCall(expression, name, arguments)
+                else:
+                    expression = ast.FieldAccess(expression, name)
+            elif self._check("["):
+                self._advance()
+                index = self._parse_expression()
+                self._expect("]")
+                expression = ast.ArrayAccess(expression, index)
+            elif self._check("++") or self._check("--"):
+                operator = self._advance().value
+                expression = ast.Unary(operator, expression, prefix=False)
+            else:
+                return expression
+
+    def _parse_arguments(self) -> list[ast.Expression]:
+        self._expect("(")
+        arguments: list[ast.Expression] = []
+        if not self._check(")"):
+            arguments.append(self._parse_expression())
+            while self._match(","):
+                arguments.append(self._parse_expression())
+        self._expect(")")
+        return arguments
+
+    def _parse_array_initializer(self) -> ast.ArrayInitializer:
+        self._expect("{")
+        elements: list[ast.Expression] = []
+        if not self._check("}"):
+            while True:
+                if self._check("{"):
+                    elements.append(self._parse_array_initializer())
+                else:
+                    elements.append(self._parse_expression())
+                if not self._match(","):
+                    break
+        self._expect("}")
+        return ast.ArrayInitializer(elements)
+
+    def _parse_primary(self) -> ast.Expression:
+        token = self._peek()
+        if token.type is TokenType.INT_LITERAL:
+            self._advance()
+            return ast.Literal(int(token.value.replace("_", ""), 0), "int")
+        if token.type is TokenType.LONG_LITERAL:
+            self._advance()
+            return ast.Literal(int(token.value.rstrip("lL").replace("_", ""), 0), "long")
+        if token.type is TokenType.DOUBLE_LITERAL:
+            self._advance()
+            return ast.Literal(float(token.value.rstrip("dDfF").replace("_", "")), "double")
+        if token.type is TokenType.STRING_LITERAL:
+            self._advance()
+            return ast.Literal(token.value, "string")
+        if token.type is TokenType.CHAR_LITERAL:
+            self._advance()
+            return ast.Literal(token.value, "char")
+        if token.type is TokenType.BOOL_LITERAL:
+            self._advance()
+            return ast.Literal(token.value == "true", "boolean")
+        if token.type is TokenType.NULL_LITERAL:
+            self._advance()
+            return ast.Literal(None, "null")
+        if self._check("("):
+            self._advance()
+            expression = self._parse_expression()
+            self._expect(")")
+            return expression
+        if self._check("new"):
+            return self._parse_creation()
+        if token.type is TokenType.IDENTIFIER:
+            name = self._advance().value
+            if self._check("("):
+                arguments = self._parse_arguments()
+                return ast.MethodCall(None, name, arguments)
+            return ast.Name(name)
+        if self._check("this"):
+            self._advance()
+            return ast.Name("this")
+        raise self._error(f"unexpected token {token.value!r} in expression")
+
+    def _parse_creation(self) -> ast.Expression:
+        self._expect("new")
+        token = self._peek()
+        if token.type is TokenType.KEYWORD and token.value in PRIMITIVE_TYPES:
+            base = ast.Type(self._advance().value)
+        else:
+            name = self._expect_identifier()
+            while self._check(".") and self._peek(1).type is TokenType.IDENTIFIER:
+                self._advance()
+                name += "." + self._advance().value
+            base = ast.Type(name)
+        if self._check("("):
+            arguments = self._parse_arguments()
+            return ast.ObjectCreation(base, arguments)
+        dimensions: list[ast.Expression] = []
+        total_dims = 0
+        while self._check("["):
+            self._advance()
+            if self._check("]"):
+                self._advance()
+                total_dims += 1
+            else:
+                dimensions.append(self._parse_expression())
+                self._expect("]")
+                total_dims += 1
+        initializer = None
+        if self._check("{"):
+            initializer = self._parse_array_initializer()
+        if total_dims == 0:
+            raise self._error("array creation requires dimensions")
+        return ast.ArrayCreation(
+            ast.Type(base.name, total_dims), dimensions, initializer
+        )
+
+
+def parse_submission(source: str) -> ast.CompilationUnit:
+    """Parse a student submission into a :class:`~repro.java.ast.CompilationUnit`."""
+    return Parser(source).parse_submission()
+
+
+def parse_expression(source: str) -> ast.Expression:
+    """Parse a single Java expression."""
+    return Parser(source).parse_expression_only()
+
+
+# ======================================================================
+# seed expression printer (repro/java/printer.py at ffe7ed2)
+# ======================================================================
+
+_PRECEDENCE = {
+    "=": 0, "+=": 0, "-=": 0, "*=": 0, "/=": 0, "%=": 0,
+    "&=": 0, "|=": 0, "^=": 0, "<<=": 0, ">>=": 0, ">>>=": 0,
+    "?:": 1,
+    "||": 2,
+    "&&": 3,
+    "|": 4,
+    "^": 5,
+    "&": 6,
+    "==": 7, "!=": 7,
+    "<": 8, ">": 8, "<=": 8, ">=": 8, "instanceof": 8,
+    "<<": 9, ">>": 9, ">>>": 9,
+    "+": 10, "-": 10,
+    "*": 11, "/": 11, "%": 11,
+    "unary": 12,
+    "postfix": 13,
+}
+
+_STRING_ESCAPES = {
+    "\\": "\\\\", '"': '\\"', "\n": "\\n", "\t": "\\t",
+    "\r": "\\r", "\b": "\\b", "\f": "\\f", "\0": "\\0",
+}
+
+
+def _escape_string(value: str) -> str:
+    return "".join(_STRING_ESCAPES.get(ch, ch) for ch in value)
+
+
+def print_expression(node: ast.Expression) -> str:
+    """Render an expression to canonical single-line source text."""
+    return _expr(node, 0)
+
+
+def _expr(node: ast.Expression, parent_precedence: int) -> str:
+    if isinstance(node, ast.Literal):
+        return _literal(node)
+    if isinstance(node, ast.Name):
+        return node.identifier
+    if isinstance(node, ast.FieldAccess):
+        return f"{_expr(node.target, _PRECEDENCE['postfix'])}.{node.name}"
+    if isinstance(node, ast.ArrayAccess):
+        return (
+            f"{_expr(node.array, _PRECEDENCE['postfix'])}"
+            f"[{_expr(node.index, 0)}]"
+        )
+    if isinstance(node, ast.MethodCall):
+        arguments = ", ".join(_expr(arg, 0) for arg in node.arguments)
+        if node.target is None:
+            return f"{node.name}({arguments})"
+        return f"{_expr(node.target, _PRECEDENCE['postfix'])}.{node.name}({arguments})"
+    if isinstance(node, ast.ObjectCreation):
+        arguments = ", ".join(_expr(arg, 0) for arg in node.arguments)
+        return f"new {node.type}({arguments})"
+    if isinstance(node, ast.ArrayCreation):
+        base = node.type.name
+        dims = "".join(f"[{_expr(d, 0)}]" for d in node.dimensions)
+        dims += "[]" * (node.type.dimensions - len(node.dimensions))
+        text = f"new {base}{dims}"
+        if node.initializer is not None:
+            text += " " + _expr(node.initializer, 0)
+        return text
+    if isinstance(node, ast.ArrayInitializer):
+        return "{" + ", ".join(_expr(e, 0) for e in node.elements) + "}"
+    if isinstance(node, ast.Unary):
+        precedence = _PRECEDENCE["unary" if node.prefix else "postfix"]
+        operand = _expr(node.operand, precedence)
+        text = f"{node.operator}{operand}" if node.prefix else f"{operand}{node.operator}"
+        return _paren(text, precedence, parent_precedence)
+    if isinstance(node, ast.Binary):
+        precedence = _PRECEDENCE[node.operator]
+        left = _expr(node.left, precedence)
+        # +1 forces parentheses on same-precedence right operands, keeping
+        # left-associativity explicit: a - (b - c).
+        right = _expr(node.right, precedence + 1)
+        return _paren(f"{left} {node.operator} {right}", precedence, parent_precedence)
+    if isinstance(node, ast.Ternary):
+        precedence = _PRECEDENCE["?:"]
+        text = (
+            f"{_expr(node.condition, precedence + 1)} ? "
+            f"{_expr(node.if_true, 0)} : {_expr(node.if_false, precedence)}"
+        )
+        return _paren(text, precedence, parent_precedence)
+    if isinstance(node, ast.Assignment):
+        precedence = _PRECEDENCE[node.operator]
+        text = (
+            f"{_expr(node.target, _PRECEDENCE['postfix'])} {node.operator} "
+            f"{_expr(node.value, precedence)}"
+        )
+        return _paren(text, precedence, parent_precedence)
+    if isinstance(node, ast.Cast):
+        precedence = _PRECEDENCE["unary"]
+        text = f"({node.type}) {_expr(node.expression, precedence)}"
+        return _paren(text, precedence, parent_precedence)
+    raise TypeError(f"cannot print expression node {type(node).__name__}")
+
+
+def _paren(text: str, precedence: int, parent_precedence: int) -> str:
+    if precedence < parent_precedence:
+        return f"({text})"
+    return text
+
+
+def _literal(node: ast.Literal) -> str:
+    if node.kind == "string":
+        return f'"{_escape_string(str(node.value))}"'
+    if node.kind == "char":
+        ch = str(node.value)
+        return "'" + _STRING_ESCAPES.get(ch, ch).replace('\\"', '"') + "'"
+    if node.kind == "boolean":
+        return "true" if node.value else "false"
+    if node.kind == "null":
+        return "null"
+    if node.kind == "long":
+        return f"{node.value}L"
+    if node.kind == "double":
+        value = node.value
+        if isinstance(value, float) and value == int(value):
+            return f"{value:.1f}"
+        return repr(value)
+    return str(node.value)
+
+
+
+
+# ======================================================================
+# seed variable analysis (repro/pdg/expressions.py at ffe7ed2)
+# ======================================================================
+
+#: Identifiers treated as static class references, never as variables.
+STATIC_CLASSES = frozenset(
+    {"System", "Math", "Integer", "String", "Character", "Double",
+     "Boolean", "Long", "Arrays", "this"}
+)
+
+
+def used_variables(node: ast.Expression | None) -> frozenset[str]:
+    """Variables *read* by an expression."""
+    if node is None:
+        return frozenset()
+    result: set[str] = set()
+    _collect_uses(node, result)
+    return frozenset(result)
+
+
+def _collect_uses(node: ast.Expression, result: set[str]) -> None:
+    if isinstance(node, ast.Name):
+        if node.identifier not in STATIC_CLASSES:
+            result.add(node.identifier)
+        return
+    if isinstance(node, ast.FieldAccess):
+        _collect_uses(node.target, result)
+        return
+    if isinstance(node, ast.MethodCall):
+        if node.target is not None:
+            _collect_uses(node.target, result)
+        for argument in node.arguments:
+            _collect_uses(argument, result)
+        return
+    if isinstance(node, ast.Assignment):
+        # compound assignment reads the target as well
+        if node.operator != "=":
+            _collect_uses(node.target, result)
+        elif isinstance(node.target, ast.ArrayAccess):
+            # a[i] = v reads i (and the array reference a)
+            _collect_uses(node.target, result)
+        _collect_uses(node.value, result)
+        return
+    if isinstance(node, ast.Unary):
+        _collect_uses(node.operand, result)
+        return
+    for child in node.children():
+        if isinstance(child, ast.Expression):
+            _collect_uses(child, result)
+
+
+def defined_variables(node: ast.Expression) -> frozenset[str]:
+    """Variables *written* by an expression.
+
+    An assignment to ``a[i]`` defines ``a`` (the array variable holds a new
+    state), matching how the paper's examples treat ``d[i - 1] = ...``.
+    """
+    result: set[str] = set()
+    _collect_defs(node, result)
+    return frozenset(result)
+
+
+def _collect_defs(node: ast.Expression, result: set[str]) -> None:
+    if isinstance(node, ast.Assignment):
+        _collect_target(node.target, result)
+        _collect_defs(node.value, result)
+        return
+    if isinstance(node, ast.Unary) and node.operator in ("++", "--"):
+        _collect_target(node.operand, result)
+        return
+    for child in node.children():
+        if isinstance(child, ast.Expression):
+            _collect_defs(child, result)
+
+
+def _collect_target(node: ast.Expression, result: set[str]) -> None:
+    if isinstance(node, ast.Name):
+        if node.identifier not in STATIC_CLASSES:
+            result.add(node.identifier)
+    elif isinstance(node, ast.ArrayAccess):
+        _collect_target(node.array, result)
+
+
+# ======================================================================
+# seed EPDG builder (repro/pdg/builder.py at ffe7ed2)
+# ======================================================================
+
+_ReachingDefs = dict[str, frozenset[int]]
+
+
+class _Builder:
+    def __init__(self, method: ast.MethodDecl,
+                 synthesize_else_conditions: bool = False):
+        self._method = method
+        self._graph = Epdg(method.name)
+        self._synthesize_else = synthesize_else_conditions
+
+    def build(self) -> Epdg:
+        defs: _ReachingDefs = {}
+        for parameter in self._method.parameters:
+            node = self._new_node(
+                NodeType.DECL,
+                parameter.name,
+                defines=frozenset({parameter.name}),
+                uses=frozenset(),
+                parent=None,
+                defs=defs,
+            )
+            defs[parameter.name] = frozenset({node.node_id})
+        self._statements(self._method.body.statements, None, defs)
+        return self._graph
+
+    # ------------------------------------------------------------------
+    # node creation
+
+    def _new_node(
+        self,
+        node_type: NodeType,
+        content: str,
+        defines: frozenset[str],
+        uses: frozenset[str],
+        parent: int | None,
+        defs: _ReachingDefs,
+    ) -> GraphNode:
+        node = GraphNode(
+            node_id=len(self._graph),
+            type=node_type,
+            content=content,
+            defines=defines,
+            uses=uses,
+        )
+        self._graph.add_node(node)
+        if parent is not None:
+            self._graph.add_edge(parent, node.node_id, EdgeType.CTRL)
+        for variable in sorted(uses):
+            for definition in sorted(defs.get(variable, ())):
+                self._graph.add_edge(definition, node.node_id, EdgeType.DATA)
+        for variable in defines:
+            defs[variable] = frozenset({node.node_id})
+        return node
+
+    def _expression_node(
+        self,
+        expression: ast.Expression,
+        parent: int | None,
+        defs: _ReachingDefs,
+        node_type: NodeType | None = None,
+    ) -> GraphNode:
+        """Create the node for a statement-level expression."""
+        if node_type is None:
+            if isinstance(expression, ast.Assignment) or (
+                isinstance(expression, ast.Unary)
+                and expression.operator in ("++", "--")
+            ):
+                node_type = NodeType.ASSIGN
+            else:
+                node_type = NodeType.CALL
+        return self._new_node(
+            node_type,
+            print_expression(expression),
+            defines=defined_variables(expression),
+            uses=used_variables(expression),
+            parent=parent,
+            defs=defs,
+        )
+
+    # ------------------------------------------------------------------
+    # statement walking
+
+    def _statements(
+        self,
+        statements: list[ast.Statement],
+        parent: int | None,
+        defs: _ReachingDefs,
+    ) -> None:
+        for statement in statements:
+            self._statement(statement, parent, defs)
+
+    def _statement(
+        self,
+        node: ast.Statement,
+        parent: int | None,
+        defs: _ReachingDefs,
+    ) -> None:
+        if isinstance(node, ast.Block):
+            self._statements(node.statements, parent, defs)
+        elif isinstance(node, ast.LocalVarDecl):
+            for declarator in node.declarators:
+                if declarator.initializer is None:
+                    # a bare `int x;` performs no operation; the defining
+                    # node will be the first assignment to x
+                    continue
+                content = (
+                    f"{declarator.name} = "
+                    f"{print_expression(declarator.initializer)}"
+                )
+                self._new_node(
+                    NodeType.ASSIGN,
+                    content,
+                    defines=frozenset({declarator.name}),
+                    uses=used_variables(declarator.initializer),
+                    parent=parent,
+                    defs=defs,
+                )
+        elif isinstance(node, ast.ExpressionStatement):
+            self._expression_node(node.expression, parent, defs)
+        elif isinstance(node, ast.If):
+            cond = self._cond_node(node.condition, parent, defs)
+            then_defs = dict(defs)
+            self._statement(node.then_branch, cond.node_id, then_defs)
+            if node.else_branch is None:
+                defs.clear()
+                defs.update(then_defs)
+            else:
+                else_defs = dict(defs)
+                else_parent = cond.node_id
+                if self._synthesize_else:
+                    # Section VII future work: the else branch hangs off
+                    # its own Cond node carrying the negated condition,
+                    # so patterns written for the positive form match
+                    # either arm
+                    negated = self._cond_node(
+                        negate_condition(node.condition), parent, else_defs
+                    )
+                    else_parent = negated.node_id
+                self._statement(node.else_branch, else_parent, else_defs)
+                defs.clear()
+                defs.update(_merge(then_defs, else_defs))
+        elif isinstance(node, ast.While):
+            cond = self._cond_node(node.condition, parent, defs)
+            self._statement(node.body, cond.node_id, defs)
+        elif isinstance(node, ast.DoWhile):
+            # the body of a do-while always runs, so it is not
+            # control-dependent on the condition; the condition node comes
+            # after the body in the static execution order
+            self._statement(node.body, parent, defs)
+            self._cond_node(node.condition, parent, defs)
+        elif isinstance(node, ast.For):
+            self._statements(node.init, parent, defs)
+            condition = node.condition
+            if condition is None:
+                condition_content = "true"
+                cond = self._new_node(
+                    NodeType.COND, condition_content,
+                    defines=frozenset(), uses=frozenset(),
+                    parent=parent, defs=defs,
+                )
+            else:
+                cond = self._cond_node(condition, parent, defs)
+            self._statement(node.body, cond.node_id, defs)
+            for update in node.update:
+                self._expression_node(update, cond.node_id, defs)
+        elif isinstance(node, ast.ForEach):
+            content = f"{node.name} : {print_expression(node.iterable)}"
+            cond = self._new_node(
+                NodeType.COND,
+                content,
+                defines=frozenset({node.name}),
+                uses=used_variables(node.iterable),
+                parent=parent,
+                defs=defs,
+            )
+            self._statement(node.body, cond.node_id, defs)
+        elif isinstance(node, ast.Break):
+            self._new_node(
+                NodeType.BREAK, "break",
+                defines=frozenset(), uses=frozenset(),
+                parent=parent, defs=defs,
+            )
+        elif isinstance(node, ast.Continue):
+            # Definition 1 has no Continue type; we model `continue` as a
+            # Break-typed node whose content disambiguates it
+            self._new_node(
+                NodeType.BREAK, "continue",
+                defines=frozenset(), uses=frozenset(),
+                parent=parent, defs=defs,
+            )
+        elif isinstance(node, ast.Return):
+            content = (
+                "return" if node.value is None
+                else f"return {print_expression(node.value)}"
+            )
+            self._new_node(
+                NodeType.RETURN,
+                content,
+                defines=frozenset(),
+                uses=used_variables(node.value),
+                parent=parent,
+                defs=defs,
+            )
+        elif isinstance(node, ast.Switch):
+            cond = self._cond_node(node.selector, parent, defs)
+            branch_envs: list[_ReachingDefs] = []
+            for case in node.cases:
+                case_defs = dict(defs)
+                self._statements(case.statements, cond.node_id, case_defs)
+                branch_envs.append(case_defs)
+            merged = dict(defs)
+            for branch in branch_envs:
+                merged = _merge(merged, branch)
+            defs.clear()
+            defs.update(merged)
+        elif isinstance(node, ast.EmptyStatement):
+            pass
+        else:
+            raise ReproError(
+                f"cannot build EPDG for statement {type(node).__name__}"
+            )
+
+    def _cond_node(
+        self,
+        condition: ast.Expression,
+        parent: int | None,
+        defs: _ReachingDefs,
+    ) -> GraphNode:
+        return self._new_node(
+            NodeType.COND,
+            print_expression(condition),
+            defines=defined_variables(condition),
+            uses=used_variables(condition),
+            parent=parent,
+            defs=defs,
+        )
+
+
+def _merge(left: _ReachingDefs, right: _ReachingDefs) -> _ReachingDefs:
+    merged: _ReachingDefs = {}
+    for variable in set(left) | set(right):
+        merged[variable] = left.get(variable, frozenset()) | right.get(
+            variable, frozenset()
+        )
+    return merged
+
+
+def extract_epdg(
+    method: ast.MethodDecl, synthesize_else_conditions: bool = False
+) -> Epdg:
+    """Build the extended program dependence graph of one method.
+
+    ``synthesize_else_conditions`` enables the Section VII extension:
+    every else branch receives a synthetic ``Cond`` node carrying the
+    negated condition (``if (i % 2 == 0) ... else ...`` also exposes
+    ``i % 2 != 0``), letting positive-form patterns match either arm.
+    """
+    return _Builder(method, synthesize_else_conditions).build()
+
+
+def extract_all_epdgs(
+    unit: ast.CompilationUnit, synthesize_else_conditions: bool = False
+) -> dict[str, Epdg]:
+    """Build one EPDG per method in the submission (paper's ExtractEPDG).
+
+    When a submission declares two methods with the same name (an
+    overload), the later one wins — intro assignments in the corpus never
+    overload, and Algorithm 2 matches methods by name.
+    """
+    return {
+        m.name: extract_epdg(m, synthesize_else_conditions)
+        for m in unit.methods()
+    }

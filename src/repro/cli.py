@@ -118,6 +118,7 @@ def _cmd_grade_batch(args) -> int:
         mode=args.mode,
         workers=args.workers,
         cache=not args.no_cache,
+        store=args.cache_dir,
     )
     result = grader.grade_batch(_collect_batch(args))
     if args.json:
@@ -165,6 +166,7 @@ def _cmd_serve(args) -> int:
         default_deadline_seconds=args.deadline,
         max_deadline_seconds=max(args.deadline, args.max_deadline),
         cache_size=args.cache_size,
+        cache_dir=args.cache_dir,
         drain_timeout_seconds=args.drain_timeout,
         debug_hooks=args.debug_hooks,
     )
@@ -296,6 +298,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default: CPU count)")
     batch.add_argument("--no-cache", action="store_true",
                        help="disable the content-keyed result cache")
+    batch.add_argument("--cache-dir", metavar="DIR", default=None,
+                       help="persistent on-disk result cache shared "
+                            "across runs and processes (entries are "
+                            "invalidated automatically when the "
+                            "knowledge base changes)")
     batch.add_argument("--stats", action="store_true",
                        help="print per-phase timing, cache hit rate, and "
                             "throughput (PipelineStats)")
@@ -331,6 +338,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--cache-size", type=int, default=8192,
                        help="per-assignment result-cache entries "
                             "(default 8192)")
+    serve.add_argument("--cache-dir", metavar="DIR", default=None,
+                       help="persistent on-disk result cache shared "
+                            "with grade-batch and across restarts")
     serve.add_argument("--drain-timeout", type=float, default=30.0,
                        help="seconds to wait for in-flight work on "
                             "SIGTERM (default 30)")

@@ -2,44 +2,109 @@
 
 from __future__ import annotations
 
+import threading
+
 from repro.core.assignment import Assignment
 from repro.core.report import GradingReport
 from repro.errors import JavaSyntaxError
-from repro.instrumentation import phase
+from repro.instrumentation import count, phase
 from repro.java import ast, parse_submission
 from repro.matching.submission import match_graphs
 from repro.pdg.builder import extract_all_epdgs
+from repro.pdg.graph import Epdg
+
+#: Default capacity of the per-engine frontend cache (distinct sources).
+FRONTEND_CACHE_SIZE = 512
 
 
 class FeedbackEngine:
     """Grades submissions against one assignment.
 
-    The engine is stateless across submissions (patterns and constraints
-    are immutable), so a single instance can grade a whole MOOC's
-    submission stream — and, because it holds no mutable state, it can
-    be shared freely across the batch pipeline's worker threads.
+    The engine's only mutable state is a bounded frontend cache mapping
+    source text to its parse/EPDG-build result (guarded by a lock, so a
+    single instance can still be shared across the batch pipeline's worker
+    threads).  MOOC cohorts are duplicate-heavy, so re-submissions and
+    copy-paste variants skip the ``parse`` and ``epdg_build`` phases
+    entirely; EPDGs are immutable after construction and the matcher only
+    reads them, so sharing graphs between repeated grades is safe.
 
     Each pipeline phase (parse, EPDG build, matching) runs inside a
     :func:`repro.instrumentation.phase` block; when an ambient
     :class:`~repro.instrumentation.PhaseCollector` is installed (as the
     batch pipeline does), per-phase wall time is recorded at no cost to
-    ordinary one-off ``grade`` calls.
+    ordinary one-off ``grade`` calls.  Frontend cache traffic shows up as
+    ``frontend.cache_hits`` / ``frontend.cache_misses`` counters.
     """
 
-    def __init__(self, assignment: Assignment):
+    def __init__(
+        self,
+        assignment: Assignment,
+        frontend_cache_size: int = FRONTEND_CACHE_SIZE,
+    ):
         self.assignment = assignment
+        self._frontend_cache_size = frontend_cache_size
+        # source text -> dict of method EPDGs, or the JavaSyntaxError text
+        # for submissions that do not parse.  Insertion-ordered for FIFO
+        # eviction; a plain dict keeps the hit path to a single lookup.
+        self._frontend_cache: dict[str, dict[str, Epdg] | str] = {}
+        self._frontend_lock = threading.Lock()
 
     def grade(self, source: str) -> GradingReport:
         """Grade one submission given as Java source text."""
+        result = self.frontend(source)
+        if isinstance(result, str):
+            return GradingReport(
+                assignment_name=self.assignment.name, parse_error=result
+            )
+        return self.grade_graphs(result)
+
+    def frontend(self, source: str) -> dict[str, Epdg] | str:
+        """Parse ``source`` and build its EPDGs, through the cache.
+
+        Returns the method-name → :class:`Epdg` mapping, or — for a
+        submission that does not parse — the formatted
+        :class:`JavaSyntaxError` text (parse errors are cached and
+        replayed like any other frontend result).
+        """
+        if not self._frontend_cache_size:
+            # Cache disabled (``frontend_cache_size=0``): the batch pipeline
+            # and serve pool dedup at the report level already, and skipping
+            # phases only in some workers would make per-phase counts
+            # diverge across execution modes.
+            try:
+                with phase("parse"):
+                    unit = parse_submission(source)
+            except JavaSyntaxError as error:
+                return str(error)
+            with phase("epdg_build"):
+                return extract_all_epdgs(
+                    unit, self.assignment.synthesize_else_conditions
+                )
+        cached = self._frontend_cache.get(source)
+        if cached is not None:
+            count("frontend.cache_hits")
+            return cached
+        count("frontend.cache_misses")
         try:
             with phase("parse"):
                 unit = parse_submission(source)
         except JavaSyntaxError as error:
-            return GradingReport(
-                assignment_name=self.assignment.name,
-                parse_error=str(error),
+            text = str(error)
+            self._remember(source, text)
+            return text
+        with phase("epdg_build"):
+            graphs = extract_all_epdgs(
+                unit, self.assignment.synthesize_else_conditions
             )
-        return self.grade_unit(unit)
+        self._remember(source, graphs)
+        return graphs
+
+    def _remember(self, source: str, result: dict[str, Epdg] | str) -> None:
+        with self._frontend_lock:
+            cache = self._frontend_cache
+            if source not in cache and len(cache) >= self._frontend_cache_size:
+                cache.pop(next(iter(cache)))
+            cache[source] = result
 
     def grade_unit(self, unit: ast.CompilationUnit) -> GradingReport:
         """Grade an already-parsed submission."""

@@ -59,6 +59,7 @@ from repro.core.assignment import Assignment
 from repro.core.engine import FeedbackEngine
 from repro.core.metrics import PipelineStats
 from repro.core.report import GradingReport
+from repro.core.store import ResultStore
 from repro.instrumentation import (
     DeadlineExceeded,
     PhaseCollector,
@@ -72,8 +73,10 @@ MODES = ("serial", "thread", "process")
 #: Report statuses that are deterministic functions of the source text
 #: and therefore safe to cache.  Internal ``error`` reports may be
 #: transient (e.g. a worker dying) and ``timeout`` reports depend on
-#: host load and the configured budget, so neither is ever cached.
-_CACHEABLE_STATUSES = frozenset({"ok", "rejected", "parse-error"})
+#: host load and the configured budget, so neither is ever cached —
+#: neither in memory here nor on disk (the serve layer checks this set
+#: before persisting to a :class:`~repro.core.store.ResultStore`).
+CACHEABLE_STATUSES = frozenset({"ok", "rejected", "parse-error"})
 
 
 def source_key(source: str) -> str:
@@ -125,7 +128,7 @@ class ResultCache:
         return report
 
     def put(self, key: str, report: GradingReport) -> None:
-        if report.status not in _CACHEABLE_STATUSES:
+        if report.status not in CACHEABLE_STATUSES:
             return
         self._entries[key] = report
         self._entries.move_to_end(key)
@@ -184,7 +187,7 @@ def _init_process_worker(
 ) -> None:
     """Build one engine per worker process (assignment pickled once)."""
     global _WORKER_ENGINE, _WORKER_MAX_SECONDS
-    _WORKER_ENGINE = FeedbackEngine(assignment)
+    _WORKER_ENGINE = FeedbackEngine(assignment, frontend_cache_size=0)
     _WORKER_MAX_SECONDS = max_seconds
 
 
@@ -254,6 +257,18 @@ class BatchGrader:
         with ``status == "timeout"`` instead of hanging its worker.
         Timeout reports are never cached — they depend on host load,
         not just the source text.
+    store:
+        Optional persistent cross-process cache: a
+        :class:`~repro.core.store.ResultStore`, or a directory path from
+        which one is built for this assignment.  Consulted after the
+        in-memory cache misses and written through after fresh grades,
+        so a later batch run — or a concurrent one in another process —
+        replays reports instead of re-grading.  Requires ``cache`` to be
+        enabled (with ``cache=False`` the grader is a deliberate
+        no-reuse baseline and the store is ignored).  Store traffic is
+        reported in ``stats.counters`` as ``cache.store_hits`` /
+        ``cache.store_misses`` / ``cache.store_writes`` /
+        ``cache.store_errors``.
     """
 
     def __init__(
@@ -263,6 +278,7 @@ class BatchGrader:
         workers: int | None = None,
         cache: ResultCache | bool = True,
         max_seconds: float | None = None,
+        store: ResultStore | str | os.PathLike | None = None,
     ):
         if mode not in MODES:
             raise ValueError(
@@ -272,7 +288,7 @@ class BatchGrader:
             raise ValueError("max_seconds must be positive")
         self.max_seconds = max_seconds
         self.assignment = assignment
-        self.engine = FeedbackEngine(assignment)
+        self.engine = FeedbackEngine(assignment, frontend_cache_size=0)
         self.mode = mode
         self.workers = (
             1 if mode == "serial"
@@ -285,6 +301,10 @@ class BatchGrader:
             self.cache = None
         else:
             self.cache = cache
+        if store is None or isinstance(store, ResultStore):
+            self.store: ResultStore | None = store
+        else:
+            self.store = ResultStore(store, assignment)
 
     def grade_batch(
         self, submissions: Iterable[str | tuple[str, str]]
@@ -302,8 +322,11 @@ class BatchGrader:
         reuse = self.cache is not None
         job_keys = keys if reuse else [str(i) for i in range(len(keys))]
 
-        # Resolve cross-batch cache hits, then dedupe what remains so
-        # each unique uncached source is graded exactly once.
+        # Resolve cross-batch cache hits — memory first, then the
+        # persistent store — then dedupe what remains so each unique
+        # uncached source is graded exactly once.
+        stats = PipelineStats(mode=self.mode, workers=self.workers)
+        store = self.store if reuse else None
         replayed: dict[str, GradingReport] = {}
         jobs: list[tuple[str, str]] = []
         seen: set[str] = set()
@@ -311,17 +334,32 @@ class BatchGrader:
             if job_key in seen or job_key in replayed:
                 continue
             cached = self.cache.get(job_key) if reuse else None
+            if cached is None and store is not None:
+                cached = store.get(job_key)
+                if cached is not None:
+                    stats.record_counter("cache.store_hits")
+                    # Promote to memory so the next batch skips the disk.
+                    self.cache.put(job_key, cached)
+                else:
+                    stats.record_counter("cache.store_misses")
             if cached is not None:
                 replayed[job_key] = cached
             else:
                 seen.add(job_key)
                 jobs.append((job_key, source))
 
-        stats = PipelineStats(mode=self.mode, workers=self.workers)
         fresh = self._run_jobs(jobs, stats)
         if reuse:
             for job_key, report in fresh.items():
                 self.cache.put(job_key, report)
+                if (
+                    store is not None
+                    and report.status in CACHEABLE_STATUSES
+                ):
+                    if store.put(job_key, report):
+                        stats.record_counter("cache.store_writes")
+                    else:
+                        stats.record_counter("cache.store_errors")
 
         # Reassemble in input order; only the first occurrence of a
         # freshly graded key counts as "graded", the rest are hits.

@@ -1,0 +1,172 @@
+"""Persistent, content-addressed grading result cache.
+
+The in-memory result cache in :mod:`repro.core.pipeline` dies with its
+process, so every fresh batch run and every forked serve worker re-grades
+submissions the system has already seen.  MOOC cohorts are duplicate-heavy,
+which makes that waste large.  :class:`ResultStore` is the cross-process
+complement: a directory of sharded JSON entries keyed by submission content
+hash, namespaced by assignment and by a fingerprint of the assignment's
+grading configuration.
+
+Design points:
+
+* **Content-addressed.**  Keys are :func:`repro.core.pipeline.source_key`
+  hashes (SHA-256 of normalized source), so resubmissions and CRLF/blank
+  line variants share one entry.
+* **KB-versioned.**  Entries live under ``<assignment>/<fingerprint[:12]>/``
+  where the fingerprint digests the assignment's patterns, constraints, and
+  matching flags (:func:`kb_fingerprint`).  Editing the knowledge base
+  changes the fingerprint, which atomically invalidates every stale entry
+  — no migration or cleanup pass required.  The full fingerprint is also
+  stored inside each entry and verified on read.
+* **Process-safe without locks.**  Writers stage a unique temp file and
+  ``os.replace`` it into place (atomic on POSIX).  Concurrent writers of
+  the same key race benignly: grading is deterministic, so last-writer-wins
+  replaces identical content.
+* **Corruption-tolerant.**  A truncated, unreadable, or schema-mismatched
+  entry is a cache miss, never an error; readers validate everything and
+  swallow all I/O and decode failures.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import os
+import threading
+from pathlib import Path
+
+from repro.core.assignment import Assignment
+from repro.core.report import GradingReport
+
+#: Entry format version.  Bump when the on-disk layout or the meaning of a
+#: stored report changes; old entries then read as misses.
+SCHEMA_VERSION = 1
+
+#: Characters allowed verbatim in the assignment path component.
+_SAFE_CHARS = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789-_."
+)
+
+_tmp_counter = itertools.count()
+
+
+def _safe_component(name: str) -> str:
+    """Make an assignment name safe to use as a directory name."""
+    cleaned = "".join(ch if ch in _SAFE_CHARS else "_" for ch in name)
+    return cleaned or "_"
+
+
+def kb_fingerprint(assignment: Assignment) -> str:
+    """Hex digest of the assignment configuration grading depends on.
+
+    Covers the expected methods (patterns, their occurrence counts,
+    constraints, feedback texts — everything in their dataclass reprs) and
+    the matching flags.  Reference solutions, functional tests, and the
+    synthesis space are deliberately excluded: they do not influence
+    :meth:`FeedbackEngine.grade` output, so editing them must not
+    invalidate cached reports.
+    """
+    canonical = repr(
+        (
+            SCHEMA_VERSION,
+            assignment.name,
+            assignment.enforce_headers,
+            assignment.synthesize_else_conditions,
+            assignment.expected_methods,
+        )
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class ResultStore:
+    """On-disk grading cache for one assignment under one KB version.
+
+    All methods are safe to call concurrently from multiple threads and
+    multiple processes.  ``get`` returns ``None`` for anything it cannot
+    fully read and validate; ``put`` returns ``False`` instead of raising
+    when the entry cannot be written.
+    """
+
+    def __init__(self, root: str | os.PathLike[str], assignment: Assignment):
+        self.assignment = assignment
+        self.fingerprint = kb_fingerprint(assignment)
+        self.root = Path(root)
+        self._dir = (
+            self.root
+            / _safe_component(assignment.name)
+            / self.fingerprint[:12]
+        )
+        self._mkdir_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # paths
+
+    def path_for(self, key: str) -> Path:
+        """Entry path for a content key (sharded to keep directories small)."""
+        shard = key[:2] if len(key) >= 2 else "xx"
+        return self._dir / shard / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    # read side
+
+    def get(self, key: str) -> GradingReport | None:
+        """Return the stored report for ``key``, or ``None`` on any miss.
+
+        Missing file, partial write, corrupt JSON, wrong schema, wrong
+        fingerprint, or undecodable report all count as misses.
+        """
+        try:
+            with open(self.path_for(key), "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+            if entry.get("schema") != SCHEMA_VERSION:
+                return None
+            if entry.get("kb") != self.fingerprint:
+                return None
+            if entry.get("key") != key:
+                return None
+            return GradingReport.from_dict(entry["report"])
+        except Exception:  # noqa: BLE001 - a bad entry is a miss, never an error
+            return None
+
+    # ------------------------------------------------------------------
+    # write side
+
+    def put(self, key: str, report: GradingReport) -> bool:
+        """Persist ``report`` under ``key``; returns ``False`` on failure."""
+        path = self.path_for(key)
+        entry = {
+            "schema": SCHEMA_VERSION,
+            "kb": self.fingerprint,
+            "key": key,
+            "report": report.to_dict(),
+        }
+        tmp_name = (
+            f"{path.name}.{os.getpid()}.{threading.get_ident()}"
+            f".{next(_tmp_counter)}.tmp"
+        )
+        tmp_path = path.parent / tmp_name
+        try:
+            if not path.parent.is_dir():
+                with self._mkdir_lock:
+                    path.parent.mkdir(parents=True, exist_ok=True)
+            with open(tmp_path, "w", encoding="utf-8") as handle:
+                json.dump(entry, handle, separators=(",", ":"))
+            os.replace(tmp_path, path)
+            return True
+        except Exception:  # noqa: BLE001 - callers treat a failed write as best-effort
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            return False
+
+    # ------------------------------------------------------------------
+    # maintenance helpers
+
+    def entry_count(self) -> int:
+        """Number of readable-looking entries for this assignment+KB."""
+        if not self._dir.is_dir():
+            return 0
+        return sum(1 for _ in self._dir.glob("*/*.json"))

@@ -41,6 +41,16 @@ _ASSIGN_OPERATORS = frozenset(
     {"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>=", ">>>="}
 )
 
+#: Token types whose value is structural syntax rather than literal content.
+#: A string literal containing ``"("`` must not satisfy ``_check("(")``.
+_STRUCTURAL = frozenset(
+    {TokenType.KEYWORD, TokenType.OPERATOR, TokenType.SEPARATOR}
+)
+
+_PRIMITIVE_OR_VOID = PRIMITIVE_TYPES | {"void"}
+
+_UNARY_PREFIX = frozenset({"+", "-", "!", "~"})
+
 
 class Parser:
     """Parses a token stream produced by :mod:`repro.java.lexer`."""
@@ -53,8 +63,13 @@ class Parser:
     # token helpers
 
     def _peek(self, offset: int = 0) -> Token:
-        index = min(self._pos + offset, len(self._tokens) - 1)
-        return self._tokens[index]
+        # The token list always ends with EOF and _advance never moves past
+        # it, so _pos itself is always in range; only lookahead can fall off.
+        tokens = self._tokens
+        if offset:
+            index = self._pos + offset
+            return tokens[index] if index < len(tokens) else tokens[-1]
+        return tokens[self._pos]
 
     def _advance(self) -> Token:
         token = self._tokens[self._pos]
@@ -63,10 +78,8 @@ class Parser:
         return token
 
     def _check(self, value: str, offset: int = 0) -> bool:
-        token = self._peek(offset)
-        return token.value == value and token.type in (
-            TokenType.KEYWORD, TokenType.OPERATOR, TokenType.SEPARATOR
-        )
+        token = self._peek(offset) if offset else self._tokens[self._pos]
+        return token.value == value and token.type in _STRUCTURAL
 
     def _match(self, value: str) -> bool:
         if self._check(value):
@@ -219,7 +232,7 @@ class Parser:
 
     def _parse_type(self) -> ast.Type:
         token = self._peek()
-        if token.type is TokenType.KEYWORD and token.value in PRIMITIVE_TYPES | {"void"}:
+        if token.type is TokenType.KEYWORD and token.value in _PRIMITIVE_OR_VOID:
             name = self._advance().value
         elif token.type is TokenType.IDENTIFIER:
             name = self._advance().value
@@ -268,47 +281,11 @@ class Parser:
         return block
 
     def _parse_statement(self) -> ast.Statement:
-        if self._check("{"):
-            return self._parse_block()
-        if self._check(";"):
-            self._advance()
-            return ast.EmptyStatement()
-        if self._check("if"):
-            return self._parse_if()
-        if self._check("while"):
-            return self._parse_while()
-        if self._check("do"):
-            return self._parse_do_while()
-        if self._check("for"):
-            return self._parse_for()
-        if self._check("switch"):
-            return self._parse_switch()
-        if self._check("break"):
-            self._advance()
-            label = None
-            if self._peek().type is TokenType.IDENTIFIER:
-                label = self._advance().value
-            self._expect(";")
-            return ast.Break(label)
-        if self._check("continue"):
-            self._advance()
-            label = None
-            if self._peek().type is TokenType.IDENTIFIER:
-                label = self._advance().value
-            self._expect(";")
-            return ast.Continue(label)
-        if self._check("return"):
-            self._advance()
-            value = None
-            if not self._check(";"):
-                value = self._parse_expression()
-            self._expect(";")
-            return ast.Return(value)
-        if self._check("final"):
-            self._advance()
-            declaration = self._parse_local_var_decl()
-            self._expect(";")
-            return declaration
+        token = self._tokens[self._pos]
+        if token.type in _STRUCTURAL:
+            handler = _STATEMENT_DISPATCH.get(token.value)
+            if handler is not None:
+                return handler(self)
         if self._at_type_start():
             declaration = self._parse_local_var_decl()
             self._expect(";")
@@ -316,6 +293,40 @@ class Parser:
         expression = self._parse_expression()
         self._expect(";")
         return ast.ExpressionStatement(expression)
+
+    def _parse_empty_statement(self) -> ast.EmptyStatement:
+        self._advance()
+        return ast.EmptyStatement()
+
+    def _parse_break(self) -> ast.Break:
+        self._advance()
+        label = None
+        if self._peek().type is TokenType.IDENTIFIER:
+            label = self._advance().value
+        self._expect(";")
+        return ast.Break(label)
+
+    def _parse_continue(self) -> ast.Continue:
+        self._advance()
+        label = None
+        if self._peek().type is TokenType.IDENTIFIER:
+            label = self._advance().value
+        self._expect(";")
+        return ast.Continue(label)
+
+    def _parse_return(self) -> ast.Return:
+        self._advance()
+        value = None
+        if not self._check(";"):
+            value = self._parse_expression()
+        self._expect(";")
+        return ast.Return(value)
+
+    def _parse_final_decl(self) -> ast.LocalVarDecl:
+        self._advance()
+        declaration = self._parse_local_var_decl()
+        self._expect(";")
+        return declaration
 
     def _parse_local_var_decl(self) -> ast.LocalVarDecl:
         var_type = self._parse_type()
@@ -447,16 +458,18 @@ class Parser:
 
     def _parse_assignment(self) -> ast.Expression:
         left = self._parse_ternary()
-        token = self._peek()
+        token = self._tokens[self._pos]
         if token.type is TokenType.OPERATOR and token.value in _ASSIGN_OPERATORS:
-            operator = self._advance().value
+            self._pos += 1
             value = self._parse_assignment()
-            return ast.Assignment(target=left, operator=operator, value=value)
+            return ast.Assignment(target=left, operator=token.value, value=value)
         return left
 
     def _parse_ternary(self) -> ast.Expression:
         condition = self._parse_binary(1)
-        if self._match("?"):
+        token = self._tokens[self._pos]
+        if token.value == "?" and token.type is TokenType.OPERATOR:
+            self._pos += 1
             if_true = self._parse_expression()
             self._expect(":")
             if_false = self._parse_assignment()
@@ -465,46 +478,55 @@ class Parser:
 
     def _parse_binary(self, min_precedence: int) -> ast.Expression:
         left = self._parse_unary()
+        tokens = self._tokens
+        get_precedence = _BINARY_PRECEDENCE.get
         while True:
-            token = self._peek()
-            operator = token.value
-            if token.type is TokenType.KEYWORD and operator == "instanceof":
-                precedence = _BINARY_PRECEDENCE[operator]
-                if precedence < min_precedence:
+            token = tokens[self._pos]
+            token_type = token.type
+            if token_type is TokenType.OPERATOR:
+                operator = token.value
+                precedence = get_precedence(operator)
+                if precedence is None or precedence < min_precedence:
                     return left
-                self._advance()
+                self._pos += 1
+                right = self._parse_binary(precedence + 1)
+                left = ast.Binary(operator, left, right)
+                continue
+            if token_type is TokenType.KEYWORD and token.value == "instanceof":
+                if _BINARY_PRECEDENCE["instanceof"] < min_precedence:
+                    return left
+                self._pos += 1
                 right_type = self._parse_type()
                 left = ast.Binary("instanceof", left, ast.Name(str(right_type)))
                 continue
-            if token.type is not TokenType.OPERATOR:
-                return left
-            precedence = _BINARY_PRECEDENCE.get(operator)
-            if precedence is None or precedence < min_precedence:
-                return left
-            self._advance()
-            right = self._parse_binary(precedence + 1)
-            left = ast.Binary(operator, left, right)
+            return left
 
     def _parse_unary(self) -> ast.Expression:
-        token = self._peek()
-        if token.type is TokenType.OPERATOR and token.value in ("+", "-", "!", "~"):
-            operator = self._advance().value
-            operand = self._parse_unary()
-            # Fold unary minus into negative literals so `-1` renders as a
-            # single literal, matching how instructors write patterns.
-            if (
-                operator == "-"
-                and isinstance(operand, ast.Literal)
-                and operand.kind in ("int", "long", "double")
-            ):
-                return ast.Literal(-operand.value, operand.kind)  # type: ignore[operator]
-            return ast.Unary(operator, operand, prefix=True)
-        if token.type is TokenType.OPERATOR and token.value in ("++", "--"):
-            operator = self._advance().value
-            operand = self._parse_unary()
-            return ast.Unary(operator, operand, prefix=True)
-        if self._check("(") and self._is_cast():
-            self._expect("(")
+        token = self._tokens[self._pos]
+        if token.type is TokenType.OPERATOR:
+            operator = token.value
+            if operator in _UNARY_PREFIX:
+                self._pos += 1
+                operand = self._parse_unary()
+                # Fold unary minus into negative literals so `-1` renders as
+                # a single literal, matching how instructors write patterns.
+                if (
+                    operator == "-"
+                    and isinstance(operand, ast.Literal)
+                    and operand.kind in ("int", "long", "double")
+                ):
+                    return ast.Literal(-operand.value, operand.kind)  # type: ignore[operator]
+                return ast.Unary(operator, operand, prefix=True)
+            if operator == "++" or operator == "--":
+                self._pos += 1
+                operand = self._parse_unary()
+                return ast.Unary(operator, operand, prefix=True)
+        elif (
+            token.type is TokenType.SEPARATOR
+            and token.value == "("
+            and self._is_cast()
+        ):
+            self._pos += 1
             cast_type = self._parse_type()
             self._expect(")")
             expression = self._parse_unary()
@@ -529,25 +551,32 @@ class Parser:
 
     def _parse_postfix(self) -> ast.Expression:
         expression = self._parse_primary()
+        tokens = self._tokens
         while True:
-            if self._check("."):
-                self._advance()
-                name = self._expect_identifier()
-                if self._check("("):
-                    arguments = self._parse_arguments()
-                    expression = ast.MethodCall(expression, name, arguments)
-                else:
-                    expression = ast.FieldAccess(expression, name)
-            elif self._check("["):
-                self._advance()
-                index = self._parse_expression()
-                self._expect("]")
-                expression = ast.ArrayAccess(expression, index)
-            elif self._check("++") or self._check("--"):
-                operator = self._advance().value
-                expression = ast.Unary(operator, expression, prefix=False)
-            else:
+            token = tokens[self._pos]
+            token_type = token.type
+            if token_type is TokenType.SEPARATOR:
+                if token.value == ".":
+                    self._pos += 1
+                    name = self._expect_identifier()
+                    if self._check("("):
+                        arguments = self._parse_arguments()
+                        expression = ast.MethodCall(expression, name, arguments)
+                    else:
+                        expression = ast.FieldAccess(expression, name)
+                    continue
+                if token.value == "[":
+                    self._pos += 1
+                    index = self._parse_expression()
+                    self._expect("]")
+                    expression = ast.ArrayAccess(expression, index)
+                    continue
                 return expression
+            if token_type is TokenType.OPERATOR and token.value in ("++", "--"):
+                self._pos += 1
+                expression = ast.Unary(token.value, expression, prefix=False)
+                continue
+            return expression
 
     def _parse_arguments(self) -> list[ast.Expression]:
         self._expect("(")
@@ -574,44 +603,51 @@ class Parser:
         return ast.ArrayInitializer(elements)
 
     def _parse_primary(self) -> ast.Expression:
-        token = self._peek()
-        if token.type is TokenType.INT_LITERAL:
-            self._advance()
-            return ast.Literal(int(token.value.replace("_", ""), 0), "int")
-        if token.type is TokenType.LONG_LITERAL:
-            self._advance()
-            return ast.Literal(int(token.value.rstrip("lL").replace("_", ""), 0), "long")
-        if token.type is TokenType.DOUBLE_LITERAL:
-            self._advance()
-            return ast.Literal(float(token.value.rstrip("dDfF").replace("_", "")), "double")
-        if token.type is TokenType.STRING_LITERAL:
-            self._advance()
-            return ast.Literal(token.value, "string")
-        if token.type is TokenType.CHAR_LITERAL:
-            self._advance()
-            return ast.Literal(token.value, "char")
-        if token.type is TokenType.BOOL_LITERAL:
-            self._advance()
-            return ast.Literal(token.value == "true", "boolean")
-        if token.type is TokenType.NULL_LITERAL:
-            self._advance()
-            return ast.Literal(None, "null")
-        if self._check("("):
-            self._advance()
-            expression = self._parse_expression()
-            self._expect(")")
-            return expression
-        if self._check("new"):
-            return self._parse_creation()
-        if token.type is TokenType.IDENTIFIER:
-            name = self._advance().value
+        token = self._tokens[self._pos]
+        token_type = token.type
+        if token_type is TokenType.IDENTIFIER:
+            self._pos += 1
             if self._check("("):
                 arguments = self._parse_arguments()
-                return ast.MethodCall(None, name, arguments)
-            return ast.Name(name)
-        if self._check("this"):
-            self._advance()
-            return ast.Name("this")
+                return ast.MethodCall(None, token.value, arguments)
+            return ast.Name(token.value)
+        if token_type is TokenType.SEPARATOR:
+            if token.value == "(":
+                self._pos += 1
+                expression = self._parse_expression()
+                self._expect(")")
+                return expression
+        elif token_type is TokenType.KEYWORD:
+            if token.value == "new":
+                return self._parse_creation()
+            if token.value == "this":
+                self._pos += 1
+                return ast.Name("this")
+        elif token_type is TokenType.INT_LITERAL:
+            self._pos += 1
+            return ast.Literal(int(token.value.replace("_", ""), 0), "int")
+        elif token_type is TokenType.LONG_LITERAL:
+            self._pos += 1
+            return ast.Literal(
+                int(token.value.rstrip("lL").replace("_", ""), 0), "long"
+            )
+        elif token_type is TokenType.DOUBLE_LITERAL:
+            self._pos += 1
+            return ast.Literal(
+                float(token.value.rstrip("dDfF").replace("_", "")), "double"
+            )
+        elif token_type is TokenType.STRING_LITERAL:
+            self._pos += 1
+            return ast.Literal(token.value, "string")
+        elif token_type is TokenType.CHAR_LITERAL:
+            self._pos += 1
+            return ast.Literal(token.value, "char")
+        elif token_type is TokenType.BOOL_LITERAL:
+            self._pos += 1
+            return ast.Literal(token.value == "true", "boolean")
+        elif token_type is TokenType.NULL_LITERAL:
+            self._pos += 1
+            return ast.Literal(None, "null")
         raise self._error(f"unexpected token {token.value!r} in expression")
 
     def _parse_creation(self) -> ast.Expression:
@@ -647,6 +683,24 @@ class Parser:
         return ast.ArrayCreation(
             ast.Type(base.name, total_dims), dimensions, initializer
         )
+
+
+#: Statement dispatch keyed on the leading structural token's value.  The
+#: caller has already verified the token type is in :data:`_STRUCTURAL`, so
+#: a string literal whose content happens to be ``"if"`` cannot land here.
+_STATEMENT_DISPATCH = {
+    "{": Parser._parse_block,
+    ";": Parser._parse_empty_statement,
+    "if": Parser._parse_if,
+    "while": Parser._parse_while,
+    "do": Parser._parse_do_while,
+    "for": Parser._parse_for,
+    "switch": Parser._parse_switch,
+    "break": Parser._parse_break,
+    "continue": Parser._parse_continue,
+    "return": Parser._parse_return,
+    "final": Parser._parse_final_decl,
+}
 
 
 def parse_submission(source: str) -> ast.CompilationUnit:

@@ -45,31 +45,61 @@ def _escape_string(value: str) -> str:
     return "".join(_STRING_ESCAPES.get(ch, ch) for ch in value)
 
 
+#: Precedence assigned to forms that are never parenthesized (atoms and
+#: postfix-shaped nodes such as calls, field accesses, and indexing).
+_ATOM = 99
+
+
 def print_expression(node: ast.Expression) -> str:
     """Render an expression to canonical single-line source text."""
-    return _expr(node, 0)
+    try:
+        return node._printed[0]  # type: ignore[attr-defined]
+    except AttributeError:
+        return _expr(node, 0)
 
 
 def _expr(node: ast.Expression, parent_precedence: int) -> str:
+    """Memoized rendering: each node caches ``(core text, precedence)``.
+
+    The core text embeds the children's parentheses (those depend only on
+    this node), while this node's own parentheses depend on the caller and
+    are applied per call.  The memo lives directly on the (mutable,
+    never-mutated-after-parse) AST node, so identical statements printed
+    repeatedly — EPDG labels, feedback rendering, synthesis — cost one dict
+    lookup after the first rendering.
+    """
+    try:
+        text, precedence = node._printed  # type: ignore[attr-defined]
+    except AttributeError:
+        text, precedence = _render(node)
+        node._printed = (text, precedence)  # type: ignore[attr-defined]
+    if precedence < parent_precedence:
+        return f"({text})"
+    return text
+
+
+def _render(node: ast.Expression) -> tuple[str, int]:
     if isinstance(node, ast.Literal):
-        return _literal(node)
+        return _literal(node), _ATOM
     if isinstance(node, ast.Name):
-        return node.identifier
+        return node.identifier, _ATOM
     if isinstance(node, ast.FieldAccess):
-        return f"{_expr(node.target, _PRECEDENCE['postfix'])}.{node.name}"
+        return f"{_expr(node.target, _PRECEDENCE['postfix'])}.{node.name}", _ATOM
     if isinstance(node, ast.ArrayAccess):
         return (
             f"{_expr(node.array, _PRECEDENCE['postfix'])}"
             f"[{_expr(node.index, 0)}]"
-        )
+        ), _ATOM
     if isinstance(node, ast.MethodCall):
         arguments = ", ".join(_expr(arg, 0) for arg in node.arguments)
         if node.target is None:
-            return f"{node.name}({arguments})"
-        return f"{_expr(node.target, _PRECEDENCE['postfix'])}.{node.name}({arguments})"
+            return f"{node.name}({arguments})", _ATOM
+        return (
+            f"{_expr(node.target, _PRECEDENCE['postfix'])}.{node.name}({arguments})"
+        ), _ATOM
     if isinstance(node, ast.ObjectCreation):
         arguments = ", ".join(_expr(arg, 0) for arg in node.arguments)
-        return f"new {node.type}({arguments})"
+        return f"new {node.type}({arguments})", _ATOM
     if isinstance(node, ast.ArrayCreation):
         base = node.type.name
         dims = "".join(f"[{_expr(d, 0)}]" for d in node.dimensions)
@@ -77,46 +107,40 @@ def _expr(node: ast.Expression, parent_precedence: int) -> str:
         text = f"new {base}{dims}"
         if node.initializer is not None:
             text += " " + _expr(node.initializer, 0)
-        return text
+        return text, _ATOM
     if isinstance(node, ast.ArrayInitializer):
-        return "{" + ", ".join(_expr(e, 0) for e in node.elements) + "}"
+        return "{" + ", ".join(_expr(e, 0) for e in node.elements) + "}", _ATOM
     if isinstance(node, ast.Unary):
         precedence = _PRECEDENCE["unary" if node.prefix else "postfix"]
         operand = _expr(node.operand, precedence)
         text = f"{node.operator}{operand}" if node.prefix else f"{operand}{node.operator}"
-        return _paren(text, precedence, parent_precedence)
+        return text, precedence
     if isinstance(node, ast.Binary):
         precedence = _PRECEDENCE[node.operator]
         left = _expr(node.left, precedence)
         # +1 forces parentheses on same-precedence right operands, keeping
         # left-associativity explicit: a - (b - c).
         right = _expr(node.right, precedence + 1)
-        return _paren(f"{left} {node.operator} {right}", precedence, parent_precedence)
+        return f"{left} {node.operator} {right}", precedence
     if isinstance(node, ast.Ternary):
         precedence = _PRECEDENCE["?:"]
         text = (
             f"{_expr(node.condition, precedence + 1)} ? "
             f"{_expr(node.if_true, 0)} : {_expr(node.if_false, precedence)}"
         )
-        return _paren(text, precedence, parent_precedence)
+        return text, precedence
     if isinstance(node, ast.Assignment):
         precedence = _PRECEDENCE[node.operator]
         text = (
             f"{_expr(node.target, _PRECEDENCE['postfix'])} {node.operator} "
             f"{_expr(node.value, precedence)}"
         )
-        return _paren(text, precedence, parent_precedence)
+        return text, precedence
     if isinstance(node, ast.Cast):
         precedence = _PRECEDENCE["unary"]
         text = f"({node.type}) {_expr(node.expression, precedence)}"
-        return _paren(text, precedence, parent_precedence)
+        return text, precedence
     raise TypeError(f"cannot print expression node {type(node).__name__}")
-
-
-def _paren(text: str, precedence: int, parent_precedence: int) -> str:
-    if precedence < parent_precedence:
-        return f"({text})"
-    return text
 
 
 def _literal(node: ast.Literal) -> str:

@@ -18,6 +18,8 @@ a join.
 
 from __future__ import annotations
 
+from sys import intern as _intern
+
 from repro.errors import ReproError
 from repro.java import ast
 from repro.java.printer import print_expression
@@ -26,6 +28,22 @@ from repro.pdg.negation import negate_condition
 from repro.pdg.graph import EdgeType, Epdg, GraphNode, NodeType
 
 _ReachingDefs = dict[str, frozenset[int]]
+
+#: Hash-cons table for defines/uses sets.  MOOC cohorts are duplicate-heavy:
+#: the same statements (and hence the same small variable sets) recur across
+#: thousands of submissions, so sharing one frozenset per distinct value
+#: keeps node construction cheap and lets set equality short-circuit on
+#: identity in the matcher.  Variable-name sets are tiny and few, so the
+#: table stays small even in a long-lived serve process.
+_SET_TABLE: dict[frozenset[str], frozenset[str]] = {}
+
+
+def _intern_set(value: frozenset[str]) -> frozenset[str]:
+    interned = _SET_TABLE.get(value)
+    if interned is None:
+        _SET_TABLE[value] = value
+        return value
+    return interned
 
 
 class _Builder:
@@ -65,18 +83,30 @@ class _Builder:
         node = GraphNode(
             node_id=len(self._graph),
             type=node_type,
-            content=content,
-            defines=defines,
-            uses=uses,
+            # Hash-cons the label and variable sets: identical statements
+            # across (and within) submissions share one string and one
+            # frozenset instead of re-allocating per node.
+            content=_intern(content),
+            defines=_intern_set(defines),
+            uses=_intern_set(uses),
         )
-        self._graph.add_node(node)
+        graph = self._graph
+        graph.add_node(node)
+        node_id = node.node_id
         if parent is not None:
-            self._graph.add_edge(parent, node.node_id, EdgeType.CTRL)
-        for variable in sorted(uses):
-            for definition in sorted(defs.get(variable, ())):
-                self._graph.add_edge(definition, node.node_id, EdgeType.DATA)
-        for variable in defines:
-            defs[variable] = frozenset({node.node_id})
+            graph.add_edge(parent, node_id, EdgeType.CTRL)
+        # Single pass over the uses: edge order is irrelevant (the graph
+        # stores edges in sets and sorts on read), so no sorting here.
+        get_defs = defs.get
+        for variable in uses:
+            definitions = get_defs(variable)
+            if definitions:
+                for definition in definitions:
+                    graph.add_edge(definition, node_id, EdgeType.DATA)
+        if defines:
+            reaching = frozenset((node_id,))
+            for variable in defines:
+                defs[variable] = reaching
         return node
 
     def _expression_node(
@@ -264,11 +294,13 @@ class _Builder:
 
 
 def _merge(left: _ReachingDefs, right: _ReachingDefs) -> _ReachingDefs:
-    merged: _ReachingDefs = {}
-    for variable in set(left) | set(right):
-        merged[variable] = left.get(variable, frozenset()) | right.get(
-            variable, frozenset()
-        )
+    merged: _ReachingDefs = dict(left)
+    for variable, definitions in right.items():
+        existing = merged.get(variable)
+        if existing is None or existing is definitions:
+            merged[variable] = definitions
+        elif existing != definitions:
+            merged[variable] = existing | definitions
     return merged
 
 

@@ -17,13 +17,21 @@ STATIC_CLASSES = frozenset(
 )
 
 
+_EMPTY: frozenset[str] = frozenset()
+
+
 def used_variables(node: ast.Expression | None) -> frozenset[str]:
-    """Variables *read* by an expression."""
+    """Variables *read* by an expression (memoized per AST node)."""
     if node is None:
-        return frozenset()
-    result: set[str] = set()
-    _collect_uses(node, result)
-    return frozenset(result)
+        return _EMPTY
+    try:
+        return node._used_vars  # type: ignore[attr-defined]
+    except AttributeError:
+        result: set[str] = set()
+        _collect_uses(node, result)
+        frozen = frozenset(result) if result else _EMPTY
+        node._used_vars = frozen  # type: ignore[attr-defined]
+        return frozen
 
 
 def _collect_uses(node: ast.Expression, result: set[str]) -> None:
@@ -62,10 +70,16 @@ def defined_variables(node: ast.Expression) -> frozenset[str]:
 
     An assignment to ``a[i]`` defines ``a`` (the array variable holds a new
     state), matching how the paper's examples treat ``d[i - 1] = ...``.
+    Memoized per AST node, like :func:`used_variables`.
     """
-    result: set[str] = set()
-    _collect_defs(node, result)
-    return frozenset(result)
+    try:
+        return node._defined_vars  # type: ignore[attr-defined]
+    except AttributeError:
+        result: set[str] = set()
+        _collect_defs(node, result)
+        frozen = frozenset(result) if result else _EMPTY
+        node._defined_vars = frozen  # type: ignore[attr-defined]
+        return frozen
 
 
 def _collect_defs(node: ast.Expression, result: set[str]) -> None:

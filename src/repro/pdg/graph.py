@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from functools import cached_property
 
 
 class NodeType(enum.Enum):
@@ -61,9 +62,20 @@ class GraphNode:
     defines: frozenset[str] = frozenset()
     uses: frozenset[str] = frozenset()
 
-    @property
+    @cached_property
     def variables(self) -> frozenset[str]:
-        """All variables mentioned by the node (definitions and uses)."""
+        """All variables mentioned by the node (definitions and uses).
+
+        Cached: the matcher reads this inside its candidate-filter and
+        γ-extension hot loops, and rebuilding the union froze a new set on
+        every access.  ``cached_property`` stores the result in the
+        instance ``__dict__``, which works on a frozen dataclass because it
+        bypasses the frozen ``__setattr__``.
+        """
+        if not self.uses:
+            return self.defines
+        if not self.defines:
+            return self.uses
         return self.defines | self.uses
 
     @property

@@ -146,7 +146,9 @@ def _worker_main(conn) -> None:
                 time.sleep(hang_seconds)
             engine = engines.get(assignment_name)
             if engine is None:
-                engine = FeedbackEngine(get_assignment(assignment_name))
+                engine = FeedbackEngine(
+                    get_assignment(assignment_name), frontend_cache_size=0
+                )
                 engines[assignment_name] = engine
             result = _grade_one(engine, source, max_seconds)
         except Exception as exc:  # noqa: BLE001 - keep the worker alive
@@ -360,7 +362,10 @@ class GradingWorkerPool:
                     time.sleep(hang_seconds)
                 engine = self._engines.get(assignment_name)
                 if engine is None:
-                    engine = FeedbackEngine(get_assignment(assignment_name))
+                    engine = FeedbackEngine(
+                        get_assignment(assignment_name),
+                        frontend_cache_size=0,
+                    )
                     self._engines[assignment_name] = engine
                 return _grade_one(engine, source, max_seconds)
             except Exception as exc:  # noqa: BLE001 - mirror process mode

@@ -37,8 +37,13 @@ import signal
 import time
 from dataclasses import dataclass, field
 
-from repro.core.pipeline import ResultCache, source_key
+from repro.core.pipeline import (
+    CACHEABLE_STATUSES,
+    ResultCache,
+    source_key,
+)
 from repro.core.report import GradingReport
+from repro.core.store import ResultStore
 from repro.errors import KnowledgeBaseError
 from repro.kb import all_assignment_names, get_assignment
 from repro.serve.admission import AdmissionController
@@ -79,6 +84,11 @@ class ServiceConfig:
     kill_grace_seconds: float = DEFAULT_KILL_GRACE
     max_body_bytes: int = 1 << 20
     cache_size: int = 8192
+    #: Directory for the persistent cross-process result cache
+    #: (:class:`~repro.core.store.ResultStore`); ``None`` disables it.
+    #: A restarted service — or a batch run pointed at the same
+    #: directory — replays previously graded submissions from disk.
+    cache_dir: str | os.PathLike | None = None
     breaker_window: int = 20
     breaker_min_volume: int = 5
     breaker_failure_ratio: float = 0.5
@@ -112,6 +122,7 @@ class GradingService:
             kill_grace_seconds=self.config.kill_grace_seconds,
         )
         self._caches: dict[str, ResultCache] = {}
+        self._stores: dict[str, ResultStore] = {}
         self._server: asyncio.base_events.Server | None = None
         self._conn_tasks: set[asyncio.Task] = set()
         self._busy = 0
@@ -304,6 +315,18 @@ class GradingService:
             self._caches[assignment_name] = cache
         return cache
 
+    def _store(self, assignment_name: str) -> ResultStore | None:
+        """Per-assignment persistent store, or ``None`` when disabled."""
+        if self.config.cache_dir is None:
+            return None
+        store = self._stores.get(assignment_name)
+        if store is None:
+            store = ResultStore(
+                self.config.cache_dir, get_assignment(assignment_name)
+            )
+            self._stores[assignment_name] = store
+        return store
+
     async def _grade(
         self, request: HttpRequest, assignment_name: str
     ) -> HttpResponse:
@@ -347,6 +370,23 @@ class GradingService:
             elapsed = time.perf_counter() - started
             self.metrics.latency.observe(elapsed)
             return self._report_response(cached, label, True, elapsed)
+
+        # second chance: the persistent cross-process store.  A hit is
+        # promoted into the in-memory cache and replayed like any other
+        # cache hit — no worker time, no admission.
+        store = self._store(assignment_name)
+        if store is not None:
+            persisted = store.get(key)
+            if persisted is not None:
+                self.metrics.pipeline.record_counter("cache.store_hits")
+                cache.put(key, persisted)
+                self.metrics.increment("serve.cache_hits")
+                self.metrics.increment("serve.completed")
+                self.metrics.pipeline.record_submission(cache_hit=True)
+                elapsed = time.perf_counter() - started
+                self.metrics.latency.observe(elapsed)
+                return self._report_response(persisted, label, True, elapsed)
+            self.metrics.pipeline.record_counter("cache.store_misses")
 
         breaker = self.breakers.get(assignment_name)
         if not breaker.allow():
@@ -395,6 +435,11 @@ class GradingService:
             error=report.status == "error",
         )
         cache.put(key, report)  # refuses timeout/error statuses itself
+        if store is not None and report.status in CACHEABLE_STATUSES:
+            if store.put(key, report):
+                self.metrics.pipeline.record_counter("cache.store_writes")
+            else:
+                self.metrics.pipeline.record_counter("cache.store_errors")
         if result.killed:
             self.metrics.increment("serve.deadline_kills")
         elif report.status == "timeout":

@@ -118,6 +118,22 @@ class TestGradeBatch:
         assert payload["stats"]["submissions"] == 1
         assert payload["submissions"][0]["status"] == "ok"
 
+    def test_cache_dir_replays_across_invocations(
+        self, capsys, reference_file, tmp_path
+    ):
+        cache_dir = str(tmp_path / "cache")
+        assert main(["grade-batch", "assignment1", reference_file,
+                     "--cache-dir", cache_dir, "--stats"]) == 0
+        first = capsys.readouterr().out
+        assert "cache.store_writes" in first
+        assert main(["grade-batch", "assignment1", reference_file,
+                     "--cache-dir", cache_dir, "--stats"]) == 0
+        second = capsys.readouterr().out
+        assert "Submission.java: ok" in second
+        assert "cache hit rate: 100.0%" in second
+        assert "cache.store_hits" in second
+        assert "pattern_match" not in second  # nothing was re-matched
+
     def test_render_flag(self, capsys, reference_file):
         assert main(["grade-batch", "assignment1", reference_file,
                      "--render"]) == 0

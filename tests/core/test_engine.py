@@ -3,6 +3,7 @@
 import pytest
 
 from repro import FeedbackEngine, FeedbackStatus, get_assignment
+from repro.instrumentation import collecting
 from repro.java import parse_submission
 from repro.kb.assignments.assignment1 import FIGURE_2B
 
@@ -35,6 +36,71 @@ class TestFeedbackEngine:
         third = engine1.grade(FIGURE_2B)
         assert first.is_positive and third.is_positive
         assert not second.is_positive
+
+
+class TestFrontendCache:
+    def test_repeat_grades_hit_the_cache(self, assignment1):
+        engine = FeedbackEngine(assignment1)
+        first = engine.grade(FIGURE_2B)
+        with collecting() as collector:
+            second = engine.grade(FIGURE_2B)
+        assert collector.counters.get("frontend.cache_hits") == 1
+        assert "parse" not in collector.seconds
+        assert "epdg_build" not in collector.seconds
+        assert second.render() == first.render()
+
+    def test_distinct_sources_miss(self, assignment1):
+        engine = FeedbackEngine(assignment1)
+        with collecting() as collector:
+            engine.grade(FIGURE_2B)
+            engine.grade("void assignment1(int[] a) { }")
+        assert collector.counters.get("frontend.cache_misses") == 2
+        assert "frontend.cache_hits" not in collector.counters
+
+    def test_parse_errors_replay_identically(self, assignment1):
+        engine = FeedbackEngine(assignment1)
+        broken = "void assignment1(int[] a) { int = ; }"
+        first = engine.grade(broken)
+        with collecting() as collector:
+            second = engine.grade(broken)
+        assert collector.counters.get("frontend.cache_hits") == 1
+        assert second.parse_error == first.parse_error
+        assert second.render() == first.render()
+
+    def test_frontend_returns_graphs_or_error_text(self, assignment1):
+        engine = FeedbackEngine(assignment1)
+        graphs = engine.frontend(FIGURE_2B)
+        assert isinstance(graphs, dict) and "assignment1" in graphs
+        error = engine.frontend("int = ;")
+        assert isinstance(error, str) and "line" in error
+
+    def test_cached_graphs_are_shared_not_copied(self, assignment1):
+        engine = FeedbackEngine(assignment1)
+        assert engine.frontend(FIGURE_2B) is engine.frontend(FIGURE_2B)
+
+    def test_eviction_is_bounded_fifo(self, assignment1):
+        engine = FeedbackEngine(assignment1, frontend_cache_size=2)
+        sources = [
+            f"void assignment1(int[] a) {{ int x{i} = {i}; }}"
+            for i in range(3)
+        ]
+        for source in sources:
+            engine.grade(source)
+        with collecting() as collector:
+            engine.grade(sources[0])  # evicted by the third insert
+            engine.grade(sources[2])  # still resident
+        assert collector.counters.get("frontend.cache_misses") == 1
+        assert collector.counters.get("frontend.cache_hits") == 1
+
+    def test_size_zero_disables_caching(self, assignment1):
+        engine = FeedbackEngine(assignment1, frontend_cache_size=0)
+        with collecting() as collector:
+            engine.grade(FIGURE_2B)
+            engine.grade(FIGURE_2B)
+        assert "frontend.cache_hits" not in collector.counters
+        assert "frontend.cache_misses" not in collector.counters
+        assert collector.counts.get("parse") == 2
+        assert collector.counts.get("epdg_build") == 2
 
 
 class TestGradingReport:

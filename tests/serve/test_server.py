@@ -131,6 +131,47 @@ class TestGrading:
         assert second[1]["from_cache"] is True
         assert second[1]["report"] == first[1]["report"]
 
+    def test_persistent_cache_survives_a_service_restart(
+        self, good_source, tmp_path
+    ):
+        async def serve_once():
+            async with running_service(cache_dir=tmp_path) as service:
+                status, payload = await grade_call(
+                    service, "assignment1", {"source": good_source}
+                )
+                counters = dict(
+                    service.metrics.pipeline.counters
+                )
+            return status, payload, counters
+
+        first = run(serve_once())
+        second = run(serve_once())  # fresh service, warm disk
+        assert first[0] == second[0] == 200
+        assert first[1]["from_cache"] is False
+        assert second[1]["from_cache"] is True
+        assert second[1]["report"] == first[1]["report"]
+        assert first[2].get("cache.store_writes") == 1
+        assert second[2].get("cache.store_hits") == 1
+        # the warm service never parsed or matched anything
+        assert not any(
+            name.startswith("match.") for name in second[2]
+        )
+
+    def test_batch_grader_warms_the_service_cache(
+        self, assignment1, good_source, tmp_path
+    ):
+        BatchGrader(assignment1, store=tmp_path).grade_batch([good_source])
+
+        async def go():
+            async with running_service(cache_dir=tmp_path) as service:
+                return await grade_call(
+                    service, "assignment1", {"source": good_source}
+                )
+
+        status, payload = run(go())
+        assert status == 200
+        assert payload["from_cache"] is True
+
     def test_parse_error_is_a_successful_grading(self):
         async def go():
             async with running_service() as service:
