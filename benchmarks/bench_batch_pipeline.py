@@ -14,6 +14,11 @@ the 30% a real MOOC easily exceeds) and compares three configurations:
 asserting that parallel+cache achieves >= 2x the serial throughput and
 that its reports are byte-identical to the serial baseline's.
 
+It also gates the static-analysis layer's cost: on an uncached serial
+run, the ``analysis`` phase (the ``repro.analysis`` submission checks)
+must stay under :data:`ANALYSIS_OVERHEAD_LIMIT` of end-to-end batch
+wall time.
+
 Run standalone (CI smoke-tests ``--quick``)::
 
     PYTHONPATH=src python benchmarks/bench_batch_pipeline.py [--quick]
@@ -38,6 +43,8 @@ from repro.synth import sample_submissions
 DUPLICATE_FRACTION = 0.6
 #: Required speedup of parallel+cache over the serial baseline.
 REQUIRED_SPEEDUP = 2.0
+#: Ceiling on the analysis phase's share of end-to-end batch wall time.
+ANALYSIS_OVERHEAD_LIMIT = 0.10
 
 
 def build_cohort(assignment, size: int, seed: int = 11):
@@ -96,7 +103,37 @@ def run_comparison(assignment_name="assignment1", size=240, workers=4,
     return speedup, identical, duplicates / size, rows
 
 
+def run_analysis_overhead(assignment_name="assignment1", size=120,
+                          verbose=True):
+    """Analysis-phase share of an uncached serial batch (the worst case:
+    every submission is graded, nothing is replayed from a cache)."""
+    assignment = get_assignment(assignment_name)
+    cohort = build_cohort(assignment, size)
+    _label, elapsed, result = run_config(
+        assignment, cohort, "serial", mode="serial", cache=False
+    )
+    stats = result.stats.to_dict()
+    analysis_ms = stats["phase_ms"].get("analysis", 0.0)
+    share = (analysis_ms / 1000.0) / elapsed if elapsed > 0 else 0.0
+    diagnostics = stats["counters"].get("analysis.diagnostics", 0)
+    if verbose:
+        print(f"analysis overhead: {analysis_ms:.1f} ms of "
+              f"{elapsed * 1000:.1f} ms batch wall "
+              f"({100 * share:.1f}%, limit "
+              f"{100 * ANALYSIS_OVERHEAD_LIMIT:.0f}%); "
+              f"{diagnostics} diagnostics over {size} submissions")
+    return share, analysis_ms, diagnostics
+
+
 # -- pytest entry points -------------------------------------------------
+
+def test_analysis_phase_overhead_bounded():
+    share, analysis_ms, _ = run_analysis_overhead(size=80, verbose=False)
+    assert share < ANALYSIS_OVERHEAD_LIMIT, (
+        f"analysis phase took {100 * share:.1f}% of batch wall time "
+        f"({analysis_ms:.1f} ms), limit {100 * ANALYSIS_OVERHEAD_LIMIT:.0f}%"
+    )
+
 
 def test_duplicate_heavy_cohort_parallel_cached_speedup():
     speedup, identical, dup_rate, _ = run_comparison(size=120, verbose=False)
@@ -137,6 +174,13 @@ def main(argv=None) -> int:
     speedup, identical, dup_rate, _ = run_comparison(
         args.assignment, size=size, workers=args.workers
     )
+    share, analysis_ms, _ = run_analysis_overhead(
+        args.assignment, size=size
+    )
+    if share >= ANALYSIS_OVERHEAD_LIMIT:
+        print(f"FAIL: analysis phase is {100 * share:.1f}% of batch "
+              f"wall time (limit {100 * ANALYSIS_OVERHEAD_LIMIT:.0f}%)")
+        return 1
     if not identical:
         print("FAIL: parallel output is not byte-identical to serial")
         return 1

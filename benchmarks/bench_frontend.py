@@ -56,6 +56,7 @@ import _frontend_reference as reference  # noqa: E402 - sibling module
 
 from repro.core.engine import FeedbackEngine  # noqa: E402
 from repro.instrumentation import collecting  # noqa: E402
+from repro.java import parse_submission  # noqa: E402
 from repro.kb import get_assignment  # noqa: E402
 from repro.kb.registry import all_assignment_names  # noqa: E402
 from repro.matching.submission import match_graphs  # noqa: E402
@@ -209,7 +210,12 @@ def run_report_equivalence(verbose=True, cohorts=None):
             ref_graphs = reference.extract_all_epdgs(
                 reference.parse_submission(source), flag
             )
-            ref_report = engine.grade_graphs(ref_graphs)
+            # the analysis checks need an AST; hand the reference graphs
+            # the fast-parsed unit so diagnostics differ only if the
+            # *graphs* differ (which is exactly what this gate detects)
+            ref_report = engine.grade_graphs(
+                ref_graphs, unit=parse_submission(source)
+            )
             compared += 1
             if (
                 optimized_report.render() != ref_report.render()

@@ -1,0 +1,53 @@
+"""Static analysis: submission diagnostics + knowledge-base linting.
+
+Two independent prongs, one package:
+
+* :mod:`repro.analysis.checks` / :mod:`repro.analysis.dataflow` /
+  :mod:`repro.analysis.cfg` — CFG and dataflow checks over a graded
+  submission's AST + EPDGs, producing
+  :class:`~repro.analysis.diagnostics.Diagnostic` records that ride on
+  every :class:`~repro.core.report.GradingReport` (and become the
+  primary feedback when Algorithm 2 finds no embedding at all);
+* :mod:`repro.analysis.kblint` — static validation of the pattern /
+  constraint knowledge base, exposed as ``repro lint-kb`` and run as a
+  CI gate.
+
+See ``docs/ANALYSIS.md`` for the check catalogue, the severity model,
+and how to add a check or lint rule.
+"""
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis import cfg, dataflow  # noqa: F401  (re-export modules)
+from repro.analysis.checks import (
+    ANALYSIS_VERSION,
+    CHECKS,
+    Check,
+    MethodAnalysis,
+    analysis_fingerprint,
+    check_by_id,
+    run_checks,
+)
+from repro.analysis.kblint import (
+    LINT_RULES,
+    LintFinding,
+    LintReport,
+    lint_assignment,
+    lint_knowledge_base,
+)
+
+__all__ = [
+    "ANALYSIS_VERSION",
+    "CHECKS",
+    "Check",
+    "Diagnostic",
+    "LINT_RULES",
+    "LintFinding",
+    "LintReport",
+    "MethodAnalysis",
+    "Severity",
+    "analysis_fingerprint",
+    "check_by_id",
+    "lint_assignment",
+    "lint_knowledge_base",
+    "run_checks",
+]

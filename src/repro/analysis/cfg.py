@@ -1,0 +1,356 @@
+"""Lightweight control-flow reasoning over the Java AST.
+
+The submission checks need a handful of classic control-flow facts —
+"can execution fall off the end of this statement?", "does this loop
+ever terminate?", "which statements can never run?" — and the AST is
+the right level for them: the EPDG deliberately drops fall-through
+ordering (the paper's static execution model), so reachability must be
+recomputed from syntax.
+
+The rules are a simplified version of the JLS "can complete normally"
+definition, restricted to the Java subset the frontend accepts.  They
+are *conservative*: when in doubt a statement is assumed to complete
+normally, so every reported unreachable statement really is unreachable
+under the rules below.
+
+Source spans come from the non-field ``position`` attribute the parser
+attaches to statements and methods (``(line, column)``, 1-based); ASTs
+built by other frontends simply yield ``None`` positions and the
+diagnostics stay span-less.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.java import ast
+from repro.pdg.expressions import defined_variables, used_variables
+
+
+def position_of(node: ast.Node) -> tuple[int, int] | None:
+    """The ``(line, column)`` the parser recorded for ``node``, if any."""
+    position = getattr(node, "position", None)
+    if (
+        isinstance(position, tuple)
+        and len(position) == 2
+        and all(isinstance(part, int) for part in position)
+    ):
+        return position
+    return None
+
+
+def is_literal_true(expression: ast.Expression | None) -> bool:
+    """True for the literal ``true`` (and a ``for``'s omitted condition)."""
+    if expression is None:
+        return True
+    return isinstance(expression, ast.Literal) and expression.value is True
+
+
+def is_literal_false(expression: ast.Expression | None) -> bool:
+    """True only for the literal ``false``."""
+    return isinstance(expression, ast.Literal) and expression.value is False
+
+
+_LOOP_TYPES = (ast.While, ast.DoWhile, ast.For, ast.ForEach)
+
+
+def iter_statements(statement: ast.Statement) -> Iterator[ast.Statement]:
+    """Pre-order over the statement tree only, skipping expressions.
+
+    Everything the checks look for (declarations, loops, returns) is a
+    statement, and expression nodes outnumber statements several times
+    over, so this is much cheaper than a generic :func:`ast.walk`.
+    ``for`` init statements are included (they can declare locals).
+    """
+    stack = [statement]
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, ast.Block):
+            children = node.statements
+        elif isinstance(node, ast.If):
+            children = (
+                [node.then_branch]
+                if node.else_branch is None
+                else [node.then_branch, node.else_branch]
+            )
+        elif isinstance(node, ast.For):
+            children = list(node.init) + [node.body]
+        elif isinstance(node, (ast.While, ast.DoWhile, ast.ForEach)):
+            children = [node.body]
+        elif isinstance(node, ast.Switch):
+            children = [
+                child for case in node.cases for child in case.statements
+            ]
+        else:
+            continue
+        stack.extend(reversed(children))
+
+
+def loop_escapes(statement: ast.Statement, *, via_return: bool = True) -> bool:
+    """True when ``statement`` (a loop *body*) can leave its loop.
+
+    Looks for a ``break`` belonging to this loop — not one captured by a
+    nested loop or ``switch`` — or, when ``via_return`` is set, any
+    ``return`` (which leaves the whole method and therefore the loop).
+    """
+    if isinstance(statement, ast.Break):
+        return True
+    if via_return and isinstance(statement, ast.Return):
+        return True
+    if isinstance(statement, _LOOP_TYPES):
+        # an inner loop swallows its own breaks; returns still escape
+        return via_return and _contains_return(statement)
+    if isinstance(statement, ast.Switch):
+        # a switch swallows breaks of its cases
+        return via_return and _contains_return(statement)
+    if isinstance(statement, ast.Block):
+        return any(
+            loop_escapes(child, via_return=via_return)
+            for child in statement.statements
+        )
+    if isinstance(statement, ast.If):
+        if loop_escapes(statement.then_branch, via_return=via_return):
+            return True
+        return statement.else_branch is not None and loop_escapes(
+            statement.else_branch, via_return=via_return
+        )
+    return False
+
+
+def _contains_return(statement: ast.Statement) -> bool:
+    return any(
+        isinstance(node, ast.Return) for node in iter_statements(statement)
+    )
+
+
+def completes_normally(statement: ast.Statement) -> bool:
+    """Can execution reach the point just after ``statement``?
+
+    A simplified JLS §14.22 ("unreachable statements") for the subset:
+
+    * ``return`` / ``break`` / ``continue`` never complete normally;
+    * a block completes normally iff its last reachable statement does;
+    * ``if`` without ``else`` always completes normally (the condition
+      may be false); with ``else`` it completes iff either branch does;
+    * ``while (true)`` (and ``for`` with a missing/literal-true
+      condition) completes only via a ``break``; any other loop is
+      assumed able to skip its body;
+    * ``do``/``while`` runs its body at least once, so it completes only
+      if the body completes (or breaks) — regardless of the condition
+      unless that condition is literally ``true``;
+    * ``switch`` is conservatively assumed to complete normally.
+    """
+    if isinstance(statement, (ast.Return, ast.Break, ast.Continue)):
+        return False
+    if isinstance(statement, ast.Block):
+        reachable = True
+        for child in statement.statements:
+            if not reachable:
+                return False
+            reachable = completes_normally(child)
+        return reachable
+    if isinstance(statement, ast.If):
+        if statement.else_branch is None:
+            return True
+        return completes_normally(statement.then_branch) or completes_normally(
+            statement.else_branch
+        )
+    if isinstance(statement, ast.While):
+        if is_literal_true(statement.condition):
+            return loop_escapes(statement.body, via_return=False)
+        return True
+    if isinstance(statement, ast.For):
+        if is_literal_true(statement.condition):
+            return loop_escapes(statement.body, via_return=False)
+        return True
+    if isinstance(statement, ast.DoWhile):
+        if loop_escapes(statement.body, via_return=False):
+            return True
+        if is_literal_true(statement.condition):
+            return False
+        return completes_normally(statement.body)
+    return True
+
+
+def unreachable_statements(
+    statement: ast.Statement,
+) -> Iterator[ast.Statement]:
+    """Yield the *first* unreachable statement of every dead region.
+
+    Walks blocks in source order; once a statement cannot complete
+    normally, the next statement in the same block is reported and the
+    rest of that block is skipped (one finding per dead region keeps the
+    feedback readable).  Nested statements are searched recursively so a
+    dead region inside a live branch is still found.
+    """
+    if isinstance(statement, ast.Block):
+        reachable = True
+        for child in statement.statements:
+            if not reachable:
+                yield child
+                return
+            yield from unreachable_statements(child)
+            reachable = completes_normally(child)
+    elif isinstance(statement, ast.If):
+        yield from unreachable_statements(statement.then_branch)
+        if statement.else_branch is not None:
+            yield from unreachable_statements(statement.else_branch)
+    elif isinstance(statement, (ast.While, ast.DoWhile, ast.For, ast.ForEach)):
+        yield from unreachable_statements(statement.body)
+    elif isinstance(statement, ast.Switch):
+        for case in statement.cases:
+            reachable = True
+            for child in case.statements:
+                if not reachable:
+                    yield child
+                    break
+                yield from unreachable_statements(child)
+                reachable = completes_normally(child)
+
+
+# ----------------------------------------------------------------------
+# atoms: (position, defines, uses) in source order
+
+
+def iter_atoms(
+    statement: ast.Statement,
+) -> Iterator[tuple[tuple[int, int] | None, frozenset[str], frozenset[str]]]:
+    """Yield ``(position, defines, uses)`` per executable unit, in source
+    order — the same granularity the EPDG builder creates nodes at, which
+    lets the dataflow checks map a graph-level finding back to a span.
+    """
+    position = position_of(statement)
+    if isinstance(statement, ast.Block):
+        for child in statement.statements:
+            yield from iter_atoms(child)
+    elif isinstance(statement, ast.LocalVarDecl):
+        for declarator in statement.declarators:
+            if declarator.initializer is None:
+                yield position, frozenset(), frozenset()
+            else:
+                yield (
+                    position,
+                    frozenset({declarator.name}),
+                    used_variables(declarator.initializer),
+                )
+    elif isinstance(statement, ast.ExpressionStatement):
+        yield (
+            position,
+            defined_variables(statement.expression),
+            used_variables(statement.expression),
+        )
+    elif isinstance(statement, ast.If):
+        yield (
+            position,
+            defined_variables(statement.condition),
+            used_variables(statement.condition),
+        )
+        yield from iter_atoms(statement.then_branch)
+        if statement.else_branch is not None:
+            yield from iter_atoms(statement.else_branch)
+    elif isinstance(statement, ast.While):
+        yield (
+            position,
+            defined_variables(statement.condition),
+            used_variables(statement.condition),
+        )
+        yield from iter_atoms(statement.body)
+    elif isinstance(statement, ast.DoWhile):
+        yield from iter_atoms(statement.body)
+        yield (
+            position,
+            defined_variables(statement.condition),
+            used_variables(statement.condition),
+        )
+    elif isinstance(statement, ast.For):
+        for init in statement.init:
+            # init statements are built inline by the parser and carry no
+            # position of their own; fall back to the for's span
+            for init_position, defines, uses in iter_atoms(init):
+                yield (
+                    init_position if init_position is not None else position,
+                    defines,
+                    uses,
+                )
+        if statement.condition is not None:
+            yield (
+                position,
+                defined_variables(statement.condition),
+                used_variables(statement.condition),
+            )
+        yield from iter_atoms(statement.body)
+        for update in statement.update:
+            yield position, defined_variables(update), used_variables(update)
+    elif isinstance(statement, ast.ForEach):
+        yield (
+            position,
+            frozenset({statement.name}),
+            used_variables(statement.iterable),
+        )
+        yield from iter_atoms(statement.body)
+    elif isinstance(statement, ast.Return):
+        yield position, frozenset(), used_variables(statement.value)
+    elif isinstance(statement, ast.Switch):
+        yield (
+            position,
+            defined_variables(statement.selector),
+            used_variables(statement.selector),
+        )
+        for case in statement.cases:
+            for child in case.statements:
+                yield from iter_atoms(child)
+
+
+def first_use_position(
+    method: ast.MethodDecl, variable: str
+) -> tuple[tuple[int, int] | None, str]:
+    """Span and description of the first read of ``variable``."""
+    for position, _defines, uses in iter_atoms(method.body):
+        if variable in uses:
+            return position, variable
+    return position_of(method), variable
+
+
+def first_definition_position(
+    method: ast.MethodDecl, variable: str
+) -> tuple[int, int] | None:
+    """Span of the first write to (or declaration of) ``variable``."""
+    for statement in iter_statements(method.body):
+        if isinstance(statement, ast.LocalVarDecl):
+            if any(d.name == variable for d in statement.declarators):
+                return position_of(statement)
+        elif isinstance(statement, ast.ForEach):
+            if statement.name == variable:
+                return position_of(statement)
+        elif isinstance(statement, ast.ExpressionStatement):
+            if variable in defined_variables(statement.expression):
+                return position_of(statement)
+    return position_of(method)
+
+
+def declared_locals(
+    method: ast.MethodDecl,
+    statements: "list[ast.Statement] | None" = None,
+) -> list[str]:
+    """Names of all locals the method declares, in source order.
+
+    ``statements`` may supply an already-computed
+    :func:`iter_statements` list to avoid re-traversing the body.
+    """
+    names: list[str] = []
+    seen: set[str] = set()
+    nodes = (
+        iter_statements(method.body) if statements is None else statements
+    )
+    for node in nodes:
+        if isinstance(node, ast.LocalVarDecl):
+            for declarator in node.declarators:
+                if declarator.name not in seen:
+                    seen.add(declarator.name)
+                    names.append(declarator.name)
+        elif isinstance(node, ast.ForEach):
+            if node.name not in seen:
+                seen.add(node.name)
+                names.append(node.name)
+    return names

@@ -1,0 +1,100 @@
+"""Dataflow passes over an already-built EPDG.
+
+The EPDG builder computes reaching definitions under the paper's static
+execution model (every condition true, every loop body once) and turns
+them into ``Data`` edges; these passes read those edges back out instead
+of re-running dataflow:
+
+* a node that *uses* a variable with no incoming ``Data`` edge from a
+  definition of that variable was reached by **no** definition — the
+  variable is read before it is ever assigned (or never declared);
+* a variable that some node *defines* but no node *uses* is written and
+  never read;
+* a parameter's ``Decl`` node with no outgoing ``Data`` edge means the
+  caller-supplied value is never read (the method either ignores the
+  parameter or overwrites it first).
+
+Because the builder's model assumes every branch executes, a definition
+inside any ``if`` arm reaches later uses — so these passes only fire
+when *no* path defines the variable, which keeps them conservative
+(no false positives from "the student only initializes in one branch").
+
+Class fields are invisible to the per-method EPDG, so callers pass the
+submission's field names as ``ignore`` and reads of those are skipped.
+"""
+
+from __future__ import annotations
+
+from repro.pdg.graph import EdgeType, Epdg, NodeType
+
+
+def uninitialized_uses(
+    graph: Epdg, ignore: frozenset[str] = frozenset()
+) -> dict[str, int]:
+    """Variables read with no reaching definition.
+
+    Returns ``{variable: node_id}`` for the first (lowest-id, i.e.
+    earliest in the builder's static execution order) node that reads
+    each offending variable.  ``ignore`` lists names resolved outside
+    the method — class fields — which the per-method graph cannot see.
+    """
+    found: dict[str, int] = {}
+    for node in graph.nodes:
+        uses = node.uses
+        if not uses:
+            continue
+        # sorted: frozenset iteration order is hash-randomized across
+        # processes, and diagnostics must be byte-identical in all
+        # execution modes
+        pending = sorted(
+            variable
+            for variable in uses
+            if variable not in ignore and variable not in found
+        )
+        if not pending:
+            continue
+        covered: set[str] = set()
+        for source_id in graph.predecessors(node.node_id, EdgeType.DATA):
+            covered.update(graph.node(source_id).defines)
+        for variable in pending:
+            if variable not in covered:
+                found[variable] = node.node_id
+    return found
+
+
+def unread_definitions(graph: Epdg) -> dict[str, int]:
+    """Variables that are written but never read anywhere in the method.
+
+    Returns ``{variable: node_id}`` of the first node defining each
+    never-read variable.  Parameters are excluded — their ``Decl`` nodes
+    are covered separately by :func:`unused_parameters`.
+    """
+    read: set[str] = set()
+    for node in graph.nodes:
+        read.update(node.uses)
+    found: dict[str, int] = {}
+    for node in graph.nodes:
+        if node.type is NodeType.DECL:
+            continue
+        for variable in sorted(node.defines):
+            if variable not in read and variable not in found:
+                found[variable] = node.node_id
+    return found
+
+
+def unused_parameters(graph: Epdg) -> list[str]:
+    """Parameters whose caller-supplied value is never read.
+
+    A parameter's ``Decl`` node is the definition of its initial value;
+    no outgoing ``Data`` edge means nothing ever reads that value (even
+    if the name is later reassigned and used — then the *parameter* is
+    still dead, only the local reuse of its name is live).
+    """
+    unused: list[str] = []
+    for node in graph.nodes_of_type(NodeType.DECL):
+        out_ctrl, out_data, _in_ctrl, _in_data = graph.degree_profile(
+            node.node_id
+        )
+        if out_data == 0:
+            unused.extend(sorted(node.defines))
+    return unused

@@ -1,0 +1,98 @@
+"""Diagnostic records produced by the submission static-analysis checks.
+
+A :class:`Diagnostic` is one finding of one check on one submission: the
+check that fired, its :class:`Severity`, the method it concerns, a
+natural-language message (rendered through the same
+:func:`repro.patterns.template.render_feedback` machinery as pattern
+feedback), and — when the parser recorded one — a 1-based source span.
+
+Diagnostics are deliberately independent of the matcher: they ride on
+:class:`repro.core.report.GradingReport` as a *side channel* and never
+influence the Algorithm 2 outcome, score, or report status.  When no
+pattern embeds at all, the report's renderer promotes them to the
+primary feedback so the student is never left with a silent rejection.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+
+class Severity(enum.Enum):
+    """How strongly a finding indicates a real defect.
+
+    ``ERROR``
+        The program is almost certainly wrong (a variable read before it
+        has a value, a non-void method that can fall off its end).
+    ``WARNING``
+        Very likely a mistake, but the program may still run (unreachable
+        statements, a loop that can never terminate or never run).
+    ``INFO``
+        Worth a look, often stylistic (a parameter whose initial value is
+        never used).
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    def __str__(self) -> str:
+        return self.value
+
+    @property
+    def rank(self) -> int:
+        """Numeric order for threshold comparisons (error is highest)."""
+        return _SEVERITY_RANK[self]
+
+
+_SEVERITY_RANK = {Severity.INFO: 0, Severity.WARNING: 1, Severity.ERROR: 2}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One static-analysis finding on one submission method."""
+
+    check: str
+    severity: Severity
+    method: str
+    message: str
+    line: int | None = None
+    column: int | None = None
+    snippet: str = ""
+
+    def to_dict(self) -> dict[str, Any]:
+        """Flat JSON-friendly view; :meth:`from_dict` inverts it."""
+        return {
+            "check": self.check,
+            "severity": str(self.severity),
+            "method": self.method,
+            "message": self.message,
+            "line": self.line,
+            "column": self.column,
+            "snippet": self.snippet,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Diagnostic":
+        return cls(
+            check=str(payload["check"]),
+            severity=Severity(payload["severity"]),
+            method=str(payload.get("method", "")),
+            message=str(payload["message"]),
+            line=payload.get("line"),
+            column=payload.get("column"),
+            snippet=str(payload.get("snippet", "")),
+        )
+
+    def render(self) -> str:
+        """One student-readable line, e.g.
+        ``[warning] fact, line 4: Variable 'r' is never used.``"""
+        where = self.method or "submission"
+        if self.line is not None:
+            where += f", line {self.line}"
+        text = f"[{self.severity}] {where}: {self.message}"
+        if self.snippet:
+            text += f" (near: {self.snippet})"
+        return text

@@ -9,6 +9,7 @@ Usage::
     repro grade-batch assignment1 submissions/ --stats
     repro grade-batch assignment1 --synthetic 200 --mode thread --stats
     repro serve --port 8652 --workers 4
+    repro lint-kb [assignment ...] [--json -] [--fail-on error]
     repro test assignment1 Submission.java
     repro epdg assignment1 Submission.java [--dot]
     repro export-kb out_dir/
@@ -16,9 +17,11 @@ Usage::
 Instructors get the whole pipeline without writing Python: ``grade``
 prints the personalized feedback, ``grade-batch`` runs the batch
 pipeline (worker pools + result cache, see ``docs/SCALING.md``) over
-files, directories, or a synthetic cohort, ``test`` runs the functional
-suite, ``epdg`` dumps the dependence graph, and ``export-kb`` writes
-the knowledge base as JSON.
+files, directories, or a synthetic cohort, ``lint-kb`` statically
+validates the pattern/constraint knowledge base (the CI gate; see
+``docs/ANALYSIS.md``), ``test`` runs the functional suite, ``epdg``
+dumps the dependence graph, and ``export-kb`` writes the knowledge base
+as JSON.
 """
 
 from __future__ import annotations
@@ -188,6 +191,25 @@ def _cmd_serve(args) -> int:
     return asyncio.run(run())
 
 
+def _cmd_lint_kb(args) -> int:
+    from repro.analysis import lint_knowledge_base
+
+    report = lint_knowledge_base(args.assignments or None)
+    if args.json:
+        text = json.dumps(report.to_dict(), indent=2)
+        if args.json == "-":
+            print(text)
+        else:
+            pathlib.Path(args.json).write_text(text + "\n")
+            print(report.render())
+    else:
+        print(report.render())
+    thresholds = {"info": 0, "warning": 1, "error": 2}
+    if args.fail_on == "never":
+        return 0
+    return 1 if report.worst_rank() >= thresholds[args.fail_on] else 0
+
+
 def _cmd_test(args) -> int:
     assignment = get_assignment(args.assignment)
     report = run_tests_on_source(
@@ -348,6 +370,24 @@ def build_parser() -> argparse.ArgumentParser:
                        help="honor the debug_sleep_seconds request "
                             "field (load testing only)")
     serve.set_defaults(func=_cmd_serve)
+
+    lint = sub.add_parser(
+        "lint-kb",
+        help="statically validate the knowledge base (CI gate)",
+    )
+    lint.add_argument(
+        "assignments", nargs="*",
+        help="assignment names to lint (default: all twelve)",
+    )
+    lint.add_argument("--json", metavar="FILE",
+                      help="write the machine-readable lint report as "
+                           "JSON (- for stdout)")
+    lint.add_argument("--fail-on",
+                      choices=["error", "warning", "info", "never"],
+                      default="error",
+                      help="lowest severity that makes the exit status "
+                           "non-zero (default error)")
+    lint.set_defaults(func=_cmd_lint_kb)
 
     test = sub.add_parser("test", help="run the functional tests")
     test.add_argument("assignment")

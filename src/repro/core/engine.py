@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import threading
 
+from repro.analysis.checks import run_checks
 from repro.core.assignment import Assignment
 from repro.core.report import GradingReport
 from repro.errors import JavaSyntaxError
@@ -12,6 +13,9 @@ from repro.java import ast, parse_submission
 from repro.matching.submission import match_graphs
 from repro.pdg.builder import extract_all_epdgs
 from repro.pdg.graph import Epdg
+
+#: A cached frontend result: the parsed unit plus its method EPDGs.
+FrontendEntry = tuple[ast.CompilationUnit, "dict[str, Epdg]"]
 
 #: Default capacity of the per-engine frontend cache (distinct sources).
 FRONTEND_CACHE_SIZE = 512
@@ -43,20 +47,24 @@ class FeedbackEngine:
     ):
         self.assignment = assignment
         self._frontend_cache_size = frontend_cache_size
-        # source text -> dict of method EPDGs, or the JavaSyntaxError text
+        # source text -> (unit, EPDG dict), or the JavaSyntaxError text
         # for submissions that do not parse.  Insertion-ordered for FIFO
         # eviction; a plain dict keeps the hit path to a single lookup.
-        self._frontend_cache: dict[str, dict[str, Epdg] | str] = {}
+        # The AST rides along with the graphs because the analysis checks
+        # need both views of the same submission; like the EPDGs, the AST
+        # is never mutated after parsing, so sharing it is safe.
+        self._frontend_cache: dict[str, FrontendEntry | str] = {}
         self._frontend_lock = threading.Lock()
 
     def grade(self, source: str) -> GradingReport:
         """Grade one submission given as Java source text."""
-        result = self.frontend(source)
+        result = self._frontend_entry(source)
         if isinstance(result, str):
             return GradingReport(
                 assignment_name=self.assignment.name, parse_error=result
             )
-        return self.grade_graphs(result)
+        unit, graphs = result
+        return self.grade_graphs(graphs, unit=unit)
 
     def frontend(self, source: str) -> dict[str, Epdg] | str:
         """Parse ``source`` and build its EPDGs, through the cache.
@@ -66,6 +74,13 @@ class FeedbackEngine:
         :class:`JavaSyntaxError` text (parse errors are cached and
         replayed like any other frontend result).
         """
+        result = self._frontend_entry(source)
+        if isinstance(result, str):
+            return result
+        return result[1]
+
+    def _frontend_entry(self, source: str) -> FrontendEntry | str:
+        """Like :meth:`frontend` but also returning the parsed unit."""
         if not self._frontend_cache_size:
             # Cache disabled (``frontend_cache_size=0``): the batch pipeline
             # and serve pool dedup at the report level already, and skipping
@@ -77,9 +92,10 @@ class FeedbackEngine:
             except JavaSyntaxError as error:
                 return str(error)
             with phase("epdg_build"):
-                return extract_all_epdgs(
+                graphs = extract_all_epdgs(
                     unit, self.assignment.synthesize_else_conditions
                 )
+            return unit, graphs
         cached = self._frontend_cache.get(source)
         if cached is not None:
             count("frontend.cache_hits")
@@ -96,10 +112,11 @@ class FeedbackEngine:
             graphs = extract_all_epdgs(
                 unit, self.assignment.synthesize_else_conditions
             )
-        self._remember(source, graphs)
-        return graphs
+        entry = (unit, graphs)
+        self._remember(source, entry)
+        return entry
 
-    def _remember(self, source: str, result: dict[str, Epdg] | str) -> None:
+    def _remember(self, source: str, result: FrontendEntry | str) -> None:
         with self._frontend_lock:
             cache = self._frontend_cache
             if source not in cache and len(cache) >= self._frontend_cache_size:
@@ -112,17 +129,31 @@ class FeedbackEngine:
             graphs = extract_all_epdgs(
                 unit, self.assignment.synthesize_else_conditions
             )
-        return self.grade_graphs(graphs)
+        return self.grade_graphs(graphs, unit=unit)
 
-    def grade_graphs(self, graphs) -> GradingReport:
-        """Grade pre-built EPDGs (used by benchmarks to time phases)."""
+    def grade_graphs(
+        self, graphs, unit: ast.CompilationUnit | None = None
+    ) -> GradingReport:
+        """Grade pre-built EPDGs (used by benchmarks to time phases).
+
+        When the parsed ``unit`` is supplied, the static-analysis checks
+        run over it alongside the graphs and their findings ride on the
+        report's ``diagnostics``; without it (graphs from an external
+        frontend) the report ships without diagnostics.
+        """
         outcome = match_graphs(
             graphs,
             self.assignment.expected_methods,
             enforce_headers=self.assignment.enforce_headers,
         )
+        diagnostics = []
+        if unit is not None:
+            with phase("analysis"):
+                diagnostics = run_checks(unit, graphs)
         return GradingReport(
-            assignment_name=self.assignment.name, outcome=outcome
+            assignment_name=self.assignment.name,
+            outcome=outcome,
+            diagnostics=diagnostics,
         )
 
     def extract(self, source: str):

@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
+from repro.analysis.diagnostics import Diagnostic
 from repro.matching.feedback import FeedbackComment, FeedbackStatus
 from repro.matching.submission import MatchOutcome
 
@@ -34,6 +35,11 @@ class GradingReport:
     parse_error: str | None = None
     error: str | None = None
     timeout: str | None = None
+    #: Static-analysis findings over the submission (``repro.analysis``).
+    #: Populated whenever the frontend produced an AST — including for
+    #: submissions whose pattern matching found nothing, where the
+    #: diagnostics become the *primary* feedback (see :meth:`render`).
+    diagnostics: list[Diagnostic] = field(default_factory=list)
 
     @property
     def status(self) -> str:
@@ -115,6 +121,7 @@ class GradingReport:
                 }
                 for c in self.comments
             ],
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
         }
 
     @classmethod
@@ -128,21 +135,30 @@ class GradingReport:
         embeddings — internal matcher state that ``to_dict`` never
         exports — come back empty.  This is what service clients need
         to re-render feedback from a JSON response.
+
+        Payloads written before diagnostics existed simply lack the key
+        and rebuild with ``diagnostics=[]`` — never a ``KeyError``.
         """
+        diagnostics = [
+            Diagnostic.from_dict(d) for d in payload.get("diagnostics", ())
+        ]
         if payload.get("parse_error") is not None:
             return cls(
                 assignment_name=payload["assignment"],
                 parse_error=payload["parse_error"],
+                diagnostics=diagnostics,
             )
         if payload.get("timeout") is not None:
             return cls(
                 assignment_name=payload["assignment"],
                 timeout=payload["timeout"],
+                diagnostics=diagnostics,
             )
         if payload.get("status") == "error":
             return cls(
                 assignment_name=payload["assignment"],
                 error=payload.get("error"),
+                diagnostics=diagnostics,
             )
         comments = [
             FeedbackComment(
@@ -160,7 +176,30 @@ class GradingReport:
             score=payload["score"],
             truncated=bool(payload.get("truncated", False)),
         )
-        return cls(assignment_name=payload["assignment"], outcome=outcome)
+        return cls(
+            assignment_name=payload["assignment"],
+            outcome=outcome,
+            diagnostics=diagnostics,
+        )
+
+    @property
+    def diagnostics_are_primary(self) -> bool:
+        """True when the diagnostics carry the feedback.
+
+        The matcher produced no usable embedding — every comment says an
+        expected method was simply Not Expected/found — so the paper's
+        pattern feedback has nothing personal to say, and the
+        static-analysis findings are promoted to the headline of
+        :meth:`render`.  Computable from serialized payloads too (it
+        only reads comment statuses, which round-trip exactly).
+        """
+        return (
+            bool(self.diagnostics)
+            and self.outcome is not None
+            and all(
+                c.status is FeedbackStatus.NOT_EXPECTED for c in self.comments
+            )
+        )
 
     def render(self) -> str:
         """Human-readable feedback text for the student."""
@@ -184,8 +223,19 @@ class GradingReport:
             )
             lines.append("  Please report this to the course staff.")
             return "\n".join(lines)
+        if self.diagnostics_are_primary:
+            lines.append(
+                "  No expected solution structure was recognized; here is "
+                "what static analysis found in your code:"
+            )
+            for diagnostic in self.diagnostics:
+                lines.append("    " + diagnostic.render())
         for comment in self.outcome.comments:
             lines.extend("  " + line for line in comment.render().splitlines())
+        if self.diagnostics and not self.diagnostics_are_primary:
+            lines.append("  Additional observations about your code:")
+            for diagnostic in self.diagnostics:
+                lines.append("    " + diagnostic.render())
         if self.truncated:
             lines.append(
                 "  Note: grading was truncated by a search safety cap; "

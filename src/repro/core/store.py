@@ -37,6 +37,7 @@ import os
 import threading
 from pathlib import Path
 
+from repro.analysis.checks import analysis_fingerprint
 from repro.core.assignment import Assignment
 from repro.core.report import GradingReport
 
@@ -62,8 +63,11 @@ def kb_fingerprint(assignment: Assignment) -> str:
     """Hex digest of the assignment configuration grading depends on.
 
     Covers the expected methods (patterns, their occurrence counts,
-    constraints, feedback texts — everything in their dataclass reprs) and
-    the matching flags.  Reference solutions, functional tests, and the
+    constraints, feedback texts — everything in their dataclass reprs),
+    the matching flags, and the active static-analysis check set
+    (:func:`repro.analysis.checks.analysis_fingerprint`) — stored reports
+    carry diagnostics, so a report graded under a different check set
+    must read as a miss.  Reference solutions, functional tests, and the
     synthesis space are deliberately excluded: they do not influence
     :meth:`FeedbackEngine.grade` output, so editing them must not
     invalidate cached reports.
@@ -75,6 +79,7 @@ def kb_fingerprint(assignment: Assignment) -> str:
             assignment.enforce_headers,
             assignment.synthesize_else_conditions,
             assignment.expected_methods,
+            analysis_fingerprint(),
         )
     )
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

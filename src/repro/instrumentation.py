@@ -46,6 +46,7 @@ PIPELINE_PHASES = (
     "epdg_build",
     "pattern_match",
     "constraint_match",
+    "analysis",
 )
 
 

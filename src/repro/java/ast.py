@@ -14,14 +14,27 @@ from dataclasses import dataclass, field, fields
 from typing import Iterator
 
 
+#: Per-class field-name tuples; ``dataclasses.fields`` rebuilds its list
+#: on every call, which dominates generic traversal cost otherwise.
+_FIELD_NAMES: dict[type, tuple[str, ...]] = {}
+
+
+def _field_names(cls: type) -> tuple[str, ...]:
+    names = _FIELD_NAMES.get(cls)
+    if names is None:
+        names = tuple(item.name for item in fields(cls))
+        _FIELD_NAMES[cls] = names
+    return names
+
+
 @dataclass
 class Node:
     """Base class for every AST node."""
 
     def children(self) -> Iterator["Node"]:
         """Yield the direct child nodes, in source order."""
-        for item in fields(self):
-            value = getattr(self, item.name)
+        for name in _field_names(type(self)):
+            value = getattr(self, name)
             if isinstance(value, Node):
                 yield value
             elif isinstance(value, (list, tuple)):

@@ -197,6 +197,7 @@ class Parser:
         return self._check("(", offset)
 
     def _parse_method(self, modifiers: list[str]) -> ast.MethodDecl:
+        first_token = self._tokens[self._pos]
         return_type = self._parse_type()
         name = self._expect_identifier()
         self._expect("(")
@@ -218,7 +219,7 @@ class Parser:
             while self._match(","):
                 throws.append(self._expect_identifier())
         body = self._parse_block()
-        return ast.MethodDecl(
+        method = ast.MethodDecl(
             name=name,
             return_type=return_type,
             parameters=parameters,
@@ -226,6 +227,8 @@ class Parser:
             modifiers=modifiers,
             throws=throws,
         )
+        method.position = (first_token.line, first_token.column)
+        return method
 
     # ------------------------------------------------------------------
     # types
@@ -285,14 +288,20 @@ class Parser:
         if token.type in _STRUCTURAL:
             handler = _STATEMENT_DISPATCH.get(token.value)
             if handler is not None:
-                return handler(self)
+                statement = handler(self)
+                # non-field attribute (like the printer/EPDG memo slots):
+                # dataclass equality and fields() stay untouched, so
+                # differential tests against position-less ASTs still pass
+                statement.position = (token.line, token.column)
+                return statement
         if self._at_type_start():
-            declaration = self._parse_local_var_decl()
+            statement = self._parse_local_var_decl()
             self._expect(";")
-            return declaration
-        expression = self._parse_expression()
-        self._expect(";")
-        return ast.ExpressionStatement(expression)
+        else:
+            statement = ast.ExpressionStatement(self._parse_expression())
+            self._expect(";")
+        statement.position = (token.line, token.column)
+        return statement
 
     def _parse_empty_statement(self) -> ast.EmptyStatement:
         self._advance()

@@ -6,7 +6,9 @@ here as well, so tests can assert the knowledge base matches the paper.
 
 from __future__ import annotations
 
+import importlib
 from functools import lru_cache
+from typing import Callable, Iterable, Iterator
 
 from repro.core.assignment import Assignment
 from repro.errors import KnowledgeBaseError
@@ -28,37 +30,42 @@ TABLE1 = {
 }
 
 
-def _builders():
-    # imported lazily: assignment modules import the pattern library,
-    # which in turn must not import the registry at module load time
-    from repro.kb.assignments import (
-        assignment1,
-        esc_lab3_p1_v1,
-        esc_lab3_p2_v1,
-        esc_lab3_p2_v2,
-        esc_lab3_p3_v1,
-        esc_lab3_p3_v2,
-        esc_lab3_p4_v1,
-        esc_lab3_p4_v2,
-        mitx_derivatives,
-        mitx_polynomials,
-        rit_all_g_medals,
-        rit_medals_by_ath,
-    )
-    return {
-        "assignment1": assignment1.build,
-        "esc-LAB-3-P1-V1": esc_lab3_p1_v1.build,
-        "esc-LAB-3-P2-V1": esc_lab3_p2_v1.build,
-        "esc-LAB-3-P2-V2": esc_lab3_p2_v2.build,
-        "esc-LAB-3-P3-V1": esc_lab3_p3_v1.build,
-        "esc-LAB-3-P3-V2": esc_lab3_p3_v2.build,
-        "esc-LAB-3-P4-V1": esc_lab3_p4_v1.build,
-        "esc-LAB-3-P4-V2": esc_lab3_p4_v2.build,
-        "mitx-derivatives": mitx_derivatives.build,
-        "mitx-polynomials": mitx_polynomials.build,
-        "rit-all-g-medals": rit_all_g_medals.build,
-        "rit-medals-by-ath": rit_medals_by_ath.build,
-    }
+#: Assignment name -> module (under ``repro.kb.assignments``) whose
+#: ``build()`` constructs it.  Modules are imported lazily, one at a
+#: time, so a broken assignment module only fails the assignments that
+#: live in it — and the resulting error names the offending module.
+_MODULES = {
+    "assignment1": "assignment1",
+    "esc-LAB-3-P1-V1": "esc_lab3_p1_v1",
+    "esc-LAB-3-P2-V1": "esc_lab3_p2_v1",
+    "esc-LAB-3-P2-V2": "esc_lab3_p2_v2",
+    "esc-LAB-3-P3-V1": "esc_lab3_p3_v1",
+    "esc-LAB-3-P3-V2": "esc_lab3_p3_v2",
+    "esc-LAB-3-P4-V1": "esc_lab3_p4_v1",
+    "esc-LAB-3-P4-V2": "esc_lab3_p4_v2",
+    "mitx-derivatives": "mitx_derivatives",
+    "mitx-polynomials": "mitx_polynomials",
+    "rit-all-g-medals": "rit_all_g_medals",
+    "rit-medals-by-ath": "rit_medals_by_ath",
+}
+
+
+def _load_builder(name: str) -> Callable[[], Assignment]:
+    module_name = f"repro.kb.assignments.{_MODULES[name]}"
+    try:
+        module = importlib.import_module(module_name)
+    except Exception as error:  # noqa: BLE001 - surface module+cause together
+        raise KnowledgeBaseError(
+            f"assignment {name!r} failed to load: module {module_name} "
+            f"raised {type(error).__name__}: {error}"
+        ) from error
+    build = getattr(module, "build", None)
+    if not callable(build):
+        raise KnowledgeBaseError(
+            f"assignment {name!r} failed to load: module {module_name} "
+            "defines no build() function"
+        )
+    return build
 
 
 def all_assignment_names() -> list[str]:
@@ -69,12 +76,27 @@ def all_assignment_names() -> list[str]:
 @lru_cache(maxsize=None)
 def get_assignment(name: str) -> Assignment:
     """Build (and cache) the assignment specification for ``name``."""
-    builders = _builders()
-    if name not in builders:
+    if name not in _MODULES:
         raise KnowledgeBaseError(
-            f"unknown assignment {name!r}; known: {sorted(builders)}"
+            f"unknown assignment {name!r}; known: {sorted(_MODULES)}"
         )
-    return builders[name]()
+    return _load_builder(name)()
+
+
+def iter_assignments(
+    names: Iterable[str] | None = None,
+) -> Iterator[tuple[str, Assignment]]:
+    """Yield ``(name, assignment)`` lazily, in Table I order.
+
+    Each assignment loads on demand — nothing imports until its tuple is
+    requested — and a failing assignment module raises
+    :class:`KnowledgeBaseError` naming the module.  Callers that must
+    survive individual load failures (like ``repro lint-kb``) should
+    loop :func:`all_assignment_names` and call :func:`get_assignment`
+    per name instead, since a raise ends a generator.
+    """
+    for name in all_assignment_names() if names is None else names:
+        yield name, get_assignment(name)
 
 
 def table1_expectations(name: str) -> dict[str, int]:

@@ -157,4 +157,13 @@ def render_prometheus(snapshot: dict) -> str:
     for key in ("submissions", "graded", "cache_hits", "parse_errors",
                 "timeouts", "errors"):
         emit(f"pipeline_{key}", pipeline.get(key, 0))
+    # static-analysis visibility: per-check finding counters plus the
+    # analysis phase's wall time, flattened like the serve counters
+    # (``analysis.use-before-init`` → ``repro_analysis_use_before_init``)
+    for name, value in sorted(pipeline.get("counters", {}).items()):
+        if name.startswith("analysis."):
+            emit(name.replace(".", "_").replace("-", "_"), value)
+    phase_ms = pipeline.get("phase_ms", {})
+    if "analysis" in phase_ms:
+        emit("pipeline_analysis_ms", phase_ms["analysis"])
     return "\n".join(lines) + "\n"

@@ -123,6 +123,9 @@ class GradingService:
         )
         self._caches: dict[str, ResultCache] = {}
         self._stores: dict[str, ResultStore] = {}
+        # lazily-computed KB lint report (the KB is immutable for the
+        # lifetime of a service process, so one run is enough)
+        self._lint_payload: dict | None = None
         self._server: asyncio.base_events.Server | None = None
         self._conn_tasks: set[asyncio.Task] = set()
         self._busy = 0
@@ -279,6 +282,8 @@ class GradingService:
             return HttpResponse.json(
                 {"assignments": list(all_assignment_names())}
             )
+        if path == "/lint":
+            return self._lint_response()
         if path == "/":
             return HttpResponse.json({
                 "service": "repro-grading",
@@ -287,11 +292,21 @@ class GradingService:
                     "GET /assignments",
                     "GET /healthz",
                     "GET /readyz",
+                    "GET /lint",
                     "GET /metrics",
                 ],
             })
         self.metrics.increment("serve.not_found")
         raise HttpError(404, f"no route for {path}")
+
+    def _lint_response(self) -> HttpResponse:
+        """KB lint report for operators (``repro lint-kb`` over HTTP)."""
+        if self._lint_payload is None:
+            from repro.analysis import lint_knowledge_base
+
+            self._lint_payload = lint_knowledge_base().to_dict()
+        status = 200 if self._lint_payload["ok"] else 503
+        return HttpResponse.json(self._lint_payload, status=status)
 
     def _metrics_response(self, request: HttpRequest) -> HttpResponse:
         self.metrics.counters["serve.worker_respawns"] = self.pool.respawns

@@ -1,0 +1,222 @@
+"""Golden tests for the submission diagnostic checks.
+
+Each check gets at least one positive snippet (the defect is present and
+the check fires) and one negative snippet (a near-miss that must stay
+silent).  Snippets are bare methods — the frontend accepts them — except
+where class fields matter.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    ANALYSIS_VERSION,
+    CHECKS,
+    Severity,
+    analysis_fingerprint,
+    check_by_id,
+    run_checks,
+)
+from repro.instrumentation import collecting
+from repro.java import parse_submission
+from repro.pdg.builder import extract_all_epdgs
+
+
+def diagnose(source):
+    unit = parse_submission(source)
+    return run_checks(unit, extract_all_epdgs(unit))
+
+
+def ids(diagnostics):
+    return [d.check for d in diagnostics]
+
+
+class TestUseBeforeInit:
+    def test_read_of_uninitialized_local_fires(self):
+        found = diagnose("int f() { int x; return x; }")
+        assert "use-before-init" in ids(found)
+        finding = next(d for d in found if d.check == "use-before-init")
+        assert finding.severity is Severity.ERROR
+        assert "'x'" in finding.message
+        assert finding.method == "f"
+        assert finding.line == 1
+        assert finding.snippet == "return x"
+
+    def test_initialized_local_is_silent(self):
+        assert "use-before-init" not in ids(
+            diagnose("int f() { int x = 1; return x; }")
+        )
+
+    def test_parameters_and_fields_are_initialized(self):
+        assert "use-before-init" not in ids(
+            diagnose("int f(int n) { return n; }")
+        )
+        source = """
+        public class C {
+            int total;
+            int get() { return total; }
+        }
+        """
+        assert "use-before-init" not in ids(diagnose(source))
+
+
+class TestMissingReturn:
+    def test_fallthrough_path_fires(self):
+        found = diagnose("int f(int n) { if (n > 0) { return 1; } }")
+        assert "missing-return" in ids(found)
+        finding = next(d for d in found if d.check == "missing-return")
+        assert "int" in finding.message
+
+    def test_all_paths_return_is_silent(self):
+        source = """
+        int f(int n) {
+            if (n > 0) { return 1; } else { return 0; }
+        }
+        """
+        assert "missing-return" not in ids(diagnose(source))
+
+    def test_void_method_is_silent(self):
+        assert "missing-return" not in ids(
+            diagnose("void f(int n) { int x = n; }")
+        )
+
+
+class TestUnreachableCode:
+    def test_statement_after_return_fires(self):
+        found = diagnose("int f() { return 1; int x = 2; }")
+        assert "unreachable-code" in ids(found)
+
+    def test_statement_after_infinite_loop_fires(self):
+        source = "void f() { while (true) { int x = 1; } int y = 2; }"
+        assert "unreachable-code" in ids(diagnose(source))
+
+    def test_plain_straight_line_is_silent(self):
+        assert "unreachable-code" not in ids(
+            diagnose("int f() { int x = 1; return x; }")
+        )
+
+
+class TestInfiniteLoop:
+    def test_while_true_without_escape_fires(self):
+        found = diagnose("void f() { while (true) { int x = 1; } }")
+        assert "infinite-loop" in ids(found)
+        finding = next(d for d in found if d.check == "infinite-loop")
+        assert "while" in finding.message
+
+    def test_break_and_return_escape(self):
+        assert "infinite-loop" not in ids(
+            diagnose("void f() { while (true) { break; } }")
+        )
+        assert "infinite-loop" not in ids(
+            diagnose("int f() { while (true) { return 1; } }")
+        )
+
+    def test_non_constant_condition_is_silent(self):
+        assert "infinite-loop" not in ids(
+            diagnose("void f(int n) { while (n > 0) { n = n - 1; } }")
+        )
+
+
+class TestLoopNeverEntered:
+    def test_while_false_fires(self):
+        found = diagnose("void f() { while (false) { int x = 1; } }")
+        assert "loop-never-entered" in ids(found)
+
+    def test_do_while_false_is_silent(self):
+        # a do-while body runs at least once regardless of the condition
+        assert "loop-never-entered" not in ids(
+            diagnose("void f() { do { int x = 1; } while (false); }")
+        )
+
+
+class TestUnusedVariable:
+    def test_written_never_read_fires(self):
+        found = diagnose("void f() { int x = 1; }")
+        assert "unused-variable" in ids(found)
+
+    def test_declared_never_touched_fires(self):
+        # no initializer and no use: the EPDG has no node for it at all,
+        # so this exercises the AST-declaration side of the check
+        found = diagnose("void f() { int x; }")
+        assert "unused-variable" in ids(found)
+
+    def test_read_variable_is_silent(self):
+        assert "unused-variable" not in ids(
+            diagnose("int f() { int x = 1; return x; }")
+        )
+
+
+class TestUnusedParameter:
+    def test_unused_parameter_fires_as_info(self):
+        found = diagnose("void f(int n) { int x = 1; int y = x; }")
+        finding = next(d for d in found if d.check == "unused-parameter")
+        assert finding.severity is Severity.INFO
+        assert "'n'" in finding.message
+
+    def test_used_parameter_is_silent(self):
+        assert "unused-parameter" not in ids(
+            diagnose("int f(int n) { return n; }")
+        )
+
+
+class TestRunChecks:
+    def test_clean_method_yields_no_diagnostics(self):
+        assert diagnose("int f(int n) { return n + 1; }") == []
+
+    def test_deterministic_across_runs(self):
+        source = """
+        int f(int a, int b) {
+            int x; int dead = 3;
+            while (true) { int y = a; }
+            return x + b;
+        }
+        """
+        assert diagnose(source) == diagnose(source)
+
+    def test_counters_and_phases_recorded(self):
+        source = "int f() { int x; return x; }"
+        with collecting() as collector:
+            found = diagnose(source)
+        assert collector.counters["analysis.runs"] == 1
+        assert collector.counters["analysis.diagnostics"] == len(found)
+        assert collector.counters["analysis.use-before-init"] == 1
+        assert "analysis.use-before-init" in collector.seconds
+        # every registered check was timed, even the silent ones
+        for check in CHECKS:
+            assert f"analysis.{check.id}" in collector.seconds
+
+    def test_duplicate_method_names_analyze_last_declaration(self):
+        # mirrors extract_all_epdgs: the later declaration wins
+        source = """
+        int f() { int dead = 1; return 2; }
+        int f() { return 3; }
+        """
+        assert diagnose(source) == []
+
+    def test_messages_never_leak_placeholders(self):
+        source = """
+        int f(int unused) {
+            int x; int dead = 3;
+            while (true) { int y = 1; }
+            return x;
+        }
+        """
+        for diagnostic in diagnose(source):
+            assert "{" not in diagnostic.message
+
+
+class TestRegistry:
+    def test_check_ids_unique_and_resolvable(self):
+        seen = {check.id for check in CHECKS}
+        assert len(seen) == len(CHECKS)
+        for check in CHECKS:
+            assert check_by_id(check.id) is check
+        with pytest.raises(KeyError):
+            check_by_id("no-such-check")
+
+    def test_fingerprint_names_version_and_every_check(self):
+        fingerprint = analysis_fingerprint()
+        assert f"analysis-v{ANALYSIS_VERSION}" in fingerprint
+        for check in CHECKS:
+            assert check.id in fingerprint

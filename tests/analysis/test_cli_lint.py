@@ -1,0 +1,70 @@
+"""CLI ``lint-kb`` subcommand and lazy registry iteration."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.errors import KnowledgeBaseError
+from repro.kb.registry import all_assignment_names, iter_assignments
+
+
+class TestLintKbCommand:
+    def test_clean_kb_exits_zero(self, capsys):
+        assert main(["lint-kb"]) == 0
+        out = capsys.readouterr().out
+        assert "0 finding(s)" in out
+
+    def test_unknown_assignment_exits_nonzero(self, capsys):
+        assert main(["lint-kb", "does-not-exist"]) == 1
+        out = capsys.readouterr().out
+        assert "kb-load-error" in out
+
+    def test_json_to_stdout(self, capsys):
+        assert main(["lint-kb", "--json", "-"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert len(payload["assignments"]) == 12
+
+    def test_json_to_file(self, capsys, tmp_path):
+        target = tmp_path / "lint.json"
+        assert main(["lint-kb", "--json", str(target)]) == 0
+        payload = json.loads(target.read_text())
+        assert payload["ok"] is True
+        # the human summary still prints alongside the file
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_fail_on_never_always_exits_zero(self, capsys):
+        assert main(["lint-kb", "does-not-exist", "--fail-on", "never"]) == 0
+        capsys.readouterr()
+
+    def test_subset_selection(self, capsys):
+        assert main(["lint-kb", "assignment1"]) == 0
+        capsys.readouterr()
+
+
+class TestIterAssignments:
+    def test_yields_all_twelve_in_order(self):
+        pairs = list(iter_assignments())
+        assert [name for name, _ in pairs] == all_assignment_names()
+        assert len(pairs) == 12
+        for name, assignment in pairs:
+            assert assignment.name == name
+
+    def test_subset_keeps_requested_order(self):
+        names = ["rit-medals-by-ath", "assignment1"]
+        assert [n for n, _ in iter_assignments(names)] == names
+
+    def test_unknown_name_raises_kb_error(self):
+        with pytest.raises(KnowledgeBaseError, match="nope"):
+            list(iter_assignments(["nope"]))
+
+    def test_broken_module_error_names_module(self, monkeypatch):
+        from repro.kb import registry
+
+        monkeypatch.setitem(registry._MODULES, "broken", "missing_mod")
+        with pytest.raises(KnowledgeBaseError) as excinfo:
+            list(iter_assignments(["broken"]))
+        assert "repro.kb.assignments.missing_mod" in str(excinfo.value)
