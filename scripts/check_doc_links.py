@@ -1,0 +1,57 @@
+"""Fail on dead relative links in README.md and docs/*.md.
+
+Scans every markdown link ``[text](target)``; targets with a URL scheme
+(http:, https:, mailto:) and pure in-page anchors (``#...``) are
+ignored, everything else is resolved relative to the containing file
+and must exist.  Run from anywhere::
+
+    python scripts/check_doc_links.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: inline markdown links; the target group stops at whitespace or ')'
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_SCHEME = re.compile(r"^[A-Za-z][A-Za-z0-9+.-]*:")
+
+
+def iter_doc_files():
+    yield REPO_ROOT / "README.md"
+    yield from sorted((REPO_ROOT / "docs").glob("*.md"))
+
+
+def dead_links(path: Path):
+    """Yield ``(line_number, target)`` for each dead relative link."""
+    for number, line in enumerate(path.read_text().splitlines(), start=1):
+        for target in _LINK.findall(line):
+            if _SCHEME.match(target) or target.startswith("#"):
+                continue
+            resolved = (path.parent / target.split("#", 1)[0]).resolve()
+            if not resolved.exists():
+                yield number, target
+
+
+def main() -> int:
+    broken = []
+    checked = 0
+    for path in iter_doc_files():
+        checked += 1
+        for number, target in dead_links(path):
+            broken.append(
+                f"{path.relative_to(REPO_ROOT)}:{number}: "
+                f"dead link -> {target}"
+            )
+    for line in broken:
+        print(line)
+    print(f"checked {checked} files, {len(broken)} dead links")
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

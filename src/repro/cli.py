@@ -8,7 +8,8 @@ Usage::
     repro grade assignment1 -            # read the submission from stdin
     repro grade-batch assignment1 submissions/ --stats
     repro grade-batch assignment1 --synthetic 200 --mode thread --stats
-    repro serve --port 8652 --workers 4
+    repro grade-batch assignment1 submissions/ --cluster --stats
+    repro serve --port 8652 --workers 4 [--cluster]
     repro lint-kb [assignment ...] [--json -] [--fail-on error]
     repro test assignment1 Submission.java
     repro epdg assignment1 Submission.java [--dot]
@@ -122,6 +123,7 @@ def _cmd_grade_batch(args) -> int:
         workers=args.workers,
         cache=not args.no_cache,
         store=args.cache_dir,
+        cluster=args.cluster,
     )
     result = grader.grade_batch(_collect_batch(args))
     if args.json:
@@ -170,6 +172,7 @@ def _cmd_serve(args) -> int:
         max_deadline_seconds=max(args.deadline, args.max_deadline),
         cache_size=args.cache_size,
         cache_dir=args.cache_dir,
+        cluster=args.cluster,
         drain_timeout_seconds=args.drain_timeout,
         debug_hooks=args.debug_hooks,
     )
@@ -325,6 +328,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "across runs and processes (entries are "
                             "invalidated automatically when the "
                             "knowledge base changes)")
+    batch.add_argument("--cluster", action="store_true",
+                       help="bucket structurally duplicate submissions "
+                            "and grade one representative per bucket "
+                            "(output-preserving; see docs/CLUSTERING.md)")
     batch.add_argument("--stats", action="store_true",
                        help="print per-phase timing, cache hit rate, and "
                             "throughput (PipelineStats)")
@@ -363,6 +370,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--cache-dir", metavar="DIR", default=None,
                        help="persistent on-disk result cache shared "
                             "with grade-batch and across restarts")
+    serve.add_argument("--cluster", action="store_true",
+                       help="bucket structurally duplicate submissions "
+                            "per worker and specialize one "
+                            "representative's report "
+                            "(output-preserving; see docs/CLUSTERING.md)")
     serve.add_argument("--drain-timeout", type=float, default=30.0,
                        help="seconds to wait for in-flight work on "
                             "SIGTERM (default 30)")

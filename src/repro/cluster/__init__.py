@@ -1,0 +1,52 @@
+"""Submission clustering and representative grading.
+
+At MOOC scale most submissions are near-duplicates: the same program
+structure resubmitted under different variable names, constant
+spellings, spacing, and comments.  This package buckets submissions by a
+*canonical fingerprint* — a token stream with renameable identifiers
+alpha-renamed to first-occurrence slots and constants normalized the way
+the frontend printer normalizes them — grades exactly one
+*representative* per bucket through the full Algorithm 1/2 + analysis
+path, and *specializes* the representative's results back to every other
+member by re-binding identifier spellings and source positions.
+
+The member path is one lex plus string joins: the representative's
+report is canonicalized once (identifier spellings become fingerprint
+slots, diagnostic positions become token indices), and each member's
+report is rebuilt by joining the slots with its own spellings and
+looking positions up in its own token stream.  No parsing, no EPDGs,
+no embedding search, no analysis.  A per-assignment knowledge-base
+audit plus per-submission safety gates guarantee the specialized
+output is byte-identical to grading the member from scratch; anything
+the gates cannot prove safe falls back to the full path.
+
+See ``docs/CLUSTERING.md`` for the fingerprint definition, the
+specialization rules, and the equivalence argument.
+"""
+
+from repro.cluster.audit import ClusterAudit, audit_assignment
+from repro.cluster.fingerprint import (
+    SourcePrint,
+    fingerprint_graphs,
+    fingerprint_source,
+)
+from repro.cluster.grader import ClusterGrader
+from repro.cluster.specialize import (
+    SpecializeError,
+    build_cluster_record,
+    rename_submission,
+    specialize,
+)
+
+__all__ = [
+    "ClusterAudit",
+    "ClusterGrader",
+    "SourcePrint",
+    "SpecializeError",
+    "audit_assignment",
+    "build_cluster_record",
+    "fingerprint_graphs",
+    "fingerprint_source",
+    "rename_submission",
+    "specialize",
+]

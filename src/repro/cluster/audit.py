@@ -1,0 +1,394 @@
+"""Knowledge-base safety audit for submission clustering.
+
+Clustering grades one representative per fingerprint bucket and re-binds
+its feedback to every member, so it is only sound when grading is
+*equivariant* under renaming: replacing every occurrence of an
+identifier token with a fresh spelling must change nothing about the
+grading outcome except the spellings embedded in the delivered text.
+
+Two things can break equivariance, and both live in the knowledge base:
+
+* **expression templates** (:class:`~repro.patterns.template.ExprTemplate`)
+  are regexes matched against canonical node content.  Their *variable*
+  segments are rename-safe by construction (``render`` wraps the γ-bound
+  name in identifier-boundary lookarounds), but their *literal* segments
+  are matched verbatim — a literal letter run like ``fact`` matches
+  inside an identifier ``myfact``, so a rename could create or destroy a
+  match.  The audit whitelists the regex constructs literal segments may
+  use and extracts every literal identifier-character run; identifiers
+  mentioned literally become *kept* (never renamed), and the
+  per-submission gate in :mod:`repro.cluster.fingerprint` refuses any
+  submission whose renameable identifiers contain one of the runs as a
+  substring.
+
+* **diagnostic message templates** quote identifiers as ``'{var}'`` /
+  ``'{method}'``; the specializer re-binds them by rewriting quoted
+  spans, which is only unambiguous while the templates use apostrophes
+  for nothing else.  The audit enforces that discipline.
+
+A third hazard lives in the *delivered feedback text*.  The specializer
+re-binds a representative's comment messages by substituting every
+whole-word occurrence of a renameable spelling, which is only correct
+when such an occurrence can *only* come from γ interpolation.  The
+audit therefore collects the **report vocabulary** — every fixed word
+that can reach a comment independent of the submission: the literal
+words of the natural-language feedback templates (and their hole
+names, which render verbatim when unbound), pattern names and
+descriptions, constraint names, and the word inventory of the matching
+layer's own hard-coded message strings.  Identifiers that collide with
+the vocabulary are kept, never renamed.  Feedback templates must also
+keep their ``{hole}``\\ s word-separated — a hole glued to a word
+character (``my{x}``, ``{a}{b}``) would fuse the interpolated name
+into a larger word run the specializer cannot see.
+
+An assignment that fails the audit is simply never clustered — the
+grader counts ``cluster.unsafe_kb`` and grades every submission through
+the full path, so the audit can stay strict without risking wrong
+feedback.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import re
+from dataclasses import dataclass
+from functools import lru_cache
+
+import repro.matching.constraints
+import repro.matching.feedback
+import repro.matching.submission
+from repro.analysis.checks import CHECKS
+from repro.core.assignment import Assignment
+from repro.patterns.groups import PatternGroup
+from repro.patterns.model import ContainmentConstraint, Pattern
+from repro.patterns.template import ExprTemplate
+
+#: Characters that may appear in Java identifiers (and hence inside the
+#: canonical node content the templates are matched against).
+_WORD_CHARS = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_$"
+)
+
+#: Escaped letters accepted as regex constructs in literal segments.
+#: ``\d`` is neutralized by the no-digit identifier gate and ``\s``
+#: never matches inside an identifier; every other construct
+#: (``\w``, ``\b``, ``\S`` ...) can see across a rename.
+_SAFE_CONSTRUCTS = frozenset("ds")
+
+#: Lookaround/group openers whose *structure* is rename-safe (their
+#: contents are still scanned like any other segment text).
+_GROUP_PREFIXES = ("(?:", "(?=", "(?!", "(?<=", "(?<!")
+
+_QUOTED_SPAN = re.compile(r"'[^']*'")
+_QUOTED_BINDING = re.compile(r"'\{(?:var|method)\}'")
+
+#: ``{hole}`` references in natural-language feedback templates
+#: (the :func:`~repro.patterns.template.render_feedback` syntax).
+_FEEDBACK_HOLE = re.compile(r"\{([A-Za-z_$][A-Za-z0-9_$]*)\}")
+
+#: Maximal identifier-character runs (word inventory extraction).
+_WORD_RUN = re.compile(r"[A-Za-z0-9_$]+")
+
+
+@dataclass(frozen=True)
+class ClusterAudit:
+    """Verdict of the clustering safety audit for one assignment.
+
+    ``keep_identifiers`` are spellings the fingerprint must never
+    rename (expected method names, identifiers the templates match
+    literally, and words of the report vocabulary — fixed text that can
+    appear in delivered feedback); ``literal_runs`` are the literal
+    identifier-character runs whose presence *inside* a renameable
+    identifier makes a spelling unsafe to rename.
+    """
+
+    assignment_name: str
+    safe: bool
+    reasons: tuple[str, ...]
+    keep_identifiers: frozenset[str]
+    literal_runs: frozenset[str]
+
+
+def _scan_literal_segment(segment: str) -> tuple[str | None, set[str]]:
+    """Whitelist-scan one literal regex segment of a template.
+
+    Returns ``(reason, runs)``: ``reason`` is ``None`` when every
+    construct in the segment is rename-safe, otherwise a short
+    explanation; ``runs`` collects the maximal identifier-character runs
+    matched verbatim (the substring hazards).
+    """
+    runs: set[str] = set()
+    current: list[str] = []
+
+    def flush() -> None:
+        if current:
+            run = "".join(current)
+            if not run.isdigit():
+                # pure digit runs cannot occur inside renameable
+                # identifiers (the fingerprint gate rejects digits)
+                runs.add(run)
+            current.clear()
+
+    i = 0
+    n = len(segment)
+    while i < n:
+        ch = segment[i]
+        if ch == "\\":
+            if i + 1 >= n:
+                flush()
+                return "dangling backslash", runs
+            escaped = segment[i + 1]
+            i += 2
+            if escaped.isalnum():
+                if escaped not in _SAFE_CONSTRUCTS:
+                    flush()
+                    return f"regex construct \\{escaped}", runs
+                flush()
+                if i < n and segment[i] in "*+?":
+                    i += 1
+                continue
+            # an escaped metacharacter is a literal character; ``\$``
+            # is the one escape that lands inside the identifier
+            # alphabet and must extend the current run
+            if escaped in _WORD_CHARS:
+                current.append(escaped)
+            else:
+                flush()
+            continue
+        if ch == "(":
+            flush()
+            for prefix in _GROUP_PREFIXES:
+                if segment.startswith(prefix, i):
+                    i += len(prefix)
+                    break
+            else:
+                i += 1
+            continue
+        if ch == ")":
+            flush()
+            i += 1
+            if i < n and segment[i] in "*+?{":
+                return "quantified group", runs
+            continue
+        if ch == ".":
+            flush()
+            if i + 1 < n and segment[i + 1] in "*+":
+                i += 2
+                continue
+            return "unquantified '.'", runs
+        if ch in "|^$":
+            # alternation and anchors never match identifier characters
+            flush()
+            i += 1
+            continue
+        if ch in "*+?":
+            flush()
+            return f"quantifier {ch!r} after a literal", runs
+        if ch in "[]{}":
+            flush()
+            return f"regex construct {ch!r}", runs
+        if ch in _WORD_CHARS:
+            current.append(ch)
+        else:
+            # plain punctuation / whitespace: literal, never part of an
+            # identifier
+            flush()
+        i += 1
+    flush()
+    return None, runs
+
+
+def _iter_templates(assignment: Assignment):
+    """Every :class:`ExprTemplate` the assignment can match with."""
+    for expected in assignment.expected_methods:
+        for pattern, _count in expected.patterns:
+            if isinstance(pattern, PatternGroup):
+                variants: list[Pattern] = [
+                    v.pattern for v in pattern.variants
+                ]
+            else:
+                variants = [pattern]
+            for variant in variants:
+                for node in variant.nodes:
+                    yield variant.name, node.expr
+                    if node.approx is not None:
+                        yield variant.name, node.approx
+        for constraint in expected.constraints:
+            if isinstance(constraint, ContainmentConstraint):
+                yield constraint.name, constraint.expr
+
+
+@lru_cache(maxsize=1)
+def _matching_layer_vocabulary() -> frozenset[str]:
+    """Word inventory of the matching layer's hard-coded message text.
+
+    Scans the string constants (f-string segments included, docstrings
+    excluded) of the modules that compose feedback comments, so the
+    vocabulary tracks the code instead of a hand-kept list.
+    """
+    words: set[str] = set()
+    for module in (
+        repro.matching.feedback,
+        repro.matching.constraints,
+        repro.matching.submission,
+    ):
+        tree = ast.parse(inspect.getsource(module))
+        docstrings: set[int] = set()
+        for node in ast.walk(tree):
+            if isinstance(
+                node,
+                (ast.Module, ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef),
+            ):
+                body = node.body
+                if (
+                    body
+                    and isinstance(body[0], ast.Expr)
+                    and isinstance(body[0].value, ast.Constant)
+                    and isinstance(body[0].value.value, str)
+                ):
+                    docstrings.add(id(body[0].value))
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Constant)
+                and isinstance(node.value, str)
+                and id(node) not in docstrings
+            ):
+                words.update(_WORD_RUN.findall(node.value))
+    return frozenset(words)
+
+
+def _scan_feedback_template(template: str) -> tuple[list[str], set[str]]:
+    """Audit one natural-language feedback template.
+
+    Returns ``(reasons, words)``: holes must be word-separated from
+    their surroundings and from each other, and ``words`` collects the
+    template's fixed text runs plus its hole names (an unbound hole
+    renders verbatim as ``{name}``).
+    """
+    reasons: list[str] = []
+    previous_end = -1
+    for match in _FEEDBACK_HOLE.finditer(template):
+        before = template[match.start() - 1] if match.start() else ""
+        after = template[match.end()] if match.end() < len(template) else ""
+        if (
+            before in _WORD_CHARS
+            or after in _WORD_CHARS
+            or match.start() == previous_end
+        ):
+            reasons.append(
+                f"feedback template {template!r} glues hole "
+                f"{match.group()!r} to adjacent text"
+            )
+        previous_end = match.end()
+    words = set(_WORD_RUN.findall(_FEEDBACK_HOLE.sub(" ", template)))
+    words.update(_FEEDBACK_HOLE.findall(template))
+    return reasons, words
+
+
+def _iter_feedback_text(assignment: Assignment):
+    """Every string that can reach a comment: ``(kind, owner, text)``.
+
+    ``kind`` is ``"template"`` for :func:`render_feedback` inputs (which
+    get the hole-discipline check) and ``"fixed"`` for plain text
+    interpolated into messages (names, descriptions).
+    """
+    for expected in assignment.expected_methods:
+        yield "fixed", expected.name, expected.name
+        for pattern, _count in expected.patterns:
+            if isinstance(pattern, PatternGroup):
+                yield "fixed", pattern.name, pattern.name
+                variants: list[Pattern] = [v.pattern for v in pattern.variants]
+            else:
+                variants = [pattern]
+            for variant in variants:
+                yield "fixed", variant.name, variant.name
+                yield "fixed", variant.name, variant.description
+                yield "template", variant.name, variant.feedback_present
+                yield "template", variant.name, variant.feedback_missing
+                for node in variant.nodes:
+                    yield "template", variant.name, node.feedback_correct
+                    yield "template", variant.name, node.feedback_incorrect
+        for constraint in expected.constraints:
+            yield "fixed", constraint.name, constraint.name
+            yield "template", constraint.name, constraint.feedback_correct
+            yield "template", constraint.name, constraint.feedback_incorrect
+
+
+def _audit_check_templates() -> list[str]:
+    """Enforce the apostrophe discipline of diagnostic templates.
+
+    The specializer re-binds identifiers in rendered diagnostic
+    messages by rewriting ``'...'`` spans, which is only unambiguous
+    while check templates quote exactly their ``{var}``/``{method}``
+    interpolations and nothing else.
+    """
+    reasons = []
+    for check in CHECKS:
+        template = check.template
+        spans = _QUOTED_SPAN.findall(template)
+        if template.count("'") != 2 * len(spans) or any(
+            not _QUOTED_BINDING.fullmatch(span) for span in spans
+        ):
+            reasons.append(
+                f"check {check.id!r} template quotes more than its "
+                "identifier bindings"
+            )
+    return reasons
+
+
+def audit_assignment(assignment: Assignment) -> ClusterAudit:
+    """Decide whether ``assignment`` may be graded through clustering."""
+    reasons: list[str] = []
+    runs: set[str] = set()
+    if not assignment.enforce_headers:
+        # without header enforcement the method-assignment sweep orders
+        # methods by name, which a rename may permute
+        reasons.append("assignment does not enforce method headers")
+    seen: set[tuple[str, frozenset[str]]] = set()
+    for owner, template in _iter_templates(assignment):
+        key = (template.source, template.variables)
+        if key in seen:
+            continue
+        seen.add(key)
+        for kind, segment in template_segments(template):
+            if kind != "lit":
+                continue
+            reason, segment_runs = _scan_literal_segment(segment)
+            runs.update(segment_runs)
+            if reason is not None:
+                reasons.append(
+                    f"template {template.source!r} of {owner!r}: {reason}"
+                )
+    reasons.extend(_audit_check_templates())
+    vocabulary: set[str] = set(_matching_layer_vocabulary())
+    for kind, owner, text in _iter_feedback_text(assignment):
+        if kind == "template":
+            template_reasons, words = _scan_feedback_template(text)
+            for reason in template_reasons:
+                reasons.append(f"{owner!r}: {reason}")
+            vocabulary.update(words)
+        else:
+            vocabulary.update(_WORD_RUN.findall(text))
+    keep = {q.name for q in assignment.expected_methods}
+    keep.update(run for run in runs if _is_identifier(run))
+    keep.update(word for word in vocabulary if _is_identifier(word))
+    return ClusterAudit(
+        assignment_name=assignment.name,
+        safe=not reasons,
+        reasons=tuple(reasons),
+        keep_identifiers=frozenset(keep),
+        literal_runs=frozenset(runs),
+    )
+
+
+def template_segments(template: ExprTemplate):
+    """The template's (kind, text) segments; ``kind`` is "lit" or "var"."""
+    return template._segments
+
+
+_IDENTIFIER_RE = re.compile(r"[A-Za-z_$][A-Za-z0-9_$]*\Z")
+
+
+def _is_identifier(text: str) -> bool:
+    return _IDENTIFIER_RE.match(text) is not None

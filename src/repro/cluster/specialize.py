@@ -1,0 +1,330 @@
+"""Canonical bucket records and member specialization.
+
+A bucket's representative is graded through the full path once; its
+:class:`~repro.core.report.GradingReport` is then *canonicalized* by
+:func:`build_cluster_record`: every whole-word occurrence of a
+renameable identifier spelling in the delivered text is replaced by its
+fingerprint slot, and every diagnostic position by its token index.
+The record is a property of the bucket, not of the representative —
+any member can be specialized from it, and it persists
+fingerprint-keyed in the result store.
+
+:func:`specialize` inverts the canonicalization for one member in
+microseconds: slots are joined back with the member's own spellings,
+token indices are looked up in the member's own token stream (bucket
+mates agree on token count and line layout; columns may differ), and
+the report is rebuilt.  No parsing, matching, or analysis runs for a
+member — that is the entire point.
+
+Soundness rests on the audit (:mod:`repro.cluster.audit`) and the
+fingerprint keep rules (:mod:`repro.cluster.fingerprint`):
+
+* a renameable spelling never collides with the report vocabulary —
+  the fixed words of feedback templates, pattern names/descriptions,
+  and the matching layer's hard-coded message text — so a whole-word
+  occurrence of one in a comment can only be γ interpolation;
+* feedback-template holes are word-separated, so an interpolated name
+  always appears as a maximal word run;
+* renameable spellings never occur inside string literals (and hence
+  never inside canonical snippets' literal regions), and diagnostic
+  templates quote exactly their identifier bindings.
+
+Grading is rename-equivariant under those rules, so the specialized
+report is byte-identical to what the full path would have produced —
+the property the differential tests assert over every seed cohort.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.cluster.fingerprint import SourcePrint
+from repro.core.assignment import Assignment
+from repro.core.report import GradingReport
+from repro.java.lexer import TokenType, tokenize
+from repro.matching.feedback import FeedbackComment, FeedbackStatus
+from repro.matching.submission import MatchOutcome
+
+#: Version of the canonical record layout, persisted with every record.
+RECORD_VERSION = 2
+
+#: String/char literal regions of canonical (printer-produced) text.
+_LITERAL_REGIONS = re.compile(r'"(?:[^"\\]|\\.)*"|\'(?:[^\'\\]|\\.)*\'')
+
+#: Identifier tokens inside canonical code text.
+_IDENTIFIER = re.compile(r"[A-Za-z_$][A-Za-z0-9_$]*")
+
+#: Maximal word runs inside rendered message prose.
+_WORD_RUN = re.compile(r"[A-Za-z0-9_$]+")
+
+#: Quoted identifiers inside rendered diagnostic messages.
+_QUOTED_NAME = re.compile(r"'([A-Za-z_$][A-Za-z0-9_$]*)'")
+
+
+class SpecializeError(Exception):
+    """A member could not be specialized; callers fall back to the
+    full grading path (this is a performance event, never a
+    correctness one)."""
+
+
+# ----------------------------------------------------------------------
+# canonical parts: text with slot holes
+
+
+def _split_code(text: str, slots: dict[str, int]) -> list:
+    """Split canonical *code* text into literal chunks and slots.
+
+    String/char literal regions are never split — the fingerprint keep
+    rules guarantee no renameable spelling occurs as a word inside
+    them, so they are bucket-invariant and stay literal.  Used for
+    diagnostic snippets (node content, signatures, names).
+    """
+    parts: list = []
+
+    def emit_literal(chunk: str) -> None:
+        if chunk:
+            if parts and parts[-1][0] == "l":
+                parts[-1][1] += chunk
+            else:
+                parts.append(["l", chunk])
+
+    def split_identifiers(chunk: str) -> None:
+        position = 0
+        for match in _IDENTIFIER.finditer(chunk):
+            slot = slots.get(match.group())
+            if slot is None:
+                continue
+            emit_literal(chunk[position:match.start()])
+            parts.append(["s", slot])
+            position = match.end()
+        emit_literal(chunk[position:])
+
+    position = 0
+    for match in _LITERAL_REGIONS.finditer(text):
+        split_identifiers(text[position:match.start()])
+        emit_literal(match.group())
+        position = match.end()
+    split_identifiers(text[position:])
+    return parts
+
+
+def _split_words(text: str, slots: dict[str, int]) -> list:
+    """Split rendered message *prose* on renameable spellings.
+
+    Every maximal word run equal to a renameable spelling becomes a
+    slot; the audit's report vocabulary guarantees such a run can only
+    be an interpolated identifier.
+    """
+    parts: list = []
+    position = 0
+    for match in _WORD_RUN.finditer(text):
+        slot = slots.get(match.group())
+        if slot is None:
+            continue
+        chunk = text[position:match.start()]
+        if chunk or not parts:
+            parts.append(["l", chunk])
+        parts.append(["s", slot])
+        position = match.end()
+    tail = text[position:]
+    if tail or not parts:
+        parts.append(["l", tail])
+    return parts
+
+
+def _split_quoted(message: str, slots: dict[str, int]) -> list:
+    """Split a rendered diagnostic message on its quoted identifiers.
+
+    Diagnostic templates pass the audit's apostrophe discipline —
+    they quote exactly their ``{var}``/``{method}`` bindings — so the
+    quoted spans are the only places a spelling can appear.
+    """
+    parts: list = []
+    position = 0
+    for match in _QUOTED_NAME.finditer(message):
+        slot = slots.get(match.group(1))
+        if slot is None:
+            continue
+        parts.append(["l", message[position : match.start() + 1]])
+        parts.append(["s", slot])
+        position = match.end() - 1
+    tail = message[position:]
+    if tail or not parts:
+        parts.append(["l", tail])
+    return parts
+
+
+def _join(parts: list, spellings: tuple[str, ...]) -> str:
+    return "".join(
+        chunk if kind == "l" else spellings[chunk] for kind, chunk in parts
+    )
+
+
+def _tag(name: str, slots: dict[str, int]) -> list:
+    slot = slots.get(name)
+    return ["k", name] if slot is None else ["s", slot]
+
+
+def _untag(tagged, spellings: tuple[str, ...]) -> str:
+    kind, value = tagged
+    return value if kind == "k" else spellings[value]
+
+
+# ----------------------------------------------------------------------
+# building the canonical record
+
+
+def build_cluster_record(
+    assignment: Assignment,
+    sprint: SourcePrint,
+    report: GradingReport,
+) -> dict | None:
+    """Canonicalize a representative's grading report into a bucket
+    record.
+
+    Returns ``None`` when the report cannot be represented (no
+    outcome, or a diagnostic whose position is not a token start) —
+    the bucket is then simply not registered and members grade through
+    the full path.
+    """
+    outcome = report.outcome
+    if outcome is None:
+        return None
+    slots = {name: i for i, name in enumerate(sprint.spellings)}
+    token_index = {
+        position: index for index, position in enumerate(sprint.positions)
+    }
+    diagnostics_payload = []
+    for diagnostic in report.diagnostics:
+        if diagnostic.line is None:
+            index = None
+        else:
+            index = token_index.get((diagnostic.line, diagnostic.column))
+            if index is None:
+                return None
+        diagnostics_payload.append(
+            [
+                diagnostic.check,
+                str(diagnostic.severity),
+                _tag(diagnostic.method, slots),
+                _split_quoted(diagnostic.message, slots),
+                index,
+                _split_code(diagnostic.snippet, slots),
+            ]
+        )
+    return {
+        "version": RECORD_VERSION,
+        "assignment": assignment.name,
+        "slots": len(sprint.spellings),
+        "score": outcome.score,
+        "truncated": outcome.truncated,
+        "method_assignment": [
+            [q, _tag(a, slots)]
+            for q, a in outcome.method_assignment.items()
+        ],
+        "comments": [
+            [
+                comment.source,
+                comment.kind,
+                str(comment.status),
+                _split_words(comment.message, slots),
+                [_split_words(detail, slots) for detail in comment.details],
+            ]
+            for comment in outcome.comments
+        ],
+        "diagnostics": diagnostics_payload,
+    }
+
+
+# ----------------------------------------------------------------------
+# specializing a member
+
+
+def specialize(record: dict, member: SourcePrint) -> GradingReport:
+    """Rebuild the bucket's grading report for one member.
+
+    Pure string joins and position lookups — no parsing, matching, or
+    analysis.  Raises :class:`SpecializeError` when the record does not
+    fit the member's fingerprint shape (version or slot-count drift).
+    """
+    spellings = member.spellings
+    if record.get("version") != RECORD_VERSION or record.get("slots") != len(
+        spellings
+    ):
+        raise SpecializeError("record does not match member fingerprint")
+    comments = [
+        FeedbackComment(
+            source=source,
+            kind=kind,
+            status=FeedbackStatus(status),
+            message=_join(message, spellings),
+            details=tuple(_join(detail, spellings) for detail in details),
+        )
+        for source, kind, status, message, details in record["comments"]
+    ]
+    outcome = MatchOutcome(
+        comments=comments,
+        method_assignment={
+            q: _untag(tagged, spellings)
+            for q, tagged in record["method_assignment"]
+        },
+        score=record["score"],
+        truncated=bool(record["truncated"]),
+    )
+    diagnostics = []
+    for check, severity, method, message, index, snippet in record[
+        "diagnostics"
+    ]:
+        if index is None:
+            line = column = None
+        else:
+            line, column = member.positions[index]
+        diagnostics.append(
+            Diagnostic(
+                check=check,
+                severity=Severity(severity),
+                method=_untag(method, spellings),
+                message=_join(message, spellings),
+                line=line,
+                column=column,
+                snippet=_join(snippet, spellings),
+            )
+        )
+    return GradingReport(
+        assignment_name=record["assignment"],
+        outcome=outcome,
+        diagnostics=diagnostics,
+    )
+
+
+# ----------------------------------------------------------------------
+# renaming helper (benchmarks, tests)
+
+
+def rename_submission(source: str, renaming: dict[str, str]) -> str:
+    """Rewrite identifier tokens of ``source`` through ``renaming``.
+
+    Splices at token positions, so string literals and comments are
+    never touched.  Used by the clustering benchmark and the fingerprint
+    tests to build alpha-variant cohorts.
+    """
+    tokens = tokenize(source)
+    line_offsets = [0]
+    for offset, char in enumerate(source):
+        if char == "\n":
+            line_offsets.append(offset + 1)
+    out: list[str] = []
+    consumed = 0
+    for token in tokens:
+        if token.type is not TokenType.IDENTIFIER:
+            continue
+        replacement = renaming.get(token.value)
+        if replacement is None:
+            continue
+        start = line_offsets[token.line - 1] + token.column - 1
+        out.append(source[consumed:start])
+        out.append(replacement)
+        consumed = start + len(token.value)
+    out.append(source[consumed:])
+    return "".join(out)

@@ -79,6 +79,14 @@ class FeedbackEngine:
             return result
         return result[1]
 
+    def frontend_entry(self, source: str) -> FrontendEntry | str:
+        """Like :meth:`frontend` but also returning the parsed unit.
+
+        Used by the cluster tests (:mod:`repro.cluster`) to obtain the
+        graphs the graph-level fingerprint is defined over.
+        """
+        return self._frontend_entry(source)
+
     def _frontend_entry(self, source: str) -> FrontendEntry | str:
         """Like :meth:`frontend` but also returning the parsed unit."""
         if not self._frontend_cache_size:

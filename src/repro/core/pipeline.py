@@ -183,11 +183,31 @@ _WORKER_MAX_SECONDS: float | None = None
 
 
 def _init_process_worker(
-    assignment: Assignment, max_seconds: float | None = None
+    assignment: Assignment,
+    max_seconds: float | None = None,
+    cluster: bool = False,
+    store_root: str | None = None,
 ) -> None:
-    """Build one engine per worker process (assignment pickled once)."""
+    """Build one engine per worker process (assignment pickled once).
+
+    With ``cluster=True`` each worker wraps its engine in a
+    :class:`~repro.cluster.grader.ClusterGrader`; bucket registries are
+    per-process (workers cannot share memory), but with a ``store_root``
+    every worker reads and writes the same fingerprint-keyed records, so
+    buckets discovered by one process specialize in all of them.
+    """
     global _WORKER_ENGINE, _WORKER_MAX_SECONDS
-    _WORKER_ENGINE = FeedbackEngine(assignment, frontend_cache_size=0)
+    engine = FeedbackEngine(assignment, frontend_cache_size=0)
+    if cluster:
+        from repro.cluster.grader import ClusterGrader
+
+        store = (
+            ResultStore(store_root, assignment)
+            if store_root is not None
+            else None
+        )
+        engine = ClusterGrader(engine, store=store)
+    _WORKER_ENGINE = engine
     _WORKER_MAX_SECONDS = max_seconds
 
 
@@ -198,9 +218,12 @@ def _process_grade(job: tuple[str, str]):
 
 
 def _grade_one(
-    engine: FeedbackEngine, source: str, max_seconds: float | None = None
+    engine, source: str, max_seconds: float | None = None
 ) -> tuple[GradingReport, PhaseCollector, float]:
     """Grade one source with per-phase timing and error isolation.
+
+    ``engine`` is anything exposing ``grade``/``assignment`` — a
+    :class:`FeedbackEngine` or a cluster grader wrapping one.
 
     ``max_seconds`` installs a cooperative wall-clock deadline around
     the grade: the pipeline phases and the matcher's search loop check
@@ -269,6 +292,18 @@ class BatchGrader:
         reported in ``stats.counters`` as ``cache.store_hits`` /
         ``cache.store_misses`` / ``cache.store_writes`` /
         ``cache.store_errors``.
+    cluster:
+        Opt into submission clustering (:mod:`repro.cluster`): bucket
+        submissions by canonical fingerprint, grade one representative
+        per bucket through the full path, and specialize its report to
+        the other members.  Strictly output-preserving — specialized
+        reports are byte-identical to full grades — and effective
+        exactly when the content cache is not: structural duplicates
+        under different variable names, constants, and spacing.
+        Cluster traffic shows up in ``stats.counters`` under
+        ``cluster.*``.  With a ``store``, bucket records persist
+        fingerprint-keyed, so warm runs specialize whole buckets
+        without a single full grade.
     """
 
     def __init__(
@@ -279,6 +314,7 @@ class BatchGrader:
         cache: ResultCache | bool = True,
         max_seconds: float | None = None,
         store: ResultStore | str | os.PathLike | None = None,
+        cluster: bool = False,
     ):
         if mode not in MODES:
             raise ValueError(
@@ -305,6 +341,17 @@ class BatchGrader:
             self.store: ResultStore | None = store
         else:
             self.store = ResultStore(store, assignment)
+        self.cluster = cluster
+        self._cluster_grader = None
+        if cluster:
+            from repro.cluster.grader import ClusterGrader
+
+            # serial/thread share one grader (its bucket registry is
+            # lock-guarded); process mode builds one per worker in
+            # _init_process_worker
+            self._cluster_grader = ClusterGrader(
+                self.engine, store=self.store
+            )
 
     def grade_batch(
         self, submissions: Iterable[str | tuple[str, str]]
@@ -350,13 +397,25 @@ class BatchGrader:
 
         fresh = self._run_jobs(jobs, stats)
         if reuse:
+            sources = dict(jobs)
             for job_key, report in fresh.items():
                 self.cache.put(job_key, report)
                 if (
                     store is not None
                     and report.status in CACHEABLE_STATUSES
                 ):
-                    if store.put(job_key, report):
+                    # in cluster mode, link the entry to its bucket so
+                    # tooling can group stored reports by fingerprint
+                    # (readers default the key away — see
+                    # ResultStore.cluster_key)
+                    link = (
+                        self._cluster_grader.source_digest(
+                            sources[job_key]
+                        )
+                        if self._cluster_grader is not None
+                        else None
+                    )
+                    if store.put(job_key, report, cluster=link):
                         stats.record_counter("cache.store_writes")
                     else:
                         stats.record_counter("cache.store_errors")
@@ -405,9 +464,10 @@ class BatchGrader:
         results: dict[str, GradingReport] = {}
         if not jobs:
             return results
+        grader = self._cluster_grader or self.engine
         if self.mode == "serial":
             outcomes = (
-                (key, *_grade_one(self.engine, source, self.max_seconds))
+                (key, *_grade_one(grader, source, self.max_seconds))
                 for key, source in jobs
             )
         elif self.mode == "thread":
@@ -420,7 +480,7 @@ class BatchGrader:
                     pool.map(
                         lambda job: (
                             job[0],
-                            *_grade_one(self.engine, job[1],
+                            *_grade_one(grader, job[1],
                                         self.max_seconds),
                         ),
                         jobs,
@@ -430,7 +490,12 @@ class BatchGrader:
             pool = ProcessPoolExecutor(
                 max_workers=self.workers,
                 initializer=_init_process_worker,
-                initargs=(self.assignment, self.max_seconds),
+                initargs=(
+                    self.assignment,
+                    self.max_seconds,
+                    self.cluster,
+                    str(self.store.root) if self.store is not None else None,
+                ),
             )
             with pool:
                 outcomes = list(pool.map(_process_grade, jobs))

@@ -113,6 +113,17 @@ class ResultStore:
         shard = key[:2] if len(key) >= 2 else "xx"
         return self._dir / shard / f"{key}.json"
 
+    def cluster_path_for(self, fingerprint: str) -> Path:
+        """Entry path for a cluster record, keyed by bucket fingerprint.
+
+        Cluster records live beside the source-keyed entries, under a
+        ``cluster/`` namespace of the same assignment+KB directory, so
+        editing the knowledge base invalidates them together with the
+        reports they were recorded from.
+        """
+        shard = fingerprint[:2] if len(fingerprint) >= 2 else "xx"
+        return self._dir / "cluster" / shard / f"{fingerprint}.json"
+
     # ------------------------------------------------------------------
     # read side
 
@@ -135,11 +146,61 @@ class ResultStore:
         except Exception:  # noqa: BLE001 - a bad entry is a miss, never an error
             return None
 
+    def cluster_key(self, key: str) -> str | None:
+        """The bucket fingerprint recorded on entry ``key``, if any.
+
+        Forward-compat by defaulting, exactly like the report decoder's
+        handling of pre-diagnostics payloads: entries written before
+        clustering existed simply lack the ``cluster`` key and read as
+        ``None`` — they stay valid reports and never invalidate on
+        upgrade.
+        """
+        try:
+            with open(self.path_for(key), "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+            if entry.get("schema") != SCHEMA_VERSION:
+                return None
+            if entry.get("kb") != self.fingerprint:
+                return None
+            value = entry.get("cluster")
+            return value if isinstance(value, str) else None
+        except Exception:  # noqa: BLE001 - a bad entry is a miss, never an error
+            return None
+
+    def get_cluster(self, fingerprint: str) -> dict | None:
+        """Return the cluster record for a bucket fingerprint, or ``None``.
+
+        Like :meth:`get`, anything unreadable or mismatched is a miss.
+        The record's internal layout is owned by
+        :mod:`repro.cluster.specialize`; the store only validates its own
+        envelope.
+        """
+        try:
+            path = self.cluster_path_for(fingerprint)
+            with open(path, "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+            if entry.get("schema") != SCHEMA_VERSION:
+                return None
+            if entry.get("kb") != self.fingerprint:
+                return None
+            if entry.get("key") != fingerprint:
+                return None
+            record = entry.get("record")
+            return record if isinstance(record, dict) else None
+        except Exception:  # noqa: BLE001 - a bad entry is a miss, never an error
+            return None
+
     # ------------------------------------------------------------------
     # write side
 
-    def put(self, key: str, report: GradingReport) -> bool:
-        """Persist ``report`` under ``key``; returns ``False`` on failure."""
+    def put(
+        self, key: str, report: GradingReport, cluster: str | None = None
+    ) -> bool:
+        """Persist ``report`` under ``key``; returns ``False`` on failure.
+
+        ``cluster`` optionally records the submission's bucket
+        fingerprint alongside the report (see :meth:`cluster_key`).
+        """
         path = self.path_for(key)
         entry = {
             "schema": SCHEMA_VERSION,
@@ -147,6 +208,22 @@ class ResultStore:
             "key": key,
             "report": report.to_dict(),
         }
+        if cluster is not None:
+            entry["cluster"] = cluster
+        return self._write_entry(path, entry)
+
+    def put_cluster(self, fingerprint: str, record: dict) -> bool:
+        """Persist a cluster record under its bucket fingerprint."""
+        entry = {
+            "schema": SCHEMA_VERSION,
+            "kb": self.fingerprint,
+            "key": fingerprint,
+            "record": record,
+        }
+        return self._write_entry(self.cluster_path_for(fingerprint), entry)
+
+    def _write_entry(self, path: Path, entry: dict) -> bool:
+        """Atomically stage-and-replace one JSON entry."""
         tmp_name = (
             f"{path.name}.{os.getpid()}.{threading.get_ident()}"
             f".{next(_tmp_counter)}.tmp"

@@ -112,14 +112,34 @@ def _close_inherited_fds(keep: frozenset[int]) -> None:
                 pass
 
 
+def _build_grader(assignment_name: str, cluster: bool):
+    """One grading entry point for ``assignment_name``.
+
+    With ``cluster=True`` the engine is wrapped in a
+    :class:`~repro.cluster.grader.ClusterGrader` whose bucket registry
+    lives for the worker's lifetime: structural duplicates across
+    requests specialize instead of re-grading.  Workers keep buckets in
+    memory only — the parent-side result cache and store already handle
+    cross-process reuse at the report level.
+    """
+    engine = FeedbackEngine(
+        get_assignment(assignment_name), frontend_cache_size=0
+    )
+    if cluster:
+        from repro.cluster.grader import ClusterGrader
+
+        return ClusterGrader(engine)
+    return engine
+
+
 def _worker_main(conn) -> None:
     """Child loop: engines cached per assignment, one job at a time.
 
-    Jobs are ``(assignment_name, source, max_seconds, hang_seconds)``;
-    replies are ``(report, collector, seconds)``.  ``hang_seconds`` is
-    the load-test hook: it stalls the worker *before* grading, standing
-    in for the pathological submission the hard deadline exists for.
-    A ``None`` job is the shutdown sentinel.
+    Jobs are ``(assignment_name, source, max_seconds, hang_seconds,
+    cluster)``; replies are ``(report, collector, seconds)``.
+    ``hang_seconds`` is the load-test hook: it stalls the worker
+    *before* grading, standing in for the pathological submission the
+    hard deadline exists for.  A ``None`` job is the shutdown sentinel.
     """
     signal.signal(signal.SIGINT, signal.SIG_IGN)  # parent drives shutdown
     keep = {conn.fileno()}
@@ -132,7 +152,7 @@ def _worker_main(conn) -> None:
     if tracker_fd is not None:
         keep.add(tracker_fd)
     _close_inherited_fds(frozenset(keep))
-    engines: dict[str, FeedbackEngine] = {}
+    engines: dict[tuple[str, bool], object] = {}
     while True:
         try:
             job = conn.recv()
@@ -140,16 +160,14 @@ def _worker_main(conn) -> None:
             return
         if job is None:
             return
-        assignment_name, source, max_seconds, hang_seconds = job
+        assignment_name, source, max_seconds, hang_seconds, cluster = job
         try:
             if hang_seconds:
                 time.sleep(hang_seconds)
-            engine = engines.get(assignment_name)
+            engine = engines.get((assignment_name, cluster))
             if engine is None:
-                engine = FeedbackEngine(
-                    get_assignment(assignment_name), frontend_cache_size=0
-                )
-                engines[assignment_name] = engine
+                engine = _build_grader(assignment_name, cluster)
+                engines[(assignment_name, cluster)] = engine
             result = _grade_one(engine, source, max_seconds)
         except Exception as exc:  # noqa: BLE001 - keep the worker alive
             result = (
@@ -195,12 +213,13 @@ class _WorkerHandle:
         max_seconds: float | None,
         hang_seconds: float,
         hard_timeout: float | None,
+        cluster: bool = False,
     ) -> tuple[PoolResult, bool]:
         """Run one job (blocking); returns ``(result, worker_dead)``."""
         started = time.perf_counter()
         try:
             self.conn.send((assignment_name, source, max_seconds,
-                            hang_seconds))
+                            hang_seconds, cluster))
             if self.conn.poll(hard_timeout):
                 report, collector, seconds = self.conn.recv()
                 return PoolResult(report, collector, seconds), False
@@ -287,7 +306,8 @@ class GradingWorkerPool:
         self._free: asyncio.Queue = asyncio.Queue()
         self._executor: ThreadPoolExecutor | None = None
         self._context = None
-        self._engines: dict[str, FeedbackEngine] = {}  # inline mode
+        # inline mode: (assignment, cluster flag) -> engine or grader
+        self._engines: dict[tuple[str, bool], object] = {}
         self._started = False
 
     async def start(self) -> None:
@@ -323,6 +343,7 @@ class GradingWorkerPool:
         source: str,
         max_seconds: float | None,
         hang_seconds: float = 0.0,
+        cluster: bool = False,
     ) -> PoolResult:
         """Grade one submission on the next free worker."""
         if not self._started:
@@ -332,7 +353,8 @@ class GradingWorkerPool:
         try:
             if self.mode == "inline":
                 return await self._grade_inline(
-                    loop, assignment_name, source, max_seconds, hang_seconds
+                    loop, assignment_name, source, max_seconds,
+                    hang_seconds, cluster,
                 )
             hard_timeout = (
                 max_seconds + self.kill_grace_seconds
@@ -342,7 +364,7 @@ class GradingWorkerPool:
             result, worker_dead = await loop.run_in_executor(
                 self._executor, slot.execute,
                 assignment_name, source, max_seconds, hang_seconds,
-                hard_timeout,
+                hard_timeout, cluster,
             )
             if worker_dead:
                 self.respawns += 1
@@ -354,19 +376,17 @@ class GradingWorkerPool:
             self._free.put_nowait(slot)
 
     async def _grade_inline(
-        self, loop, assignment_name, source, max_seconds, hang_seconds
+        self, loop, assignment_name, source, max_seconds, hang_seconds,
+        cluster=False,
     ) -> PoolResult:
         def run():
             try:
                 if hang_seconds:
                     time.sleep(hang_seconds)
-                engine = self._engines.get(assignment_name)
+                engine = self._engines.get((assignment_name, cluster))
                 if engine is None:
-                    engine = FeedbackEngine(
-                        get_assignment(assignment_name),
-                        frontend_cache_size=0,
-                    )
-                    self._engines[assignment_name] = engine
+                    engine = _build_grader(assignment_name, cluster)
+                    self._engines[(assignment_name, cluster)] = engine
                 return _grade_one(engine, source, max_seconds)
             except Exception as exc:  # noqa: BLE001 - mirror process mode
                 return (

@@ -89,6 +89,12 @@ class ServiceConfig:
     #: A restarted service — or a batch run pointed at the same
     #: directory — replays previously graded submissions from disk.
     cache_dir: str | os.PathLike | None = None
+    #: Grade via submission clustering (:mod:`repro.cluster`): each
+    #: worker buckets structurally duplicate submissions and
+    #: specializes one representative's report instead of re-grading.
+    #: Output-preserving; worth enabling for duplicate-heavy cohorts,
+    #: a no-op overhead (one extra lex per request) for diverse ones.
+    cluster: bool = False
     breaker_window: int = 20
     breaker_min_volume: int = 5
     breaker_failure_ratio: float = 0.5
@@ -434,7 +440,8 @@ class GradingService:
         self.metrics.increment("serve.admitted")
         try:
             result = await self.pool.grade(
-                assignment_name, source, deadline_seconds, hang_seconds
+                assignment_name, source, deadline_seconds, hang_seconds,
+                cluster=self.config.cluster,
             )
         finally:
             self.admission.release(time.perf_counter() - started)

@@ -1,0 +1,54 @@
+"""Shared helpers for the clustering tests.
+
+``order_preserving_renaming`` builds the alpha-variant cohorts the
+differential tests grade: every renameable spelling maps to
+``<prefix>_<slot>`` with both halves fixed-width over the two-letter
+alphabet ``ab``, so renamed names sort among themselves exactly like
+their slots and (sharing a first letter) interleave with the kept
+identifiers the same way in every variant — the renaming preserves the
+fingerprint's order signature and all variants share one bucket.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import rename_submission
+from repro.cluster.audit import audit_assignment
+from repro.cluster.fingerprint import fingerprint_source
+from repro.kb import get_assignment
+
+
+def letters(value: int, width: int = 4) -> str:
+    """``value`` in fixed-width base-2 over the alphabet ``ab``."""
+    out = []
+    for _ in range(width):
+        out.append("ab"[value % 2])
+        value //= 2
+    return "".join(reversed(out))
+
+
+def order_preserving_renaming(sprint, prefix: str) -> dict[str, str]:
+    """Rename every renameable spelling to ``<prefix>_<slot>``."""
+    names = sorted(sprint.spellings)
+    return {
+        name: f"{prefix}_{letters(j)}" for j, name in enumerate(names)
+    }
+
+
+def make_variant(source: str, audit, variant: int) -> str:
+    """An order-preserving alpha-variant of ``source``."""
+    sprint = fingerprint_source(source, audit)
+    assert sprint is not None
+    renaming = order_preserving_renaming(sprint, "q" + letters(variant))
+    return rename_submission(source, renaming)
+
+
+@pytest.fixture(scope="session")
+def assignment1():
+    return get_assignment("assignment1")
+
+
+@pytest.fixture(scope="session")
+def audit1(assignment1):
+    return audit_assignment(assignment1)

@@ -1,0 +1,58 @@
+"""Knowledge-base audit: every seed assignment must prove itself safe."""
+
+from __future__ import annotations
+
+from repro.cluster.audit import (
+    _matching_layer_vocabulary,
+    _scan_feedback_template,
+    audit_assignment,
+)
+from repro.kb import all_assignment_names, get_assignment
+
+
+def test_every_seed_assignment_audits_safe():
+    for name in all_assignment_names():
+        audit = audit_assignment(get_assignment(name))
+        assert audit.safe, f"{name}: {audit.reasons}"
+        assert audit.keep_identifiers
+
+
+def test_expected_method_names_are_kept(assignment1, audit1):
+    for method in assignment1.expected_methods:
+        assert method.name in audit1.keep_identifiers
+
+
+class TestReportVocabulary:
+    def test_matching_layer_message_words_are_collected(self):
+        vocabulary = _matching_layer_vocabulary()
+        # "in your code" is fixed text of a matching-layer message; an
+        # identifier spelled 'code' must never be alpha-renamed or the
+        # specializer could rewrite the fixed text
+        assert "code" in vocabulary
+        assert "Constraint" in vocabulary
+
+    def test_vocabulary_is_cached(self):
+        assert _matching_layer_vocabulary() is _matching_layer_vocabulary()
+
+    def test_docstrings_do_not_leak_into_the_vocabulary(self):
+        # module/function docstrings never reach delivered feedback;
+        # keeping their words would shred bucketing for common names
+        vocabulary = _matching_layer_vocabulary()
+        assert "Algorithm" not in vocabulary
+
+
+class TestTemplateDiscipline:
+    def test_clean_template_passes(self):
+        reasons, words = _scan_feedback_template("use '{var}' in {method}")
+        assert not reasons
+        assert {"use", "in", "var", "method"} <= set(words)
+
+    def test_hole_glued_to_word_chars_is_flagged(self):
+        reasons, _ = _scan_feedback_template("my{x} is wrong")
+        assert reasons
+        reasons, _ = _scan_feedback_template("{x}y is wrong")
+        assert reasons
+
+    def test_adjacent_holes_are_flagged(self):
+        reasons, _ = _scan_feedback_template("{a}{b}")
+        assert reasons

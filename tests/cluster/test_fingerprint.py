@@ -1,0 +1,154 @@
+"""Fingerprint stability: what buckets together and what must not."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import rename_submission
+from repro.cluster.fingerprint import fingerprint_graphs, fingerprint_source
+from repro.core.engine import FeedbackEngine
+
+from tests.cluster.conftest import make_variant, order_preserving_renaming
+
+SOURCE = """\
+public class Main {
+    static int zorp(int blee) {
+        int accum = 0;
+        for (int kk = 0; kk < blee; kk++) {
+            accum += 1000;
+        }
+        return accum;
+    }
+}
+"""
+
+
+def fp(source, audit):
+    sprint = fingerprint_source(source, audit)
+    assert sprint is not None
+    return sprint
+
+
+class TestBucketing:
+    def test_order_preserving_rename_buckets_together(self, audit1):
+        sprint = fp(SOURCE, audit1)
+        assert {"zorp", "blee", "accum", "kk"} <= set(sprint.spellings)
+        for variant in range(3):
+            renamed = make_variant(SOURCE, audit1, variant)
+            assert renamed != SOURCE
+            assert fp(renamed, audit1).digest == sprint.digest
+
+    def test_spellings_follow_the_member(self, audit1):
+        sprint = fp(SOURCE, audit1)
+        renamed = rename_submission(
+            SOURCE, order_preserving_renaming(sprint, "qa")
+        )
+        other = fp(renamed, audit1)
+        assert other.digest == sprint.digest
+        assert other.spellings != sprint.spellings
+        assert len(other.spellings) == len(sprint.spellings)
+
+    def test_order_flipping_rename_splits_buckets(self, audit1):
+        # 'accum' sorts before 'kk'; renaming only 'accum' past 'kk'
+        # permutes the sorted identifier order, which Algorithm 1 can
+        # observe — the order signature must split the buckets.
+        sprint = fp(SOURCE, audit1)
+        renamed = rename_submission(SOURCE, {"accum": "zzaccum"})
+        assert fp(renamed, audit1).digest != sprint.digest
+
+    def test_constant_respelling_buckets_together(self, audit1):
+        base = fp(SOURCE, audit1)
+        for spelling in ("1_000", "0x3E8"):
+            respelled = SOURCE.replace("1000", spelling)
+            assert fp(respelled, audit1).digest == base.digest
+        assert fp(SOURCE.replace("1000", "1001"), audit1).digest != base.digest
+
+    def test_intra_line_spacing_and_comments_bucket_together(self, audit1):
+        base = fp(SOURCE, audit1)
+        reflowed = SOURCE.replace(
+            "accum += 1000;", "accum  +=  1000; // accumulate"
+        )
+        assert fp(reflowed, audit1).digest == base.digest
+
+    def test_line_layout_splits_buckets(self, audit1):
+        # diagnostics report line numbers, so members must agree on them
+        base = fp(SOURCE, audit1)
+        reflowed = SOURCE.replace("int accum = 0;", "int\naccum = 0;")
+        assert fp(reflowed, audit1).digest != base.digest
+
+    def test_statement_reordering_splits_buckets(self, audit1):
+        swapped = SOURCE.replace(
+            "int accum = 0;\n        for",
+            "int unused = 7;\n        int accum = 0;\n        for",
+        )
+        base_plus = SOURCE.replace(
+            "int accum = 0;\n        for",
+            "int accum = 0;\n        int unused = 7;\n        for",
+        )
+        assert fp(swapped, audit1).digest != fp(base_plus, audit1).digest
+
+    def test_string_literal_change_splits_buckets(self, audit1):
+        with_string = SOURCE.replace(
+            "return accum;", 'String tag = "alpha"; return accum;'
+        )
+        other = with_string.replace('"alpha"', '"beta"')
+        assert fp(with_string, audit1).digest != fp(other, audit1).digest
+
+    def test_unlexable_source_fingerprints_to_none(self, audit1):
+        assert fingerprint_source('int x = "unclosed;', audit1) is None
+
+
+class TestKeepDecisions:
+    def test_digit_bearing_names_are_kept(self, audit1):
+        sprint = fp(SOURCE.replace("accum", "accum1"), audit1)
+        assert "accum1" not in sprint.spellings
+
+    def test_names_quoted_in_string_literals_are_kept(self, audit1):
+        quoted = SOURCE.replace(
+            "return accum;", 'String tag = "accum"; return accum;'
+        )
+        sprint = fp(quoted, audit1)
+        assert "accum" not in sprint.spellings
+        assert "tag" in sprint.spellings
+
+    def test_names_containing_template_literal_runs_are_kept(self, audit1):
+        runs = [
+            run for run in audit1.literal_runs
+            if run.isalpha() and run.islower()
+        ]
+        if not runs:
+            pytest.skip("assignment has no alphabetic literal runs")
+        hazard = "zz" + sorted(runs)[0]
+        sprint = fp(SOURCE.replace("accum", hazard), audit1)
+        assert hazard not in sprint.spellings
+
+    def test_report_vocabulary_words_are_kept(self, audit1):
+        # "in your code" appears in the matching layer's message text,
+        # so an identifier spelled 'code' must never be renamed
+        assert "code" in audit1.keep_identifiers
+        sprint = fp(SOURCE.replace("accum", "code"), audit1)
+        assert "code" not in sprint.spellings
+
+    def test_kept_spelling_divergence_splits_buckets(self, audit1):
+        a = fp(SOURCE.replace("accum", "accum1"), audit1)
+        b = fp(SOURCE.replace("accum", "accum2"), audit1)
+        assert a.digest != b.digest
+
+
+class TestGraphRefinement:
+    def test_equal_token_fingerprints_imply_equal_graph_fingerprints(
+        self, assignment1, audit1
+    ):
+        engine = FeedbackEngine(assignment1, frontend_cache_size=0)
+        for source in assignment1.reference_solutions[:2]:
+            variant = make_variant(source, audit1, 1)
+            assert (
+                fp(source, audit1).digest == fp(variant, audit1).digest
+            ), "order-preserving variant must share the token fingerprint"
+            graph_digests = []
+            for member in (source, variant):
+                entry = engine.frontend_entry(member)
+                assert not isinstance(entry, str)
+                _unit, graphs = entry
+                graph_digests.append(fingerprint_graphs(graphs, audit1))
+            assert graph_digests[0] == graph_digests[1]

@@ -1,0 +1,139 @@
+"""The differential gate: specialized reports equal grading from scratch."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import (
+    ClusterGrader,
+    SpecializeError,
+    build_cluster_record,
+    rename_submission,
+    specialize,
+)
+from repro.cluster.audit import audit_assignment
+from repro.cluster.fingerprint import fingerprint_source
+from repro.core.engine import FeedbackEngine
+from repro.kb import all_assignment_names, get_assignment
+from repro.synth import sample_submissions
+
+from tests.cluster.conftest import make_variant, order_preserving_renaming
+
+#: 'wasted' is written but never read, so the analysis layer emits an
+#: unused-variable diagnostic whose message quotes two renameable names
+#: ('wasted' and the method 'zorp') — the re-binding worst case.
+DIAG_SOURCE = """\
+public class Main {
+    static int zorp(int blee) {
+        int pad = 1; int wasted = 5;
+        int accum = 0;
+        for (int kk = 0; kk < blee; kk++) {
+            accum += pad;
+        }
+        return accum;
+    }
+}
+"""
+
+
+@pytest.mark.parametrize("name", all_assignment_names())
+def test_specialized_reports_match_per_submission_grading(name):
+    """Equal fingerprints imply byte-identical reports, on every seed
+    assignment, for sampled structures and their alpha-variants."""
+    assignment = get_assignment(name)
+    audit = audit_assignment(assignment)
+    grader = ClusterGrader(FeedbackEngine(assignment))
+    direct = FeedbackEngine(assignment)
+    for sample in sample_submissions(assignment.space(), 3, seed=11):
+        members = [sample.source] + [
+            make_variant(sample.source, audit, v) for v in (1, 2)
+        ]
+        for member in members:
+            clustered = grader.grade(member)
+            expected = direct.grade(member)
+            assert clustered.render() == expected.render()
+            assert clustered.to_dict() == expected.to_dict()
+
+
+class TestDiagnosticRebinding:
+    def test_messages_and_positions_follow_the_member(
+        self, assignment1, audit1
+    ):
+        grader = ClusterGrader(FeedbackEngine(assignment1))
+        rep = grader.grade(DIAG_SOURCE)
+        rep_unused = [
+            d for d in rep.diagnostics if d.check == "unused-variable"
+        ]
+        assert rep_unused, "fixture source must trip unused-variable"
+
+        sprint = fingerprint_source(DIAG_SOURCE, audit1)
+        renaming = order_preserving_renaming(sprint, "qa")
+        variant = rename_submission(DIAG_SOURCE, renaming)
+        specialized = grader.grade(variant)
+        expected = FeedbackEngine(assignment1).grade(variant)
+        assert specialized.render() == expected.render()
+        assert specialized.to_dict() == expected.to_dict()
+
+        [diag] = [
+            d for d in specialized.diagnostics
+            if d.check == "unused-variable"
+        ]
+        assert f"'{renaming['wasted']}'" in diag.message
+        assert "wasted" not in diag.message
+        # same token, same line; the column is looked up in the member's
+        # own token stream, not copied from the representative
+        assert diag.line == rep_unused[0].line
+        [expected_diag] = [
+            d for d in expected.diagnostics if d.check == "unused-variable"
+        ]
+        assert (diag.line, diag.column) == (
+            expected_diag.line,
+            expected_diag.column,
+        )
+
+
+class TestRecordIntegrity:
+    @pytest.fixture()
+    def record_and_sprint(self, assignment1, audit1):
+        sprint = fingerprint_source(DIAG_SOURCE, audit1)
+        report = FeedbackEngine(assignment1).grade(DIAG_SOURCE)
+        record = build_cluster_record(assignment1, sprint, report)
+        assert record is not None
+        return record, sprint, report
+
+    def test_specialize_round_trips_the_representative(
+        self, record_and_sprint
+    ):
+        record, sprint, report = record_and_sprint
+        rebuilt = specialize(record, sprint)
+        assert rebuilt.render() == report.render()
+        assert rebuilt.to_dict() == report.to_dict()
+
+    def test_version_mismatch_raises(self, record_and_sprint):
+        record, sprint, _report = record_and_sprint
+        with pytest.raises(SpecializeError):
+            specialize(dict(record, version=999), sprint)
+
+    def test_slot_mismatch_raises(self, record_and_sprint):
+        record, sprint, _report = record_and_sprint
+        with pytest.raises(SpecializeError):
+            specialize(dict(record, slots=record["slots"] + 1), sprint)
+
+
+def test_rename_submission_leaves_strings_and_comments_alone():
+    source = (
+        "public class Main {\n"
+        "    static int f() {\n"
+        "        // accum is a comment\n"
+        "        int accum = 0;\n"
+        '        String s = "accum";\n'
+        "        return accum;\n"
+        "    }\n"
+        "}\n"
+    )
+    renamed = rename_submission(source, {"accum": "xtotal"})
+    assert "// accum is a comment" in renamed
+    assert '"accum"' in renamed
+    assert "int xtotal = 0;" in renamed
+    assert "return xtotal;" in renamed
+    assert "accum =" not in renamed
