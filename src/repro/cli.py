@@ -9,7 +9,11 @@ Usage::
     repro grade-batch assignment1 submissions/ --stats
     repro grade-batch assignment1 --synthetic 200 --mode thread --stats
     repro grade-batch assignment1 submissions/ --cluster --stats
-    repro serve --port 8652 --workers 4 [--cluster]
+    repro grade-campaign assignment1 manifest.jsonl --cache-dir cache/
+    repro grade-campaign assignment1 --synthetic 1000000 --cache-dir cache/
+    repro store migrate cache/ [--remove-json]
+    repro store info cache/
+    repro serve --port 8652 --workers 4 [--cluster] [--shards 4]
     repro lint-kb [assignment ...] [--json -] [--fail-on error]
     repro test assignment1 Submission.java
     repro epdg assignment1 Submission.java [--dot]
@@ -18,7 +22,10 @@ Usage::
 Instructors get the whole pipeline without writing Python: ``grade``
 prints the personalized feedback, ``grade-batch`` runs the batch
 pipeline (worker pools + result cache, see ``docs/SCALING.md``) over
-files, directories, or a synthetic cohort, ``lint-kb`` statically
+files, directories, or a synthetic cohort, ``grade-campaign`` streams
+arbitrarily large manifests through checkpointed shards (resumable;
+see ``docs/SCALING.md``), ``store`` manages the persistent result
+store (including JSON-to-SQLite migration), ``lint-kb`` statically
 validates the pattern/constraint knowledge base (the CI gate; see
 ``docs/ANALYSIS.md``), ``test`` runs the functional suite, ``epdg``
 dumps the dependence graph, and ``export-kb`` writes the knowledge base
@@ -124,6 +131,7 @@ def _cmd_grade_batch(args) -> int:
         cache=not args.no_cache,
         store=args.cache_dir,
         cluster=args.cluster,
+        store_backend=args.store_backend,
     )
     result = grader.grade_batch(_collect_batch(args))
     if args.json:
@@ -158,6 +166,108 @@ def _cmd_grade_batch(args) -> int:
     return 1 if result.stats.errors else 0
 
 
+def _cmd_grade_campaign(args) -> int:
+    from repro.core.campaign import (
+        CampaignRunner,
+        iter_manifest,
+        synthetic_stream,
+    )
+
+    assignment = get_assignment(args.assignment)
+    if args.manifest is None and not args.synthetic:
+        raise ReproError(
+            "grade-campaign needs a manifest file or --synthetic N"
+        )
+    if args.manifest is not None and args.synthetic:
+        raise ReproError(
+            "grade-campaign takes a manifest file or --synthetic N, not both"
+        )
+    runner = CampaignRunner(
+        assignment,
+        args.cache_dir,
+        shard_size=args.shard_size,
+        mode=args.mode,
+        workers=args.workers,
+        cluster=args.cluster,
+        max_seconds=args.max_seconds,
+        store_backend=args.store_backend,
+    )
+    if args.manifest is not None:
+        stream = iter_manifest(args.manifest)
+    else:
+        stream = synthetic_stream(
+            assignment, args.synthetic, seed=args.seed
+        )
+    result = runner.run(
+        stream,
+        campaign_id=args.campaign_id,
+        resume=not args.no_resume,
+        max_shards=args.max_shards,
+        output_dir=args.output_dir,
+    )
+    if args.json != "-":
+        stopped = "" if result.completed else " (stopped at --max-shards)"
+        print(
+            f"campaign {result.campaign_id!r}: {result.submissions} "
+            f"submissions in {result.shards_total} shards "
+            f"({result.shards_resumed} resumed, {result.shards_graded} "
+            f"graded) in {result.wall_seconds:.1f}s "
+            f"[{runner.store.backend_name} store]{stopped}"
+        )
+        if args.stats:
+            print()
+            print(result.stats.summary())
+    if args.json:
+        text = json.dumps(result.to_dict(), indent=2)
+        if args.json == "-":
+            print(text)
+        else:
+            pathlib.Path(args.json).write_text(text + "\n")
+    return 1 if result.run_stats.errors else 0
+
+
+def _cmd_store(args) -> int:
+    from repro.core.storage import resolve_backend
+    from repro.core.storage.migrate import migrate_to_sqlite
+    from repro.core.storage.sqlite_backend import database_path
+
+    root = pathlib.Path(args.directory)
+    if args.store_command == "migrate":
+        if not root.is_dir():
+            raise ReproError(f"{root} is not a store directory")
+        stats = migrate_to_sqlite(root, remove_json=args.remove_json)
+        print(stats.summary())
+        print(f"{root} now resolves to the "
+              f"{resolve_backend(root)!r} backend")
+        return 0
+    # info
+    backend = resolve_backend(root)
+    print(f"store root: {root}")
+    print(f"resolved backend: {backend}")
+    if backend == "sqlite":
+        db = database_path(root)
+        if db.is_file():
+            import sqlite3
+
+            size = db.stat().st_size
+            try:
+                with sqlite3.connect(db) as conn:
+                    rows = conn.execute(
+                        "SELECT kind, COUNT(*) FROM records GROUP BY kind"
+                    ).fetchall()
+            except sqlite3.Error as error:
+                raise ReproError(f"cannot read {db}: {error}") from None
+            print(f"database: {db} ({size:,d} bytes)")
+            for kind, count in sorted(rows):
+                print(f"  {kind}: {count:,d} records")
+        else:
+            print(f"database: {db} (not created yet)")
+    else:
+        files = sum(1 for _ in root.rglob("*.json")) if root.is_dir() else 0
+        print(f"json files: {files:,d}")
+    return 0
+
+
 def _cmd_serve(args) -> int:
     import asyncio
 
@@ -175,9 +285,28 @@ def _cmd_serve(args) -> int:
         cluster=args.cluster,
         drain_timeout_seconds=args.drain_timeout,
         debug_hooks=args.debug_hooks,
+        store_backend=args.store_backend,
     )
     if args.workers is not None:
         config.workers = max(1, args.workers)
+
+    if args.shards > 1:
+        from repro.serve.router import ShardRouter
+
+        router = ShardRouter(config, shards=args.shards)
+
+        async def run_router() -> int:
+            await router.start()
+            print(
+                f"repro shard router on http://{config.host}:{router.port} "
+                f"({args.shards} shards x {config.workers} "
+                f"{config.pool_mode} workers)",
+                flush=True,
+            )
+            return await router.serve_forever()
+
+        return asyncio.run(run_router())
+
     service = GradingService(config)
 
     async def run() -> int:
@@ -328,6 +457,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "across runs and processes (entries are "
                             "invalidated automatically when the "
                             "knowledge base changes)")
+    batch.add_argument("--store-backend",
+                       choices=["auto", "json", "sqlite"], default="auto",
+                       help="on-disk representation for --cache-dir "
+                            "(default auto: sqlite when the directory "
+                            "holds a store.sqlite, json otherwise)")
     batch.add_argument("--cluster", action="store_true",
                        help="bucket structurally duplicate submissions "
                             "and grade one representative per bucket "
@@ -341,6 +475,85 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--json", metavar="FILE",
                        help="write reports + stats as JSON (- for stdout)")
     batch.set_defaults(func=_cmd_grade_batch)
+
+    campaign = sub.add_parser(
+        "grade-campaign",
+        help="grade an arbitrarily large cohort in resumable shards",
+    )
+    campaign.add_argument("assignment")
+    campaign.add_argument(
+        "manifest", nargs="?", default=None,
+        help="JSONL manifest: one {\"label\", \"source\"|\"path\"} "
+             "object per line (paths resolve relative to the manifest)",
+    )
+    campaign.add_argument(
+        "--synthetic", type=int, default=0, metavar="N",
+        help="grade N synthetic submissions instead of a manifest "
+             "(duplicate-heavy stream from the assignment's "
+             "synthesis space)",
+    )
+    campaign.add_argument("--seed", type=int, default=11,
+                          help="seed for --synthetic (default 11)")
+    campaign.add_argument("--cache-dir", metavar="DIR", required=True,
+                          help="result store holding the reports and the "
+                               "campaign journal (required: it is what "
+                               "makes the campaign resumable)")
+    campaign.add_argument("--store-backend",
+                          choices=["auto", "json", "sqlite"],
+                          default="auto",
+                          help="store representation (default auto; "
+                               "sqlite recommended at campaign scale)")
+    campaign.add_argument("--campaign-id", default="campaign",
+                          help="journal namespace; reusing an id resumes "
+                               "it (default 'campaign')")
+    campaign.add_argument("--shard-size", type=int, default=1000,
+                          help="submissions per checkpointed shard "
+                               "(default 1000)")
+    campaign.add_argument(
+        "--mode", choices=["serial", "thread", "process"], default="serial",
+        help="worker model within each shard (default serial)",
+    )
+    campaign.add_argument("--workers", type=int, default=None,
+                          help="pool size for thread/process modes")
+    campaign.add_argument("--cluster", action="store_true",
+                          help="cluster-aware grading within shards "
+                               "(see docs/CLUSTERING.md)")
+    campaign.add_argument("--max-seconds", type=float, default=None,
+                          help="per-submission wall-clock budget")
+    campaign.add_argument("--max-shards", type=int, default=None,
+                          help="stop after this many shards (checkpoint "
+                               "and exit; a rerun resumes)")
+    campaign.add_argument("--no-resume", action="store_true",
+                          help="ignore existing checkpoints for this "
+                               "campaign id")
+    campaign.add_argument("--output-dir", metavar="DIR", default=None,
+                          help="write one JSONL report file per shard")
+    campaign.add_argument("--stats", action="store_true",
+                          help="print merged PipelineStats for the whole "
+                               "campaign")
+    campaign.add_argument("--json", metavar="FILE",
+                          help="write the campaign result as JSON "
+                               "(- for stdout)")
+    campaign.set_defaults(func=_cmd_grade_campaign)
+
+    store = sub.add_parser(
+        "store",
+        help="inspect or migrate a persistent result store",
+    )
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    migrate = store_sub.add_parser(
+        "migrate",
+        help="copy a sharded-JSON store into store.sqlite in place",
+    )
+    migrate.add_argument("directory", help="store root (a --cache-dir)")
+    migrate.add_argument("--remove-json", action="store_true",
+                         help="delete JSON entries after migrating them")
+    migrate.set_defaults(func=_cmd_store)
+    info = store_sub.add_parser(
+        "info", help="show a store's resolved backend and record counts",
+    )
+    info.add_argument("directory", help="store root (a --cache-dir)")
+    info.set_defaults(func=_cmd_store)
 
     serve = sub.add_parser(
         "serve",
@@ -370,6 +583,14 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--cache-dir", metavar="DIR", default=None,
                        help="persistent on-disk result cache shared "
                             "with grade-batch and across restarts")
+    serve.add_argument("--store-backend",
+                       choices=["auto", "json", "sqlite"], default="auto",
+                       help="on-disk representation for --cache-dir "
+                            "(default auto)")
+    serve.add_argument("--shards", type=int, default=1,
+                       help="run N grading service processes behind a "
+                            "consistent-hash router (default 1: a "
+                            "single in-process service)")
     serve.add_argument("--cluster", action="store_true",
                        help="bucket structurally duplicate submissions "
                             "per worker and specialize one "

@@ -187,6 +187,38 @@ class PipelineStats:
             "counters": dict(sorted(self.counters.items())),
         }
 
+    @classmethod
+    def from_dict(cls, payload: dict) -> "PipelineStats":
+        """Rebuild stats from a :meth:`to_dict` payload.
+
+        The inverse of :meth:`to_dict` up to its rounding: phase times
+        come back from milliseconds, derived rates are recomputed.  Used
+        by the campaign runner to replay checkpointed shard stats into a
+        whole-campaign aggregate on resume; unknown or missing fields
+        default, so journals written by older versions still load.
+        """
+        stats = cls(
+            mode=str(payload.get("mode", "serial")),
+            workers=int(payload.get("workers", 1)),
+            submissions=int(payload.get("submissions", 0)),
+            graded=int(payload.get("graded", 0)),
+            cache_hits=int(payload.get("cache_hits", 0)),
+            parse_errors=int(payload.get("parse_errors", 0)),
+            timeouts=int(payload.get("timeouts", 0)),
+            errors=int(payload.get("errors", 0)),
+            wall_seconds=float(payload.get("wall_seconds", 0.0)),
+            grading_seconds=float(payload.get("grading_seconds", 0.0)),
+        )
+        phase_ms = payload.get("phase_ms") or {}
+        phase_calls = payload.get("phase_calls") or {}
+        for name, ms in phase_ms.items():
+            stats.phase_seconds[name] = float(ms) / 1000.0
+        for name, calls in phase_calls.items():
+            stats.phase_counts[name] = int(calls)
+        for name, amount in (payload.get("counters") or {}).items():
+            stats.counters[name] = int(amount)
+        return stats
+
     def summary(self) -> str:
         """Human-readable multi-line report (the CLI's ``--stats`` view)."""
         lines = [

@@ -187,6 +187,7 @@ def _init_process_worker(
     max_seconds: float | None = None,
     cluster: bool = False,
     store_root: str | None = None,
+    store_backend: str = "auto",
 ) -> None:
     """Build one engine per worker process (assignment pickled once).
 
@@ -194,7 +195,10 @@ def _init_process_worker(
     :class:`~repro.cluster.grader.ClusterGrader`; bucket registries are
     per-process (workers cannot share memory), but with a ``store_root``
     every worker reads and writes the same fingerprint-keyed records, so
-    buckets discovered by one process specialize in all of them.
+    buckets discovered by one process specialize in all of them.  The
+    parent passes its already-resolved ``store_backend`` so workers
+    never re-run auto-detection against a directory the parent may
+    still be populating.
     """
     global _WORKER_ENGINE, _WORKER_MAX_SECONDS
     engine = FeedbackEngine(assignment, frontend_cache_size=0)
@@ -202,7 +206,7 @@ def _init_process_worker(
         from repro.cluster.grader import ClusterGrader
 
         store = (
-            ResultStore(store_root, assignment)
+            ResultStore(store_root, assignment, backend=store_backend)
             if store_root is not None
             else None
         )
@@ -304,6 +308,14 @@ class BatchGrader:
         ``cluster.*``.  With a ``store``, bucket records persist
         fingerprint-keyed, so warm runs specialize whole buckets
         without a single full grade.
+    store_backend:
+        Backend selector used when ``store`` is a directory path:
+        ``"auto"`` (default; flips to SQLite when a ``store.sqlite``
+        exists in the root), ``"json"``, or ``"sqlite"``.  Ignored when
+        ``store`` is already a constructed
+        :class:`~repro.core.store.ResultStore`.  Process workers
+        inherit the parent's resolved backend rather than re-running
+        auto-detection.
     """
 
     def __init__(
@@ -315,6 +327,7 @@ class BatchGrader:
         max_seconds: float | None = None,
         store: ResultStore | str | os.PathLike | None = None,
         cluster: bool = False,
+        store_backend: str = "auto",
     ):
         if mode not in MODES:
             raise ValueError(
@@ -340,7 +353,7 @@ class BatchGrader:
         if store is None or isinstance(store, ResultStore):
             self.store: ResultStore | None = store
         else:
-            self.store = ResultStore(store, assignment)
+            self.store = ResultStore(store, assignment, backend=store_backend)
         self.cluster = cluster
         self._cluster_grader = None
         if cluster:
@@ -495,6 +508,9 @@ class BatchGrader:
                     self.max_seconds,
                     self.cluster,
                     str(self.store.root) if self.store is not None else None,
+                    self.store.backend_name
+                    if self.store is not None
+                    else "auto",
                 ),
             )
             with pool:

@@ -1,0 +1,322 @@
+"""Persistent result storage: one store contract, pluggable backends.
+
+PR-4 introduced :class:`ResultStore` as a directory of sharded JSON
+entries; this package generalizes it into a **backend interface** so the
+same store contract — content-addressed grading reports, KB-fingerprint
+invalidation, cluster-bucket records, corruption-as-miss — can ride
+different on-disk representations:
+
+* :mod:`repro.core.storage.json_backend` — the PR-4 layout: one atomic
+  JSON file per entry, sharded by key prefix.  Zero setup, ``rm -rf``
+  safe, ideal for small/medium caches and debugging (entries are
+  greppable files).
+* :mod:`repro.core.storage.sqlite_backend` — a single SQLite database in
+  WAL mode: concurrent readers never block the writer, writes can be
+  batched into one transaction per shard, and a million entries cost one
+  file and one file descriptor instead of a million inodes.  This is the
+  backend the million-submission campaign runner
+  (:mod:`repro.core.campaign`) is built for.
+
+The facade is unchanged for callers: ``ResultStore(root, assignment)``
+still works everywhere it did, now with an optional
+``backend="auto" | "json" | "sqlite"`` selector.  ``"auto"`` picks
+SQLite when ``root`` names a ``*.sqlite`` / ``*.db`` file or a
+directory containing ``store.sqlite`` (what ``repro store migrate``
+leaves behind), and JSON otherwise — so migrating a cache directory in
+place transparently flips every consumer that points at it.
+
+**Invariant across backends:** a report stored through one backend and
+read through another renders byte-identically.  Both persist the same
+``GradingReport.to_dict()`` payload inside the same validated envelope
+(schema version, full KB fingerprint, content key); only the bytes
+around the envelope differ.  ``benchmarks/bench_campaign.py`` gates
+this end-to-end.
+
+The envelope rules are owned here, not by the backends:
+
+* **Content-addressed.**  Keys are :func:`repro.core.pipeline.source_key`
+  hashes (SHA-256 of normalized source).
+* **KB-versioned.**  Entries are scoped by :func:`kb_fingerprint`; a KB
+  edit changes the fingerprint and atomically orphans every stale entry.
+  The full fingerprint is stored inside each entry and verified on read.
+* **Corruption-tolerant.**  A truncated, unreadable, or
+  schema-mismatched entry is a cache miss, never an error — and never a
+  wrong report.  This holds for torn JSON files, corrupted SQLite
+  database images, and corrupted ``-wal`` sidecars alike.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from pathlib import Path
+
+from repro.analysis.checks import analysis_fingerprint
+from repro.core.assignment import Assignment
+from repro.core.report import GradingReport
+from repro.core.storage.json_backend import JsonBackend
+from repro.core.storage.sqlite_backend import SQLITE_FILENAME, SqliteBackend
+
+#: Entry format version.  Bump when the on-disk layout or the meaning of a
+#: stored report changes; old entries then read as misses.
+SCHEMA_VERSION = 1
+
+#: Supported backend names (``"auto"`` resolves to one of these).
+BACKENDS = ("json", "sqlite")
+
+#: Characters allowed verbatim in the assignment path component.
+_SAFE_CHARS = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789-_."
+)
+
+
+def _safe_component(name: str) -> str:
+    """Make an assignment name safe to use as a directory name."""
+    cleaned = "".join(ch if ch in _SAFE_CHARS else "_" for ch in name)
+    return cleaned or "_"
+
+
+def kb_fingerprint(assignment: Assignment) -> str:
+    """Hex digest of the assignment configuration grading depends on.
+
+    Covers the expected methods (patterns, their occurrence counts,
+    constraints, feedback texts — everything in their dataclass reprs),
+    the matching flags, and the active static-analysis check set
+    (:func:`repro.analysis.checks.analysis_fingerprint`) — stored reports
+    carry diagnostics, so a report graded under a different check set
+    must read as a miss.  Reference solutions, functional tests, and the
+    synthesis space are deliberately excluded: they do not influence
+    :meth:`FeedbackEngine.grade` output, so editing them must not
+    invalidate cached reports.
+    """
+    canonical = repr(
+        (
+            SCHEMA_VERSION,
+            assignment.name,
+            assignment.enforce_headers,
+            assignment.synthesize_else_conditions,
+            assignment.expected_methods,
+            analysis_fingerprint(),
+        )
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def resolve_backend(root: str | os.PathLike[str], backend: str = "auto") -> str:
+    """Resolve ``backend`` (possibly ``"auto"``) against ``root``.
+
+    ``"auto"`` chooses SQLite when ``root`` is (or names) a database
+    file, or when the directory already holds a ``store.sqlite`` — the
+    state ``repro store migrate`` leaves behind — and JSON otherwise.
+    """
+    if backend in BACKENDS:
+        return backend
+    if backend != "auto":
+        raise ValueError(
+            f"unknown store backend {backend!r}; "
+            f"expected one of {('auto', *BACKENDS)}"
+        )
+    path = Path(root)
+    if path.suffix in (".sqlite", ".db") or path.is_file():
+        return "sqlite"
+    if (path / SQLITE_FILENAME).is_file():
+        return "sqlite"
+    return "json"
+
+
+class ResultStore:
+    """On-disk grading cache for one assignment under one KB version.
+
+    All methods are safe to call concurrently from multiple threads and
+    multiple processes.  ``get`` returns ``None`` for anything it cannot
+    fully read and validate; ``put`` returns ``False`` instead of raising
+    when the entry cannot be written.
+
+    ``backend`` selects the on-disk representation (see the package
+    docstring); the default ``"auto"`` keeps existing JSON caches
+    working and picks up migrated SQLite ones transparently.
+    """
+
+    def __init__(
+        self,
+        root: str | os.PathLike[str],
+        assignment: Assignment,
+        backend: str = "auto",
+    ):
+        self.assignment = assignment
+        self.fingerprint = kb_fingerprint(assignment)
+        self.root = Path(root)
+        self.backend_name = resolve_backend(self.root, backend)
+        scope = (_safe_component(assignment.name), self.fingerprint)
+        if self.backend_name == "sqlite":
+            self.backend = SqliteBackend(self.root, scope)
+        else:
+            self.backend = JsonBackend(self.root, scope)
+
+    # ------------------------------------------------------------------
+    # paths (JSON backend only; kept for tooling and tests)
+
+    def path_for(self, key: str) -> Path:
+        """Entry path for a content key (JSON backend only)."""
+        return self.backend.path_for(key)
+
+    def cluster_path_for(self, fingerprint: str) -> Path:
+        """Entry path for a cluster record (JSON backend only)."""
+        return self.backend.cluster_path_for(fingerprint)
+
+    # ------------------------------------------------------------------
+    # read side
+
+    def get(self, key: str) -> GradingReport | None:
+        """Return the stored report for ``key``, or ``None`` on any miss.
+
+        Missing entry, partial write, corrupt bytes, wrong schema, wrong
+        fingerprint, or undecodable report all count as misses.
+        """
+        try:
+            entry = self.backend.read("entry", key)
+            if entry is None:
+                return None
+            if entry.get("schema") != SCHEMA_VERSION:
+                return None
+            if entry.get("kb") != self.fingerprint:
+                return None
+            if entry.get("key") != key:
+                return None
+            return GradingReport.from_dict(entry["report"])
+        except Exception:  # noqa: BLE001 - a bad entry is a miss, never an error
+            return None
+
+    def cluster_key(self, key: str) -> str | None:
+        """The bucket fingerprint recorded on entry ``key``, if any.
+
+        Forward-compat by defaulting, exactly like the report decoder's
+        handling of pre-diagnostics payloads: entries written before
+        clustering existed simply lack the ``cluster`` key and read as
+        ``None`` — they stay valid reports and never invalidate on
+        upgrade.
+        """
+        try:
+            entry = self.backend.read("entry", key)
+            if entry is None:
+                return None
+            if entry.get("schema") != SCHEMA_VERSION:
+                return None
+            if entry.get("kb") != self.fingerprint:
+                return None
+            value = entry.get("cluster")
+            return value if isinstance(value, str) else None
+        except Exception:  # noqa: BLE001 - a bad entry is a miss, never an error
+            return None
+
+    def get_cluster(self, fingerprint: str) -> dict | None:
+        """Return the cluster record for a bucket fingerprint, or ``None``.
+
+        Like :meth:`get`, anything unreadable or mismatched is a miss.
+        The record's internal layout is owned by
+        :mod:`repro.cluster.specialize`; the store only validates its own
+        envelope.
+        """
+        return self._get_record("cluster", fingerprint)
+
+    def get_campaign(self, key: str) -> dict | None:
+        """Return a campaign-journal record, or ``None`` on any miss.
+
+        The journal shares the entry envelope (and therefore the KB
+        fingerprint scope): editing the knowledge base invalidates the
+        journal together with the reports it checkpoints, so a resumed
+        campaign re-grades under the new KB instead of trusting stale
+        shard records.  Record layout is owned by
+        :mod:`repro.core.campaign`.
+        """
+        return self._get_record("campaign", key)
+
+    def _get_record(self, kind: str, key: str) -> dict | None:
+        try:
+            entry = self.backend.read(kind, key)
+            if entry is None:
+                return None
+            if entry.get("schema") != SCHEMA_VERSION:
+                return None
+            if entry.get("kb") != self.fingerprint:
+                return None
+            if entry.get("key") != key:
+                return None
+            record = entry.get("record")
+            return record if isinstance(record, dict) else None
+        except Exception:  # noqa: BLE001 - a bad entry is a miss, never an error
+            return None
+
+    # ------------------------------------------------------------------
+    # write side
+
+    def put(
+        self, key: str, report: GradingReport, cluster: str | None = None
+    ) -> bool:
+        """Persist ``report`` under ``key``; returns ``False`` on failure.
+
+        ``cluster`` optionally records the submission's bucket
+        fingerprint alongside the report (see :meth:`cluster_key`).
+        """
+        entry = {
+            "schema": SCHEMA_VERSION,
+            "kb": self.fingerprint,
+            "key": key,
+            "report": report.to_dict(),
+        }
+        if cluster is not None:
+            entry["cluster"] = cluster
+        return self._write("entry", key, entry)
+
+    def put_cluster(self, fingerprint: str, record: dict) -> bool:
+        """Persist a cluster record under its bucket fingerprint."""
+        return self._put_record("cluster", fingerprint, record)
+
+    def put_campaign(self, key: str, record: dict) -> bool:
+        """Persist a campaign-journal record under its key."""
+        return self._put_record("campaign", key, record)
+
+    def _put_record(self, kind: str, key: str, record: dict) -> bool:
+        entry = {
+            "schema": SCHEMA_VERSION,
+            "kb": self.fingerprint,
+            "key": key,
+            "record": record,
+        }
+        return self._write(kind, key, entry)
+
+    def _write(self, kind: str, key: str, entry: dict) -> bool:
+        try:
+            return self.backend.write(kind, key, entry)
+        except Exception:  # noqa: BLE001 - callers treat a failed write as best-effort
+            return False
+
+    def batch(self):
+        """Context manager grouping writes into one backend transaction.
+
+        A no-op for the JSON backend (every entry is its own atomic
+        file); for SQLite it wraps the block in a single ``BEGIN
+        IMMEDIATE … COMMIT``, which is what makes high-volume campaign
+        shards cheap — one fsync per shard instead of one per report.
+        Crash-safety is unchanged either way: a transaction that never
+        commits rolls back to misses, never to torn entries.
+        """
+        return self.backend.batch()
+
+    # ------------------------------------------------------------------
+    # maintenance helpers
+
+    def entry_count(self) -> int:
+        """Number of readable-looking entries for this assignment+KB."""
+        return self.backend.count("entry")
+
+
+__all__ = [
+    "BACKENDS",
+    "JsonBackend",
+    "ResultStore",
+    "SCHEMA_VERSION",
+    "SqliteBackend",
+    "kb_fingerprint",
+    "resolve_backend",
+]

@@ -1,0 +1,140 @@
+"""In-place migration of a sharded-JSON cache to the SQLite backend.
+
+``repro store migrate <dir>`` walks every assignment/KB scope under a
+JSON store root, copies each readable envelope verbatim into
+``<dir>/store.sqlite``, and leaves the JSON files where they are (or
+deletes them with ``remove_json=True``).  Because ``backend="auto"``
+prefers a ``store.sqlite`` sitting in the root, every consumer pointed
+at the directory — ``grade-batch --cache-dir``, ``serve --cache-dir``,
+the campaign runner — flips to SQLite on its next open with no
+configuration change and no cold cache: the envelopes are identical, so
+every previously stored report still hits, byte-for-byte.
+
+Unreadable or non-envelope files are skipped and counted, mirroring the
+store's corruption-as-miss contract: a corrupt JSON entry was already a
+miss, so it simply does not travel.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.storage.sqlite_backend import SqliteBackend, database_path
+
+
+@dataclass
+class MigrationStats:
+    """What one migration run moved, per record kind."""
+
+    migrated: dict[str, int] = field(
+        default_factory=lambda: {"entry": 0, "cluster": 0, "campaign": 0}
+    )
+    skipped: int = 0
+    scopes: int = 0
+
+    @property
+    def total(self) -> int:
+        return sum(self.migrated.values())
+
+    def summary(self) -> str:
+        parts = ", ".join(
+            f"{count} {kind}" for kind, count in self.migrated.items()
+        )
+        return (
+            f"migrated {self.total} records ({parts}) across "
+            f"{self.scopes} assignment/KB scopes; {self.skipped} "
+            f"unreadable files skipped"
+        )
+
+
+def _iter_json_records(scope_dir: Path):
+    """Yield ``(kind, key, envelope, path)`` for one assignment/KB dir."""
+    for path in sorted(scope_dir.glob("*/*.json")):
+        yield "entry", path.stem, path
+    for path in sorted(scope_dir.glob("cluster/*/*.json")):
+        yield "cluster", path.stem, path
+    for path in sorted(scope_dir.glob("campaign/*/*.json")):
+        yield "campaign", f"{path.parent.name}/{path.stem}", path
+
+
+def migrate_to_sqlite(
+    root: str | Path, remove_json: bool = False
+) -> MigrationStats:
+    """Copy every JSON envelope under ``root`` into ``root/store.sqlite``.
+
+    Idempotent: rerunning upserts the same rows.  Returns per-kind
+    counts; raises only when the database itself cannot be created
+    (e.g. an unwritable root) — individual bad files are skipped.
+    """
+    root = Path(root)
+    stats = MigrationStats()
+    db_path = database_path(root)
+    db_path.parent.mkdir(parents=True, exist_ok=True)
+    for assignment_dir in sorted(p for p in root.iterdir() if p.is_dir()):
+        for scope_dir in sorted(
+            p for p in assignment_dir.iterdir() if p.is_dir()
+        ):
+            stats.scopes += 1
+            backend: SqliteBackend | None = None
+            migrated_files: list[Path] = []
+            for kind, key, path in _iter_json_records(scope_dir):
+                try:
+                    envelope = json.loads(path.read_text(encoding="utf-8"))
+                except Exception:  # noqa: BLE001 - corrupt entry was a miss anyway
+                    stats.skipped += 1
+                    continue
+                if not isinstance(envelope, dict) or not isinstance(
+                    envelope.get("kb"), str
+                ):
+                    stats.skipped += 1
+                    continue
+                if backend is None or backend._kb != envelope["kb"]:
+                    # scope rows by the full fingerprint stored inside the
+                    # envelope (the directory name only keeps a prefix)
+                    backend = SqliteBackend(
+                        root, (assignment_dir.name, envelope["kb"])
+                    )
+                if backend.write(kind, key, envelope):
+                    stats.migrated[kind] += 1
+                    migrated_files.append(path)
+                else:
+                    stats.skipped += 1
+            if remove_json:
+                for path in migrated_files:
+                    try:
+                        path.unlink()
+                    except OSError:
+                        pass
+                _prune_empty_dirs(scope_dir)
+    if remove_json:
+        for assignment_dir in list(root.iterdir()):
+            if assignment_dir.is_dir():
+                _prune_empty_dirs(assignment_dir)
+    if not db_path.is_file():
+        # nothing migrated at all: still create the database so auto
+        # detection flips and future writes land in SQLite
+        SqliteBackend(root, ("_", "_"))._connection()
+    return stats
+
+
+def _prune_empty_dirs(base: Path) -> None:
+    """Remove now-empty directories bottom-up (best effort)."""
+    for path in sorted(
+        (p for p in base.rglob("*") if p.is_dir()), reverse=True
+    ):
+        try:
+            path.rmdir()
+        except OSError:
+            pass
+    try:
+        base.rmdir()
+    except OSError:
+        pass
+
+
+def remove_tree(root: str | Path) -> None:  # pragma: no cover - trivial
+    """Helper for tooling/tests: delete a store directory entirely."""
+    shutil.rmtree(root, ignore_errors=True)

@@ -1,254 +1,29 @@
-"""Persistent, content-addressed grading result cache.
+"""Compatibility shim: the store grew into :mod:`repro.core.storage`.
 
-The in-memory result cache in :mod:`repro.core.pipeline` dies with its
-process, so every fresh batch run and every forked serve worker re-grades
-submissions the system has already seen.  MOOC cohorts are duplicate-heavy,
-which makes that waste large.  :class:`ResultStore` is the cross-process
-complement: a directory of sharded JSON entries keyed by submission content
-hash, namespaced by assignment and by a fingerprint of the assignment's
-grading configuration.
-
-Design points:
-
-* **Content-addressed.**  Keys are :func:`repro.core.pipeline.source_key`
-  hashes (SHA-256 of normalized source), so resubmissions and CRLF/blank
-  line variants share one entry.
-* **KB-versioned.**  Entries live under ``<assignment>/<fingerprint[:12]>/``
-  where the fingerprint digests the assignment's patterns, constraints, and
-  matching flags (:func:`kb_fingerprint`).  Editing the knowledge base
-  changes the fingerprint, which atomically invalidates every stale entry
-  — no migration or cleanup pass required.  The full fingerprint is also
-  stored inside each entry and verified on read.
-* **Process-safe without locks.**  Writers stage a unique temp file and
-  ``os.replace`` it into place (atomic on POSIX).  Concurrent writers of
-  the same key race benignly: grading is deterministic, so last-writer-wins
-  replaces identical content.
-* **Corruption-tolerant.**  A truncated, unreadable, or schema-mismatched
-  entry is a cache miss, never an error; readers validate everything and
-  swallow all I/O and decode failures.
+PR-4's single-module ``repro.core.store`` became a package with
+pluggable backends (sharded JSON and SQLite/WAL) plus an in-place
+migration path; see :mod:`repro.core.storage` for the contract and
+:mod:`repro.core.storage.migrate` for ``repro store migrate``.  Every
+public name keeps importing from here so existing callers and cache
+directories are untouched.
 """
 
 from __future__ import annotations
 
-import hashlib
-import itertools
-import json
-import os
-import threading
-from pathlib import Path
-
-from repro.analysis.checks import analysis_fingerprint
-from repro.core.assignment import Assignment
-from repro.core.report import GradingReport
-
-#: Entry format version.  Bump when the on-disk layout or the meaning of a
-#: stored report changes; old entries then read as misses.
-SCHEMA_VERSION = 1
-
-#: Characters allowed verbatim in the assignment path component.
-_SAFE_CHARS = frozenset(
-    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789-_."
+from repro.core.storage import (
+    BACKENDS,
+    ResultStore,
+    SCHEMA_VERSION,
+    _safe_component,
+    kb_fingerprint,
+    resolve_backend,
 )
 
-_tmp_counter = itertools.count()
-
-
-def _safe_component(name: str) -> str:
-    """Make an assignment name safe to use as a directory name."""
-    cleaned = "".join(ch if ch in _SAFE_CHARS else "_" for ch in name)
-    return cleaned or "_"
-
-
-def kb_fingerprint(assignment: Assignment) -> str:
-    """Hex digest of the assignment configuration grading depends on.
-
-    Covers the expected methods (patterns, their occurrence counts,
-    constraints, feedback texts — everything in their dataclass reprs),
-    the matching flags, and the active static-analysis check set
-    (:func:`repro.analysis.checks.analysis_fingerprint`) — stored reports
-    carry diagnostics, so a report graded under a different check set
-    must read as a miss.  Reference solutions, functional tests, and the
-    synthesis space are deliberately excluded: they do not influence
-    :meth:`FeedbackEngine.grade` output, so editing them must not
-    invalidate cached reports.
-    """
-    canonical = repr(
-        (
-            SCHEMA_VERSION,
-            assignment.name,
-            assignment.enforce_headers,
-            assignment.synthesize_else_conditions,
-            assignment.expected_methods,
-            analysis_fingerprint(),
-        )
-    )
-    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
-
-
-class ResultStore:
-    """On-disk grading cache for one assignment under one KB version.
-
-    All methods are safe to call concurrently from multiple threads and
-    multiple processes.  ``get`` returns ``None`` for anything it cannot
-    fully read and validate; ``put`` returns ``False`` instead of raising
-    when the entry cannot be written.
-    """
-
-    def __init__(self, root: str | os.PathLike[str], assignment: Assignment):
-        self.assignment = assignment
-        self.fingerprint = kb_fingerprint(assignment)
-        self.root = Path(root)
-        self._dir = (
-            self.root
-            / _safe_component(assignment.name)
-            / self.fingerprint[:12]
-        )
-        self._mkdir_lock = threading.Lock()
-
-    # ------------------------------------------------------------------
-    # paths
-
-    def path_for(self, key: str) -> Path:
-        """Entry path for a content key (sharded to keep directories small)."""
-        shard = key[:2] if len(key) >= 2 else "xx"
-        return self._dir / shard / f"{key}.json"
-
-    def cluster_path_for(self, fingerprint: str) -> Path:
-        """Entry path for a cluster record, keyed by bucket fingerprint.
-
-        Cluster records live beside the source-keyed entries, under a
-        ``cluster/`` namespace of the same assignment+KB directory, so
-        editing the knowledge base invalidates them together with the
-        reports they were recorded from.
-        """
-        shard = fingerprint[:2] if len(fingerprint) >= 2 else "xx"
-        return self._dir / "cluster" / shard / f"{fingerprint}.json"
-
-    # ------------------------------------------------------------------
-    # read side
-
-    def get(self, key: str) -> GradingReport | None:
-        """Return the stored report for ``key``, or ``None`` on any miss.
-
-        Missing file, partial write, corrupt JSON, wrong schema, wrong
-        fingerprint, or undecodable report all count as misses.
-        """
-        try:
-            with open(self.path_for(key), "r", encoding="utf-8") as handle:
-                entry = json.load(handle)
-            if entry.get("schema") != SCHEMA_VERSION:
-                return None
-            if entry.get("kb") != self.fingerprint:
-                return None
-            if entry.get("key") != key:
-                return None
-            return GradingReport.from_dict(entry["report"])
-        except Exception:  # noqa: BLE001 - a bad entry is a miss, never an error
-            return None
-
-    def cluster_key(self, key: str) -> str | None:
-        """The bucket fingerprint recorded on entry ``key``, if any.
-
-        Forward-compat by defaulting, exactly like the report decoder's
-        handling of pre-diagnostics payloads: entries written before
-        clustering existed simply lack the ``cluster`` key and read as
-        ``None`` — they stay valid reports and never invalidate on
-        upgrade.
-        """
-        try:
-            with open(self.path_for(key), "r", encoding="utf-8") as handle:
-                entry = json.load(handle)
-            if entry.get("schema") != SCHEMA_VERSION:
-                return None
-            if entry.get("kb") != self.fingerprint:
-                return None
-            value = entry.get("cluster")
-            return value if isinstance(value, str) else None
-        except Exception:  # noqa: BLE001 - a bad entry is a miss, never an error
-            return None
-
-    def get_cluster(self, fingerprint: str) -> dict | None:
-        """Return the cluster record for a bucket fingerprint, or ``None``.
-
-        Like :meth:`get`, anything unreadable or mismatched is a miss.
-        The record's internal layout is owned by
-        :mod:`repro.cluster.specialize`; the store only validates its own
-        envelope.
-        """
-        try:
-            path = self.cluster_path_for(fingerprint)
-            with open(path, "r", encoding="utf-8") as handle:
-                entry = json.load(handle)
-            if entry.get("schema") != SCHEMA_VERSION:
-                return None
-            if entry.get("kb") != self.fingerprint:
-                return None
-            if entry.get("key") != fingerprint:
-                return None
-            record = entry.get("record")
-            return record if isinstance(record, dict) else None
-        except Exception:  # noqa: BLE001 - a bad entry is a miss, never an error
-            return None
-
-    # ------------------------------------------------------------------
-    # write side
-
-    def put(
-        self, key: str, report: GradingReport, cluster: str | None = None
-    ) -> bool:
-        """Persist ``report`` under ``key``; returns ``False`` on failure.
-
-        ``cluster`` optionally records the submission's bucket
-        fingerprint alongside the report (see :meth:`cluster_key`).
-        """
-        path = self.path_for(key)
-        entry = {
-            "schema": SCHEMA_VERSION,
-            "kb": self.fingerprint,
-            "key": key,
-            "report": report.to_dict(),
-        }
-        if cluster is not None:
-            entry["cluster"] = cluster
-        return self._write_entry(path, entry)
-
-    def put_cluster(self, fingerprint: str, record: dict) -> bool:
-        """Persist a cluster record under its bucket fingerprint."""
-        entry = {
-            "schema": SCHEMA_VERSION,
-            "kb": self.fingerprint,
-            "key": fingerprint,
-            "record": record,
-        }
-        return self._write_entry(self.cluster_path_for(fingerprint), entry)
-
-    def _write_entry(self, path: Path, entry: dict) -> bool:
-        """Atomically stage-and-replace one JSON entry."""
-        tmp_name = (
-            f"{path.name}.{os.getpid()}.{threading.get_ident()}"
-            f".{next(_tmp_counter)}.tmp"
-        )
-        tmp_path = path.parent / tmp_name
-        try:
-            if not path.parent.is_dir():
-                with self._mkdir_lock:
-                    path.parent.mkdir(parents=True, exist_ok=True)
-            with open(tmp_path, "w", encoding="utf-8") as handle:
-                json.dump(entry, handle, separators=(",", ":"))
-            os.replace(tmp_path, path)
-            return True
-        except Exception:  # noqa: BLE001 - callers treat a failed write as best-effort
-            try:
-                os.unlink(tmp_path)
-            except OSError:
-                pass
-            return False
-
-    # ------------------------------------------------------------------
-    # maintenance helpers
-
-    def entry_count(self) -> int:
-        """Number of readable-looking entries for this assignment+KB."""
-        if not self._dir.is_dir():
-            return 0
-        return sum(1 for _ in self._dir.glob("*/*.json"))
+__all__ = [
+    "BACKENDS",
+    "ResultStore",
+    "SCHEMA_VERSION",
+    "_safe_component",
+    "kb_fingerprint",
+    "resolve_backend",
+]

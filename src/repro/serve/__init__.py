@@ -24,6 +24,7 @@ from repro.serve.metrics import (
     render_prometheus,
 )
 from repro.serve.pool import GradingWorkerPool, PoolResult
+from repro.serve.router import HashRing, ShardRouter
 from repro.serve.server import GradingService, ServiceConfig
 
 __all__ = [
@@ -33,6 +34,7 @@ __all__ = [
     "CircuitBreaker",
     "GradingService",
     "GradingWorkerPool",
+    "HashRing",
     "HttpError",
     "HttpRequest",
     "HttpResponse",
@@ -40,5 +42,6 @@ __all__ = [
     "PoolResult",
     "ServiceConfig",
     "ServiceMetrics",
+    "ShardRouter",
     "render_prometheus",
 ]

@@ -109,6 +109,7 @@ class ServiceMetrics:
         workers: int = 0,
         breakers: dict[str, dict] | None = None,
         draining: bool = False,
+        store: dict | None = None,
     ) -> dict:
         return {
             "serve": dict(sorted(self.counters.items())),
@@ -120,6 +121,7 @@ class ServiceMetrics:
             "latency_ms": self.latency.snapshot(),
             "breakers": breakers or {},
             "draining": draining,
+            "store": store or {"enabled": False, "backend": "none"},
             "pipeline": self.pipeline.to_dict(),
         }
 
@@ -157,6 +159,20 @@ def render_prometheus(snapshot: dict) -> str:
     for key in ("submissions", "graded", "cache_hits", "parse_errors",
                 "timeouts", "errors"):
         emit(f"pipeline_{key}", pipeline.get(key, 0))
+    # persistent-store visibility: an info gauge naming the active
+    # backend, plus the pipeline's cache.store_* traffic labelled with
+    # it (so dashboards can compare hit rates across backends)
+    store = snapshot.get("store", {})
+    backend = store.get("backend", "none")
+    emit("store_backend", 1, f'{{backend="{backend}"}}')
+    if store.get("enabled"):
+        counters = pipeline.get("counters", {})
+        for key in ("hits", "misses", "writes", "errors"):
+            emit(
+                f"cache_store_{key}",
+                counters.get(f"cache.store_{key}", 0),
+                f'{{backend="{backend}"}}',
+            )
     # static-analysis visibility: per-check finding counters plus the
     # analysis phase's wall time, flattened like the serve counters
     # (``analysis.use-before-init`` → ``repro_analysis_use_before_init``)

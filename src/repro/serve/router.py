@@ -1,0 +1,664 @@
+"""Multi-process shard router: N grading services behind one port.
+
+One :class:`~repro.serve.server.GradingService` is bounded by one
+Python process.  :class:`ShardRouter` scales the serving layer out on a
+single host: it forks ``N`` full service instances (each with its own
+worker pool, admission controller, caches, and breakers), binds one
+front port, and proxies every grade request to the shard that owns it
+under **consistent hashing** of ``(assignment, source_key)``:
+
+* the same submission content always lands on the same shard, so each
+  shard's in-memory result cache and cluster-bucket registry stay as
+  effective as a single instance's — no cache dilution across shards;
+* the hash ring uses virtual nodes, so shard counts can change between
+  deployments with bounded key movement (only ``~1/N`` of the keyspace
+  moves when a shard is added).
+
+All shards share one persistent result store (point ``cache_dir`` at a
+SQLite store — WAL mode lets N writers and the router coexist without
+a coordinator), so a report graded by any shard replays from disk on
+every other.  Reports remain byte-identical to single-instance and
+offline batch output: routing chooses *where* a submission is graded,
+never *how*.
+
+Operational surface mirrors the single service: ``/healthz`` (process
+liveness of every shard), ``/readyz``, ``/metrics`` (aggregated across
+shards — ``serve.*`` counters summed, tail latencies maxed, per-shard
+detail nested), ``/shards`` (topology), ``/assignments`` and ``/lint``
+(answered locally; the KB is identical in every process).  SIGTERM
+drains the router first (stop accepting, finish in-flight proxying),
+then every shard.
+
+Usage: ``repro serve --shards 4 --cache-dir cache/`` or::
+
+    from repro.serve import ServiceConfig
+    from repro.serve.router import ShardRouter
+    router = ShardRouter(ServiceConfig(port=8652), shards=4)
+    exit_code = asyncio.run(router.serve_forever())
+"""
+
+from __future__ import annotations
+
+import asyncio
+import bisect
+import hashlib
+import json
+import multiprocessing
+import re
+import signal
+import threading
+import time
+from collections import deque
+from dataclasses import asdict
+
+from repro.core.metrics import PipelineStats
+from repro.core.pipeline import source_key
+from repro.kb import all_assignment_names
+from repro.serve.http import (
+    HttpError,
+    HttpRequest,
+    HttpResponse,
+    read_request,
+)
+from repro.serve.metrics import render_prometheus
+from repro.serve.server import ServiceConfig, _error_response
+
+_GRADE_PATH_RE = re.compile(r"^/assignments/([^/]+)/grade$")
+
+#: Virtual nodes per shard on the hash ring.  64 keeps the keyspace
+#: split within a few percent of even for small shard counts while the
+#: ring stays tiny (shards x 64 points).
+DEFAULT_VNODES = 64
+
+#: Idle proxy connections kept open per shard.
+POOL_SIZE = 16
+
+
+class HashRing:
+    """Consistent-hash ring over shard indices with virtual nodes."""
+
+    def __init__(self, shards: int, vnodes: int = DEFAULT_VNODES):
+        if shards <= 0:
+            raise ValueError("shards must be positive")
+        if vnodes <= 0:
+            raise ValueError("vnodes must be positive")
+        self.shards = shards
+        self.vnodes = vnodes
+        points: list[tuple[int, int]] = []
+        for shard in range(shards):
+            for vnode in range(vnodes):
+                digest = hashlib.sha256(
+                    f"shard-{shard}:vnode-{vnode}".encode("utf-8")
+                ).digest()
+                points.append((int.from_bytes(digest[:8], "big"), shard))
+        points.sort()
+        self._points = [point for point, _ in points]
+        self._owners = [shard for _, shard in points]
+
+    def shard_for(self, assignment: str, key: str) -> int:
+        """The shard owning ``(assignment, key)`` — stable across calls."""
+        digest = hashlib.sha256(
+            f"{assignment}:{key}".encode("utf-8")
+        ).digest()
+        value = int.from_bytes(digest[:8], "big")
+        index = bisect.bisect_right(self._points, value)
+        if index == len(self._points):
+            index = 0
+        return self._owners[index]
+
+
+# -- shard child process -------------------------------------------------
+
+
+def _shard_main(config_kwargs: dict, conn) -> None:
+    """Child entry: run one full GradingService on an ephemeral port.
+
+    The bound port travels back over ``conn``; afterwards the pipe is
+    the drain channel — any message (or EOF, if the router dies) drains
+    the shard gracefully.
+    """
+    signal.signal(signal.SIGINT, signal.SIG_IGN)  # the router drives shutdown
+    from repro.serve.server import GradingService
+
+    config = ServiceConfig(**config_kwargs)
+    config.port = 0  # ephemeral: the router learns it from the pipe
+    service = GradingService(config)
+
+    async def run() -> int:
+        await service.start()
+        conn.send(("ready", service.port))
+        loop = asyncio.get_running_loop()
+
+        def watch() -> None:
+            try:
+                conn.recv()
+            except (EOFError, OSError):
+                pass  # router died: drain anyway
+            loop.call_soon_threadsafe(service.request_drain)
+
+        threading.Thread(target=watch, daemon=True).start()
+        return await service.serve_forever(install_signal_handlers=False)
+
+    try:
+        code = asyncio.run(run())
+    except Exception as exc:  # noqa: BLE001 - report, then exit non-zero
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        except (BrokenPipeError, OSError):
+            pass
+        code = 1
+    raise SystemExit(code)
+
+
+class _ShardHandle:
+    """One shard process: its pipe, port, and proxy connection pool."""
+
+    def __init__(self, index: int, process, conn):
+        self.index = index
+        self.process = process
+        self.conn = conn
+        self.port: int | None = None
+        self.pool: deque = deque()
+
+    @property
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+
+# -- the router ----------------------------------------------------------
+
+
+class ShardRouter:
+    """Routes grade traffic across N forked :class:`GradingService`\\ s.
+
+    ``config`` is the per-shard service configuration (every shard gets
+    the same workers/queue/deadline/cache settings); ``config.host`` and
+    ``config.port`` name the *router's* listen address.
+    """
+
+    def __init__(
+        self,
+        config: ServiceConfig | None = None,
+        shards: int = 2,
+        vnodes: int = DEFAULT_VNODES,
+    ):
+        if shards <= 0:
+            raise ValueError("shards must be positive")
+        self.config = config or ServiceConfig()
+        self.shards = shards
+        self.ring = HashRing(shards, vnodes)
+        self.counters: dict[str, int] = {
+            "router.requests_total": 0,
+            "router.proxied": 0,
+            "router.proxy_errors": 0,
+            "router.unroutable": 0,
+        }
+        self._handles: list[_ShardHandle] = []
+        self._server: asyncio.base_events.Server | None = None
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._busy = 0
+        self._draining = False
+        self._drain_requested = asyncio.Event()
+        self.port = self.config.port
+        # generous per-proxy timeout: the shard enforces the real
+        # deadlines; this only catches a wedged shard process
+        self._proxy_timeout = (
+            max(
+                self.config.max_deadline_seconds,
+                self.config.default_deadline_seconds,
+            )
+            + self.config.kill_grace_seconds
+            + 10.0
+        )
+
+    # -- lifecycle -------------------------------------------------------
+
+    async def start(self) -> None:
+        """Fork the shards, learn their ports, then bind the front port."""
+        context = multiprocessing.get_context(
+            "fork"
+            if "fork" in multiprocessing.get_all_start_methods()
+            else "spawn"
+        )
+        kwargs = asdict(self.config)
+        loop = asyncio.get_running_loop()
+        for index in range(self.shards):
+            parent_conn, child_conn = context.Pipe(duplex=True)
+            # not daemonic: each shard forks its own worker pool, which
+            # daemon processes may not do.  Orphan protection comes from
+            # the pipe instead — EOF drains the shard (see _shard_main).
+            process = context.Process(
+                target=_shard_main,
+                args=(kwargs, child_conn),
+            )
+            process.start()
+            child_conn.close()
+            self._handles.append(_ShardHandle(index, process, parent_conn))
+        # collect readiness off-loop (pipe recv blocks)
+        for handle in self._handles:
+            message = await loop.run_in_executor(None, handle.conn.recv)
+            kind, value = message
+            if kind != "ready":
+                await self._kill_all()
+                raise RuntimeError(f"shard {handle.index} failed: {value}")
+            handle.port = value
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(
+        self, install_signal_handlers: bool = True
+    ) -> int:
+        if self._server is None:
+            await self.start()
+        if install_signal_handlers:
+            loop = asyncio.get_running_loop()
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                loop.add_signal_handler(signum, self.request_drain)
+        await self._drain_requested.wait()
+        clean = await self.drain()
+        return 0 if clean else 1
+
+    def request_drain(self) -> None:
+        """Signal-safe drain trigger (idempotent)."""
+        self._drain_requested.set()
+
+    async def drain(self) -> bool:
+        """Stop accepting, finish in-flight proxying, drain every shard."""
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+        expiry = time.monotonic() + self.config.drain_timeout_seconds
+        while self._busy > 0 and time.monotonic() < expiry:
+            await asyncio.sleep(0.02)
+        clean = self._busy == 0
+        for handle in self._handles:
+            try:
+                handle.conn.send("drain")
+            except (BrokenPipeError, OSError):
+                pass
+        loop = asyncio.get_running_loop()
+        deadline = self.config.drain_timeout_seconds
+        await asyncio.gather(*[
+            loop.run_in_executor(None, handle.process.join, deadline)
+            for handle in self._handles
+        ])
+        for handle in self._handles:
+            if handle.process.is_alive():
+                clean = False
+        await self._kill_all()
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        if self._server is not None:
+            await self._server.wait_closed()
+        return clean
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    async def _kill_all(self) -> None:
+        for handle in self._handles:
+            while handle.pool:
+                _, writer = handle.pool.popleft()
+                writer.close()
+            try:
+                if handle.process.is_alive():
+                    handle.process.kill()
+                    handle.process.join(timeout=1)
+            except (OSError, ValueError):  # pragma: no cover - already gone
+                pass
+            try:
+                handle.conn.close()
+            except OSError:  # pragma: no cover
+                pass
+
+    # -- connection handling (mirrors GradingService) --------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        try:
+            while True:
+                try:
+                    request = await read_request(
+                        reader, self.config.max_body_bytes
+                    )
+                except HttpError as error:
+                    await self._write(writer, _error_response(error), False)
+                    return
+                if request is None:
+                    return
+                self._busy += 1
+                try:
+                    response = await self._safe_dispatch(request)
+                    keep_alive = request.keep_alive and not self._draining
+                    await self._write(writer, response, keep_alive)
+                finally:
+                    self._busy -= 1
+                if not keep_alive:
+                    return
+        except (
+            ConnectionResetError, BrokenPipeError, asyncio.CancelledError
+        ):
+            pass
+        finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    @staticmethod
+    async def _write(
+        writer: asyncio.StreamWriter,
+        response: HttpResponse,
+        keep_alive: bool,
+    ) -> None:
+        writer.write(response.encode(keep_alive))
+        await writer.drain()
+
+    async def _safe_dispatch(self, request: HttpRequest) -> HttpResponse:
+        try:
+            return await self._dispatch(request)
+        except HttpError as error:
+            return _error_response(error)
+        except Exception as exc:  # noqa: BLE001 - never kill the connection
+            return HttpResponse.json(
+                {"error": f"internal error: {type(exc).__name__}: {exc}"},
+                status=500,
+            )
+
+    # -- routing ---------------------------------------------------------
+
+    async def _dispatch(self, request: HttpRequest) -> HttpResponse:
+        self.counters["router.requests_total"] += 1
+        path = request.path
+        match = _GRADE_PATH_RE.match(path)
+        if match is not None:
+            if request.method != "POST":
+                raise HttpError(405, "grading requires POST")
+            return await self._proxy_grade(request, match.group(1))
+        if request.method != "GET":
+            raise HttpError(405, f"unsupported method {request.method}")
+        if path == "/healthz":
+            dead = [h.index for h in self._handles if not h.alive]
+            if dead:
+                return HttpResponse.text(
+                    f"shards down: {dead}\n", status=503
+                )
+            return HttpResponse.text("ok\n")
+        if path == "/readyz":
+            if self._draining:
+                return HttpResponse.text("draining\n", status=503)
+            if any(not h.alive for h in self._handles):
+                return HttpResponse.text("degraded\n", status=503)
+            return HttpResponse.text("ready\n")
+        if path == "/metrics":
+            return await self._metrics_response(request)
+        if path == "/shards":
+            return HttpResponse.json({"shards": self._topology()})
+        if path == "/assignments":
+            return HttpResponse.json(
+                {"assignments": list(all_assignment_names())}
+            )
+        if path == "/lint":
+            from repro.analysis import lint_knowledge_base
+
+            payload = lint_knowledge_base().to_dict()
+            return HttpResponse.json(
+                payload, status=200 if payload["ok"] else 503
+            )
+        if path == "/":
+            return HttpResponse.json({
+                "service": "repro-grading-router",
+                "shards": self.shards,
+                "endpoints": [
+                    "POST /assignments/{name}/grade",
+                    "GET /assignments",
+                    "GET /healthz",
+                    "GET /readyz",
+                    "GET /lint",
+                    "GET /metrics",
+                    "GET /shards",
+                ],
+            })
+        raise HttpError(404, f"no route for {path}")
+
+    def _topology(self) -> list[dict]:
+        return [
+            {
+                "index": handle.index,
+                "port": handle.port,
+                "pid": handle.process.pid,
+                "alive": handle.alive,
+            }
+            for handle in self._handles
+        ]
+
+    def _route(self, assignment: str, body: bytes) -> int:
+        """Pick the shard for a grade request.
+
+        Routing hashes the *content key* (the same normalization-stable
+        :func:`~repro.core.pipeline.source_key` the caches use), so
+        resubmissions hit the shard that already holds their report.  A
+        body the router cannot interpret goes to shard 0 — the shard
+        produces the canonical 400, and all such errors colocate
+        harmlessly.
+        """
+        try:
+            payload = json.loads(body.decode("utf-8"))
+            source = payload.get("source")
+            if isinstance(source, str) and source.strip():
+                return self.ring.shard_for(assignment, source_key(source))
+        except Exception:  # noqa: BLE001 - malformed bodies route to shard 0
+            pass
+        self.counters["router.unroutable"] += 1
+        return 0
+
+    async def _proxy_grade(
+        self, request: HttpRequest, assignment: str
+    ) -> HttpResponse:
+        if self._draining:
+            return HttpResponse.json(
+                {"error": "service is draining"},
+                status=503,
+                headers={"Retry-After": "5"},
+            )
+        index = self._route(assignment, request.body)
+        try:
+            status, content_type, body = await self._shard_request(
+                index, "POST", request.path, request.body
+            )
+        except (OSError, asyncio.TimeoutError, EOFError, ValueError):
+            self.counters["router.proxy_errors"] += 1
+            return HttpResponse.json(
+                {"error": f"shard {index} is unavailable"},
+                status=503,
+                headers={"Retry-After": "5"},
+            )
+        self.counters["router.proxied"] += 1
+        return HttpResponse(
+            status=status, body=body, content_type=content_type
+        )
+
+    # -- proxy client ----------------------------------------------------
+
+    async def _shard_request(
+        self, index: int, method: str, path: str, body: bytes = b""
+    ) -> tuple[int, str, bytes]:
+        """One proxied request over a pooled keep-alive connection."""
+        handle = self._handles[index]
+        last_error: Exception | None = None
+        for attempt in range(2):
+            if handle.pool:
+                reader, writer = handle.pool.popleft()
+            else:
+                reader, writer = await asyncio.open_connection(
+                    self.config.host, handle.port
+                )
+            try:
+                head = (
+                    f"{method} {path} HTTP/1.1\r\n"
+                    f"Host: shard-{index}\r\n"
+                    f"Content-Type: application/json\r\n"
+                    f"Content-Length: {len(body)}\r\n"
+                    f"Connection: keep-alive\r\n\r\n"
+                ).encode("latin-1")
+                writer.write(head + body)
+                await writer.drain()
+                status, content_type, payload = await asyncio.wait_for(
+                    self._read_response(reader), self._proxy_timeout
+                )
+            except (
+                OSError, EOFError, ValueError, asyncio.TimeoutError,
+                asyncio.IncompleteReadError,
+            ) as error:
+                writer.close()
+                last_error = error
+                # a pooled connection may have gone stale while idle;
+                # retry once on a fresh one, then give up
+                if attempt == 0 and handle.alive:
+                    continue
+                raise
+            if len(handle.pool) < POOL_SIZE:
+                handle.pool.append((reader, writer))
+            else:
+                writer.close()
+            return status, content_type, payload
+        raise last_error  # pragma: no cover - loop always returns/raises
+
+    @staticmethod
+    async def _read_response(
+        reader: asyncio.StreamReader,
+    ) -> tuple[int, str, bytes]:
+        status_line = await reader.readline()
+        if not status_line:
+            raise EOFError("shard closed the connection")
+        parts = status_line.decode("latin-1").split(None, 2)
+        if len(parts) < 2 or not parts[1].isdigit():
+            raise ValueError(f"bad status line: {status_line!r}")
+        status = int(parts[1])
+        content_type = "application/json"
+        length = 0
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            name = name.strip().lower()
+            if name == "content-length":
+                length = int(value.strip())
+            elif name == "content-type":
+                content_type = value.strip()
+        body = await reader.readexactly(length) if length else b""
+        return status, content_type, body
+
+    # -- metrics aggregation ---------------------------------------------
+
+    async def _metrics_response(self, request: HttpRequest) -> HttpResponse:
+        snapshot = await self._aggregate_metrics()
+        if request.query.get("format") == "prometheus":
+            text = render_prometheus(snapshot)
+            extra = [f"repro_router_shards {self.shards}"]
+            for name, value in sorted(self.counters.items()):
+                extra.append(f"repro_{name.replace('.', '_')} {value}")
+            for shard in snapshot["router"]["topology"]:
+                extra.append(
+                    f'repro_router_shard_up{{shard="{shard["index"]}"}} '
+                    f'{int(shard["alive"])}'
+                )
+            return HttpResponse.text(text + "\n".join(extra) + "\n")
+        return HttpResponse.json(snapshot)
+
+    async def _aggregate_metrics(self) -> dict:
+        """Fan ``/metrics`` out to every live shard and fold the results.
+
+        ``serve.*`` counters and queue gauges are summed (they are
+        volumes), tail latencies are maxed (the fleet's worst case is
+        what an SLO cares about), the pipeline stats merge exactly like
+        batch shards, and the full per-shard snapshots stay nested under
+        ``shards`` for drill-down.
+        """
+
+        async def fetch(handle: _ShardHandle) -> dict | None:
+            if not handle.alive:
+                return None
+            try:
+                status, _, body = await self._shard_request(
+                    handle.index, "GET", "/metrics"
+                )
+                if status != 200:
+                    return None
+                return json.loads(body.decode("utf-8"))
+            except (OSError, asyncio.TimeoutError, EOFError, ValueError):
+                return None
+
+        snapshots = await asyncio.gather(
+            *[fetch(handle) for handle in self._handles]
+        )
+        serve: dict[str, int] = {}
+        queue = {"depth": 0, "capacity": 0, "workers": 0}
+        latency = {"count": 0, "window": 0, "p50_ms": 0.0, "p95_ms": 0.0,
+                   "p99_ms": 0.0, "max_ms": 0.0}
+        pipeline = PipelineStats(mode="router", workers=self.shards)
+        breakers: dict[str, dict] = {}
+        per_shard: dict[str, dict] = {}
+        store = {"enabled": False, "backend": "none"}
+        draining = self._draining
+        for handle, shard_snapshot in zip(self._handles, snapshots):
+            name = str(handle.index)
+            if shard_snapshot is None:
+                per_shard[name] = {"up": False}
+                continue
+            for key, value in shard_snapshot.get("serve", {}).items():
+                serve[key] = serve.get(key, 0) + int(value)
+            shard_queue = shard_snapshot.get("queue", {})
+            for key in queue:
+                queue[key] += int(shard_queue.get(key, 0))
+            shard_latency = shard_snapshot.get("latency_ms", {})
+            for key in ("count", "window"):
+                latency[key] += int(shard_latency.get(key, 0))
+            for key in ("p50_ms", "p95_ms", "p99_ms", "max_ms"):
+                latency[key] = max(
+                    latency[key], float(shard_latency.get(key, 0.0))
+                )
+            pipeline.merge(
+                PipelineStats.from_dict(shard_snapshot.get("pipeline", {}))
+            )
+            for assignment, state in shard_snapshot.get(
+                "breakers", {}
+            ).items():
+                breakers[f"{assignment}@{name}"] = state
+            if shard_snapshot.get("store", {}).get("enabled"):
+                store = shard_snapshot["store"]
+            draining = draining or bool(shard_snapshot.get("draining"))
+            per_shard[name] = {
+                "up": True,
+                "port": handle.port,
+                "latency_ms": shard_latency,
+                "breakers": shard_snapshot.get("breakers", {}),
+            }
+        return {
+            "serve": dict(sorted(serve.items())),
+            "queue": queue,
+            "latency_ms": latency,
+            "breakers": breakers,
+            "draining": draining,
+            "store": store,
+            "pipeline": pipeline.to_dict(),
+            "router": {
+                "shards": self.shards,
+                "counters": dict(sorted(self.counters.items())),
+                "topology": self._topology(),
+            },
+            "shards": per_shard,
+        }

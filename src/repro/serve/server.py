@@ -89,6 +89,12 @@ class ServiceConfig:
     #: A restarted service — or a batch run pointed at the same
     #: directory — replays previously graded submissions from disk.
     cache_dir: str | os.PathLike | None = None
+    #: Store representation for ``cache_dir``: ``"auto"`` (default;
+    #: picks SQLite when the directory holds a ``store.sqlite``, which
+    #: is what ``repro store migrate`` leaves behind), ``"json"``, or
+    #: ``"sqlite"``.  SQLite is the right choice when several service
+    #: shards share one cache directory.
+    store_backend: str = "auto"
     #: Grade via submission clustering (:mod:`repro.cluster`): each
     #: worker buckets structurally duplicate submissions and
     #: specializes one representative's report instead of re-grading.
@@ -322,6 +328,7 @@ class GradingService:
             workers=self.config.workers,
             breakers=self.breakers.snapshot(),
             draining=self._draining,
+            store=self._store_info(),
         )
         if request.query.get("format") == "prometheus":
             return HttpResponse.text(render_prometheus(snapshot))
@@ -336,6 +343,24 @@ class GradingService:
             self._caches[assignment_name] = cache
         return cache
 
+    def _store_info(self) -> dict:
+        """``/metrics`` store section: which backend this service uses.
+
+        Resolved without constructing a store (``"auto"`` is decided by
+        what sits in the cache directory), so the section is accurate
+        before the first grade request touches disk.
+        """
+        if self.config.cache_dir is None:
+            return {"enabled": False, "backend": "none"}
+        from repro.core.store import resolve_backend
+
+        return {
+            "enabled": True,
+            "backend": resolve_backend(
+                self.config.cache_dir, self.config.store_backend
+            ),
+        }
+
     def _store(self, assignment_name: str) -> ResultStore | None:
         """Per-assignment persistent store, or ``None`` when disabled."""
         if self.config.cache_dir is None:
@@ -343,7 +368,9 @@ class GradingService:
         store = self._stores.get(assignment_name)
         if store is None:
             store = ResultStore(
-                self.config.cache_dir, get_assignment(assignment_name)
+                self.config.cache_dir,
+                get_assignment(assignment_name),
+                backend=self.config.store_backend,
             )
             self._stores[assignment_name] = store
         return store

@@ -1,0 +1,262 @@
+"""Tests for the consistent-hash shard router.
+
+The ring tests are pure unit tests; the integration tests fork real
+shard processes (each a full :class:`GradingService` on an ephemeral
+port) behind a router and drive it with the same stdlib HTTP client
+the server tests use — synchronous tests, one event loop per test.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+
+from repro.core.pipeline import source_key
+from repro.core.storage import ResultStore
+from repro.serve import HashRing, ServiceConfig, ShardRouter
+
+from tests.serve.conftest import http_call
+
+import pytest
+
+
+class TestHashRing:
+    def test_deterministic(self):
+        a = HashRing(4)
+        b = HashRing(4)
+        for i in range(100):
+            assert a.shard_for("assignment1", f"key-{i}") == b.shard_for(
+                "assignment1", f"key-{i}"
+            )
+
+    def test_every_shard_owns_a_reasonable_share(self):
+        ring = HashRing(4)
+        counts = [0, 0, 0, 0]
+        for i in range(1000):
+            counts[ring.shard_for("assignment1", f"key-{i:04d}")] += 1
+        assert sum(counts) == 1000
+        for count in counts:
+            assert count > 100  # perfectly even would be 250
+
+    def test_adding_a_shard_moves_a_bounded_fraction(self):
+        before = HashRing(4)
+        after = HashRing(5)
+        moved = sum(
+            1
+            for i in range(1000)
+            if before.shard_for("a1", f"k{i}") != after.shard_for("a1", f"k{i}")
+        )
+        # consistent hashing moves ~1/5 of keys; naive modulo would move ~4/5
+        assert moved < 400
+
+    def test_assignment_is_part_of_the_key(self):
+        ring = HashRing(8)
+        owners = {ring.shard_for(f"assignment{i}", "same-key")
+                  for i in range(20)}
+        assert len(owners) > 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HashRing(0)
+        with pytest.raises(ValueError):
+            HashRing(2, vnodes=0)
+
+
+@contextlib.asynccontextmanager
+async def running_router(shards=2, **overrides):
+    """A started :class:`ShardRouter` on an ephemeral port.
+
+    ``overrides`` configure the per-shard services (inline pool, one
+    worker by default — the cheapest real shard).  Always drained.
+    """
+    kwargs = dict(port=0, workers=1, pool_mode="inline", debug_hooks=True)
+    kwargs.update(overrides)
+    router = ShardRouter(ServiceConfig(**kwargs), shards=shards)
+    await router.start()
+    try:
+        yield router
+    finally:
+        await router.drain()
+
+
+async def router_grade(router, assignment, body):
+    status, _, raw = await http_call(
+        router.config.host, router.port,
+        "POST", f"/assignments/{assignment}/grade", body=body,
+    )
+    return status, json.loads(raw)
+
+
+class TestRouterIntegration:
+    def test_grade_proxies_and_matches_direct_grading(
+        self, good_source, engine1
+    ):
+        async def scenario():
+            async with running_router(shards=2) as router:
+                return await router_grade(
+                    router, "assignment1",
+                    {"source": good_source, "label": "s1"},
+                )
+
+        status, payload = asyncio.run(scenario())
+        assert status == 200
+        assert payload["from_cache"] is False
+        assert payload["report"] == engine1.grade(good_source).to_dict()
+
+    def test_resubmission_lands_on_the_warm_shard(self, good_source):
+        async def scenario():
+            async with running_router(shards=2) as router:
+                first = await router_grade(
+                    router, "assignment1", {"source": good_source}
+                )
+                # normalization-stable routing: CRLF + trailing blank
+                # lines hash to the same content key, hence same shard
+                variant = good_source.replace("\n", "\r\n") + "\n\n"
+                second = await router_grade(
+                    router, "assignment1", {"source": variant}
+                )
+                return first, second
+
+        first, second = asyncio.run(scenario())
+        assert first[1]["from_cache"] is False
+        assert second[1]["from_cache"] is True
+        assert second[1]["report"] == first[1]["report"]
+
+    def test_shards_share_one_sqlite_store(
+        self, tmp_path, good_source, assignment1
+    ):
+        async def scenario():
+            async with running_router(
+                shards=2, cache_dir=tmp_path, store_backend="sqlite"
+            ) as router:
+                return await router_grade(
+                    router, "assignment1", {"source": good_source}
+                )
+
+        status, payload = asyncio.run(scenario())
+        assert status == 200
+
+        # the report landed in the shared store, under the content key
+        store = ResultStore(tmp_path, assignment1, backend="sqlite")
+        cached = store.get(source_key(good_source))
+        assert cached is not None
+        assert cached.to_dict() == payload["report"]
+
+        # a brand-new router replays it: persistence across restarts
+        async def replay():
+            async with running_router(
+                shards=2, cache_dir=tmp_path, store_backend="sqlite"
+            ) as router:
+                return await router_grade(
+                    router, "assignment1", {"source": good_source}
+                )
+
+        status, payload = asyncio.run(replay())
+        assert status == 200
+        assert payload["from_cache"] is True
+
+    def test_error_passthrough_and_routing_fallback(self, good_source):
+        async def scenario():
+            async with running_router(shards=2) as router:
+                host, port = router.config.host, router.port
+                bad_json = await http_call(
+                    host, port, "POST", "/assignments/assignment1/grade",
+                    raw_body=b"{not json",
+                )
+                bad_assignment = await http_call(
+                    host, port, "POST", "/assignments/nope/grade",
+                    body={"source": good_source},
+                )
+                not_found = await http_call(host, port, "GET", "/nope")
+                unroutable = router.counters["router.unroutable"]
+                return bad_json, bad_assignment, not_found, unroutable
+
+        bad_json, bad_assignment, not_found, unroutable = asyncio.run(
+            scenario()
+        )
+        assert bad_json[0] == 400  # shard 0's canonical error
+        assert bad_assignment[0] == 404
+        assert not_found[0] == 404
+        assert unroutable == 1
+
+    def test_health_and_topology_endpoints(self):
+        async def scenario():
+            async with running_router(shards=2) as router:
+                host, port = router.config.host, router.port
+                health = await http_call(host, port, "GET", "/healthz")
+                ready = await http_call(host, port, "GET", "/readyz")
+                shards = await http_call(host, port, "GET", "/shards")
+                assignments = await http_call(
+                    host, port, "GET", "/assignments"
+                )
+                return health, ready, shards, assignments
+
+        health, ready, shards, assignments = asyncio.run(scenario())
+        assert health[0] == 200 and health[2] == b"ok\n"
+        assert ready[0] == 200
+        topology = json.loads(shards[2])["shards"]
+        assert len(topology) == 2
+        assert all(s["alive"] and s["port"] for s in topology)
+        assert topology[0]["port"] != topology[1]["port"]
+        assert "assignment1" in json.loads(assignments[2])["assignments"]
+
+    def test_metrics_aggregate_across_shards(self, tmp_path, good_source):
+        async def scenario():
+            async with running_router(
+                shards=2, cache_dir=tmp_path, store_backend="sqlite"
+            ) as router:
+                host, port = router.config.host, router.port
+                # spread traffic: distinct sources hash to both shards
+                # with high probability (7 keys, 2 shards)
+                for i in range(7):
+                    await router_grade(
+                        router, "assignment1",
+                        {"source": good_source + f"\n// v{i}"},
+                    )
+                _, _, raw = await http_call(host, port, "GET", "/metrics")
+                _, _, prom = await http_call(
+                    host, port, "GET", "/metrics?format=prometheus"
+                )
+                return json.loads(raw), prom.decode()
+
+        snapshot, prom = asyncio.run(scenario())
+        assert snapshot["router"]["shards"] == 2
+        assert snapshot["router"]["counters"]["router.proxied"] == 7
+        # shard counters sum through the aggregate
+        assert snapshot["serve"]["serve.grade_requests"] == 7
+        assert snapshot["pipeline"]["submissions"] == 7
+        assert snapshot["store"] == {"enabled": True, "backend": "sqlite"}
+        assert len(snapshot["shards"]) == 2
+        assert all(
+            s["up"] and s["port"] for s in snapshot["shards"].values()
+        )
+
+        assert "repro_router_shards 2" in prom
+        assert 'repro_router_shard_up{shard="0"} 1' in prom
+        assert 'repro_router_shard_up{shard="1"} 1' in prom
+        assert 'repro_store_backend{backend="sqlite"} 1' in prom
+        assert 'repro_cache_store_writes{backend="sqlite"}' in prom
+        assert "repro_serve_grade_requests 7" in prom
+
+    def test_drain_rejects_new_work_and_stops_shards(self, good_source):
+        async def scenario():
+            router = ShardRouter(
+                ServiceConfig(port=0, workers=1, pool_mode="inline"),
+                shards=2,
+            )
+            await router.start()
+            pids = [h.process for h in router._handles]
+            clean = await router.drain()
+            after = await asyncio.to_thread(
+                lambda: [p.is_alive() for p in pids]
+            )
+            return clean, after
+
+        clean, after = asyncio.run(scenario())
+        assert clean is True
+        assert after == [False, False]
+
+    def test_router_validates_shard_count(self):
+        with pytest.raises(ValueError):
+            ShardRouter(ServiceConfig(), shards=0)
