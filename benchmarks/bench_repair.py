@@ -1,0 +1,263 @@
+"""Repair channel benchmark: repro.repair vs AutoGrader and CLARA.
+
+The cohort is a set of seeded-defect submissions for one assignment,
+half drawn directly from the error-model space (every baseline's home
+turf) and half alpha-renamed copies of those (the realistic case: a
+student's identifiers are their own).  Each system proposes a fix and
+we score:
+
+* ``coverage``  — fraction of defects for which the system produced an
+  actionable repair suggestion at all;
+* ``precision`` — fraction of produced suggestions whose repaired
+  program actually passes the assignment's functional tests (machine
+  verification; the repair channel runs this gate *before* emitting, so
+  its precision is 1.0 by construction).
+
+AutoGrader's search lives in choice-point coordinates, so it simply
+cannot address the renamed half (no index to decode); CLARA matches
+traces and proposes the nearest correct cluster's text, which verifies
+but speaks the cluster's identifiers, not the student's.  The repair
+channel aligns EPDGs and substitutes the student's names back, so it
+must cover at least as much as the better baseline without giving up
+precision — that is this benchmark's gate.
+
+Run standalone (CI smoke-tests ``--quick``)::
+
+    PYTHONPATH=src python benchmarks/bench_repair.py [--quick]
+
+or under pytest::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_repair.py -q
+
+Full-run results land in ``BENCH_repair.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.baselines import AutoGraderSim, ClaraSim
+from repro.cluster import rename_submission
+from repro.cluster.audit import audit_assignment
+from repro.cluster.fingerprint import fingerprint_source
+from repro.java import parse_submission
+from repro.kb import get_assignment
+from repro.pdg.builder import extract_all_epdgs
+from repro.repair import RepairConfig, RepairCorpus, RepairEngine
+from repro.synth import sample_submissions
+from repro.testing import run_tests_on_source
+
+#: Default benchmark assignment: a real error-model space (AutoGrader
+#: needs one) with fast functional tests.
+ASSIGNMENT = "assignment1"
+
+#: In-space defects in the full cohort (each also appears renamed).
+FULL_DEFECTS = 24
+QUICK_DEFECTS = 5
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_repair.json"
+
+
+def build_cohort(assignment, defects: int, seed: int = 11):
+    """Seeded-defect cohort: ``[(label, source, space_index | None)]``.
+
+    Failing submissions are sampled from the assignment's space (these
+    carry their index, so AutoGrader can search from them), and each one
+    is duplicated under an alpha-renaming of its renameable spellings —
+    functionally the same defect, but outside the space's literal text,
+    the way real students actually write.
+    """
+    space = assignment.space()
+    audit = audit_assignment(assignment)
+    cohort = []
+    oversample = max(defects * 6, 64)
+    for sample in sample_submissions(space, oversample, seed=seed):
+        if len(cohort) >= 2 * defects:
+            break
+        if run_tests_on_source(sample.source, assignment.tests).passed:
+            continue
+        cohort.append((f"d{sample.index}", sample.source, sample.index))
+        sprint = fingerprint_source(sample.source, audit)
+        if sprint is None:
+            continue
+        renaming = {
+            name: f"w{j}_{name}"
+            for j, name in enumerate(sorted(sprint.spellings))
+        }
+        renamed = rename_submission(sample.source, renaming)
+        cohort.append((f"d{sample.index}r", renamed, None))
+    return cohort
+
+
+def _verified(source, assignment) -> bool:
+    return run_tests_on_source(source, assignment.tests).passed
+
+
+def run_comparison(assignment_name=ASSIGNMENT, defects=FULL_DEFECTS,
+                   seed=11, verbose=True):
+    """Score all three systems on one cohort; returns the result dict."""
+    assignment = get_assignment(assignment_name)
+    cohort = build_cohort(assignment, defects, seed=seed)
+    corpus = RepairCorpus.build(assignment)
+    correct_sources = [entry.source for entry in corpus.entries]
+
+    # -- repro.repair ----------------------------------------------------
+    repairer = RepairEngine(
+        assignment, corpus=corpus,
+        config=RepairConfig(budget_seconds=30.0),
+    )
+    ours_produced = ours_verified = 0
+    started = time.perf_counter()
+    for _, source, _ in cohort:
+        graphs = extract_all_epdgs(
+            parse_submission(source),
+            assignment.synthesize_else_conditions,
+        )
+        suggestions = repairer.suggest(graphs)
+        if suggestions:
+            ours_produced += 1
+            if _verified(suggestions[0].repaired_source, assignment):
+                ours_verified += 1
+    ours_wall = time.perf_counter() - started
+
+    # -- AutoGrader ------------------------------------------------------
+    sim = AutoGraderSim(assignment)
+    ag_produced = ag_verified = 0
+    started = time.perf_counter()
+    for _, _, index in cohort:
+        if index is None:
+            continue  # renamed defects have no choice-point coordinates
+        result = sim.repair_source_in_space(index)
+        if result.repaired and result.repairs:
+            ag_produced += 1
+            ag_verified += 1  # its search oracle is the test suite
+    ag_wall = time.perf_counter() - started
+
+    # -- CLARA -----------------------------------------------------------
+    clara = ClaraSim(assignment)
+    clara.fit(correct_sources)
+    clara_produced = clara_verified = 0
+    started = time.perf_counter()
+    for _, source, _ in cohort:
+        result = clara.match(source)
+        if result.repairs and result.cluster_index is not None:
+            clara_produced += 1
+            # the implied repaired program is the nearest cluster's text
+            nearest = clara._clusters[result.cluster_index]["source"]
+            if _verified(nearest, assignment):
+                clara_verified += 1
+    clara_wall = time.perf_counter() - started
+
+    size = len(cohort)
+
+    def scores(produced, verified, wall):
+        return {
+            "coverage": round(produced / size, 4) if size else 0.0,
+            "precision": round(verified / produced, 4) if produced else 1.0,
+            "wall_seconds": round(wall, 3),
+            "produced": produced,
+        }
+
+    results = {
+        "assignment": assignment_name,
+        "cohort_size": size,
+        "in_space_defects": sum(1 for _, _, i in cohort if i is not None),
+        "renamed_defects": sum(1 for _, _, i in cohort if i is None),
+        "corpus_size": len(corpus),
+        "ours": scores(ours_produced, ours_verified, ours_wall),
+        "autograder": scores(ag_produced, ag_verified, ag_wall),
+        "clara": scores(clara_produced, clara_verified, clara_wall),
+    }
+    if verbose:
+        print(f"cohort: {size} seeded defects for {assignment_name} "
+              f"({results['in_space_defects']} in-space, "
+              f"{results['renamed_defects']} renamed), "
+              f"corpus of {len(corpus)} verified solutions")
+        print(f"{'system':12s} {'coverage':>9s} {'precision':>10s} "
+              f"{'wall s':>8s}")
+        for name in ("ours", "autograder", "clara"):
+            row = results[name]
+            print(f"{name:12s} {row['coverage']:9.2%} "
+                  f"{row['precision']:10.2%} {row['wall_seconds']:8.3f}")
+    return results
+
+
+def gate(results) -> list[str]:
+    """The acceptance gate; returns failure messages (empty = pass)."""
+    ours = results["ours"]
+    best_coverage = max(
+        results["autograder"]["coverage"], results["clara"]["coverage"]
+    )
+    best_precision = max(
+        results["autograder"]["precision"], results["clara"]["precision"]
+    )
+    failures = []
+    if ours["coverage"] < best_coverage:
+        failures.append(
+            f"coverage {ours['coverage']:.2%} < best baseline "
+            f"{best_coverage:.2%}"
+        )
+    if ours["precision"] < best_precision:
+        failures.append(
+            f"precision {ours['precision']:.2%} < best baseline "
+            f"{best_precision:.2%}"
+        )
+    return failures
+
+
+# -- pytest entry points -------------------------------------------------
+
+def test_repair_covers_at_least_the_best_baseline():
+    results = run_comparison(defects=QUICK_DEFECTS, verbose=False)
+    assert not gate(results), gate(results)
+
+
+def test_every_emitted_suggestion_is_verified():
+    """Precision 1.0 is structural: the engine re-runs the functional
+    tests on every repaired source before emitting."""
+    results = run_comparison(defects=QUICK_DEFECTS, verbose=False)
+    assert results["ours"]["precision"] == 1.0
+    assert results["ours"]["produced"] > 0
+
+
+# -- standalone entry point ----------------------------------------------
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small cohort (CI smoke test); does not "
+                             "rewrite BENCH_repair.json")
+    parser.add_argument("--assignment", default=ASSIGNMENT)
+    parser.add_argument("--defects", type=int, default=None,
+                        help="in-space defects (default "
+                             f"{FULL_DEFECTS}, or {QUICK_DEFECTS} with "
+                             "--quick); each also appears renamed")
+    parser.add_argument("--no-write", action="store_true",
+                        help="skip writing BENCH_repair.json")
+    args = parser.parse_args(argv)
+    defects = args.defects if args.defects is not None else (
+        QUICK_DEFECTS if args.quick else FULL_DEFECTS
+    )
+    results = run_comparison(args.assignment, defects=defects)
+    failures = gate(results)
+    payload = {
+        "benchmark": "repair",
+        "mode": "quick" if args.quick else "full",
+        "gate": "coverage >= best baseline at >= precision",
+        "passed": not failures,
+        **results,
+    }
+    if not args.quick and not args.no_write:
+        RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {RESULT_PATH}")
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

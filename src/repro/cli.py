@@ -13,6 +13,8 @@ Usage::
     repro grade-campaign assignment1 --synthetic 1000000 --cache-dir cache/
     repro store migrate cache/ [--remove-json]
     repro store info cache/
+    repro repair corpus build assignment1 --cache-dir cache/
+    repro repair corpus info assignment1 --cache-dir cache/
     repro serve --port 8652 --workers 4 [--cluster] [--shards 4]
     repro lint-kb [assignment ...] [--json -] [--fail-on error]
     repro test assignment1 Submission.java
@@ -25,7 +27,10 @@ pipeline (worker pools + result cache, see ``docs/SCALING.md``) over
 files, directories, or a synthetic cohort, ``grade-campaign`` streams
 arbitrarily large manifests through checkpointed shards (resumable;
 see ``docs/SCALING.md``), ``store`` manages the persistent result
-store (including JSON-to-SQLite migration), ``lint-kb`` statically
+store (including JSON-to-SQLite migration), ``repair`` manages the
+repair channel's per-assignment corpus of verified correct solutions
+(the ``--repair`` flag on grade-batch/grade-campaign/serve turns the
+channel on; see ``docs/REPAIR.md``), ``lint-kb`` statically
 validates the pattern/constraint knowledge base (the CI gate; see
 ``docs/ANALYSIS.md``), ``test`` runs the functional suite, ``epdg``
 dumps the dependence graph, and ``export-kb`` writes the knowledge base
@@ -132,6 +137,7 @@ def _cmd_grade_batch(args) -> int:
         store=args.cache_dir,
         cluster=args.cluster,
         store_backend=args.store_backend,
+        repair=args.repair,
     )
     result = grader.grade_batch(_collect_batch(args))
     if args.json:
@@ -191,6 +197,7 @@ def _cmd_grade_campaign(args) -> int:
         cluster=args.cluster,
         max_seconds=args.max_seconds,
         store_backend=args.store_backend,
+        repair=args.repair,
     )
     if args.manifest is not None:
         stream = iter_manifest(args.manifest)
@@ -265,6 +272,68 @@ def _cmd_store(args) -> int:
     else:
         files = sum(1 for _ in root.rglob("*.json")) if root.is_dir() else 0
         print(f"json files: {files:,d}")
+        for kind, count in sorted(_json_kind_counts(root).items()):
+            print(f"  {kind}: {count:,d} records")
+    return 0
+
+
+#: Subdirectories of a JSON scope dir that hold namespaced record kinds
+#: (everything else at that level is an entry shard).
+_JSON_KINDS = ("campaign", "cluster", "repair")
+
+
+def _json_kind_counts(root: pathlib.Path) -> dict[str, int]:
+    """Per-kind record counts across every scope of a JSON store root."""
+    counts = {"entry": 0, **{kind: 0 for kind in _JSON_KINDS}}
+    if not root.is_dir():
+        return counts
+    for assignment_dir in (p for p in root.iterdir() if p.is_dir()):
+        for scope_dir in (p for p in assignment_dir.iterdir() if p.is_dir()):
+            for sub in (p for p in scope_dir.iterdir() if p.is_dir()):
+                if sub.name in _JSON_KINDS:
+                    counts[sub.name] += sum(
+                        1 for _ in sub.glob("*/*.json")
+                    )
+                else:
+                    counts["entry"] += sum(1 for _ in sub.glob("*.json"))
+    return counts
+
+
+def _cmd_repair(args) -> int:
+    from repro.core.store import ResultStore
+    from repro.repair.corpus import RepairCorpus
+
+    assignment = get_assignment(args.assignment)
+    store = ResultStore(
+        args.cache_dir, assignment, backend=args.store_backend, repair=True
+    )
+    if args.corpus_command == "build":
+        corpus = RepairCorpus.build(
+            assignment, synth_samples=args.synth_samples
+        )
+        saved = corpus.save(store)
+        counts = corpus.origin_counts()
+        print(
+            f"built repair corpus for {assignment.name}: {saved} verified "
+            f"solutions ({counts.get('reference', 0)} reference, "
+            f"{counts.get('synth', 0)} synthetic) "
+            f"[{store.backend_name} store]"
+        )
+        return 0
+    # info
+    print(f"store root: {store.root}")
+    print(f"resolved backend: {store.backend_name}")
+    print(f"repair records in scope: {store.repair_count():,d}")
+    corpus = RepairCorpus.load(assignment, store)
+    if corpus is None:
+        print("corpus: not built (run `repro repair corpus build`)")
+    else:
+        counts = corpus.origin_counts()
+        print(
+            f"corpus: {len(corpus)} verified solutions "
+            f"({counts.get('reference', 0)} reference, "
+            f"{counts.get('synth', 0)} synthetic)"
+        )
     return 0
 
 
@@ -283,6 +352,7 @@ def _cmd_serve(args) -> int:
         cache_size=args.cache_size,
         cache_dir=args.cache_dir,
         cluster=args.cluster,
+        repair=args.repair,
         drain_timeout_seconds=args.drain_timeout,
         debug_hooks=args.debug_hooks,
         store_backend=args.store_backend,
@@ -466,6 +536,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="bucket structurally duplicate submissions "
                             "and grade one representative per bucket "
                             "(output-preserving; see docs/CLUSTERING.md)")
+    batch.add_argument("--repair", action="store_true",
+                       help="add verified minimal-fix suggestions to "
+                            "rejected submissions' reports "
+                            "(see docs/REPAIR.md)")
     batch.add_argument("--stats", action="store_true",
                        help="print per-phase timing, cache hit rate, and "
                             "throughput (PipelineStats)")
@@ -518,6 +592,10 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--cluster", action="store_true",
                           help="cluster-aware grading within shards "
                                "(see docs/CLUSTERING.md)")
+    campaign.add_argument("--repair", action="store_true",
+                          help="add verified minimal-fix suggestions to "
+                               "rejected submissions' reports "
+                               "(see docs/REPAIR.md)")
     campaign.add_argument("--max-seconds", type=float, default=None,
                           help="per-submission wall-clock budget")
     campaign.add_argument("--max-shards", type=int, default=None,
@@ -554,6 +632,44 @@ def build_parser() -> argparse.ArgumentParser:
     )
     info.add_argument("directory", help="store root (a --cache-dir)")
     info.set_defaults(func=_cmd_store)
+
+    repair = sub.add_parser(
+        "repair",
+        help="manage the repair channel (see docs/REPAIR.md)",
+    )
+    repair_sub = repair.add_subparsers(dest="repair_command", required=True)
+    corpus = repair_sub.add_parser(
+        "corpus",
+        help="build or inspect the verified-solution corpus",
+    )
+    corpus_sub = corpus.add_subparsers(dest="corpus_command", required=True)
+    corpus_build = corpus_sub.add_parser(
+        "build",
+        help="verify reference + synthetic solutions and persist them",
+    )
+    corpus_build.add_argument("assignment")
+    corpus_build.add_argument("--cache-dir", metavar="DIR", required=True,
+                              help="result store the corpus persists into "
+                                   "(shared with --repair grading runs)")
+    corpus_build.add_argument("--store-backend",
+                              choices=["auto", "json", "sqlite"],
+                              default="auto",
+                              help="store representation (default auto)")
+    corpus_build.add_argument("--synth-samples", type=int, default=16,
+                              help="synthetic correct solutions to sample "
+                                   "beyond the references (default 16)")
+    corpus_build.set_defaults(func=_cmd_repair)
+    corpus_info = corpus_sub.add_parser(
+        "info", help="show the persisted corpus for one assignment",
+    )
+    corpus_info.add_argument("assignment")
+    corpus_info.add_argument("--cache-dir", metavar="DIR", required=True,
+                             help="result store to inspect")
+    corpus_info.add_argument("--store-backend",
+                             choices=["auto", "json", "sqlite"],
+                             default="auto",
+                             help="store representation (default auto)")
+    corpus_info.set_defaults(func=_cmd_repair)
 
     serve = sub.add_parser(
         "serve",
@@ -596,6 +712,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "per worker and specialize one "
                             "representative's report "
                             "(output-preserving; see docs/CLUSTERING.md)")
+    serve.add_argument("--repair", action="store_true",
+                       help="add verified minimal-fix suggestions to "
+                            "rejected submissions' reports "
+                            "(see docs/REPAIR.md)")
     serve.add_argument("--drain-timeout", type=float, default=30.0,
                        help="seconds to wait for in-flight work on "
                             "SIGTERM (default 30)")

@@ -24,7 +24,10 @@ collector):
 * ``cluster.specialized`` — member grades served by specialization;
 * ``cluster.store_hits`` — buckets revived from the result store;
 * ``cluster.fallbacks`` — full grades forced by a safety gate;
-* ``cluster.unsafe_kb`` — grades skipped because the audit failed.
+* ``cluster.unsafe_kb`` — grades skipped because the audit failed;
+* ``cluster.repair_fallbacks`` — full grades forced because the wrapped
+  engine carries the repair channel (suggestions are member-specific,
+  so representative replay is unsound).
 """
 
 from __future__ import annotations
@@ -83,6 +86,15 @@ class ClusterGrader:
     def grade(self, source: str) -> GradingReport:
         """Grade one submission, bucket-wise when provably safe."""
         count("cluster.submissions")
+        if getattr(self.engine, "repairer", None) is not None:
+            # Repair suggestions substitute the *student's own*
+            # identifiers into candidate text, so two members of the
+            # same rename-equivalence bucket legitimately get different
+            # suggestion bytes — replaying the representative's would be
+            # wrong.  With the repair channel on, every submission takes
+            # the full path.
+            count("cluster.repair_fallbacks")
+            return self.engine.grade(source)
         if not self.audit.safe:
             count("cluster.unsafe_kb")
             return self.engine.grade(source)

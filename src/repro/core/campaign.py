@@ -161,6 +161,7 @@ class CampaignRunner:
         cluster: bool = False,
         max_seconds: float | None = None,
         store_backend: str = "auto",
+        repair: bool = False,
     ):
         if shard_size <= 0:
             raise ValueError("shard_size must be positive")
@@ -169,7 +170,9 @@ class CampaignRunner:
         if isinstance(store, ResultStore):
             self.store = store
         else:
-            self.store = ResultStore(store, assignment, backend=store_backend)
+            self.store = ResultStore(
+                store, assignment, backend=store_backend, repair=repair
+            )
         self.grader = BatchGrader(
             assignment,
             mode=mode,
@@ -178,6 +181,7 @@ class CampaignRunner:
             max_seconds=max_seconds,
             store=self.store,
             cluster=cluster,
+            repair=repair,
         )
 
     # ------------------------------------------------------------------

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import threading
+from typing import TYPE_CHECKING
 
 from repro.analysis.checks import run_checks
 from repro.core.assignment import Assignment
@@ -13,6 +14,9 @@ from repro.java import ast, parse_submission
 from repro.matching.submission import match_graphs
 from repro.pdg.builder import extract_all_epdgs
 from repro.pdg.graph import Epdg
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.repair.engine import RepairEngine
 
 #: A cached frontend result: the parsed unit plus its method EPDGs.
 FrontendEntry = tuple[ast.CompilationUnit, "dict[str, Epdg]"]
@@ -44,8 +48,16 @@ class FeedbackEngine:
         self,
         assignment: Assignment,
         frontend_cache_size: int = FRONTEND_CACHE_SIZE,
+        repairer: "RepairEngine | None" = None,
     ):
         self.assignment = assignment
+        #: Opt-in repair channel (:mod:`repro.repair`): when set, graded
+        #: submissions that are rejected by pattern matching additionally
+        #: run the ``repair`` phase and may carry verified fix
+        #: suggestions on their reports.  ``None`` — the default
+        #: everywhere unless explicitly enabled — keeps output
+        #: byte-identical to earlier revisions.
+        self.repairer = repairer
         self._frontend_cache_size = frontend_cache_size
         # source text -> (unit, EPDG dict), or the JavaSyntaxError text
         # for submissions that do not parse.  Insertion-ordered for FIFO
@@ -158,10 +170,17 @@ class FeedbackEngine:
         if unit is not None:
             with phase("analysis"):
                 diagnostics = run_checks(unit, graphs)
+        repair = []
+        if self.repairer is not None and not outcome.is_fully_correct:
+            # Only rejected submissions get suggestions: a fully correct
+            # one needs none, and parse errors never reach this method.
+            with phase("repair"):
+                repair = self.repairer.suggest(graphs)
         return GradingReport(
             assignment_name=self.assignment.name,
             outcome=outcome,
             diagnostics=diagnostics,
+            repair=repair,
         )
 
     def extract(self, source: str):

@@ -188,6 +188,7 @@ def _init_process_worker(
     cluster: bool = False,
     store_root: str | None = None,
     store_backend: str = "auto",
+    repair: bool = False,
 ) -> None:
     """Build one engine per worker process (assignment pickled once).
 
@@ -199,17 +200,31 @@ def _init_process_worker(
     parent passes its already-resolved ``store_backend`` so workers
     never re-run auto-detection against a directory the parent may
     still be populating.
+
+    With ``repair=True`` each worker carries its own
+    :class:`~repro.repair.engine.RepairEngine`; the store (scoped to the
+    repair fingerprint, see :class:`~repro.core.storage.ResultStore`)
+    lets the first worker's built corpus be loaded by the rest.
     """
     global _WORKER_ENGINE, _WORKER_MAX_SECONDS
-    engine = FeedbackEngine(assignment, frontend_cache_size=0)
+    store = (
+        ResultStore(
+            store_root, assignment, backend=store_backend, repair=repair
+        )
+        if store_root is not None
+        else None
+    )
+    repairer = None
+    if repair:
+        from repro.repair.engine import RepairEngine
+
+        repairer = RepairEngine.for_assignment(assignment, store=store)
+    engine = FeedbackEngine(
+        assignment, frontend_cache_size=0, repairer=repairer
+    )
     if cluster:
         from repro.cluster.grader import ClusterGrader
 
-        store = (
-            ResultStore(store_root, assignment, backend=store_backend)
-            if store_root is not None
-            else None
-        )
         engine = ClusterGrader(engine, store=store)
     _WORKER_ENGINE = engine
     _WORKER_MAX_SECONDS = max_seconds
@@ -316,6 +331,16 @@ class BatchGrader:
         :class:`~repro.core.store.ResultStore`.  Process workers
         inherit the parent's resolved backend rather than re-running
         auto-detection.
+    repair:
+        Opt into the repair channel (:mod:`repro.repair`): rejected
+        submissions additionally get corpus-backed, functionally
+        verified minimal-fix suggestions on their reports.  Off by
+        default, and strictly additive when off — disabled runs produce
+        byte-identical output to a build without the channel, enforced
+        by scoping repair-enabled store entries under a derived
+        fingerprint (see
+        :func:`~repro.core.storage.repair_fingerprint`).  Repair
+        traffic shows up in ``stats.counters`` under ``repair.*``.
     """
 
     def __init__(
@@ -328,6 +353,7 @@ class BatchGrader:
         store: ResultStore | str | os.PathLike | None = None,
         cluster: bool = False,
         store_backend: str = "auto",
+        repair: bool = False,
     ):
         if mode not in MODES:
             raise ValueError(
@@ -337,7 +363,6 @@ class BatchGrader:
             raise ValueError("max_seconds must be positive")
         self.max_seconds = max_seconds
         self.assignment = assignment
-        self.engine = FeedbackEngine(assignment, frontend_cache_size=0)
         self.mode = mode
         self.workers = (
             1 if mode == "serial"
@@ -351,9 +376,31 @@ class BatchGrader:
         else:
             self.cache = cache
         if store is None or isinstance(store, ResultStore):
+            if (
+                store is not None
+                and store.repair_enabled != repair
+            ):
+                raise ValueError(
+                    "store repair scope does not match the grader: pass "
+                    "ResultStore(..., repair={}) or a directory path"
+                    .format(repair)
+                )
             self.store: ResultStore | None = store
         else:
-            self.store = ResultStore(store, assignment, backend=store_backend)
+            self.store = ResultStore(
+                store, assignment, backend=store_backend, repair=repair
+            )
+        self.repair = repair
+        repairer = None
+        if repair:
+            from repro.repair.engine import RepairEngine
+
+            repairer = RepairEngine.for_assignment(
+                assignment, store=self.store
+            )
+        self.engine = FeedbackEngine(
+            assignment, frontend_cache_size=0, repairer=repairer
+        )
         self.cluster = cluster
         self._cluster_grader = None
         if cluster:
@@ -511,6 +558,7 @@ class BatchGrader:
                     self.store.backend_name
                     if self.store is not None
                     else "auto",
+                    self.repair,
                 ),
             )
             with pool:

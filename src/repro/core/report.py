@@ -7,6 +7,7 @@ from dataclasses import dataclass, field
 from repro.analysis.diagnostics import Diagnostic
 from repro.matching.feedback import FeedbackComment, FeedbackStatus
 from repro.matching.submission import MatchOutcome
+from repro.repair.model import RepairSuggestion
 
 
 @dataclass
@@ -40,6 +41,12 @@ class GradingReport:
     #: submissions whose pattern matching found nothing, where the
     #: diagnostics become the *primary* feedback (see :meth:`render`).
     diagnostics: list[Diagnostic] = field(default_factory=list)
+    #: Verified minimal-fix suggestions (``repro.repair``).  Empty unless
+    #: the opt-in repair channel graded this submission; ordered after
+    #: pattern feedback and diagnostics in :meth:`render`, and promoted
+    #: to the headline when neither has anything personal to say (see
+    #: :attr:`repair_is_primary`).
+    repair: list[RepairSuggestion] = field(default_factory=list)
 
     @property
     def status(self) -> str:
@@ -97,8 +104,15 @@ class GradingReport:
 
     def to_dict(self) -> dict:
         """Flat JSON-friendly view (``grade-batch --json``, the grading
-        service's response bodies).  :meth:`from_dict` inverts it."""
-        return {
+        service's response bodies).  :meth:`from_dict` inverts it.
+
+        The ``repair`` key appears only when suggestions exist: with the
+        repair channel disabled the payload is byte-identical to what
+        earlier revisions produced, so stored entries, service response
+        bodies, and campaign output files are unchanged unless the
+        channel is explicitly enabled.
+        """
+        payload = {
             "assignment": self.assignment_name,
             "status": self.status,
             "score": self.score,
@@ -123,6 +137,9 @@ class GradingReport:
             ],
             "diagnostics": [d.to_dict() for d in self.diagnostics],
         }
+        if self.repair:
+            payload["repair"] = [s.to_dict() for s in self.repair]
+        return payload
 
     @classmethod
     def from_dict(cls, payload: dict) -> "GradingReport":
@@ -137,28 +154,36 @@ class GradingReport:
         to re-render feedback from a JSON response.
 
         Payloads written before diagnostics existed simply lack the key
-        and rebuild with ``diagnostics=[]`` — never a ``KeyError``.
+        and rebuild with ``diagnostics=[]`` — never a ``KeyError``; the
+        same treatment applies to ``repair``, so every pre-repair-channel
+        ResultStore entry keeps loading as "no suggestions".
         """
         diagnostics = [
             Diagnostic.from_dict(d) for d in payload.get("diagnostics", ())
+        ]
+        repair = [
+            RepairSuggestion.from_dict(s) for s in payload.get("repair", ())
         ]
         if payload.get("parse_error") is not None:
             return cls(
                 assignment_name=payload["assignment"],
                 parse_error=payload["parse_error"],
                 diagnostics=diagnostics,
+                repair=repair,
             )
         if payload.get("timeout") is not None:
             return cls(
                 assignment_name=payload["assignment"],
                 timeout=payload["timeout"],
                 diagnostics=diagnostics,
+                repair=repair,
             )
         if payload.get("status") == "error":
             return cls(
                 assignment_name=payload["assignment"],
                 error=payload.get("error"),
                 diagnostics=diagnostics,
+                repair=repair,
             )
         comments = [
             FeedbackComment(
@@ -180,6 +205,7 @@ class GradingReport:
             assignment_name=payload["assignment"],
             outcome=outcome,
             diagnostics=diagnostics,
+            repair=repair,
         )
 
     @property
@@ -195,6 +221,26 @@ class GradingReport:
         """
         return (
             bool(self.diagnostics)
+            and self.outcome is not None
+            and all(
+                c.status is FeedbackStatus.NOT_EXPECTED for c in self.comments
+            )
+        )
+
+    @property
+    def repair_is_primary(self) -> bool:
+        """True when the repair suggestions carry the feedback.
+
+        No pattern embedded (every comment is Not Expected) *and* static
+        analysis found nothing — the two channels ahead of repair in the
+        render order are silent, so a verified fix suggestion is the
+        only personal feedback available and is promoted to the headline
+        of :meth:`render`.  Like :attr:`diagnostics_are_primary`, this is
+        computable from serialized payloads (statuses round-trip).
+        """
+        return (
+            bool(self.repair)
+            and not self.diagnostics
             and self.outcome is not None
             and all(
                 c.status is FeedbackStatus.NOT_EXPECTED for c in self.comments
@@ -230,12 +276,27 @@ class GradingReport:
             )
             for diagnostic in self.diagnostics:
                 lines.append("    " + diagnostic.render())
+        if self.repair_is_primary:
+            lines.append(
+                "  No expected solution structure was recognized; here is "
+                "a verified fix suggestion instead:"
+            )
+            for suggestion in self.repair:
+                lines.extend(
+                    "    " + line
+                    for line in suggestion.render().splitlines()
+                )
         for comment in self.outcome.comments:
             lines.extend("  " + line for line in comment.render().splitlines())
         if self.diagnostics and not self.diagnostics_are_primary:
             lines.append("  Additional observations about your code:")
             for diagnostic in self.diagnostics:
                 lines.append("    " + diagnostic.render())
+        if self.repair and not self.repair_is_primary:
+            for suggestion in self.repair:
+                lines.extend(
+                    "  " + line for line in suggestion.render().splitlines()
+                )
         if self.truncated:
             lines.append(
                 "  Note: grading was truncated by a search safety cap; "

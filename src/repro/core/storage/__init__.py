@@ -102,6 +102,23 @@ def kb_fingerprint(assignment: Assignment) -> str:
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
+def repair_fingerprint(base: str) -> str:
+    """Derive the repair-channel scope fingerprint from the base one.
+
+    Reports graded with the repair channel enabled carry verified fix
+    suggestions, so they are *not* byte-identical to plain reports of
+    the same source.  Scoping them under a derived fingerprint keeps the
+    two artifact classes apart in one store: a repair-enabled run never
+    replays a plain entry (which would silently drop its suggestions)
+    and — the important direction — a plain run never replays a
+    repair-enabled entry, so with repair disabled all grading output
+    stays byte-identical to earlier revisions whatever else has used
+    the cache directory.  The derivation preserves KB invalidation: a
+    KB edit changes the base fingerprint and therefore this one.
+    """
+    return hashlib.sha256(f"{base}:repair".encode("utf-8")).hexdigest()
+
+
 def resolve_backend(root: str | os.PathLike[str], backend: str = "auto") -> str:
     """Resolve ``backend`` (possibly ``"auto"``) against ``root``.
 
@@ -142,9 +159,17 @@ class ResultStore:
         root: str | os.PathLike[str],
         assignment: Assignment,
         backend: str = "auto",
+        repair: bool = False,
     ):
         self.assignment = assignment
-        self.fingerprint = kb_fingerprint(assignment)
+        self.kb = kb_fingerprint(assignment)
+        self.repair_enabled = repair
+        # With the repair channel on, everything in this store — reports
+        # carrying suggestions, the repair corpus itself — lives under a
+        # derived fingerprint (see :func:`repair_fingerprint`), so plain
+        # consumers of the same directory keep reading exactly what they
+        # always did.
+        self.fingerprint = repair_fingerprint(self.kb) if repair else self.kb
         self.root = Path(root)
         self.backend_name = resolve_backend(self.root, backend)
         scope = (_safe_component(assignment.name), self.fingerprint)
@@ -219,6 +244,17 @@ class ResultStore:
         """
         return self._get_record("cluster", fingerprint)
 
+    def get_repair(self, key: str) -> dict | None:
+        """Return a repair-corpus record, or ``None`` on any miss.
+
+        Corpus records (verified correct solutions and their index) share
+        the entry envelope, so a KB edit invalidates the corpus together
+        with the reports graded against it, and corruption degrades to
+        "no suggestion" — never to a wrong suggestion.  Record layout is
+        owned by :mod:`repro.repair.corpus`.
+        """
+        return self._get_record("repair", key)
+
     def get_campaign(self, key: str) -> dict | None:
         """Return a campaign-journal record, or ``None`` on any miss.
 
@@ -272,6 +308,10 @@ class ResultStore:
         """Persist a cluster record under its bucket fingerprint."""
         return self._put_record("cluster", fingerprint, record)
 
+    def put_repair(self, key: str, record: dict) -> bool:
+        """Persist a repair-corpus record under its key."""
+        return self._put_record("repair", key, record)
+
     def put_campaign(self, key: str, record: dict) -> bool:
         """Persist a campaign-journal record under its key."""
         return self._put_record("campaign", key, record)
@@ -310,6 +350,10 @@ class ResultStore:
         """Number of readable-looking entries for this assignment+KB."""
         return self.backend.count("entry")
 
+    def repair_count(self) -> int:
+        """Number of readable-looking repair-corpus records in scope."""
+        return self.backend.count("repair")
+
 
 __all__ = [
     "BACKENDS",
@@ -318,5 +362,6 @@ __all__ = [
     "SCHEMA_VERSION",
     "SqliteBackend",
     "kb_fingerprint",
+    "repair_fingerprint",
     "resolve_backend",
 ]

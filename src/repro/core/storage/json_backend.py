@@ -3,8 +3,9 @@
 The original PR-4 representation, unchanged on disk so existing cache
 directories keep working: report entries live at
 ``<root>/<assignment>/<kb[:12]>/<key[:2]>/<key>.json``, cluster records
-under a ``cluster/`` namespace of the same directory, and campaign
-journal records under ``campaign/``.  Writers stage a unique temp file
+under a ``cluster/`` namespace of the same directory, repair-corpus
+records under ``repair/``, and campaign journal records under
+``campaign/``.  Writers stage a unique temp file
 and ``os.replace`` it into place (atomic on POSIX); concurrent writers
 of the same key race benignly because grading is deterministic.
 
@@ -65,6 +66,18 @@ class JsonBackend:
         shard = fingerprint[:2] if len(fingerprint) >= 2 else "xx"
         return self._dir / "cluster" / shard / f"{fingerprint}.json"
 
+    def repair_path_for(self, key: str) -> Path:
+        """Entry path for a repair-corpus record.
+
+        Corpus records (verified correct solutions plus their index)
+        live under a ``repair/`` namespace of the same assignment+KB
+        directory, mirroring ``cluster/``: a knowledge-base edit
+        invalidates the corpus together with everything else in the
+        scope.
+        """
+        shard = key[:2] if len(key) >= 2 else "xx"
+        return self._dir / "repair" / shard / f"{key}.json"
+
     def campaign_path_for(self, key: str) -> Path:
         """Journal path for a campaign record.
 
@@ -79,6 +92,8 @@ class JsonBackend:
             return self.path_for(key)
         if kind == "cluster":
             return self.cluster_path_for(key)
+        if kind == "repair":
+            return self.repair_path_for(key)
         if kind == "campaign":
             return self.campaign_path_for(key)
         raise ValueError(f"unknown record kind {kind!r}")

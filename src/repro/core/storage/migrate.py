@@ -30,7 +30,12 @@ class MigrationStats:
     """What one migration run moved, per record kind."""
 
     migrated: dict[str, int] = field(
-        default_factory=lambda: {"entry": 0, "cluster": 0, "campaign": 0}
+        default_factory=lambda: {
+            "entry": 0,
+            "cluster": 0,
+            "repair": 0,
+            "campaign": 0,
+        }
     )
     skipped: int = 0
     scopes: int = 0
@@ -56,6 +61,8 @@ def _iter_json_records(scope_dir: Path):
         yield "entry", path.stem, path
     for path in sorted(scope_dir.glob("cluster/*/*.json")):
         yield "cluster", path.stem, path
+    for path in sorted(scope_dir.glob("repair/*/*.json")):
+        yield "repair", path.stem, path
     for path in sorted(scope_dir.glob("campaign/*/*.json")):
         yield "campaign", f"{path.parent.name}/{path.stem}", path
 

@@ -16,6 +16,7 @@ from repro.core.storage import (
     SCHEMA_VERSION,
     _safe_component,
     kb_fingerprint,
+    repair_fingerprint,
     resolve_backend,
 )
 
@@ -25,5 +26,6 @@ __all__ = [
     "SCHEMA_VERSION",
     "_safe_component",
     "kb_fingerprint",
+    "repair_fingerprint",
     "resolve_backend",
 ]

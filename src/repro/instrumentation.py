@@ -47,6 +47,7 @@ PIPELINE_PHASES = (
     "pattern_match",
     "constraint_match",
     "analysis",
+    "repair",
 )
 
 

@@ -1,0 +1,242 @@
+"""Bipartite statement alignment between submission and candidate EPDGs.
+
+Given the failing submission's graphs and one corpus candidate's, this
+module decides which statements correspond.  Nodes are bucketed by
+``(method, NodeType)`` — a Cond never aligns with a Return — and within
+each bucket a maximum-weight injective assignment is solved, where the
+weight of pairing submission node *u* with candidate node *v* rewards,
+in decreasing order: identical content, identical **shape** (content
+with the node's own variables wildcarded, so ``x = x + 1`` and
+``n = n + 1`` count as the same statement), similar degree profiles,
+and matching defines/uses arity.  Pairs below :data:`MIN_PAIR_WEIGHT`
+are disallowed; nodes left unmatched on the submission side become
+*delete* edits downstream, unmatched candidate nodes become *inserts*,
+and matched pairs with differing content become *rewrites*
+(:mod:`repro.repair.edits`).
+
+Small buckets are solved exactly with the same subset-memo dynamic
+program the matcher uses for its method-assignment sweep (smallest-id
+tie-break, so results are deterministic); buckets past
+:data:`EXACT_LIMIT` fall back to a deterministic greedy matching.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.pdg.graph import Epdg, GraphNode, NodeType
+
+#: Minimum pairing weight: below this, leaving both nodes unmatched is
+#: considered more honest than claiming they correspond.
+MIN_PAIR_WEIGHT = 0.75
+
+#: Largest per-side bucket size solved with the exact subset-memo DP
+#: (state count is ``left × 2^right``; 12 keeps it under ~50k states).
+EXACT_LIMIT = 12
+
+#: Weight components.
+_W_CONTENT = 4.0
+_W_SHAPE = 2.0
+_W_ARITY = 0.5
+
+
+def node_shape(node: GraphNode) -> str:
+    """Node content with its own variables wildcarded to ``_``.
+
+    Only identifiers the EPDG builder recognized as variables of this
+    node are replaced, so keywords, called method names, and literals
+    keep contributing to the shape.
+    """
+    text = node.content
+    for variable in sorted(node.variables, key=len, reverse=True):
+        text = re.sub(rf"\b{re.escape(variable)}\b", "_", text)
+    return text
+
+
+def pair_weight(
+    left: GraphNode,
+    right: GraphNode,
+    left_profile: tuple[int, int, int, int],
+    right_profile: tuple[int, int, int, int],
+) -> float:
+    """Affinity of pairing submission node ``left`` with candidate ``right``."""
+    weight = 0.0
+    if left.content == right.content:
+        weight += _W_CONTENT
+    elif node_shape(left) == node_shape(right):
+        weight += _W_SHAPE
+    degree_gap = sum(
+        abs(a - b) for a, b in zip(left_profile, right_profile)
+    )
+    weight += 1.0 / (1.0 + degree_gap)
+    if (len(left.defines), len(left.uses)) == (
+        len(right.defines),
+        len(right.uses),
+    ):
+        weight += _W_ARITY
+    return weight
+
+
+@dataclass
+class MethodAlignment:
+    """Alignment result for one method name."""
+
+    method: str
+    #: Matched ``(submission_node, candidate_node)`` pairs.
+    pairs: list[tuple[GraphNode, GraphNode]] = field(default_factory=list)
+    #: Submission-only nodes (downstream: delete edits).
+    unmatched_left: list[GraphNode] = field(default_factory=list)
+    #: Candidate-only nodes (downstream: insert edits).
+    unmatched_right: list[GraphNode] = field(default_factory=list)
+
+
+def align_graphs(
+    submission: Mapping[str, Epdg], candidate: Mapping[str, Epdg]
+) -> list[MethodAlignment]:
+    """Align every method of the submission against the candidate.
+
+    Methods are matched by name (the corpus and the submission grade
+    against the same published headers); a method present on only one
+    side contributes all its nodes as unmatched.  Results are ordered
+    by method name for determinism.
+    """
+    alignments: list[MethodAlignment] = []
+    for method in sorted(submission.keys() | candidate.keys()):
+        left_graph = submission.get(method)
+        right_graph = candidate.get(method)
+        alignment = MethodAlignment(method=method)
+        if left_graph is None:
+            assert right_graph is not None
+            alignment.unmatched_right.extend(right_graph.nodes)
+        elif right_graph is None:
+            alignment.unmatched_left.extend(left_graph.nodes)
+        else:
+            _align_method(left_graph, right_graph, alignment)
+        alignments.append(alignment)
+    return alignments
+
+
+def _align_method(
+    left_graph: Epdg, right_graph: Epdg, alignment: MethodAlignment
+) -> None:
+    types = sorted(
+        {node.type for node in left_graph.nodes}
+        | {node.type for node in right_graph.nodes},
+        key=lambda t: t.value,
+    )
+    for node_type in types:
+        _align_bucket(left_graph, right_graph, node_type, alignment)
+
+
+def _align_bucket(
+    left_graph: Epdg,
+    right_graph: Epdg,
+    node_type: NodeType,
+    alignment: MethodAlignment,
+) -> None:
+    lefts = left_graph.nodes_of_type(node_type)
+    rights = right_graph.nodes_of_type(node_type)
+    if not lefts or not rights:
+        alignment.unmatched_left.extend(lefts)
+        alignment.unmatched_right.extend(rights)
+        return
+    weights = [
+        [
+            pair_weight(
+                u,
+                v,
+                left_graph.degree_profile(u.node_id),
+                right_graph.degree_profile(v.node_id),
+            )
+            for v in rights
+        ]
+        for u in lefts
+    ]
+    if max(len(lefts), len(rights)) <= EXACT_LIMIT:
+        matching = _solve_exact(weights)
+    else:
+        matching = _solve_greedy(weights)
+    used_rights: set[int] = set()
+    for i, u in enumerate(lefts):
+        j = matching[i]
+        if j is None:
+            alignment.unmatched_left.append(u)
+        else:
+            used_rights.add(j)
+            alignment.pairs.append((u, rights[j]))
+    alignment.unmatched_right.extend(
+        v for j, v in enumerate(rights) if j not in used_rights
+    )
+
+
+def _solve_exact(weights: list[list[float]]) -> list[int | None]:
+    """Maximum-weight injective matching allowing unmatched nodes.
+
+    Subset-memo DP in the style of the matcher's assignment solver
+    (:func:`repro.matching.submission._solve_assignment`), extended with
+    a *skip* option per left node and a weight floor
+    (:data:`MIN_PAIR_WEIGHT`).  Reconstruction prefers the
+    smallest-index pairing, then skipping, so ties resolve the same way
+    on every run.
+    """
+    n_left = len(weights)
+    n_right = len(weights[0])
+    memo: dict[tuple[int, int], float] = {}
+
+    def best(index: int, used: int) -> float:
+        if index == n_left:
+            return 0.0
+        key = (index, used)
+        found = memo.get(key)
+        if found is None:
+            row = weights[index]
+            found = best(index + 1, used)  # leave this node unmatched
+            for j in range(n_right):
+                if used & (1 << j) or row[j] < MIN_PAIR_WEIGHT:
+                    continue
+                value = row[j] + best(index + 1, used | (1 << j))
+                if value > found:
+                    found = value
+            memo[key] = found
+        return found
+
+    matching: list[int | None] = []
+    used = 0
+    for index in range(n_left):
+        target = best(index, used)
+        row = weights[index]
+        chosen: int | None = None
+        for j in range(n_right):
+            if used & (1 << j) or row[j] < MIN_PAIR_WEIGHT:
+                continue
+            if row[j] + best(index + 1, used | (1 << j)) == target:
+                chosen = j
+                used |= 1 << j
+                break
+        matching.append(chosen)
+    return matching
+
+
+def _solve_greedy(weights: list[list[float]]) -> list[int | None]:
+    """Deterministic greedy fallback for oversized buckets.
+
+    Candidate pairs sorted by descending weight (ties: smaller ids
+    first) and taken injectively — not optimal, but stable, linear in
+    the number of admissible pairs, and good enough that the verify
+    step downstream still gates every emitted suggestion.
+    """
+    edges = sorted(
+        (-row[j], i, j)
+        for i, row in enumerate(weights)
+        for j in range(len(row))
+        if row[j] >= MIN_PAIR_WEIGHT
+    )
+    matching: list[int | None] = [None] * len(weights)
+    used_rights: set[int] = set()
+    for _, i, j in edges:
+        if matching[i] is None and j not in used_rights:
+            matching[i] = j
+            used_rights.add(j)
+    return matching

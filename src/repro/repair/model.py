@@ -1,0 +1,127 @@
+"""Repair-channel data records: edits and suggestions.
+
+This module is deliberately a *leaf*: it imports nothing from the rest
+of :mod:`repro` so that :mod:`repro.core.report` can carry
+:class:`RepairSuggestion` values without creating an import cycle
+through the heavier repair machinery (corpus, search, alignment), which
+itself depends on :mod:`repro.core`.
+
+A :class:`RepairSuggestion` is the unit that rides a
+:class:`~repro.core.report.GradingReport`: one corpus candidate, the
+ranked minimal edit script that turns the student's submission into it,
+and the fully-applied result (``repaired_source``) that was
+machine-verified against the assignment's functional tests before the
+suggestion was allowed anywhere near a report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+#: Edit operations, in the order they rank inside a script: rewrites are
+#: the most actionable feedback, inserts add missing statements, deletes
+#: remove leftovers.
+EDIT_OPS = ("rewrite", "insert", "delete")
+
+
+@dataclass(frozen=True)
+class RepairEdit:
+    """One statement-level edit against the student's submission.
+
+    ``before``/``after`` are printer-rendered statement texts
+    (:mod:`repro.java.printer` content, the same canonical spelling the
+    EPDG nodes carry), with the student's own identifiers substituted
+    back into candidate-side text wherever the variable alignment made
+    that safe.
+    """
+
+    op: str
+    method: str
+    node_type: str
+    before: str | None = None
+    after: str | None = None
+
+    def render(self) -> str:
+        if self.op == "rewrite":
+            return f"in {self.method}: change '{self.before}' to '{self.after}'"
+        if self.op == "insert":
+            return f"in {self.method}: add '{self.after}'"
+        return f"in {self.method}: remove '{self.before}'"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "op": self.op,
+            "method": self.method,
+            "node_type": self.node_type,
+            "before": self.before,
+            "after": self.after,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "RepairEdit":
+        return cls(
+            op=str(payload["op"]),
+            method=str(payload["method"]),
+            node_type=str(payload.get("node_type", "")),
+            before=payload.get("before"),
+            after=payload.get("after"),
+        )
+
+
+@dataclass(frozen=True)
+class RepairSuggestion:
+    """A verified minimal-fix suggestion for one failing submission.
+
+    ``verified`` is ``True`` for every suggestion the engine emits — the
+    repair channel runs the assignment's functional tests over
+    ``repaired_source`` (the edit script fully applied) and drops the
+    suggestion on any failure, so a wrong fix can never reach a report.
+    The flag is stored anyway so serialized payloads are self-describing
+    and so tests can pin the invariant.
+    """
+
+    candidate_key: str
+    origin: str
+    distance: float
+    edits: tuple[RepairEdit, ...]
+    repaired_source: str
+    verified: bool = True
+
+    @property
+    def edit_count(self) -> int:
+        return len(self.edits)
+
+    def render(self) -> str:
+        """Human-readable suggestion block (used by report rendering)."""
+        header = (
+            f"Suggested fix ({self.edit_count} edit"
+            f"{'' if self.edit_count == 1 else 's'}, aligned with a "
+            "verified correct solution):"
+        )
+        lines = [header]
+        lines.extend(f"  {edit.render()}" for edit in self.edits)
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "candidate": self.candidate_key,
+            "origin": self.origin,
+            "distance": self.distance,
+            "verified": self.verified,
+            "edits": [edit.to_dict() for edit in self.edits],
+            "repaired_source": self.repaired_source,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "RepairSuggestion":
+        return cls(
+            candidate_key=str(payload.get("candidate", "")),
+            origin=str(payload.get("origin", "")),
+            distance=float(payload.get("distance", 0.0)),
+            edits=tuple(
+                RepairEdit.from_dict(e) for e in payload.get("edits", ())
+            ),
+            repaired_source=str(payload.get("repaired_source", "")),
+            verified=bool(payload.get("verified", False)),
+        )

@@ -173,13 +173,15 @@ def render_prometheus(snapshot: dict) -> str:
                 counters.get(f"cache.store_{key}", 0),
                 f'{{backend="{backend}"}}',
             )
-    # static-analysis visibility: per-check finding counters plus the
-    # analysis phase's wall time, flattened like the serve counters
+    # static-analysis and repair visibility: per-check finding and
+    # suggestion counters plus each phase's wall time, flattened like
+    # the serve counters
     # (``analysis.use-before-init`` → ``repro_analysis_use_before_init``)
     for name, value in sorted(pipeline.get("counters", {}).items()):
-        if name.startswith("analysis."):
+        if name.startswith(("analysis.", "repair.")):
             emit(name.replace(".", "_").replace("-", "_"), value)
     phase_ms = pipeline.get("phase_ms", {})
-    if "analysis" in phase_ms:
-        emit("pipeline_analysis_ms", phase_ms["analysis"])
+    for phase in ("analysis", "repair"):
+        if phase in phase_ms:
+            emit(f"pipeline_{phase}_ms", phase_ms[phase])
     return "\n".join(lines) + "\n"

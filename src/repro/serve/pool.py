@@ -112,7 +112,13 @@ def _close_inherited_fds(keep: frozenset[int]) -> None:
                 pass
 
 
-def _build_grader(assignment_name: str, cluster: bool):
+def _build_grader(
+    assignment_name: str,
+    cluster: bool,
+    repair: bool = False,
+    store_root: str | None = None,
+    store_backend: str = "auto",
+):
     """One grading entry point for ``assignment_name``.
 
     With ``cluster=True`` the engine is wrapped in a
@@ -121,9 +127,28 @@ def _build_grader(assignment_name: str, cluster: bool):
     requests specialize instead of re-grading.  Workers keep buckets in
     memory only — the parent-side result cache and store already handle
     cross-process reuse at the report level.
+
+    With ``repair=True`` the engine carries a
+    :class:`~repro.repair.engine.RepairEngine`; ``store_root`` (the
+    service's cache directory, when configured) lets workers share one
+    persisted corpus instead of each building its own.
     """
+    assignment = get_assignment(assignment_name)
+    repairer = None
+    if repair:
+        from repro.core.store import ResultStore
+        from repro.repair.engine import RepairEngine
+
+        store = (
+            ResultStore(
+                store_root, assignment, backend=store_backend, repair=True
+            )
+            if store_root is not None
+            else None
+        )
+        repairer = RepairEngine.for_assignment(assignment, store=store)
     engine = FeedbackEngine(
-        get_assignment(assignment_name), frontend_cache_size=0
+        assignment, frontend_cache_size=0, repairer=repairer
     )
     if cluster:
         from repro.cluster.grader import ClusterGrader
@@ -132,14 +157,18 @@ def _build_grader(assignment_name: str, cluster: bool):
     return engine
 
 
-def _worker_main(conn) -> None:
+def _worker_main(
+    conn, store_root: str | None = None, store_backend: str = "auto"
+) -> None:
     """Child loop: engines cached per assignment, one job at a time.
 
     Jobs are ``(assignment_name, source, max_seconds, hang_seconds,
-    cluster)``; replies are ``(report, collector, seconds)``.
+    cluster, repair)``; replies are ``(report, collector, seconds)``.
     ``hang_seconds`` is the load-test hook: it stalls the worker
     *before* grading, standing in for the pathological submission the
     hard deadline exists for.  A ``None`` job is the shutdown sentinel.
+    ``store_root``/``store_backend`` are fixed per pool and only feed
+    repair-enabled graders (corpus sharing).
     """
     signal.signal(signal.SIGINT, signal.SIG_IGN)  # parent drives shutdown
     keep = {conn.fileno()}
@@ -152,7 +181,7 @@ def _worker_main(conn) -> None:
     if tracker_fd is not None:
         keep.add(tracker_fd)
     _close_inherited_fds(frozenset(keep))
-    engines: dict[tuple[str, bool], object] = {}
+    engines: dict[tuple[str, bool, bool], object] = {}
     while True:
         try:
             job = conn.recv()
@@ -160,14 +189,20 @@ def _worker_main(conn) -> None:
             return
         if job is None:
             return
-        assignment_name, source, max_seconds, hang_seconds, cluster = job
+        (
+            assignment_name, source, max_seconds, hang_seconds, cluster,
+            repair,
+        ) = job
         try:
             if hang_seconds:
                 time.sleep(hang_seconds)
-            engine = engines.get((assignment_name, cluster))
+            engine = engines.get((assignment_name, cluster, repair))
             if engine is None:
-                engine = _build_grader(assignment_name, cluster)
-                engines[(assignment_name, cluster)] = engine
+                engine = _build_grader(
+                    assignment_name, cluster, repair,
+                    store_root, store_backend,
+                )
+                engines[(assignment_name, cluster, repair)] = engine
             result = _grade_one(engine, source, max_seconds)
         except Exception as exc:  # noqa: BLE001 - keep the worker alive
             result = (
@@ -195,13 +230,18 @@ class _WorkerHandle:
     #: stalls for its full timeout.
     _spawn_lock = threading.Lock()
 
-    def __init__(self, context):
+    def __init__(
+        self, context, store_root: str | None = None,
+        store_backend: str = "auto",
+    ):
         self._context = context
         with self._spawn_lock:
             parent_conn, child_conn = context.Pipe(duplex=True)
             self.conn = parent_conn
             self.process = context.Process(
-                target=_worker_main, args=(child_conn,), daemon=True
+                target=_worker_main,
+                args=(child_conn, store_root, store_backend),
+                daemon=True,
             )
             self.process.start()
             child_conn.close()
@@ -214,12 +254,13 @@ class _WorkerHandle:
         hang_seconds: float,
         hard_timeout: float | None,
         cluster: bool = False,
+        repair: bool = False,
     ) -> tuple[PoolResult, bool]:
         """Run one job (blocking); returns ``(result, worker_dead)``."""
         started = time.perf_counter()
         try:
             self.conn.send((assignment_name, source, max_seconds,
-                            hang_seconds, cluster))
+                            hang_seconds, cluster, repair))
             if self.conn.poll(hard_timeout):
                 report, collector, seconds = self.conn.recv()
                 return PoolResult(report, collector, seconds), False
@@ -292,6 +333,8 @@ class GradingWorkerPool:
         workers: int = 2,
         mode: str = "process",
         kill_grace_seconds: float = DEFAULT_KILL_GRACE,
+        store_root: str | None = None,
+        store_backend: str = "auto",
     ):
         if mode not in POOL_MODES:
             raise ValueError(
@@ -302,13 +345,20 @@ class GradingWorkerPool:
         self.workers = workers
         self.mode = mode
         self.kill_grace_seconds = kill_grace_seconds
+        self.store_root = store_root
+        self.store_backend = store_backend
         self.respawns = 0
         self._free: asyncio.Queue = asyncio.Queue()
         self._executor: ThreadPoolExecutor | None = None
         self._context = None
-        # inline mode: (assignment, cluster flag) -> engine or grader
-        self._engines: dict[tuple[str, bool], object] = {}
+        # inline mode: (assignment, cluster, repair) -> engine or grader
+        self._engines: dict[tuple[str, bool, bool], object] = {}
         self._started = False
+
+    def _spawn_handle(self) -> "_WorkerHandle":
+        return _WorkerHandle(
+            self._context, self.store_root, self.store_backend
+        )
 
     async def start(self) -> None:
         if self._started:
@@ -325,9 +375,7 @@ class GradingWorkerPool:
             )
             loop = asyncio.get_running_loop()
             handles = await asyncio.gather(*[
-                loop.run_in_executor(
-                    self._executor, _WorkerHandle, self._context
-                )
+                loop.run_in_executor(self._executor, self._spawn_handle)
                 for _ in range(self.workers)
             ])
             for handle in handles:
@@ -344,6 +392,7 @@ class GradingWorkerPool:
         max_seconds: float | None,
         hang_seconds: float = 0.0,
         cluster: bool = False,
+        repair: bool = False,
     ) -> PoolResult:
         """Grade one submission on the next free worker."""
         if not self._started:
@@ -354,7 +403,7 @@ class GradingWorkerPool:
             if self.mode == "inline":
                 return await self._grade_inline(
                     loop, assignment_name, source, max_seconds,
-                    hang_seconds, cluster,
+                    hang_seconds, cluster, repair,
                 )
             hard_timeout = (
                 max_seconds + self.kill_grace_seconds
@@ -364,12 +413,12 @@ class GradingWorkerPool:
             result, worker_dead = await loop.run_in_executor(
                 self._executor, slot.execute,
                 assignment_name, source, max_seconds, hang_seconds,
-                hard_timeout, cluster,
+                hard_timeout, cluster, repair,
             )
             if worker_dead:
                 self.respawns += 1
                 slot = await loop.run_in_executor(
-                    self._executor, _WorkerHandle, self._context
+                    self._executor, self._spawn_handle
                 )
             return result
         finally:
@@ -377,16 +426,23 @@ class GradingWorkerPool:
 
     async def _grade_inline(
         self, loop, assignment_name, source, max_seconds, hang_seconds,
-        cluster=False,
+        cluster=False, repair=False,
     ) -> PoolResult:
         def run():
             try:
                 if hang_seconds:
                     time.sleep(hang_seconds)
-                engine = self._engines.get((assignment_name, cluster))
+                engine = self._engines.get(
+                    (assignment_name, cluster, repair)
+                )
                 if engine is None:
-                    engine = _build_grader(assignment_name, cluster)
-                    self._engines[(assignment_name, cluster)] = engine
+                    engine = _build_grader(
+                        assignment_name, cluster, repair,
+                        self.store_root, self.store_backend,
+                    )
+                    self._engines[(assignment_name, cluster, repair)] = (
+                        engine
+                    )
                 return _grade_one(engine, source, max_seconds)
             except Exception as exc:  # noqa: BLE001 - mirror process mode
                 return (

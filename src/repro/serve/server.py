@@ -101,6 +101,15 @@ class ServiceConfig:
     #: Output-preserving; worth enabling for duplicate-heavy cohorts,
     #: a no-op overhead (one extra lex per request) for diverse ones.
     cluster: bool = False
+    #: Grade with the repair channel (:mod:`repro.repair`): rejected
+    #: submissions additionally carry corpus-backed, functionally
+    #: verified fix suggestions.  When both ``cluster`` and ``repair``
+    #: are on, workers fall back to full grading per submission —
+    #: suggestions are member-specific, so representative replay is
+    #: unsound.  Stored reports scope under the repair fingerprint, so
+    #: a plain service sharing the cache directory keeps its
+    #: byte-identical output.
+    repair: bool = False
     breaker_window: int = 20
     breaker_min_volume: int = 5
     breaker_failure_ratio: float = 0.5
@@ -132,6 +141,12 @@ class GradingService:
             workers=self.config.workers,
             mode=self.config.pool_mode,
             kill_grace_seconds=self.config.kill_grace_seconds,
+            store_root=(
+                str(self.config.cache_dir)
+                if self.config.cache_dir is not None
+                else None
+            ),
+            store_backend=self.config.store_backend,
         )
         self._caches: dict[str, ResultCache] = {}
         self._stores: dict[str, ResultStore] = {}
@@ -371,6 +386,7 @@ class GradingService:
                 self.config.cache_dir,
                 get_assignment(assignment_name),
                 backend=self.config.store_backend,
+                repair=self.config.repair,
             )
             self._stores[assignment_name] = store
         return store
@@ -469,6 +485,7 @@ class GradingService:
             result = await self.pool.grade(
                 assignment_name, source, deadline_seconds, hang_seconds,
                 cluster=self.config.cluster,
+                repair=self.config.repair,
             )
         finally:
             self.admission.release(time.perf_counter() - started)

@@ -199,3 +199,53 @@ class TestExportKb:
         for method in payload["expected_methods"]:
             for entry in method["patterns"]:
                 assert entry["pattern"] in known
+
+
+class TestRepairCli:
+    @pytest.fixture()
+    def corpus_dir(self, tmp_path):
+        cache = tmp_path / "cache"
+        assert main(["repair", "corpus", "build", "assignment1",
+                     "--cache-dir", str(cache),
+                     "--synth-samples", "2"]) == 0
+        return cache
+
+    def test_corpus_build_reports_counts(self, capsys, corpus_dir):
+        out = capsys.readouterr().out
+        assert "built repair corpus for assignment1" in out
+        assert "reference" in out and "synthetic" in out
+
+    def test_corpus_info_after_build(self, capsys, corpus_dir):
+        capsys.readouterr()
+        assert main(["repair", "corpus", "info", "assignment1",
+                     "--cache-dir", str(corpus_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "verified solutions" in out
+        assert "repair records in scope" in out
+
+    def test_corpus_info_before_build(self, capsys, tmp_path):
+        assert main(["repair", "corpus", "info", "assignment1",
+                     "--cache-dir", str(tmp_path / "empty")]) == 0
+        assert "corpus: not built" in capsys.readouterr().out
+
+    def test_grade_batch_repair_renders_suggestion(
+        self, capsys, tmp_path, corpus_dir
+    ):
+        capsys.readouterr()
+        buggy = get_assignment("assignment1").reference_solutions[0]
+        path = tmp_path / "Wrong.java"
+        path.write_text(buggy.replace("i % 2 == 1", "i % 2 == 0"))
+        assert main(["grade-batch", "assignment1", str(path),
+                     "--repair", "--cache-dir", str(corpus_dir),
+                     "--render", "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "Suggested fix" in out
+        assert "repair.suggestions" in out
+
+    def test_store_info_counts_repair_records(
+        self, capsys, corpus_dir
+    ):
+        capsys.readouterr()
+        assert main(["store", "info", str(corpus_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "repair:" in out

@@ -166,3 +166,61 @@ class TestFromDict:
         assert "truncated" in rebuilt.render()
         assert rebuilt.render() == report.render()
         assert rebuilt.outcome.method_assignment == {"m": "student_m"}
+
+
+class TestRepairCompat:
+    """Reports serialized before the repair channel existed must load."""
+
+    def _suggestion(self):
+        from repro.repair import RepairEdit, RepairSuggestion
+
+        return RepairSuggestion(
+            candidate_key="c" * 64,
+            origin="reference",
+            distance=1.0,
+            edits=(
+                RepairEdit(
+                    op="rewrite",
+                    method="m",
+                    node_type="Cond",
+                    before="i <= n",
+                    after="i < n",
+                ),
+            ),
+            repaired_source="void m() {}",
+        )
+
+    def test_missing_repair_key_reads_as_no_suggestions(
+        self, engine1, assignment1
+    ):
+        report = engine1.grade(assignment1.reference_solutions[0])
+        legacy = report.to_dict()
+        assert "repair" not in legacy  # channel off: byte-identical payload
+        rebuilt = GradingReport.from_dict(legacy)
+        assert rebuilt.repair == []
+        assert rebuilt.render() == report.render()
+
+    def test_legacy_payloads_load_for_every_status(self, engine1):
+        for source in (BROKEN, EMPTY):
+            payload = engine1.grade(source).to_dict()
+            payload.pop("repair", None)
+            assert GradingReport.from_dict(payload).repair == []
+
+    def test_repair_round_trips(self, engine1):
+        report = engine1.grade(EMPTY)
+        report.repair.append(self._suggestion())
+        rebuilt = json_roundtrip(report)
+        assert rebuilt.to_dict() == report.to_dict()
+        assert rebuilt.render() == report.render()
+        assert rebuilt.repair[0].edits[0].op == "rewrite"
+
+    def test_repair_promoted_when_other_channels_are_silent(self):
+        report = GradingReport(
+            assignment_name="a",
+            outcome=MatchOutcome(
+                comments=[], method_assignment={}, score=0.0
+            ),
+            repair=[self._suggestion()],
+        )
+        assert report.repair_is_primary
+        assert "verified fix suggestion" in report.render()

@@ -334,6 +334,7 @@ class TestMigration:
         for key in keys:
             store.put(key, report, cluster="f" * 64)
         store.put_cluster("f" * 64, {"members": keys})
+        store.put_repair("d" * 64, {"source": "void m() {}", "origin": "x"})
         store.put_campaign("c1/header", {"shard_size": 100})
         return store, report, keys
 
@@ -342,13 +343,18 @@ class TestMigration:
     ):
         _, report, keys = self._populate(tmp_path, assignment1, engine1)
         stats = migrate_to_sqlite(tmp_path)
-        assert stats.migrated == {"entry": 6, "cluster": 1, "campaign": 1}
+        assert stats.migrated == {
+            "entry": 6, "cluster": 1, "repair": 1, "campaign": 1,
+        }
         assert stats.skipped == 0
         migrated = ResultStore(tmp_path, assignment1, backend="sqlite")
         for key in keys:
             assert migrated.get(key).to_dict() == report.to_dict()
             assert migrated.cluster_key(key) == "f" * 64
         assert migrated.get_cluster("f" * 64) == {"members": keys}
+        assert migrated.get_repair("d" * 64) == {
+            "source": "void m() {}", "origin": "x",
+        }
         assert migrated.get_campaign("c1/header") == {"shard_size": 100}
 
     def test_migration_flips_auto_detection(

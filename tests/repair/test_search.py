@@ -1,0 +1,109 @@
+"""Signature pre-filtering: cheap vectors that respect structure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.java import parse_submission
+from repro.pdg.builder import extract_all_epdgs
+from repro.repair.search import (
+    SIGNATURE_LENGTH,
+    method_signature,
+    rank_candidates,
+    signature_distance,
+    submission_signature,
+)
+
+LOOP = """
+void f(int[] a) {
+    int s = 0;
+    int i = 0;
+    while (i < a.length) {
+        s += a[i];
+        i++;
+    }
+    System.out.println(s);
+}
+"""
+
+LOOP_RENAMED = """
+void f(int[] a) {
+    int total = 0;
+    int j = 0;
+    while (j < a.length) {
+        total += a[j];
+        j++;
+    }
+    System.out.println(total);
+}
+"""
+
+STRAIGHT = """
+void f(int[] a) {
+    System.out.println(a.length);
+}
+"""
+
+
+def graphs_of(source):
+    return extract_all_epdgs(parse_submission(source), False)
+
+
+class TestMethodSignature:
+    def test_fixed_length(self):
+        for source in (LOOP, STRAIGHT):
+            (graph,) = graphs_of(source).values()
+            assert len(method_signature(graph)) == SIGNATURE_LENGTH
+
+    def test_invariant_under_renaming(self):
+        (left,) = graphs_of(LOOP).values()
+        (right,) = graphs_of(LOOP_RENAMED).values()
+        assert method_signature(left) == method_signature(right)
+
+    def test_separates_different_structure(self):
+        (left,) = graphs_of(LOOP).values()
+        (right,) = graphs_of(STRAIGHT).values()
+        assert method_signature(left) != method_signature(right)
+
+
+class TestDistance:
+    def test_zero_for_identical(self):
+        sig = submission_signature(graphs_of(LOOP))
+        assert signature_distance(sig, sig) == 0
+
+    def test_symmetric_and_positive(self):
+        left = submission_signature(graphs_of(LOOP))
+        right = submission_signature(graphs_of(STRAIGHT))
+        assert signature_distance(left, right) > 0
+        assert signature_distance(left, right) == signature_distance(
+            right, left
+        )
+
+    def test_missing_method_counts_from_zero(self):
+        sig = submission_signature(graphs_of(LOOP))
+        assert signature_distance(sig, {}) > 0
+
+
+class TestRanking:
+    def test_orders_by_distance_and_slices(self):
+        submission = submission_signature(graphs_of(LOOP))
+        candidates = {
+            "near": submission_signature(graphs_of(LOOP_RENAMED)),
+            "far": submission_signature(graphs_of(STRAIGHT)),
+            "exact": submission_signature(graphs_of(LOOP)),
+        }
+        ranked = rank_candidates(submission, candidates, top=2)
+        assert [key for _, key in ranked] == ["exact", "near"]
+        assert ranked[0][0] == 0
+
+    def test_deterministic_tie_break_on_key(self):
+        submission = submission_signature(graphs_of(LOOP))
+        same = submission_signature(graphs_of(LOOP_RENAMED))
+        ranked = rank_candidates(
+            submission, {"b": same, "a": same}, top=5
+        )
+        assert [key for _, key in ranked] == ["a", "b"]
+
+    def test_empty_candidates(self):
+        submission = submission_signature(graphs_of(LOOP))
+        assert rank_candidates(submission, {}, top=3) == []

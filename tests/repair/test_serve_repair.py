@@ -1,0 +1,68 @@
+"""Repair through the grading service: reports, metrics, scoping."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from tests.repair.test_engine import BUGGY
+from tests.serve.conftest import http_call, running_service
+
+
+def grade_body(source):
+    return {"source": source, "deadline_seconds": 30.0}
+
+
+class TestServeRepair:
+    def test_repair_flag_attaches_suggestions_and_counters(self):
+        async def scenario():
+            async with running_service(repair=True) as service:
+                host, port = service.config.host, service.port
+                status, _, body = await http_call(
+                    host, port, "POST",
+                    "/assignments/assignment1/grade",
+                    body=grade_body(BUGGY),
+                )
+                assert status == 200
+                payload = json.loads(body)
+                report = payload["report"]
+                assert report["repair"]
+                assert report["repair"][0]["verified"] is True
+                status, _, body = await http_call(
+                    host, port, "GET", "/metrics"
+                )
+                assert status == 200
+                metrics = json.loads(body)
+                counters = metrics["pipeline"]["counters"]
+                assert counters.get("repair.requests", 0) >= 1
+                assert counters.get("repair.suggestions", 0) >= 1
+                status, _, body = await http_call(
+                    host, port, "GET", "/metrics?format=prometheus"
+                )
+                assert status == 200
+                lines = body.decode().splitlines()
+                assert any(
+                    line.startswith("repro_repair_suggestions ")
+                    for line in lines
+                )
+                assert any(
+                    line.startswith("repro_pipeline_repair_ms ")
+                    for line in lines
+                )
+
+        asyncio.run(scenario())
+
+    def test_default_service_has_no_repair_key(self):
+        async def scenario():
+            async with running_service() as service:
+                host, port = service.config.host, service.port
+                status, _, body = await http_call(
+                    host, port, "POST",
+                    "/assignments/assignment1/grade",
+                    body=grade_body(BUGGY),
+                )
+                assert status == 200
+                report = json.loads(body)["report"]
+                assert "repair" not in report
+
+        asyncio.run(scenario())
