@@ -48,6 +48,7 @@ def _run_traced(
         stdin=test.stdin,
         step_budget=step_budget,
         tracer=tracer,
+        cache_key=source,
     )
     arguments = [_materialize_argument(a) for a in test.arguments]
     interpreter.run(test.method, arguments)

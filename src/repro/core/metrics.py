@@ -87,7 +87,9 @@ class PipelineStats:
     phase_seconds: dict[str, float] = field(default_factory=dict)
     phase_counts: dict[str, int] = field(default_factory=dict)
     #: Event counters from :func:`repro.instrumentation.count` — matcher
-    #: search statistics such as ``match.candidates_pruned``.
+    #: search statistics (``match.candidates_pruned``), analysis and
+    #: repair events, and interpreter compile-cache traffic
+    #: (``interp.compile_hits`` / ``interp.compile_misses``).
     counters: dict[str, int] = field(default_factory=dict)
 
     # -- recording -------------------------------------------------------
@@ -240,7 +242,7 @@ class PipelineStats:
                     f"  ({self.phase_counts.get(name, 0)} calls)"
                 )
         if self.counters:
-            lines.append("  matcher counters:")
+            lines.append("  event counters:")
             for name in sorted(self.counters):
                 lines.append(f"    {name:32s} {self.counters[name]:>10d}")
         return "\n".join(lines)

@@ -198,6 +198,12 @@ def count(name: str, amount: int = 1) -> None:
         safety valve cut a search short.
     ``match.assignments_truncated``
         Times the method-assignment sweep hit its permutation cap.
+
+    The execution engine emits ``interp.compile_hits`` /
+    ``interp.compile_misses`` — compiled-program cache traffic from
+    :func:`repro.interp.compiler.compile_unit` — through the same
+    channel, so duplicate-heavy cohorts show their compile reuse in
+    ``--stats`` and ``/metrics`` alongside the matcher counters.
     """
     collector = _collector.get()
     if collector is not None:

@@ -1,105 +1,35 @@
-"""Tree-walking interpreter over the Java-subset AST.
+"""Execution facade over the closure-compiled runtime.
 
-One :class:`Interpreter` executes the methods of a single parsed
-submission.  Execution is budgeted: each statement and loop iteration
-consumes one step, and exceeding the budget raises
-:class:`~repro.errors.BudgetExceededError`, which the functional-testing
-harness reports as an infinite loop — the failure mode the paper uses to
-criticize dynamic-analysis baselines.
+Historically this module *was* the interpreter — a tree-walker that
+re-dispatched on AST node types for every step.  The execution engine now
+lives in :mod:`repro.interp.compiler`, which lowers each parsed method
+once into nested Python closures (slot-indexed frames, sentinel-return
+control flow, fused statement chains, specialized expression closures)
+and caches the compiled program per unique source.  This module keeps
+the stable public surface — :class:`Interpreter`, :class:`ExecutionResult`,
+:func:`run_method` — unchanged for callers, plus two additions: a
+``cache_key`` to share compiled programs across separate parses of the
+same source, and :class:`~repro.interp.tracing.CostCounters` on every
+result.
+
+The original tree-walker survives verbatim as
+``benchmarks/_interp_reference.py``; the differential tests run both
+engines and require byte-identical outcomes, stdout, traces, error
+text, and step counts.
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import Any
 
-from repro.errors import BudgetExceededError, JavaRuntimeError
+from repro.errors import BudgetExceededError
 from repro.interp import stdlib
-from repro.interp.tracing import Tracer
-from repro.interp.values import (
-    JavaArray,
-    JavaChar,
-    java_div,
-    java_rem,
-    java_str,
-    numeric_value,
-    wrap_int,
-)
+from repro.interp.compiler import CompiledProgram, Runtime, compile_unit, cost_of
+from repro.interp.tracing import CostCounters, Tracer
 from repro.java import ast
 
 DEFAULT_STEP_BUDGET = 1_000_000
-# Each Java-level call consumes several Python frames; 100 keeps us well
-# inside CPython's default recursion limit while being far deeper than
-# any intro-course program legitimately recurses.
-_MAX_CALL_DEPTH = 100
-
-
-class _BreakSignal(Exception):
-    pass
-
-
-class _ContinueSignal(Exception):
-    pass
-
-
-class _ReturnSignal(Exception):
-    def __init__(self, value):
-        self.value = value
-
-
-class _ClassRef:
-    """Sentinel for a static class reference (``Math``, ``Integer``...)."""
-
-    __slots__ = ("name",)
-
-    def __init__(self, name: str):
-        self.name = name
-
-
-class _SystemOut:
-    """Sentinel for the ``System.out`` stream object."""
-
-
-_SYSTEM_OUT = _SystemOut()
-_STATIC_CLASSES = frozenset({"Math", "Integer", "String", "Character", "System"})
-
-
-class _Environment:
-    """A chain of lexical scopes for one method frame."""
-
-    def __init__(self):
-        self._scopes: list[dict[str, object]] = [{}]
-
-    def push(self) -> None:
-        self._scopes.append({})
-
-    def pop(self) -> None:
-        self._scopes.pop()
-
-    def declare(self, name: str, value) -> None:
-        self._scopes[-1][name] = value
-
-    def lookup(self, name: str):
-        for scope in reversed(self._scopes):
-            if name in scope:
-                return scope[name]
-        raise JavaRuntimeError(f"undefined variable {name}")
-
-    def assign(self, name: str, value) -> None:
-        for scope in reversed(self._scopes):
-            if name in scope:
-                scope[name] = value
-                return
-        raise JavaRuntimeError(f"undefined variable {name}")
-
-    def contains(self, name: str) -> bool:
-        return any(name in scope for scope in self._scopes)
-
-    def flat(self) -> dict[str, object]:
-        merged: dict[str, object] = {}
-        for scope in self._scopes:
-            merged.update(scope)
-        return merged
 
 
 @dataclass
@@ -110,10 +40,13 @@ class ExecutionResult:
     return_value: object
     steps: int
     tracer: Tracer | None = None
+    #: Execution-cost profile of the run (steps, per-loop iterations,
+    #: calls, allocations) — a free byproduct of compiled execution.
+    cost: CostCounters | None = None
 
 
 class Interpreter:
-    """Executes methods of a parsed submission.
+    """Executes methods of a parsed submission (compiled on construction).
 
     Parameters
     ----------
@@ -128,6 +61,12 @@ class Interpreter:
         non-terminating.
     tracer:
         Optional :class:`Tracer` receiving assignment/output events.
+        When ``None``, the compiled runtime skips trace recording (and
+        its deep-copy snapshots) entirely.
+    cache_key:
+        Optional content key — conventionally the submission's source
+        text — for the module-level compiled-program cache, so repeated
+        construction over duplicate sources compiles once.
     """
 
     def __init__(
@@ -137,656 +76,69 @@ class Interpreter:
         stdin: str = "",
         step_budget: int = DEFAULT_STEP_BUDGET,
         tracer: Tracer | None = None,
-    ):
-        self._unit = unit
+        cache_key: str | None = None,
+    ) -> None:
+        self._program: CompiledProgram = compile_unit(unit, cache_key)
         if isinstance(files, dict):
             files = stdlib.VirtualFileSystem(files)
         self._files = files or stdlib.VirtualFileSystem()
         self._stdin = stdin
         self._budget = step_budget
-        self._steps = 0
-        self._output: list[str] = []
         self._tracer = tracer
-        self._call_depth = 0
-        self._methods: dict[tuple[str, int], ast.MethodDecl] = {}
-        for method in unit.methods():
-            self._methods[(method.name, method.arity)] = method
-        self._current_method = ""
+        self._last_runtime: Runtime | None = None
 
     # ------------------------------------------------------------------
     # public API
 
-    def run(self, method_name: str, arguments: list) -> ExecutionResult:
+    def run(self, method_name: str, arguments: list[Any]) -> ExecutionResult:
         """Run ``method_name`` with ``arguments`` and collect the result."""
-        self._steps = 0
-        self._output = []
+        runtime = Runtime(
+            budget=self._budget,
+            files=self._files,
+            stdin=self._stdin,
+            tracer=self._tracer,
+            loop_count=len(self._program.loop_ids),
+        )
+        self._last_runtime = runtime
         try:
-            value = self._invoke(method_name, list(arguments))
+            value = self._program.invoke(
+                method_name, list(arguments), runtime
+            )
         except RecursionError:
             # belt-and-braces: the Java-level depth cap should fire first
             raise BudgetExceededError(
                 "StackOverflowError: interpreter recursion limit"
             ) from None
         return ExecutionResult(
-            stdout="".join(self._output),
+            stdout="".join(runtime.out),
             return_value=value,
-            steps=self._steps,
+            steps=runtime.steps,
             tracer=self._tracer,
+            cost=cost_of(self._program, runtime),
         )
 
     @property
     def stdout(self) -> str:
-        return "".join(self._output)
-
-    # ------------------------------------------------------------------
-    # method invocation
-
-    def _invoke(self, name: str, arguments: list):
-        key = (name, len(arguments))
-        if key not in self._methods:
-            raise JavaRuntimeError(
-                f"no method {name}/{len(arguments)} in submission"
-            )
-        if self._call_depth >= _MAX_CALL_DEPTH:
-            raise BudgetExceededError(
-                f"StackOverflowError: call depth exceeded invoking {name}"
-            )
-        method = self._methods[key]
-        env = _Environment()
-        for parameter, argument in zip(method.parameters, arguments):
-            env.declare(parameter.name, argument)
-            self._trace_assign(parameter.name, argument)
-        previous_method = self._current_method
-        self._current_method = method.name
-        self._call_depth += 1
-        try:
-            self._exec_block(method.body, env)
-        except _ReturnSignal as signal:
-            return signal.value
-        finally:
-            self._call_depth -= 1
-            self._current_method = previous_method
-        return None
-
-    def _tick(self) -> None:
-        self._steps += 1
-        if self._steps > self._budget:
-            raise BudgetExceededError(
-                f"step budget of {self._budget} exceeded (non-terminating?)"
-            )
-
-    def _trace_assign(self, name: str, value) -> None:
-        if self._tracer is not None:
-            self._tracer.on_assign(self._current_method, name, value)
-
-    def _emit(self, text: str) -> None:
-        self._output.append(text)
-        if self._tracer is not None:
-            self._tracer.on_output(self._current_method, text)
-
-    # ------------------------------------------------------------------
-    # statements
-
-    def _exec_block(self, block: ast.Block, env: _Environment) -> None:
-        env.push()
-        try:
-            for statement in block.statements:
-                self._exec(statement, env)
-        finally:
-            env.pop()
-
-    def _exec(self, node: ast.Statement, env: _Environment) -> None:
-        self._tick()
-        if isinstance(node, ast.Block):
-            self._exec_block(node, env)
-        elif isinstance(node, ast.LocalVarDecl):
-            self._exec_decl(node, env)
-        elif isinstance(node, ast.ExpressionStatement):
-            self._eval(node.expression, env)
-        elif isinstance(node, ast.If):
-            if self._truth(self._eval(node.condition, env)):
-                self._exec(node.then_branch, env)
-            elif node.else_branch is not None:
-                self._exec(node.else_branch, env)
-        elif isinstance(node, ast.While):
-            while self._truth(self._eval(node.condition, env)):
-                self._tick()
-                try:
-                    self._exec(node.body, env)
-                except _BreakSignal:
-                    break
-                except _ContinueSignal:
-                    continue
-        elif isinstance(node, ast.DoWhile):
-            while True:
-                self._tick()
-                try:
-                    self._exec(node.body, env)
-                except _BreakSignal:
-                    break
-                except _ContinueSignal:
-                    pass
-                if not self._truth(self._eval(node.condition, env)):
-                    break
-        elif isinstance(node, ast.For):
-            env.push()
-            try:
-                for init in node.init:
-                    self._exec(init, env)
-                while node.condition is None or self._truth(
-                    self._eval(node.condition, env)
-                ):
-                    self._tick()
-                    try:
-                        self._exec(node.body, env)
-                    except _BreakSignal:
-                        break
-                    except _ContinueSignal:
-                        pass
-                    for update in node.update:
-                        self._eval(update, env)
-            finally:
-                env.pop()
-        elif isinstance(node, ast.ForEach):
-            iterable = self._eval(node.iterable, env)
-            if isinstance(iterable, JavaArray):
-                elements = list(iterable.elements)
-            elif isinstance(iterable, str):
-                elements = [JavaChar(ch) for ch in iterable]
-            else:
-                raise JavaRuntimeError(
-                    f"cannot iterate over {java_str(iterable)}"
-                )
-            env.push()
-            try:
-                env.declare(node.name, None)
-                for element in elements:
-                    self._tick()
-                    env.assign(node.name, element)
-                    self._trace_assign(node.name, element)
-                    try:
-                        self._exec(node.body, env)
-                    except _BreakSignal:
-                        break
-                    except _ContinueSignal:
-                        continue
-            finally:
-                env.pop()
-        elif isinstance(node, ast.Break):
-            raise _BreakSignal()
-        elif isinstance(node, ast.Continue):
-            raise _ContinueSignal()
-        elif isinstance(node, ast.Return):
-            value = None if node.value is None else self._eval(node.value, env)
-            raise _ReturnSignal(value)
-        elif isinstance(node, ast.Switch):
-            self._exec_switch(node, env)
-        elif isinstance(node, ast.EmptyStatement):
-            pass
-        else:
-            raise JavaRuntimeError(
-                f"cannot execute statement {type(node).__name__}"
-            )
-
-    def _exec_decl(self, node: ast.LocalVarDecl, env: _Environment) -> None:
-        for declarator in node.declarators:
-            if declarator.initializer is None:
-                dimensions = node.type.dimensions + declarator.extra_dimensions
-                value = None if dimensions else _default_value(node.type.name)
-            elif isinstance(declarator.initializer, ast.ArrayInitializer):
-                value = self._array_from_initializer(
-                    declarator.initializer, node.type.name, env
-                )
-            else:
-                value = self._coerce_decl(
-                    self._eval(declarator.initializer, env),
-                    node.type,
-                    declarator.extra_dimensions,
-                )
-            env.declare(declarator.name, value)
-            self._trace_assign(declarator.name, value)
-
-    def _coerce_decl(self, value, decl_type: ast.Type, extra_dims: int):
-        if decl_type.dimensions + extra_dims > 0:
-            return value
-        if decl_type.name in ("double", "float") and isinstance(value, int) \
-                and not isinstance(value, bool):
-            return float(value)
-        if decl_type.name in ("int", "short", "byte") and isinstance(value, JavaChar):
-            return value.code
-        return value
-
-    def _exec_switch(self, node: ast.Switch, env: _Environment) -> None:
-        selector = self._eval(node.selector, env)
-        matched = False
-        try:
-            for case in node.cases:
-                if not matched:
-                    for label in case.labels:
-                        if label is None:
-                            matched = True
-                            break
-                        label_value = self._eval(label, env)
-                        if self._equals(selector, label_value):
-                            matched = True
-                            break
-                if matched:
-                    for statement in case.statements:
-                        self._exec(statement, env)
-        except _BreakSignal:
-            pass
-
-    # ------------------------------------------------------------------
-    # expressions
-
-    def _eval(self, node: ast.Expression, env: _Environment):
-        if isinstance(node, ast.Literal):
-            if node.kind == "char":
-                return JavaChar(str(node.value))
-            return node.value
-        if isinstance(node, ast.Name):
-            if env.contains(node.identifier):
-                return env.lookup(node.identifier)
-            if node.identifier in _STATIC_CLASSES:
-                return _ClassRef(node.identifier)
-            raise JavaRuntimeError(f"undefined variable {node.identifier}")
-        if isinstance(node, ast.FieldAccess):
-            return self._eval_field(node, env)
-        if isinstance(node, ast.ArrayAccess):
-            array = self._eval(node.array, env)
-            index = self._int_index(self._eval(node.index, env))
-            if not isinstance(array, JavaArray):
-                raise JavaRuntimeError("NullPointerException: not an array")
-            return array.get(index)
-        if isinstance(node, ast.MethodCall):
-            return self._eval_call(node, env)
-        if isinstance(node, ast.ObjectCreation):
-            return self._eval_creation(node, env)
-        if isinstance(node, ast.ArrayCreation):
-            return self._eval_array_creation(node, env)
-        if isinstance(node, ast.ArrayInitializer):
-            return self._array_from_initializer(node, "int", env)
-        if isinstance(node, ast.Unary):
-            return self._eval_unary(node, env)
-        if isinstance(node, ast.Binary):
-            return self._eval_binary(node, env)
-        if isinstance(node, ast.Ternary):
-            if self._truth(self._eval(node.condition, env)):
-                return self._eval(node.if_true, env)
-            return self._eval(node.if_false, env)
-        if isinstance(node, ast.Assignment):
-            return self._eval_assignment(node, env)
-        if isinstance(node, ast.Cast):
-            return self._eval_cast(node, env)
-        raise JavaRuntimeError(f"cannot evaluate {type(node).__name__}")
-
-    def _eval_field(self, node: ast.FieldAccess, env: _Environment):
-        if isinstance(node.target, ast.Name):
-            base = node.target.identifier
-            if base == "System" and node.name == "out":
-                return _SYSTEM_OUT
-            if base == "System" and node.name == "in":
-                return "<stdin>"
-            if base == "Integer" and node.name == "MAX_VALUE":
-                return 2 ** 31 - 1
-            if base == "Integer" and node.name == "MIN_VALUE":
-                return -(2 ** 31)
-            if base == "Math" and node.name == "PI":
-                return math.pi
-            if base == "Math" and node.name == "E":
-                return math.e
-        target = self._eval(node.target, env)
-        if isinstance(target, JavaArray) and node.name == "length":
-            return target.length
-        if isinstance(target, str) and node.name == "length":
-            # students sometimes write s.length on strings; real Java would
-            # reject it, we surface a runtime error with a clear message
-            raise JavaRuntimeError("String has no field length (use length())")
-        raise JavaRuntimeError(
-            f"unknown field {node.name} on {java_str(target)}"
-        )
-
-    def _eval_call(self, node: ast.MethodCall, env: _Environment):
-        arguments = [self._eval(argument, env) for argument in node.arguments]
-        if node.target is None:
-            return self._invoke(node.name, arguments)
-        target = self._eval(node.target, env)
-        if isinstance(target, _SystemOut):
-            return self._print_call(node.name, arguments)
-        if isinstance(target, stdlib.ScannerObject):
-            return stdlib.call_scanner(target, node.name, arguments)
-        if isinstance(target, stdlib.StringBuilderObject):
-            return target.call(node.name, arguments)
-        if isinstance(target, str):
-            return stdlib.call_string(target, node.name, arguments)
-        if isinstance(target, _ClassRef):
-            if target.name == "Math":
-                return stdlib.call_math(node.name, arguments)
-            if target.name == "Integer":
-                return stdlib.call_integer(node.name, arguments)
-            if target.name == "String":
-                return stdlib.call_string_static(node.name, arguments)
-            if target.name == "Character":
-                return stdlib.call_character(node.name, arguments)
-        raise JavaRuntimeError(
-            f"cannot call {node.name} on {java_str(target)}"
-        )
-
-    def _print_call(self, name: str, arguments: list):
-        if name == "println":
-            text = java_str(arguments[0]) if arguments else ""
-            self._emit(text + "\n")
-            return None
-        if name == "print":
-            self._emit(java_str(arguments[0]))
-            return None
-        if name == "printf":
-            template = arguments[0]
-            values = [
-                v.char if isinstance(v, JavaChar) else v for v in arguments[1:]
-            ]
-            try:
-                self._emit(template % tuple(values))
-            except (TypeError, ValueError) as error:
-                raise JavaRuntimeError(f"IllegalFormatException: {error}")
-            return None
-        raise JavaRuntimeError(f"System.out has no method {name}")
-
-    def _eval_creation(self, node: ast.ObjectCreation, env: _Environment):
-        arguments = [self._eval(argument, env) for argument in node.arguments]
-        name = node.type.name
-        if name in ("Scanner", "java.util.Scanner"):
-            source = arguments[0] if arguments else "<stdin>"
-            if isinstance(source, stdlib.FileObject):
-                return stdlib.ScannerObject(self._files.read(source.name))
-            if source == "<stdin>":
-                return stdlib.ScannerObject(self._stdin)
-            if isinstance(source, str):
-                return stdlib.ScannerObject(source)
-            raise JavaRuntimeError("unsupported Scanner source")
-        if name in ("File", "java.io.File"):
-            return stdlib.FileObject(str(arguments[0]))
-        if name == "String":
-            return str(arguments[0]) if arguments else ""
-        if name in ("StringBuilder", "StringBuffer"):
-            initial = ""
-            if arguments and isinstance(arguments[0], str):
-                initial = arguments[0]
-            return stdlib.StringBuilderObject(initial)
-        raise JavaRuntimeError(f"cannot instantiate {name}")
-
-    def _eval_array_creation(self, node: ast.ArrayCreation, env: _Environment):
-        if node.initializer is not None:
-            return self._array_from_initializer(
-                node.initializer, node.type.name, env
-            )
-        if not node.dimensions:
-            raise JavaRuntimeError("array creation without dimensions")
-        lengths = [
-            self._int_index(self._eval(d, env)) for d in node.dimensions
-        ]
-        return self._make_array(node.type.name, lengths, node.type.dimensions)
-
-    def _make_array(self, element: str, lengths: list[int], dims: int):
-        if not lengths:
-            return None
-        if len(lengths) == 1:
-            if dims > 1:
-                return JavaArray("array", [None] * lengths[0])
-            return JavaArray.of_length(element, lengths[0])
-        outer = JavaArray(
-            "array",
-            [
-                self._make_array(element, lengths[1:], dims - 1)
-                for _ in range(lengths[0])
-            ],
-        )
-        return outer
-
-    def _array_from_initializer(
-        self, node: ast.ArrayInitializer, element: str, env: _Environment
-    ) -> JavaArray:
-        values = []
-        for item in node.elements:
-            if isinstance(item, ast.ArrayInitializer):
-                values.append(self._array_from_initializer(item, element, env))
-            else:
-                value = self._eval(item, env)
-                if element in ("double", "float") and isinstance(value, int) \
-                        and not isinstance(value, bool):
-                    value = float(value)
-                values.append(value)
-        return JavaArray(element, values)
-
-    def _eval_unary(self, node: ast.Unary, env: _Environment):
-        if node.operator in ("++", "--"):
-            old = self._eval(node.operand, env)
-            number = numeric_value(old)
-            if number is None:
-                raise JavaRuntimeError(f"cannot {node.operator} {java_str(old)}")
-            delta = 1 if node.operator == "++" else -1
-            new = number + delta
-            if isinstance(number, int):
-                new = wrap_int(new)
-            self._store(node.operand, new, env)
-            return new if node.prefix else old
-        value = self._eval(node.operand, env)
-        if node.operator == "!":
-            return not self._truth(value)
-        number = numeric_value(value)
-        if number is None:
-            raise JavaRuntimeError(
-                f"cannot apply {node.operator} to {java_str(value)}"
-            )
-        if node.operator == "-":
-            return wrap_int(-number) if isinstance(number, int) else -number
-        if node.operator == "+":
-            return number
-        if node.operator == "~":
-            if not isinstance(number, int):
-                raise JavaRuntimeError("~ requires an integer")
-            return wrap_int(~number)
-        raise JavaRuntimeError(f"unknown unary operator {node.operator}")
-
-    def _eval_binary(self, node: ast.Binary, env: _Environment):
-        operator = node.operator
-        if operator == "&&":
-            return self._truth(self._eval(node.left, env)) and self._truth(
-                self._eval(node.right, env)
-            )
-        if operator == "||":
-            return self._truth(self._eval(node.left, env)) or self._truth(
-                self._eval(node.right, env)
-            )
-        left = self._eval(node.left, env)
-        right = self._eval(node.right, env)
-        return self._binary_value(operator, left, right)
-
-    def _binary_value(self, operator: str, left, right):
-        if operator == "+" and (isinstance(left, str) or isinstance(right, str)):
-            return java_str(left) + java_str(right)
-        if operator == "==":
-            return self._equals(left, right)
-        if operator == "!=":
-            return not self._equals(left, right)
-        if operator in ("&", "|", "^"):
-            if isinstance(left, bool) and isinstance(right, bool):
-                if operator == "&":
-                    return left and right
-                if operator == "|":
-                    return left or right
-                return left != right
-            left_number, right_number = self._two_ints(operator, left, right)
-            if operator == "&":
-                return wrap_int(left_number & right_number)
-            if operator == "|":
-                return wrap_int(left_number | right_number)
-            return wrap_int(left_number ^ right_number)
-        if operator in ("<<", ">>", ">>>"):
-            left_number, right_number = self._two_ints(operator, left, right)
-            shift = right_number & 31
-            if operator == "<<":
-                return wrap_int(left_number << shift)
-            if operator == ">>":
-                return wrap_int(left_number >> shift)
-            return wrap_int((left_number & 0xFFFFFFFF) >> shift)
-        left_number = numeric_value(left)
-        right_number = numeric_value(right)
-        if left_number is None or right_number is None:
-            raise JavaRuntimeError(
-                f"cannot apply {operator} to "
-                f"{java_str(left)} and {java_str(right)}"
-            )
-        if operator == "<":
-            return left_number < right_number
-        if operator == "<=":
-            return left_number <= right_number
-        if operator == ">":
-            return left_number > right_number
-        if operator == ">=":
-            return left_number >= right_number
-        both_int = isinstance(left_number, int) and isinstance(right_number, int)
-        if operator == "+":
-            result = left_number + right_number
-        elif operator == "-":
-            result = left_number - right_number
-        elif operator == "*":
-            result = left_number * right_number
-        elif operator == "/":
-            if both_int:
-                return java_div(left_number, right_number)
-            if right_number == 0:
-                if left_number == 0:
-                    return float("nan")
-                return math.copysign(float("inf"), left_number)
-            return left_number / right_number
-        elif operator == "%":
-            if both_int:
-                return java_rem(left_number, right_number)
-            if right_number == 0:
-                return float("nan")
-            return math.fmod(left_number, right_number)
-        else:
-            raise JavaRuntimeError(f"unknown operator {operator}")
-        return wrap_int(result) if both_int else float(result)
-
-    def _two_ints(self, operator: str, left, right) -> tuple[int, int]:
-        left_number = numeric_value(left)
-        right_number = numeric_value(right)
-        if not isinstance(left_number, int) or not isinstance(right_number, int):
-            raise JavaRuntimeError(f"{operator} requires integers")
-        return left_number, right_number
-
-    def _eval_assignment(self, node: ast.Assignment, env: _Environment):
-        if node.operator == "=":
-            value = self._eval(node.value, env)
-        else:
-            current = self._eval(node.target, env)
-            operator = node.operator[:-1]
-            value = self._binary_value(operator, current, self._eval(node.value, env))
-            # compound assignment to an int variable narrows the result,
-            # e.g. `int x; x += 1.5` keeps x an int in Java
-            if isinstance(current, int) and not isinstance(current, bool) \
-                    and isinstance(value, float):
-                value = wrap_int(int(value))
-        self._store(node.target, value, env)
-        return value
-
-    def _store(self, target: ast.Expression, value, env: _Environment) -> None:
-        if isinstance(target, ast.Name):
-            current = env.lookup(target.identifier)
-            if isinstance(current, float) and isinstance(value, int) \
-                    and not isinstance(value, bool):
-                value = float(value)
-            env.assign(target.identifier, value)
-            self._trace_assign(target.identifier, value)
-            return
-        if isinstance(target, ast.ArrayAccess):
-            array = self._eval(target.array, env)
-            index = self._int_index(self._eval(target.index, env))
-            if not isinstance(array, JavaArray):
-                raise JavaRuntimeError("NullPointerException: not an array")
-            if array.element_type in ("double", "float") and isinstance(value, int) \
-                    and not isinstance(value, bool):
-                value = float(value)
-            array.set(index, value)
-            if isinstance(target.array, ast.Name):
-                self._trace_assign(target.array.identifier, array)
-            return
-        raise JavaRuntimeError(
-            f"cannot assign to {type(target).__name__}"
-        )
-
-    def _eval_cast(self, node: ast.Cast, env: _Environment):
-        value = self._eval(node.expression, env)
-        name = node.type.name
-        if name in ("int", "short", "byte", "long"):
-            number = numeric_value(value)
-            if number is None:
-                raise JavaRuntimeError(f"cannot cast {java_str(value)} to {name}")
-            return wrap_int(int(number))
-        if name in ("double", "float"):
-            number = numeric_value(value)
-            if number is None:
-                raise JavaRuntimeError(f"cannot cast {java_str(value)} to {name}")
-            return float(number)
-        if name == "char":
-            number = numeric_value(value)
-            if number is None:
-                raise JavaRuntimeError("cannot cast to char")
-            return JavaChar(chr(int(number) & 0xFFFF))
-        return value
-
-    # ------------------------------------------------------------------
-    # helpers
-
-    def _truth(self, value) -> bool:
-        if isinstance(value, bool):
-            return value
-        raise JavaRuntimeError(
-            f"condition must be boolean, got {java_str(value)}"
-        )
-
-    def _equals(self, left, right) -> bool:
-        left_number = numeric_value(left)
-        right_number = numeric_value(right)
-        if left_number is not None and right_number is not None:
-            return left_number == right_number
-        # Strings compare by value: models the common student assumption
-        # (and constant-pool interning) without a full reference model.
-        return left == right
-
-    def _int_index(self, value) -> int:
-        number = numeric_value(value)
-        if not isinstance(number, int):
-            raise JavaRuntimeError(f"array index must be int, got {java_str(value)}")
-        return number
-
-
-def _default_value(type_name: str):
-    if type_name in ("int", "long", "short", "byte"):
-        return 0
-    if type_name in ("double", "float"):
-        return 0.0
-    if type_name == "boolean":
-        return False
-    if type_name == "char":
-        return JavaChar("\0")
-    return None
+        """Output of the latest run so far (partial if it raised)."""
+        if self._last_runtime is None:
+            return ""
+        return "".join(self._last_runtime.out)
 
 
 def run_method(
     unit: ast.CompilationUnit,
     method_name: str,
-    arguments: list,
+    arguments: list[Any],
     files: dict[str, str] | None = None,
     stdin: str = "",
     step_budget: int = DEFAULT_STEP_BUDGET,
     trace: bool = False,
+    cache_key: str | None = None,
 ) -> ExecutionResult:
     """Convenience wrapper: build an interpreter and run one method."""
     tracer = Tracer() if trace else None
     interpreter = Interpreter(
-        unit, files=files, stdin=stdin, step_budget=step_budget, tracer=tracer
+        unit, files=files, stdin=stdin, step_budget=step_budget,
+        tracer=tracer, cache_key=cache_key,
     )
     return interpreter.run(method_name, arguments)

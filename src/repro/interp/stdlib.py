@@ -10,6 +10,7 @@ from a :class:`VirtualFileSystem` so assignments such as the paper's
 from __future__ import annotations
 
 import math
+from typing import Any, Callable
 
 from repro.errors import JavaRuntimeError
 from repro.interp.values import JavaArray, JavaChar, java_str, wrap_int
@@ -21,7 +22,7 @@ class VirtualFileSystem:
     The substitute for the real files the paper's RIT assignments read.
     """
 
-    def __init__(self, files: dict[str, str] | None = None):
+    def __init__(self, files: dict[str, str] | None = None) -> None:
         self._files = dict(files or {})
 
     def add(self, name: str, content: str) -> None:
@@ -41,7 +42,7 @@ class FileObject:
 
     __slots__ = ("name",)
 
-    def __init__(self, name: str):
+    def __init__(self, name: str) -> None:
         self.name = name
 
 
@@ -53,7 +54,7 @@ class ScannerObject:
     whitespace-separated, exactly like ``java.util.Scanner`` defaults.
     """
 
-    def __init__(self, text: str):
+    def __init__(self, text: str) -> None:
         self._text = text
         self._pos = 0
         self.closed = False
@@ -144,10 +145,10 @@ class StringBuilderObject:
     ``deleteCharAt``, ``insert``.
     """
 
-    def __init__(self, initial: str = ""):
+    def __init__(self, initial: str = "") -> None:
         self._chars = list(initial)
 
-    def call(self, name: str, args: list):
+    def call(self, name: str, args: list[Any]) -> Any:
         if name == "append":
             self._chars.extend(java_str(args[0]))
             return self
@@ -190,7 +191,7 @@ class StringBuilderObject:
         raise JavaRuntimeError(f"StringBuilder has no method {name}")
 
 
-_SCANNER_METHODS = {
+_SCANNER_METHODS: dict[str, Callable[[ScannerObject], Any]] = {
     "hasNext": lambda s: s.has_next(),
     "hasNextInt": lambda s: s.has_next_int(),
     "hasNextDouble": lambda s: s.has_next_int() or s._peek_token() is not None,
@@ -203,7 +204,7 @@ _SCANNER_METHODS = {
 }
 
 
-def call_scanner(scanner: ScannerObject, name: str, args: list):
+def call_scanner(scanner: ScannerObject, name: str, args: list[Any]) -> Any:
     """Dispatch an instance call on a Scanner object."""
     if name not in _SCANNER_METHODS:
         raise JavaRuntimeError(f"Scanner has no method {name}")
@@ -212,7 +213,7 @@ def call_scanner(scanner: ScannerObject, name: str, args: list):
     return _SCANNER_METHODS[name](scanner)
 
 
-def call_string(value: str, name: str, args: list):
+def call_string(value: str, name: str, args: list[Any]) -> Any:
     """Dispatch an instance call on a Java String."""
     if name == "length":
         return len(value)
@@ -275,7 +276,7 @@ def call_string(value: str, name: str, args: list):
     raise JavaRuntimeError(f"String has no method {name}")
 
 
-def _as_number(value):
+def _as_number(value: Any) -> int | float:
     if isinstance(value, JavaChar):
         return value.code
     if isinstance(value, (int, float)) and not isinstance(value, bool):
@@ -283,7 +284,7 @@ def _as_number(value):
     raise JavaRuntimeError(f"expected a number, got {value!r}")
 
 
-def call_math(name: str, args: list):
+def call_math(name: str, args: list[Any]) -> Any:
     """Dispatch a ``Math.*`` static call."""
     numbers = [_as_number(a) for a in args]
     if name == "pow":
@@ -325,7 +326,7 @@ def call_math(name: str, args: list):
     raise JavaRuntimeError(f"Math has no method {name}")
 
 
-def call_integer(name: str, args: list):
+def call_integer(name: str, args: list[Any]) -> Any:
     """Dispatch an ``Integer.*`` static call."""
     if name == "parseInt":
         try:
@@ -343,14 +344,14 @@ def call_integer(name: str, args: list):
     raise JavaRuntimeError(f"Integer has no method {name}")
 
 
-def call_string_static(name: str, args: list):
+def call_string_static(name: str, args: list[Any]) -> str:
     """Dispatch a ``String.*`` static call."""
     if name == "valueOf":
         return java_str(args[0])
     raise JavaRuntimeError(f"String has no static method {name}")
 
 
-def call_character(name: str, args: list):
+def call_character(name: str, args: list[Any]) -> Any:
     """Dispatch a ``Character.*`` static call."""
     char = args[0]
     if isinstance(char, JavaChar):

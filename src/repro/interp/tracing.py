@@ -1,17 +1,23 @@
-"""Execution tracing: per-variable value histories.
+"""Execution tracing: per-variable value histories and cost counters.
 
 The CLARA baseline (Gulwani et al.) compares *variable traces* between
 submissions; this module records them while the interpreter runs.  Stdout
 is modelled as a pseudo-variable named ``out`` — exactly the trick the
 paper credits CLARA with ("CLARA considers the standard output as another
 variable in the variable traces").
+
+:class:`CostCounters` is the second observation channel: the compiled
+runtime (:mod:`repro.interp.compiler`) tallies steps, per-loop iteration
+counts, method calls, and allocations as a near-free byproduct of
+execution, so performance-problem diagnostics (Gulwani, Radiček &
+Zuleger) can fit cost shapes across a functional-test input ladder
+without a separate profiled run.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
-from repro.interp.values import JavaArray, JavaChar
+from dataclasses import dataclass
+from typing import Any
 
 
 @dataclass(frozen=True)
@@ -23,8 +29,44 @@ class TraceEvent:
     method: str
 
 
-def _snapshot(value):
+@dataclass(frozen=True)
+class CostCounters:
+    """Execution cost of one run, recorded by the compiled runtime.
+
+    ``steps``
+        Interpreter steps consumed (statements + loop iterations), the
+        same count the step budget is charged against.
+    ``loop_iterations``
+        Iterations per loop, keyed by a stable compile-time loop id of
+        the form ``method:kind@ordinal`` (e.g. ``f:for@0``).  Every loop
+        in the program appears, including ones that never ran.
+    ``calls``
+        Java-level method invocations, including the entry call.
+    ``allocations``
+        Arrays and objects created by ``new`` expressions and array
+        initializers.
+    """
+
+    steps: int
+    calls: int
+    allocations: int
+    loop_iterations: dict[str, int]
+
+    def to_dict(self) -> dict[str, Any]:
+        """Flat JSON-friendly view."""
+        return {
+            "steps": self.steps,
+            "calls": self.calls,
+            "allocations": self.allocations,
+            "loop_iterations": dict(self.loop_iterations),
+        }
+
+
+def _snapshot(value: Any) -> Any:
     """Deep-copy mutable runtime values so later mutation can't alias."""
+    # local import keeps this module import-light for the values layer
+    from repro.interp.values import JavaArray, JavaChar
+
     if isinstance(value, JavaArray):
         return tuple(_snapshot(v) for v in value.elements)
     if isinstance(value, JavaChar):
@@ -35,16 +77,16 @@ def _snapshot(value):
 class Tracer:
     """Collects :class:`TraceEvent` records during one execution."""
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.events: list[TraceEvent] = []
 
-    def on_assign(self, method: str, name: str, value) -> None:
+    def on_assign(self, method: str, name: str, value: Any) -> None:
         self.events.append(TraceEvent(name, _snapshot(value), method))
 
     def on_output(self, method: str, text: str) -> None:
         self.events.append(TraceEvent("out", text, method))
 
-    def variable_trace(self, name: str) -> list:
+    def variable_trace(self, name: str) -> list[Any]:
         """The ordered sequence of values ``name`` took."""
         return [e.value for e in self.events if e.name == name]
 
@@ -55,6 +97,6 @@ class Tracer:
             seen.setdefault(event.name, None)
         return list(seen)
 
-    def as_mapping(self) -> dict[str, list]:
+    def as_mapping(self) -> dict[str, list[Any]]:
         """Full trace as ``{variable: [values...]}``."""
         return {name: self.variable_trace(name) for name in self.variables()}

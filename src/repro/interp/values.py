@@ -11,6 +11,8 @@ cases.
 
 from __future__ import annotations
 
+from typing import Any
+
 from repro.errors import JavaRuntimeError
 
 INT_MIN = -(2 ** 31)
@@ -19,7 +21,7 @@ LONG_MIN = -(2 ** 63)
 LONG_MAX = 2 ** 63 - 1
 
 #: Default values per element type, as the JVM zero-initializes arrays.
-DEFAULT_VALUES = {
+DEFAULT_VALUES: dict[str, Any] = {
     "int": 0, "long": 0, "short": 0, "byte": 0,
     "double": 0.0, "float": 0.0,
     "boolean": False, "char": "\0",
@@ -62,7 +64,7 @@ class JavaArray:
 
     __slots__ = ("element_type", "elements")
 
-    def __init__(self, element_type: str, elements: list):
+    def __init__(self, element_type: str, elements: list[Any]) -> None:
         self.element_type = element_type
         self.elements = elements
 
@@ -81,11 +83,11 @@ class JavaArray:
     def length(self) -> int:
         return len(self.elements)
 
-    def get(self, index: int):
+    def get(self, index: int) -> Any:
         self._check(index)
         return self.elements[index]
 
-    def set(self, index: int, value) -> None:
+    def set(self, index: int, value: Any) -> None:
         self._check(index)
         self.elements[index] = value
 
@@ -118,7 +120,7 @@ class JavaChar:
 
     __slots__ = ("char",)
 
-    def __init__(self, char: str):
+    def __init__(self, char: str) -> None:
         self.char = char
 
     @property
@@ -139,7 +141,7 @@ class JavaChar:
         return f"JavaChar({self.char!r})"
 
 
-def java_str(value) -> str:
+def java_str(value: Any) -> str:
     """Format a value the way Java's string conversion would.
 
     Used for ``System.out`` printing and ``String`` concatenation:
@@ -165,7 +167,7 @@ def java_str(value) -> str:
     return str(value)
 
 
-def numeric_value(value) -> int | float | None:
+def numeric_value(value: Any) -> int | float | None:
     """The numeric view of a value, or ``None`` if it has none.
 
     Chars promote to their code points; booleans and strings are not

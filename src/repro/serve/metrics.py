@@ -173,12 +173,13 @@ def render_prometheus(snapshot: dict) -> str:
                 counters.get(f"cache.store_{key}", 0),
                 f'{{backend="{backend}"}}',
             )
-    # static-analysis and repair visibility: per-check finding and
-    # suggestion counters plus each phase's wall time, flattened like
-    # the serve counters
-    # (``analysis.use-before-init`` → ``repro_analysis_use_before_init``)
+    # static-analysis, repair, and interpreter visibility: per-check
+    # finding and suggestion counters, compiled-program cache traffic,
+    # plus each phase's wall time, flattened like the serve counters
+    # (``analysis.use-before-init`` → ``repro_analysis_use_before_init``,
+    # ``interp.compile_hits`` → ``repro_interp_compile_hits``)
     for name, value in sorted(pipeline.get("counters", {}).items()):
-        if name.startswith(("analysis.", "repair.")):
+        if name.startswith(("analysis.", "repair.", "interp.")):
             emit(name.replace(".", "_").replace("-", "_"), value)
     phase_ms = pipeline.get("phase_ms", {})
     for phase in ("analysis", "repair"):

@@ -12,6 +12,7 @@ from repro.errors import (
     ReproError,
 )
 from repro.interp.interpreter import run_method
+from repro.interp.tracing import CostCounters
 from repro.interp.values import JavaArray
 from repro.java import ast, parse_submission
 
@@ -31,6 +32,10 @@ class TestResult:
     actual_stdout: str | None = None
     actual_return: object = None
     error: str | None = None
+    #: Execution-cost profile (steps, per-loop iterations, calls,
+    #: allocations) recorded by the compiled runtime; ``None`` when the
+    #: run raised before completing.
+    cost: CostCounters | None = None
 
 
 @dataclass
@@ -86,6 +91,7 @@ def run_tests(
     unit: ast.CompilationUnit,
     tests: list[FunctionalTest],
     step_budget: int = DEFAULT_TEST_BUDGET,
+    cache_key: str | None = None,
 ) -> FunctionalReport:
     """Run a test suite over a parsed submission.
 
@@ -93,6 +99,9 @@ def run_tests(
     the remaining tests without running them: re-running an infinite
     loop on every input would only multiply the cost of the same
     verdict.
+
+    ``cache_key`` (conventionally the source text) lets repeated suites
+    over duplicate sources share one compiled program.
     """
     results: list[TestResult] = []
     timed_out = False
@@ -112,6 +121,7 @@ def run_tests(
                 files=test.files_dict(),
                 stdin=test.stdin,
                 step_budget=step_budget,
+                cache_key=cache_key,
             )
         except BudgetExceededError as error:
             timed_out = True
@@ -139,6 +149,7 @@ def run_tests(
                 passed=passed,
                 actual_stdout=execution.stdout,
                 actual_return=execution.return_value,
+                cost=execution.cost,
             )
         )
     return FunctionalReport(results=results)
@@ -154,4 +165,4 @@ def run_tests_on_source(
         unit = parse_submission(source)
     except JavaSyntaxError as error:
         return FunctionalReport(results=[], parse_error=str(error))
-    return run_tests(unit, tests, step_budget=step_budget)
+    return run_tests(unit, tests, step_budget=step_budget, cache_key=source)

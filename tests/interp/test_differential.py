@@ -1,0 +1,249 @@
+"""Differential testing: compiled engine vs. the vendored tree-walker.
+
+The closure-compiled runtime (:mod:`repro.interp.compiler`) must be
+byte-identical in behavior to the original tree-walking interpreter,
+which is frozen verbatim as ``benchmarks/_interp_reference.py``.  These
+tests execute synth-generated *correct and seeded-defect* variants of
+all twelve assignments through both engines and require identical:
+
+* outcomes (return value, stdout, step count) on success,
+* exception type and message on failure,
+* partial stdout produced before a failure,
+* full trace-event streams (variable assignments and output, with the
+  method attribution quirks of the original preserved),
+* budget-exhaustion behavior at exact step boundaries (the compiled
+  engine bulk-charges fused statement chains, so the boundary is where
+  a charging bug would show).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+from repro.errors import BudgetExceededError, JavaRuntimeError
+from repro.interp import Interpreter, Tracer, clear_program_cache
+from repro.java import parse_submission
+from repro.kb import all_assignment_names, get_assignment
+from repro.synth.generator import sample_submissions
+from repro.testing.functional import _materialize_argument
+
+_REPO = pathlib.Path(__file__).resolve().parents[2]
+_spec = importlib.util.spec_from_file_location(
+    "_interp_reference", _REPO / "benchmarks" / "_interp_reference.py"
+)
+assert _spec is not None and _spec.loader is not None
+reference = importlib.util.module_from_spec(_spec)
+sys.modules[_spec.name] = reference
+_spec.loader.exec_module(reference)
+
+#: Step budget for differential runs.  Small enough that seeded-defect
+#: variants which loop forever stay cheap in the (slow) reference
+#: engine, large enough that every correct variant finishes.
+_BUDGET = 20_000
+
+#: Synthetic variants sampled per assignment (index 0 — the reference
+#: solution — is always included; the rest mix correct and defective
+#: options).
+_VARIANTS = 12
+
+
+def _run_one(interpreter, method, arguments):
+    """Normalized observation of one execution on either engine."""
+    tracer = interpreter._tracer  # same attribute name on both engines
+    try:
+        result = interpreter.run(method, [
+            _materialize_argument(a) for a in arguments
+        ])
+    except Exception as error:  # noqa: BLE001 - every divergence matters
+        return {
+            "outcome": "error",
+            "type": type(error).__name__,
+            "message": str(error),
+            "partial_stdout": interpreter.stdout,
+            "events": _canonical_events(tracer.events),
+        }
+    return {
+        "outcome": "ok",
+        "stdout": result.stdout,
+        "return": _canonical(result.return_value),
+        "steps": result.steps,
+        "events": _canonical_events(tracer.events),
+    }
+
+
+def _canonical_events(events):
+    """Event streams with runtime objects compared by type, not identity.
+
+    Both engines allocate their own ``ScannerObject``/``StringBuilder``
+    instances, so the snapshots in otherwise-identical traces differ by
+    ``id()`` alone; everything else (primitives, strings, array tuples)
+    compares by value.
+    """
+    return [
+        (event.name, _canonical(event.value), event.method)
+        for event in events
+    ]
+
+
+def _canonical(value):
+    """Return values compared structurally (arrays by contents)."""
+    from repro.interp.values import JavaArray, JavaChar
+
+    if isinstance(value, JavaArray):
+        return ("array", value.element_type,
+                tuple(_canonical(v) for v in value.elements))
+    if isinstance(value, JavaChar):
+        return ("char", value.char)
+    if isinstance(value, tuple):
+        return tuple(_canonical(v) for v in value)
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return ("object", type(value).__name__)
+
+
+def _compiled(source, test, budget=_BUDGET):
+    return Interpreter(
+        parse_submission(source),
+        files=test.files_dict(),
+        stdin=test.stdin,
+        step_budget=budget,
+        tracer=Tracer(),
+    )
+
+
+def _reference(source, test, budget=_BUDGET):
+    return reference.Interpreter(
+        parse_submission(source),
+        files=test.files_dict(),
+        stdin=test.stdin,
+        step_budget=budget,
+        tracer=reference.Tracer() if hasattr(reference, "Tracer") else None,
+    )
+
+
+def _assert_identical(source, test, budget=_BUDGET, context=""):
+    got = _run_one(_compiled(source, test, budget), test.method,
+                   test.arguments)
+    want = _run_one(_reference(source, test, budget), test.method,
+                    test.arguments)
+    assert got == want, (
+        f"divergence {context}\n--- compiled ---\n{got}\n"
+        f"--- reference ---\n{want}\n--- source ---\n{source}"
+    )
+    return want
+
+
+@pytest.mark.parametrize("name", all_assignment_names())
+def test_differential_fuzz(name):
+    """Correct + seeded-defect variants agree on every functional test."""
+    clear_program_cache()
+    assignment = get_assignment(name)
+    space = assignment.space()
+    saw_defect = False
+    for submission in sample_submissions(space, _VARIANTS, seed=1009):
+        saw_defect = saw_defect or not submission.all_options_correct
+        budget_exhausted = False
+        for test in assignment.tests:
+            observed = _assert_identical(
+                submission.source, test,
+                context=f"{name}#{submission.index} on {test.method}"
+                        f"({test.arguments!r})",
+            )
+            # mirror run_tests: once a variant proves non-terminating,
+            # skip its remaining inputs (same verdict, pure cost)
+            if observed["outcome"] == "error" and \
+                    observed["type"] == "BudgetExceededError":
+                budget_exhausted = True
+                break
+        if budget_exhausted:
+            continue
+    assert saw_defect, "sample contained no seeded-defect variant"
+
+
+def test_budget_edge_exact_boundary():
+    """Fused bulk-charging must raise at exactly the reference's step."""
+    source = """
+    int f(int n) {
+        int total = 0;
+        int extra = 1;
+        for (int i = 0; i < n; i++) {
+            int a = i * 2;
+            int b = a + extra;
+            total = total + b;
+        }
+        return total + extra;
+    }
+    """
+
+    class _Test:
+        stdin = ""
+        method = "f"
+        arguments = [7]
+
+        @staticmethod
+        def files_dict():
+            return {}
+
+    test = _Test()
+    exact = _run_one(_compiled(source, test, 10_000), "f", [7])["steps"]
+    for budget in (exact - 2, exact - 1, exact, exact + 1):
+        _assert_identical(source, test, budget=budget,
+                          context=f"budget={budget} (exact={exact})")
+
+
+def test_stack_overflow_boundary():
+    """Java-level depth accounting: the cap raises a JavaRuntimeError."""
+    source = "int f(int n) { return f(n + 1); }"
+    unit = parse_submission(source)
+    interpreter = Interpreter(unit, step_budget=10_000_000)
+    with pytest.raises(JavaRuntimeError) as caught:
+        interpreter.run("f", [0])
+    assert isinstance(caught.value, BudgetExceededError)
+    assert str(caught.value) == (
+        "StackOverflowError: call depth exceeded invoking f"
+    )
+
+    class _Test:
+        stdin = ""
+        method = "f"
+        arguments = [0]
+
+        @staticmethod
+        def files_dict():
+            return {}
+
+    _assert_identical(source, _Test(), budget=10_000_000,
+                      context="stack overflow")
+
+
+def test_depth_boundary_is_exact():
+    """100 Java frames complete; the 101st overflows — in both engines."""
+    source = """
+    int f(int n) { if (n <= 1) { return 1; } return n + f(n - 1); }
+    """
+
+    class _Test:
+        stdin = ""
+        method = "f"
+        arguments = [100]
+
+        @staticmethod
+        def files_dict():
+            return {}
+
+    # f(100) nests exactly 100 Java frames: the cap allows it
+    observed = _assert_identical(source, _Test(), budget=10_000,
+                                 context="depth 100")
+    assert observed["outcome"] == "ok"
+
+    class _Deep(_Test):
+        arguments = [101]
+
+    observed = _assert_identical(source, _Deep(), budget=10_000,
+                                 context="depth 101")
+    assert observed["outcome"] == "error"
+    assert observed["message"].startswith("StackOverflowError")
