@@ -10,7 +10,10 @@ Two independent prongs, one package:
   primary feedback when Algorithm 2 finds no embedding at all);
 * :mod:`repro.analysis.kblint` — static validation of the pattern /
   constraint knowledge base, exposed as ``repro lint-kb`` and run as a
-  CI gate.
+  CI gate;
+* :mod:`repro.analysis.perf` — the two-sided performance analyzer
+  (static loop anti-patterns cross-checked against dynamically fitted
+  cost shapes), opt-in via ``--perf`` on grade-batch/serve/campaign.
 
 See ``docs/ANALYSIS.md`` for the check catalogue, the severity model,
 and how to add a check or lint rule.
@@ -33,6 +36,7 @@ from repro.analysis.kblint import (
     LintReport,
     lint_assignment,
     lint_knowledge_base,
+    lint_perf_patterns,
 )
 
 __all__ = [
@@ -49,5 +53,6 @@ __all__ = [
     "check_by_id",
     "lint_assignment",
     "lint_knowledge_base",
+    "lint_perf_patterns",
     "run_checks",
 ]

@@ -44,6 +44,18 @@ Rules (all findings carry a rule id, severity, and location):
     or into a ``Break``/``Decl`` (they use nothing / are created
     edge-free), a self-loop, or no nodes at all.  Such a pattern can
     never embed, so its feedback can never fire.
+``dangling-cost-shape-reference``
+    An assignment's :class:`~repro.analysis.perf.model.PerfSpec` names
+    an entry method absent from its expected methods, a shape outside
+    :data:`~repro.analysis.perf.model.DECLARABLE_SHAPES`, or a size
+    metric outside :data:`~repro.analysis.perf.model.SIZE_METRICS` —
+    the declaration would silently never drive an escalation.
+``unbound-perf-placeholder``
+    A perf anti-pattern's feedback template (advisory or confirmed)
+    references a placeholder its detector never binds; students would
+    see the raw ``{name}``.  Checked once per lint run over
+    :data:`~repro.analysis.perf.model.PERF_PATTERNS`, independent of
+    any assignment.
 """
 
 from __future__ import annotations
@@ -53,6 +65,11 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator
 
 from repro.analysis.diagnostics import Severity
+from repro.analysis.perf.model import (
+    DECLARABLE_SHAPES,
+    PERF_PATTERNS,
+    SIZE_METRICS,
+)
 from repro.errors import PatternDefinitionError
 from repro.patterns.groups import PatternGroup
 from repro.patterns.model import (
@@ -493,6 +510,94 @@ def _structural_problems(pattern: Pattern) -> Iterator[str]:
             )
 
 
+def _rule_dangling_cost_shape(
+    assignment: "Assignment",
+) -> Iterator[LintFinding]:
+    spec = assignment.perf
+    if spec is None:
+        return
+    known = {method.name for method in assignment.expected_methods}
+    for method_name, shape in spec.expected:
+        if method_name not in known:
+            yield LintFinding(
+                rule="dangling-cost-shape-reference",
+                severity=Severity.ERROR,
+                assignment=assignment.name,
+                location=f"perf / expected {method_name}",
+                message=(
+                    f"expected cost shape declared for {method_name!r}, "
+                    f"which is not among the expected methods "
+                    f"{sorted(known)}"
+                ),
+            )
+        if shape not in DECLARABLE_SHAPES:
+            yield LintFinding(
+                rule="dangling-cost-shape-reference",
+                severity=Severity.ERROR,
+                assignment=assignment.name,
+                location=f"perf / expected {method_name}",
+                message=(
+                    f"declared shape {shape!r} is not one of "
+                    f"{sorted(DECLARABLE_SHAPES)}"
+                ),
+            )
+    for method_name, _arguments in spec.ladder:
+        if method_name not in known:
+            yield LintFinding(
+                rule="dangling-cost-shape-reference",
+                severity=Severity.ERROR,
+                assignment=assignment.name,
+                location=f"perf / ladder {method_name}",
+                message=(
+                    f"probe ladder targets {method_name!r}, which is not "
+                    f"among the expected methods {sorted(known)}"
+                ),
+            )
+    if spec.size_metric not in SIZE_METRICS:
+        yield LintFinding(
+            rule="dangling-cost-shape-reference",
+            severity=Severity.ERROR,
+            assignment=assignment.name,
+            location="perf / size_metric",
+            message=(
+                f"size metric {spec.size_metric!r} is not one of "
+                f"{sorted(SIZE_METRICS)}"
+            ),
+        )
+
+
+def lint_perf_patterns() -> list[LintFinding]:
+    """Validate the global perf anti-pattern registry's templates.
+
+    Assignment-independent (the registry is shared), so the driver runs
+    it once per lint run rather than per assignment; findings carry the
+    pseudo-assignment name ``(perf-patterns)``.
+    """
+    findings: list[LintFinding] = []
+    for pattern in PERF_PATTERNS:
+        scope = set(pattern.variables) | {"method"}
+        for label, text in (
+            ("advisory", pattern.advisory),
+            ("confirmed", pattern.confirmed),
+        ):
+            for name in sorted(_placeholders(text) - scope):
+                findings.append(
+                    LintFinding(
+                        rule="unbound-perf-placeholder",
+                        severity=Severity.ERROR,
+                        assignment="(perf-patterns)",
+                        location=f"perf pattern {pattern.id} / {label}",
+                        message=(
+                            f"feedback references {{{name}}}, but the "
+                            f"detector only binds "
+                            f"{sorted(scope)}; the student would see "
+                            "the raw placeholder"
+                        ),
+                    )
+                )
+    return findings
+
+
 #: Registered rules, in report order.  ``kb-load-error`` findings are
 #: produced by the driver (:func:`lint_knowledge_base`), not a rule.
 LINT_RULES: tuple[tuple[str, RuleRunner], ...] = (
@@ -502,6 +607,7 @@ LINT_RULES: tuple[tuple[str, RuleRunner], ...] = (
     ("invalid-node-expression", _rule_invalid_expression),
     ("unbound-feedback-placeholder", _rule_unbound_placeholder),
     ("unmatchable-pattern", _rule_unmatchable_pattern),
+    ("dangling-cost-shape-reference", _rule_dangling_cost_shape),
 )
 
 
@@ -528,6 +634,7 @@ def lint_knowledge_base(
     from repro.kb import registry
 
     report = LintReport()
+    report.findings.extend(lint_perf_patterns())
     selected = (
         list(names) if names is not None else registry.all_assignment_names()
     )

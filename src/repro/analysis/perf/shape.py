@@ -1,0 +1,146 @@
+"""Cost-shape fitting: classify measured cost against input size.
+
+Given ``(input size, cost)`` observations harvested from the
+functional-test input ladder, classify the growth as constant, linear,
+or quadratic by ordinary least squares (pure Python — the normal
+equations are at most 3×3) with a *relative* residual threshold, so the
+same tolerance works whether the costs are tens of steps or millions of
+loop iterations.
+
+Classification is deliberately conservative — a wrong ``UNKNOWN`` costs
+one advisory staying advisory, a wrong ``QUADRATIC`` escalates feedback
+on an innocent submission:
+
+* fewer than 3 distinct sizes never classifies (two points fit any
+  line exactly);
+* ``QUADRATIC`` additionally needs at least 4 distinct sizes (three
+  points fit any parabola exactly) and a leading coefficient that
+  contributes materially at the largest observed size — otherwise a
+  hair of curvature noise on linear data would read as quadratic;
+* the same leading-term significance guard keeps near-flat data from
+  classifying as ``LINEAR`` and rejects *negative* growth outright;
+* data fitting none of the models within tolerance is ``UNKNOWN``,
+  and ``UNKNOWN`` never produces or escalates a finding.
+
+Models are tried simplest-first, so the classification is the *lowest*
+shape consistent with the evidence.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.analysis.perf.model import CostShape
+
+#: Maximum relative RMSE (residual / mean magnitude) for a model to fit.
+RESIDUAL_TOLERANCE = 0.08
+
+#: The leading term must contribute at least this fraction of the mean
+#: magnitude at the largest observed size, or the model is rejected.
+LEADING_TERM_SIGNIFICANCE = 0.10
+
+#: Distinct input sizes required before any classification is attempted.
+MIN_POINTS = 3
+
+#: Distinct input sizes required before QUADRATIC may be reported.
+MIN_POINTS_QUADRATIC = 4
+
+
+@dataclass(frozen=True)
+class ShapeFit:
+    """Outcome of fitting one measured quantity against input size."""
+
+    shape: CostShape
+    #: Relative RMSE of the accepted model (``None`` for ``UNKNOWN``).
+    residual: float | None
+    #: Number of distinct input sizes the fit saw.
+    points: int
+
+
+UNKNOWN_FIT = ShapeFit(CostShape.UNKNOWN, None, 0)
+
+
+def fit_shape(
+    observations: Sequence[tuple[float, float]],
+    tolerance: float = RESIDUAL_TOLERANCE,
+) -> ShapeFit:
+    """Classify ``(size, cost)`` observations into a :class:`CostShape`."""
+    grouped: dict[float, list[float]] = {}
+    for size, cost in observations:
+        grouped.setdefault(size, []).append(cost)
+    xs = sorted(grouped)
+    ys = [sum(grouped[x]) / len(grouped[x]) for x in xs]
+    points = len(xs)
+    if points < MIN_POINTS:
+        return ShapeFit(CostShape.UNKNOWN, None, points)
+
+    scale = max(sum(abs(y) for y in ys) / points, 1.0)
+    max_x = max(abs(x) for x in xs)
+    floor = LEADING_TERM_SIGNIFICANCE * scale
+
+    # constant: the mean, accepted when the data is essentially flat
+    mean = sum(ys) / points
+    if _relative_rmse(ys, [mean] * points, scale) <= tolerance:
+        residual = _relative_rmse(ys, [mean] * points, scale)
+        return ShapeFit(CostShape.CONSTANT, residual, points)
+
+    linear = _polyfit(xs, ys, degree=1)
+    if linear is not None:
+        intercept, slope = linear
+        predicted = [intercept + slope * x for x in xs]
+        residual = _relative_rmse(ys, predicted, scale)
+        if residual <= tolerance and slope * max_x >= floor:
+            return ShapeFit(CostShape.LINEAR, residual, points)
+
+    if points >= MIN_POINTS_QUADRATIC:
+        quadratic = _polyfit(xs, ys, degree=2)
+        if quadratic is not None:
+            c0, c1, c2 = quadratic
+            predicted = [c0 + c1 * x + c2 * x * x for x in xs]
+            residual = _relative_rmse(ys, predicted, scale)
+            if residual <= tolerance and c2 * max_x * max_x >= floor:
+                return ShapeFit(CostShape.QUADRATIC, residual, points)
+
+    return ShapeFit(CostShape.UNKNOWN, None, points)
+
+
+def _relative_rmse(
+    actual: Sequence[float], predicted: Sequence[float], scale: float
+) -> float:
+    squared = sum((a - p) ** 2 for a, p in zip(actual, predicted))
+    return math.sqrt(squared / len(actual)) / scale
+
+
+def _polyfit(
+    xs: Sequence[float], ys: Sequence[float], degree: int
+) -> list[float] | None:
+    """Least-squares polynomial coefficients (low order first).
+
+    Solves the normal equations by Gaussian elimination with partial
+    pivoting; returns ``None`` when the system is singular (degenerate
+    sizes — callers treat that candidate model as non-fitting).
+    """
+    terms = degree + 1
+    # normal-equation matrix [A | b] with A[i][j] = sum x^(i+j)
+    powers = [
+        sum(x ** exponent for x in xs) for exponent in range(2 * degree + 1)
+    ]
+    matrix = [
+        [powers[row + col] for col in range(terms)]
+        + [sum(y * x ** row for x, y in zip(xs, ys))]
+        for row in range(terms)
+    ]
+    for col in range(terms):
+        pivot = max(range(col, terms), key=lambda r: abs(matrix[r][col]))
+        if abs(matrix[pivot][col]) < 1e-12:
+            return None
+        matrix[col], matrix[pivot] = matrix[pivot], matrix[col]
+        for row in range(terms):
+            if row == col:
+                continue
+            factor = matrix[row][col] / matrix[col][col]
+            for k in range(col, terms + 1):
+                matrix[row][k] -= factor * matrix[col][k]
+    return [matrix[i][terms] / matrix[i][i] for i in range(terms)]

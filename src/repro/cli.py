@@ -30,7 +30,10 @@ see ``docs/SCALING.md``), ``store`` manages the persistent result
 store (including JSON-to-SQLite migration), ``repair`` manages the
 repair channel's per-assignment corpus of verified correct solutions
 (the ``--repair`` flag on grade-batch/grade-campaign/serve turns the
-channel on; see ``docs/REPAIR.md``), ``lint-kb`` statically
+channel on; see ``docs/REPAIR.md``), the ``--perf`` flag on the same
+three commands adds performance diagnostics (loop anti-patterns
+cross-checked against measured cost shapes; see ``docs/ANALYSIS.md``),
+``lint-kb`` statically
 validates the pattern/constraint knowledge base (the CI gate; see
 ``docs/ANALYSIS.md``), ``test`` runs the functional suite, ``epdg``
 dumps the dependence graph, and ``export-kb`` writes the knowledge base
@@ -138,6 +141,7 @@ def _cmd_grade_batch(args) -> int:
         cluster=args.cluster,
         store_backend=args.store_backend,
         repair=args.repair,
+        perf=args.perf,
     )
     result = grader.grade_batch(_collect_batch(args))
     if args.json:
@@ -198,6 +202,7 @@ def _cmd_grade_campaign(args) -> int:
         max_seconds=args.max_seconds,
         store_backend=args.store_backend,
         repair=args.repair,
+        perf=args.perf,
     )
     if args.manifest is not None:
         stream = iter_manifest(args.manifest)
@@ -353,6 +358,7 @@ def _cmd_serve(args) -> int:
         cache_dir=args.cache_dir,
         cluster=args.cluster,
         repair=args.repair,
+        perf=args.perf,
         drain_timeout_seconds=args.drain_timeout,
         debug_hooks=args.debug_hooks,
         store_backend=args.store_backend,
@@ -540,6 +546,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="add verified minimal-fix suggestions to "
                             "rejected submissions' reports "
                             "(see docs/REPAIR.md)")
+    batch.add_argument("--perf", action="store_true",
+                       help="add performance diagnostics (loop "
+                            "anti-patterns cross-checked against "
+                            "measured cost shapes; see docs/ANALYSIS.md)")
     batch.add_argument("--stats", action="store_true",
                        help="print per-phase timing, cache hit rate, and "
                             "throughput (PipelineStats)")
@@ -596,6 +606,9 @@ def build_parser() -> argparse.ArgumentParser:
                           help="add verified minimal-fix suggestions to "
                                "rejected submissions' reports "
                                "(see docs/REPAIR.md)")
+    campaign.add_argument("--perf", action="store_true",
+                          help="add performance diagnostics to reports "
+                               "(see docs/ANALYSIS.md)")
     campaign.add_argument("--max-seconds", type=float, default=None,
                           help="per-submission wall-clock budget")
     campaign.add_argument("--max-shards", type=int, default=None,
@@ -716,6 +729,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="add verified minimal-fix suggestions to "
                             "rejected submissions' reports "
                             "(see docs/REPAIR.md)")
+    serve.add_argument("--perf", action="store_true",
+                       help="add performance diagnostics (loop "
+                            "anti-patterns cross-checked against "
+                            "measured cost shapes; see docs/ANALYSIS.md)")
     serve.add_argument("--drain-timeout", type=float, default=30.0,
                        help="seconds to wait for in-flight work on "
                             "SIGTERM (default 30)")

@@ -27,6 +27,11 @@ collector):
 * ``cluster.unsafe_kb`` — grades skipped because the audit failed;
 * ``cluster.repair_fallbacks`` — full grades forced because the wrapped
   engine carries the repair channel (suggestions are member-specific,
+  so representative replay is unsound);
+* ``cluster.perf_fallbacks`` — full grades forced because the wrapped
+  engine carries the performance analyzer (its findings depend on
+  runtime cost counters of the member's own code, which the canonical
+  fingerprint deliberately ignores — e.g. constants are normalized —
   so representative replay is unsound).
 """
 
@@ -94,6 +99,14 @@ class ClusterGrader:
             # wrong.  With the repair channel on, every submission takes
             # the full path.
             count("cluster.repair_fallbacks")
+            return self.engine.grade(source)
+        if getattr(self.engine, "perf_analyzer", None) is not None:
+            # Perf findings come from replaying the member's own code
+            # under cost counters; rename-equivalent members can differ
+            # in normalized constants (loop bounds!), so the
+            # representative's measured shapes do not transfer.  With
+            # the perf channel on, every submission takes the full path.
+            count("cluster.perf_fallbacks")
             return self.engine.grade(source)
         if not self.audit.safe:
             count("cluster.unsafe_kb")

@@ -8,6 +8,7 @@ from typing import Callable, TYPE_CHECKING
 from repro.matching.submission import ExpectedMethod
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.perf.model import PerfSpec
     from repro.synth.spaces import SubmissionSpace
 
 
@@ -58,6 +59,11 @@ class Assignment:
     space_factory:
         Zero-argument callable building the assignment's synthetic
         :class:`~repro.synth.spaces.SubmissionSpace` (column ``S``).
+    perf:
+        Optional :class:`~repro.analysis.perf.model.PerfSpec` declaring
+        the achievable cost shape per entry method, the input-size
+        metric, and extra probe-ladder runs for the performance
+        analyzer (``--perf``); ``None`` disables the dynamic side.
     """
 
     name: str
@@ -71,6 +77,7 @@ class Assignment:
     #: Section VII extension: synthesize negated Cond nodes for else
     #: branches so positive-form patterns match either arm.
     synthesize_else_conditions: bool = False
+    perf: "PerfSpec | None" = None
 
     @property
     def pattern_count(self) -> int:

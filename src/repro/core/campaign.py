@@ -162,6 +162,7 @@ class CampaignRunner:
         max_seconds: float | None = None,
         store_backend: str = "auto",
         repair: bool = False,
+        perf: bool = False,
     ):
         if shard_size <= 0:
             raise ValueError("shard_size must be positive")
@@ -171,7 +172,8 @@ class CampaignRunner:
             self.store = store
         else:
             self.store = ResultStore(
-                store, assignment, backend=store_backend, repair=repair
+                store, assignment, backend=store_backend, repair=repair,
+                perf=perf,
             )
         self.grader = BatchGrader(
             assignment,
@@ -182,6 +184,7 @@ class CampaignRunner:
             store=self.store,
             cluster=cluster,
             repair=repair,
+            perf=perf,
         )
 
     # ------------------------------------------------------------------

@@ -16,6 +16,7 @@ from repro.pdg.builder import extract_all_epdgs
 from repro.pdg.graph import Epdg
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.perf.analyzer import PerfAnalyzer
     from repro.repair.engine import RepairEngine
 
 #: A cached frontend result: the parsed unit plus its method EPDGs.
@@ -49,6 +50,7 @@ class FeedbackEngine:
         assignment: Assignment,
         frontend_cache_size: int = FRONTEND_CACHE_SIZE,
         repairer: "RepairEngine | None" = None,
+        perf_analyzer: "PerfAnalyzer | None" = None,
     ):
         self.assignment = assignment
         #: Opt-in repair channel (:mod:`repro.repair`): when set, graded
@@ -58,6 +60,12 @@ class FeedbackEngine:
         #: everywhere unless explicitly enabled — keeps output
         #: byte-identical to earlier revisions.
         self.repairer = repairer
+        #: Opt-in performance analyzer (:mod:`repro.analysis.perf`): when
+        #: set, every graded submission with a parsed unit additionally
+        #: runs the ``perf`` phase, and performance findings ride the
+        #: report's ``perf`` list.  ``None`` keeps output byte-identical
+        #: to earlier revisions.
+        self.perf_analyzer = perf_analyzer
         self._frontend_cache_size = frontend_cache_size
         # source text -> (unit, EPDG dict), or the JavaSyntaxError text
         # for submissions that do not parse.  Insertion-ordered for FIFO
@@ -176,11 +184,18 @@ class FeedbackEngine:
             # one needs none, and parse errors never reach this method.
             with phase("repair"):
                 repair = self.repairer.suggest(graphs)
+        perf = []
+        if self.perf_analyzer is not None and unit is not None:
+            # Performance findings apply to correct submissions too —
+            # correct-but-slow is exactly the case the channel exists for.
+            with phase("perf"):
+                perf = self.perf_analyzer.analyze(unit)
         return GradingReport(
             assignment_name=self.assignment.name,
             outcome=outcome,
             diagnostics=diagnostics,
             repair=repair,
+            perf=perf,
         )
 
     def extract(self, source: str):

@@ -189,6 +189,7 @@ def _init_process_worker(
     store_root: str | None = None,
     store_backend: str = "auto",
     repair: bool = False,
+    perf: bool = False,
 ) -> None:
     """Build one engine per worker process (assignment pickled once).
 
@@ -205,11 +206,15 @@ def _init_process_worker(
     :class:`~repro.repair.engine.RepairEngine`; the store (scoped to the
     repair fingerprint, see :class:`~repro.core.storage.ResultStore`)
     lets the first worker's built corpus be loaded by the rest.
+    ``perf=True`` gives each worker its own
+    :class:`~repro.analysis.perf.analyzer.PerfAnalyzer` (stateless
+    beyond its cached probe ladder, so per-process copies are free).
     """
     global _WORKER_ENGINE, _WORKER_MAX_SECONDS
     store = (
         ResultStore(
-            store_root, assignment, backend=store_backend, repair=repair
+            store_root, assignment, backend=store_backend, repair=repair,
+            perf=perf,
         )
         if store_root is not None
         else None
@@ -219,8 +224,14 @@ def _init_process_worker(
         from repro.repair.engine import RepairEngine
 
         repairer = RepairEngine.for_assignment(assignment, store=store)
+    perf_analyzer = None
+    if perf:
+        from repro.analysis.perf.analyzer import PerfAnalyzer
+
+        perf_analyzer = PerfAnalyzer(assignment)
     engine = FeedbackEngine(
-        assignment, frontend_cache_size=0, repairer=repairer
+        assignment, frontend_cache_size=0, repairer=repairer,
+        perf_analyzer=perf_analyzer,
     )
     if cluster:
         from repro.cluster.grader import ClusterGrader
@@ -341,6 +352,16 @@ class BatchGrader:
         fingerprint (see
         :func:`~repro.core.storage.repair_fingerprint`).  Repair
         traffic shows up in ``stats.counters`` under ``repair.*``.
+    perf:
+        Opt into performance diagnostics (:mod:`repro.analysis.perf`):
+        every graded submission additionally runs the static loop
+        anti-pattern detectors and — for assignments declaring a
+        :class:`~repro.analysis.perf.model.PerfSpec` — the dynamic
+        cost-shape fitter over the functional-test input ladder.
+        Off by default and strictly additive when off (byte-identical
+        output, enforced by the derived store fingerprint — see
+        :func:`~repro.core.storage.perf_fingerprint`).  Perf traffic
+        shows up in ``stats.counters`` under ``perf.*``.
     """
 
     def __init__(
@@ -354,6 +375,7 @@ class BatchGrader:
         cluster: bool = False,
         store_backend: str = "auto",
         repair: bool = False,
+        perf: bool = False,
     ):
         if mode not in MODES:
             raise ValueError(
@@ -385,12 +407,23 @@ class BatchGrader:
                     "ResultStore(..., repair={}) or a directory path"
                     .format(repair)
                 )
+            if (
+                store is not None
+                and store.perf_enabled != perf
+            ):
+                raise ValueError(
+                    "store perf scope does not match the grader: pass "
+                    "ResultStore(..., perf={}) or a directory path"
+                    .format(perf)
+                )
             self.store: ResultStore | None = store
         else:
             self.store = ResultStore(
-                store, assignment, backend=store_backend, repair=repair
+                store, assignment, backend=store_backend, repair=repair,
+                perf=perf,
             )
         self.repair = repair
+        self.perf = perf
         repairer = None
         if repair:
             from repro.repair.engine import RepairEngine
@@ -398,8 +431,14 @@ class BatchGrader:
             repairer = RepairEngine.for_assignment(
                 assignment, store=self.store
             )
+        perf_analyzer = None
+        if perf:
+            from repro.analysis.perf.analyzer import PerfAnalyzer
+
+            perf_analyzer = PerfAnalyzer(assignment)
         self.engine = FeedbackEngine(
-            assignment, frontend_cache_size=0, repairer=repairer
+            assignment, frontend_cache_size=0, repairer=repairer,
+            perf_analyzer=perf_analyzer,
         )
         self.cluster = cluster
         self._cluster_grader = None
@@ -559,6 +598,7 @@ class BatchGrader:
                     if self.store is not None
                     else "auto",
                     self.repair,
+                    self.perf,
                 ),
             )
             with pool:

@@ -47,6 +47,11 @@ class GradingReport:
     #: to the headline when neither has anything personal to say (see
     #: :attr:`repair_is_primary`).
     repair: list[RepairSuggestion] = field(default_factory=list)
+    #: Performance findings (``repro.analysis.perf``).  Empty unless the
+    #: opt-in ``--perf`` phase graded this submission; static-only
+    #: findings arrive as advisories, findings corroborated by a
+    #: measured cost shape arrive escalated (see docs/ANALYSIS.md).
+    perf: list[Diagnostic] = field(default_factory=list)
 
     @property
     def status(self) -> str:
@@ -106,11 +111,11 @@ class GradingReport:
         """Flat JSON-friendly view (``grade-batch --json``, the grading
         service's response bodies).  :meth:`from_dict` inverts it.
 
-        The ``repair`` key appears only when suggestions exist: with the
-        repair channel disabled the payload is byte-identical to what
-        earlier revisions produced, so stored entries, service response
-        bodies, and campaign output files are unchanged unless the
-        channel is explicitly enabled.
+        The ``repair`` and ``perf`` keys appear only when findings
+        exist: with those channels disabled the payload is
+        byte-identical to what earlier revisions produced, so stored
+        entries, service response bodies, and campaign output files are
+        unchanged unless a channel is explicitly enabled.
         """
         payload = {
             "assignment": self.assignment_name,
@@ -139,6 +144,8 @@ class GradingReport:
         }
         if self.repair:
             payload["repair"] = [s.to_dict() for s in self.repair]
+        if self.perf:
+            payload["perf"] = [d.to_dict() for d in self.perf]
         return payload
 
     @classmethod
@@ -155,8 +162,9 @@ class GradingReport:
 
         Payloads written before diagnostics existed simply lack the key
         and rebuild with ``diagnostics=[]`` — never a ``KeyError``; the
-        same treatment applies to ``repair``, so every pre-repair-channel
-        ResultStore entry keeps loading as "no suggestions".
+        same treatment applies to ``repair`` and ``perf``, so every
+        ResultStore entry written before those channels existed keeps
+        loading as "no suggestions" / "no performance findings".
         """
         diagnostics = [
             Diagnostic.from_dict(d) for d in payload.get("diagnostics", ())
@@ -164,12 +172,16 @@ class GradingReport:
         repair = [
             RepairSuggestion.from_dict(s) for s in payload.get("repair", ())
         ]
+        perf = [
+            Diagnostic.from_dict(d) for d in payload.get("perf", ())
+        ]
         if payload.get("parse_error") is not None:
             return cls(
                 assignment_name=payload["assignment"],
                 parse_error=payload["parse_error"],
                 diagnostics=diagnostics,
                 repair=repair,
+                perf=perf,
             )
         if payload.get("timeout") is not None:
             return cls(
@@ -177,6 +189,7 @@ class GradingReport:
                 timeout=payload["timeout"],
                 diagnostics=diagnostics,
                 repair=repair,
+                perf=perf,
             )
         if payload.get("status") == "error":
             return cls(
@@ -184,6 +197,7 @@ class GradingReport:
                 error=payload.get("error"),
                 diagnostics=diagnostics,
                 repair=repair,
+                perf=perf,
             )
         comments = [
             FeedbackComment(
@@ -206,6 +220,7 @@ class GradingReport:
             outcome=outcome,
             diagnostics=diagnostics,
             repair=repair,
+            perf=perf,
         )
 
     @property
@@ -292,6 +307,10 @@ class GradingReport:
             lines.append("  Additional observations about your code:")
             for diagnostic in self.diagnostics:
                 lines.append("    " + diagnostic.render())
+        if self.perf:
+            lines.append("  Performance observations about your code:")
+            for finding in self.perf:
+                lines.append("    " + finding.render())
         if self.repair and not self.repair_is_primary:
             for suggestion in self.repair:
                 lines.extend(

@@ -52,6 +52,7 @@ import os
 from pathlib import Path
 
 from repro.analysis.checks import analysis_fingerprint
+from repro.analysis.perf.model import PerfSpec, perf_analysis_fingerprint
 from repro.core.assignment import Assignment
 from repro.core.report import GradingReport
 from repro.core.storage.json_backend import JsonBackend
@@ -119,6 +120,25 @@ def repair_fingerprint(base: str) -> str:
     return hashlib.sha256(f"{base}:repair".encode("utf-8")).hexdigest()
 
 
+def perf_fingerprint(base: str, spec: "PerfSpec | None") -> str:
+    """Derive the perf-channel scope fingerprint from ``base``.
+
+    Reports graded with the performance analyzer enabled may carry perf
+    findings, so — exactly like :func:`repair_fingerprint` — they live
+    under a derived fingerprint: a perf-enabled run never replays a
+    plain entry (silently dropping findings) and a plain run never
+    replays a perf-enabled one.  The derivation also folds in the
+    analyzer version/registry (:func:`perf_analysis_fingerprint`) and
+    the assignment's :class:`~repro.analysis.perf.model.PerfSpec` repr,
+    so changing a detector, a feedback template, an expected cost
+    shape, or the probe ladder orphans stale entries the same way a KB
+    edit does.  Channels chain: with both repair and perf enabled the
+    derivation applies on top of the repair fingerprint.
+    """
+    canonical = f"{base}:perf:{perf_analysis_fingerprint()}:{spec!r}"
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
 def resolve_backend(root: str | os.PathLike[str], backend: str = "auto") -> str:
     """Resolve ``backend`` (possibly ``"auto"``) against ``root``.
 
@@ -160,16 +180,23 @@ class ResultStore:
         assignment: Assignment,
         backend: str = "auto",
         repair: bool = False,
+        perf: bool = False,
     ):
         self.assignment = assignment
         self.kb = kb_fingerprint(assignment)
         self.repair_enabled = repair
-        # With the repair channel on, everything in this store — reports
-        # carrying suggestions, the repair corpus itself — lives under a
-        # derived fingerprint (see :func:`repair_fingerprint`), so plain
-        # consumers of the same directory keep reading exactly what they
-        # always did.
-        self.fingerprint = repair_fingerprint(self.kb) if repair else self.kb
+        self.perf_enabled = perf
+        # With an opt-in channel on, everything in this store — reports
+        # carrying suggestions or perf findings, the repair corpus
+        # itself — lives under a derived fingerprint (see
+        # :func:`repair_fingerprint` / :func:`perf_fingerprint`), so
+        # plain consumers of the same directory keep reading exactly
+        # what they always did.  The derivations chain (kb → repair →
+        # perf), giving each enabled-channel combination its own scope.
+        fingerprint = repair_fingerprint(self.kb) if repair else self.kb
+        if perf:
+            fingerprint = perf_fingerprint(fingerprint, assignment.perf)
+        self.fingerprint = fingerprint
         self.root = Path(root)
         self.backend_name = resolve_backend(self.root, backend)
         scope = (_safe_component(assignment.name), self.fingerprint)
@@ -362,6 +389,7 @@ __all__ = [
     "SCHEMA_VERSION",
     "SqliteBackend",
     "kb_fingerprint",
+    "perf_fingerprint",
     "repair_fingerprint",
     "resolve_backend",
 ]

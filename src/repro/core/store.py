@@ -16,6 +16,7 @@ from repro.core.storage import (
     SCHEMA_VERSION,
     _safe_component,
     kb_fingerprint,
+    perf_fingerprint,
     repair_fingerprint,
     resolve_backend,
 )
@@ -26,6 +27,7 @@ __all__ = [
     "SCHEMA_VERSION",
     "_safe_component",
     "kb_fingerprint",
+    "perf_fingerprint",
     "repair_fingerprint",
     "resolve_backend",
 ]

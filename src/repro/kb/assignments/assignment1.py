@@ -11,6 +11,7 @@ points and 2^10 worth of binary-equivalent ones).
 
 from __future__ import annotations
 
+from repro.analysis.perf.model import PerfSpec
 from repro.core.assignment import Assignment, FunctionalTest
 from repro.kb.patterns_library import get_pattern
 from repro.matching.submission import ExpectedMethod
@@ -264,5 +265,15 @@ def build() -> Assignment:
         expected_methods=[expected],
         reference_solutions=[space.reference.source],
         tests=_tests(),
+        perf=PerfSpec(
+            expected=(("assignment1", "linear"),),
+            size_metric="sequence-length",
+            ladder=(
+                ("assignment1", ([3, 1, 4, 1, 5, 9, 2, 6],)),
+                ("assignment1", ([2, 7, 1, 8, 2, 8, 1, 8, 2, 8, 4, 5],)),
+                ("assignment1", ([1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12,
+                                  13, 14, 15, 16],)),
+            ),
+        ),
         space_factory=_space,
     )

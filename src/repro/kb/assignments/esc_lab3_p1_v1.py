@@ -13,6 +13,7 @@ flags the lower limit — our error model includes that exact rule.
 
 from __future__ import annotations
 
+from repro.analysis.perf.model import PerfSpec
 from repro.core.assignment import Assignment, FunctionalTest
 from repro.kb.patterns_library import get_pattern
 from repro.matching.submission import ExpectedMethod
@@ -202,5 +203,13 @@ def build() -> Assignment:
         expected_methods=[fact_method, lab_method],
         reference_solutions=[space.reference.source],
         tests=_tests(),
+        perf=PerfSpec(
+            expected=(("fact", "linear"),),
+            size_metric="int-value",
+            ladder=(
+                ("fact", (6,)), ("fact", (9,)), ("fact", (12,)),
+                ("fact", (15,)),
+            ),
+        ),
         space_factory=_space,
     )

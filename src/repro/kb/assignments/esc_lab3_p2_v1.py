@@ -10,6 +10,7 @@ error model includes that rule (choice point ``lower``).
 
 from __future__ import annotations
 
+from repro.analysis.perf.model import PerfSpec
 from repro.core.assignment import Assignment, FunctionalTest
 from repro.kb.patterns_library import get_pattern
 from repro.matching.submission import ExpectedMethod
@@ -283,5 +284,12 @@ def build() -> Assignment:
         expected_methods=[fib_method, lab_method],
         reference_solutions=[space.reference.source],
         tests=_tests(),
+        perf=PerfSpec(
+            expected=(("fib", "linear"),),
+            size_metric="int-value",
+            ladder=(
+                ("fib", (14,)), ("fib", (18,)), ("fib", (22,)),
+            ),
+        ),
         space_factory=_space,
     )

@@ -8,6 +8,7 @@ Table I row: S = 144 (= 3^2 · 2^4), L ≈ 7.67, P = 4, C = 5, D = 0.
 
 from __future__ import annotations
 
+from repro.analysis.perf.model import PerfSpec
 from repro.core.assignment import Assignment, FunctionalTest
 from repro.kb.patterns_library import get_pattern
 from repro.matching.submission import ExpectedMethod
@@ -142,5 +143,14 @@ def build() -> Assignment:
         expected_methods=[expected],
         reference_solutions=[space.reference.source],
         tests=_tests(),
+        perf=PerfSpec(
+            expected=(("isSpecial", "linear"),),
+            size_metric="int-digits",
+            ladder=(
+                ("isSpecial", (11111,)), ("isSpecial", (1111111,)),
+                ("isSpecial", (111111111,)),
+                ("isSpecial", (11111111111,)),
+            ),
+        ),
         space_factory=_space,
     )

@@ -11,6 +11,7 @@ wrong, giving this assignment its own (documented) discrepancy source.
 
 from __future__ import annotations
 
+from repro.analysis.perf.model import PerfSpec
 from repro.core.assignment import Assignment, FunctionalTest
 from repro.kb.patterns_library import get_pattern
 from repro.matching.submission import ExpectedMethod
@@ -175,5 +176,14 @@ def build() -> Assignment:
         expected_methods=[expected],
         reference_solutions=[space.reference.source],
         tests=_tests(),
+        perf=PerfSpec(
+            expected=(("reverseDiff", "linear"),),
+            size_metric="int-digits",
+            ladder=(
+                ("reverseDiff", (123456,)),
+                ("reverseDiff", (12345678,)),
+                ("reverseDiff", (1234567890,)),
+            ),
+        ),
         space_factory=_space,
     )

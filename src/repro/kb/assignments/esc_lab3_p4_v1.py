@@ -5,6 +5,7 @@ Table I row: S = 13,824 (= 3^3 · 2^9), L ≈ 10.5, P = 7, C = 6, D = 1.
 
 from __future__ import annotations
 
+from repro.analysis.perf.model import PerfSpec
 from repro.core.assignment import Assignment, FunctionalTest
 from repro.kb.patterns_library import get_pattern
 from repro.matching.submission import ExpectedMethod
@@ -168,5 +169,14 @@ def build() -> Assignment:
         expected_methods=[expected],
         reference_solutions=[space.reference.source],
         tests=_tests(),
+        perf=PerfSpec(
+            expected=(("isPalindrome", "linear"),),
+            size_metric="int-digits",
+            ladder=(
+                ("isPalindrome", (1234321,)),
+                ("isPalindrome", (123454321,)),
+                ("isPalindrome", (12345654321,)),
+            ),
+        ),
         space_factory=_space,
     )

@@ -9,6 +9,7 @@ Table I row: S = 576 (= 3^2 · 2^6), L ≈ 5.75, P = 3, C = 4, D = 0.
 
 from __future__ import annotations
 
+from repro.analysis.perf.model import PerfSpec
 from repro.core.assignment import Assignment, FunctionalTest
 from repro.kb.patterns_library import get_pattern
 from repro.matching.submission import ExpectedMethod
@@ -142,5 +143,15 @@ def build() -> Assignment:
         expected_methods=[expected],
         reference_solutions=[space.reference.source],
         tests=_tests(),
+        perf=PerfSpec(
+            expected=(("derivative", "linear"),),
+            size_metric="sequence-length",
+            ladder=(
+                ("derivative", ([1, 2, 3, 4, 5, 6],)),
+                ("derivative", ([1, 2, 3, 4, 5, 6, 7, 8, 9],)),
+                ("derivative", ([1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11,
+                                 12],)),
+            ),
+        ),
         space_factory=_space,
     )

@@ -5,6 +5,7 @@ Table I row: S = 768 (= 3 · 2^8), L ≈ 6.67, P = 4, C = 4, D = 0.
 
 from __future__ import annotations
 
+from repro.analysis.perf.model import PerfSpec
 from repro.core.assignment import Assignment, FunctionalTest
 from repro.kb.patterns_library import get_pattern
 from repro.matching.submission import ExpectedMethod
@@ -140,5 +141,15 @@ def build() -> Assignment:
         expected_methods=[expected],
         reference_solutions=[space.reference.source],
         tests=_tests(),
+        perf=PerfSpec(
+            expected=(("evaluate", "linear"),),
+            size_metric="sequence-length",
+            ladder=(
+                ("evaluate", ([1, 2, 3, 4, 5, 6, 7, 8], 2)),
+                ("evaluate", ([1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1], 2)),
+                ("evaluate", ([2, 1, 2, 1, 2, 1, 2, 1, 2, 1, 2, 1, 2, 1,
+                               2, 1], 2)),
+            ),
+        ),
         space_factory=_space,
     )

@@ -13,6 +13,7 @@ account for the assignment's 1,872 discrepancies.
 
 from __future__ import annotations
 
+from repro.analysis.perf.model import PerfSpec
 from repro.core.assignment import Assignment, FunctionalTest
 from repro.kb.assignments import _olympics
 from repro.kb.patterns_library import get_pattern
@@ -218,5 +219,14 @@ def build() -> Assignment:
         expected_methods=[expected],
         reference_solutions=[space.reference.source],
         tests=_tests(),
+        perf=PerfSpec(
+            expected=(("countGoldMedals", "constant"),),
+            size_metric="int-value",
+            ladder=(
+                ("countGoldMedals", (1896,)),
+                ("countGoldMedals", (1960,)),
+                ("countGoldMedals", (2008,)),
+            ),
+        ),
         space_factory=_space,
     )

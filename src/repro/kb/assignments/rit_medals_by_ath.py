@@ -9,6 +9,7 @@ come from the same "duplicated field-selector conditions" family.
 
 from __future__ import annotations
 
+from repro.analysis.perf.model import PerfSpec
 from repro.core.assignment import Assignment, FunctionalTest
 from repro.kb.assignments import _olympics
 from repro.kb.assignments.rit_all_g_medals import _position
@@ -208,5 +209,15 @@ def build() -> Assignment:
         expected_methods=[expected],
         reference_solutions=[space.reference.source],
         tests=_tests(),
+        perf=PerfSpec(
+            expected=(("countMedalsByAthlete", "constant"),),
+            size_metric="sequence-length",
+            ladder=(
+                ("countMedalsByAthlete", ("Al", "Oe")),
+                ("countMedalsByAthlete", ("Christopher", "Montgomery")),
+                ("countMedalsByAthlete", ("Maximiliano",
+                                          "Oppenheimer-Smythe")),
+            ),
+        ),
         space_factory=_space,
     )

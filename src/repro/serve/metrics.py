@@ -173,16 +173,17 @@ def render_prometheus(snapshot: dict) -> str:
                 counters.get(f"cache.store_{key}", 0),
                 f'{{backend="{backend}"}}',
             )
-    # static-analysis, repair, and interpreter visibility: per-check
-    # finding and suggestion counters, compiled-program cache traffic,
-    # plus each phase's wall time, flattened like the serve counters
+    # static-analysis, repair, perf, and interpreter visibility:
+    # per-check finding and suggestion counters, compiled-program cache
+    # traffic, plus each phase's wall time, flattened like the serve
+    # counters
     # (``analysis.use-before-init`` → ``repro_analysis_use_before_init``,
     # ``interp.compile_hits`` → ``repro_interp_compile_hits``)
     for name, value in sorted(pipeline.get("counters", {}).items()):
-        if name.startswith(("analysis.", "repair.", "interp.")):
+        if name.startswith(("analysis.", "repair.", "interp.", "perf.")):
             emit(name.replace(".", "_").replace("-", "_"), value)
     phase_ms = pipeline.get("phase_ms", {})
-    for phase in ("analysis", "repair"):
+    for phase in ("analysis", "repair", "perf"):
         if phase in phase_ms:
             emit(f"pipeline_{phase}_ms", phase_ms[phase])
     return "\n".join(lines) + "\n"

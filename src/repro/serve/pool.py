@@ -116,6 +116,7 @@ def _build_grader(
     assignment_name: str,
     cluster: bool,
     repair: bool = False,
+    perf: bool = False,
     store_root: str | None = None,
     store_backend: str = "auto",
 ):
@@ -131,7 +132,9 @@ def _build_grader(
     With ``repair=True`` the engine carries a
     :class:`~repro.repair.engine.RepairEngine`; ``store_root`` (the
     service's cache directory, when configured) lets workers share one
-    persisted corpus instead of each building its own.
+    persisted corpus instead of each building its own.  ``perf=True``
+    attaches a :class:`~repro.analysis.perf.analyzer.PerfAnalyzer`, so
+    graded submissions carry performance findings.
     """
     assignment = get_assignment(assignment_name)
     repairer = None
@@ -147,8 +150,14 @@ def _build_grader(
             else None
         )
         repairer = RepairEngine.for_assignment(assignment, store=store)
+    perf_analyzer = None
+    if perf:
+        from repro.analysis.perf.analyzer import PerfAnalyzer
+
+        perf_analyzer = PerfAnalyzer(assignment)
     engine = FeedbackEngine(
-        assignment, frontend_cache_size=0, repairer=repairer
+        assignment, frontend_cache_size=0, repairer=repairer,
+        perf_analyzer=perf_analyzer,
     )
     if cluster:
         from repro.cluster.grader import ClusterGrader
@@ -163,7 +172,8 @@ def _worker_main(
     """Child loop: engines cached per assignment, one job at a time.
 
     Jobs are ``(assignment_name, source, max_seconds, hang_seconds,
-    cluster, repair)``; replies are ``(report, collector, seconds)``.
+    cluster, repair, perf)``; replies are ``(report, collector,
+    seconds)``.
     ``hang_seconds`` is the load-test hook: it stalls the worker
     *before* grading, standing in for the pathological submission the
     hard deadline exists for.  A ``None`` job is the shutdown sentinel.
@@ -181,7 +191,7 @@ def _worker_main(
     if tracker_fd is not None:
         keep.add(tracker_fd)
     _close_inherited_fds(frozenset(keep))
-    engines: dict[tuple[str, bool, bool], object] = {}
+    engines: dict[tuple[str, bool, bool, bool], object] = {}
     while True:
         try:
             job = conn.recv()
@@ -191,18 +201,18 @@ def _worker_main(
             return
         (
             assignment_name, source, max_seconds, hang_seconds, cluster,
-            repair,
+            repair, perf,
         ) = job
         try:
             if hang_seconds:
                 time.sleep(hang_seconds)
-            engine = engines.get((assignment_name, cluster, repair))
+            engine = engines.get((assignment_name, cluster, repair, perf))
             if engine is None:
                 engine = _build_grader(
-                    assignment_name, cluster, repair,
+                    assignment_name, cluster, repair, perf,
                     store_root, store_backend,
                 )
-                engines[(assignment_name, cluster, repair)] = engine
+                engines[(assignment_name, cluster, repair, perf)] = engine
             result = _grade_one(engine, source, max_seconds)
         except Exception as exc:  # noqa: BLE001 - keep the worker alive
             result = (
@@ -255,12 +265,13 @@ class _WorkerHandle:
         hard_timeout: float | None,
         cluster: bool = False,
         repair: bool = False,
+        perf: bool = False,
     ) -> tuple[PoolResult, bool]:
         """Run one job (blocking); returns ``(result, worker_dead)``."""
         started = time.perf_counter()
         try:
             self.conn.send((assignment_name, source, max_seconds,
-                            hang_seconds, cluster, repair))
+                            hang_seconds, cluster, repair, perf))
             if self.conn.poll(hard_timeout):
                 report, collector, seconds = self.conn.recv()
                 return PoolResult(report, collector, seconds), False
@@ -351,8 +362,8 @@ class GradingWorkerPool:
         self._free: asyncio.Queue = asyncio.Queue()
         self._executor: ThreadPoolExecutor | None = None
         self._context = None
-        # inline mode: (assignment, cluster, repair) -> engine or grader
-        self._engines: dict[tuple[str, bool, bool], object] = {}
+        # inline mode: (assignment, cluster, repair, perf) -> engine
+        self._engines: dict[tuple[str, bool, bool, bool], object] = {}
         self._started = False
 
     def _spawn_handle(self) -> "_WorkerHandle":
@@ -393,6 +404,7 @@ class GradingWorkerPool:
         hang_seconds: float = 0.0,
         cluster: bool = False,
         repair: bool = False,
+        perf: bool = False,
     ) -> PoolResult:
         """Grade one submission on the next free worker."""
         if not self._started:
@@ -403,7 +415,7 @@ class GradingWorkerPool:
             if self.mode == "inline":
                 return await self._grade_inline(
                     loop, assignment_name, source, max_seconds,
-                    hang_seconds, cluster, repair,
+                    hang_seconds, cluster, repair, perf,
                 )
             hard_timeout = (
                 max_seconds + self.kill_grace_seconds
@@ -413,7 +425,7 @@ class GradingWorkerPool:
             result, worker_dead = await loop.run_in_executor(
                 self._executor, slot.execute,
                 assignment_name, source, max_seconds, hang_seconds,
-                hard_timeout, cluster, repair,
+                hard_timeout, cluster, repair, perf,
             )
             if worker_dead:
                 self.respawns += 1
@@ -426,23 +438,23 @@ class GradingWorkerPool:
 
     async def _grade_inline(
         self, loop, assignment_name, source, max_seconds, hang_seconds,
-        cluster=False, repair=False,
+        cluster=False, repair=False, perf=False,
     ) -> PoolResult:
         def run():
             try:
                 if hang_seconds:
                     time.sleep(hang_seconds)
                 engine = self._engines.get(
-                    (assignment_name, cluster, repair)
+                    (assignment_name, cluster, repair, perf)
                 )
                 if engine is None:
                     engine = _build_grader(
-                        assignment_name, cluster, repair,
+                        assignment_name, cluster, repair, perf,
                         self.store_root, self.store_backend,
                     )
-                    self._engines[(assignment_name, cluster, repair)] = (
-                        engine
-                    )
+                    self._engines[
+                        (assignment_name, cluster, repair, perf)
+                    ] = engine
                 return _grade_one(engine, source, max_seconds)
             except Exception as exc:  # noqa: BLE001 - mirror process mode
                 return (

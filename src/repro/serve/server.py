@@ -110,6 +110,14 @@ class ServiceConfig:
     #: a plain service sharing the cache directory keeps its
     #: byte-identical output.
     repair: bool = False
+    #: Grade with the performance analyzer (:mod:`repro.analysis.perf`):
+    #: reports additionally carry loop-complexity findings, escalated
+    #: when the dynamic cost-shape fitter confirms them.  Cluster-mode
+    #: workers fall back to full grading per submission (perf findings
+    #: are member-specific).  Stored reports scope under the perf
+    #: fingerprint, so a plain service sharing the cache directory
+    #: keeps its byte-identical output.
+    perf: bool = False
     breaker_window: int = 20
     breaker_min_volume: int = 5
     breaker_failure_ratio: float = 0.5
@@ -387,6 +395,7 @@ class GradingService:
                 get_assignment(assignment_name),
                 backend=self.config.store_backend,
                 repair=self.config.repair,
+                perf=self.config.perf,
             )
             self._stores[assignment_name] = store
         return store
@@ -486,6 +495,7 @@ class GradingService:
                 assignment_name, source, deadline_seconds, hang_seconds,
                 cluster=self.config.cluster,
                 repair=self.config.repair,
+                perf=self.config.perf,
             )
         finally:
             self.admission.release(time.perf_counter() - started)

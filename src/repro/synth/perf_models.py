@@ -1,0 +1,207 @@
+"""Deliberately-slow correct variants for the performance analyzer.
+
+The regular error-model spaces (:mod:`repro.synth.spaces`) encode
+*functional* mistakes; every option changes what a program computes.
+The performance analyzer needs the complementary cohort: submissions
+that compute the **right answer the slow way** — the paper's premise
+that MOOC graders accept asymptotically awful code because the tests
+only check outputs.
+
+Each supported assignment gets a small dedicated space whose ``impl``
+choice point offers one fast reference implementation plus slow
+implementations tagged with ``slow:<perf-pattern-id>`` labels (the
+pattern id from :data:`repro.analysis.perf.model.PERF_PATTERNS` the
+variant embodies).  Every option is functionally correct — the slow
+cohort must *pass* the functional tests, otherwise it would not need a
+performance analyzer to be caught.
+
+:func:`sample_slow_cohort` / :func:`sample_fast_cohort` draw seeded,
+reproducible cohorts for the benchmark gate
+(``benchmarks/bench_perf_feedback.py``): detection is asserted at 100%
+on the slow cohort and 0% (no false positives) on the fast one.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable
+
+from repro.synth.rules import ChoicePoint, Option, correct
+from repro.synth.spaces import GeneratedSubmission, SubmissionSpace
+
+#: Label prefix marking an option as a seeded slow implementation.
+SLOW_LABEL_PREFIX = "slow:"
+
+
+def slow(text: str, pattern_id: str) -> Option:
+    """A functionally-correct option embodying one perf anti-pattern."""
+    return Option(
+        text=text, correct=True, label=f"{SLOW_LABEL_PREFIX}{pattern_id}"
+    )
+
+
+_ASSIGNMENT1_TEMPLATE = """\
+void assignment1(int[] a) {
+    int odd = 0;
+    int even = 1;
+    {{impl}}
+    System.out.println(odd);
+    System.out.println(even);
+}
+"""
+
+_ASSIGNMENT1_FAST = """\
+for (int i = 0; i < a.length; i++) {
+        if (i % 2 == 1)
+            odd += a[i];
+        else
+            even *= a[i];
+    }"""
+
+_ASSIGNMENT1_NESTED = """\
+for (int i = 0; i < a.length; i++) {
+        for (int j = 0; j < a.length; j++) {
+            if (j == i) {
+                if (i % 2 == 1)
+                    odd += a[j];
+                else
+                    even *= a[j];
+            }
+        }
+    }"""
+
+
+def _assignment1_space() -> SubmissionSpace:
+    return SubmissionSpace(
+        "assignment1-perf",
+        _ASSIGNMENT1_TEMPLATE,
+        [
+            ChoicePoint("impl", (
+                correct(_ASSIGNMENT1_FAST, label="fast"),
+                slow(_ASSIGNMENT1_NESTED, "nested-loop-lookup"),
+            )),
+        ],
+    )
+
+
+_POLYNOMIALS_TEMPLATE = """\
+void evaluate(int[] c, int x) {
+    int r = 0;
+    {{impl}}
+    System.out.println(r);
+}
+"""
+
+_POLYNOMIALS_FAST = """\
+int p = 1;
+    for (int i = 0; i < c.length; i++) {
+        r += c[i] * p;
+        p = p * x;
+    }"""
+
+_POLYNOMIALS_RECOMPUTE = """\
+for (int i = 0; i < c.length; i++) {
+        int p = 1;
+        for (int k = 0; k < i; k++) {
+            p = p * x;
+        }
+        r += c[i] * p;
+    }"""
+
+
+def _polynomials_space() -> SubmissionSpace:
+    return SubmissionSpace(
+        "mitx-polynomials-perf",
+        _POLYNOMIALS_TEMPLATE,
+        [
+            ChoicePoint("impl", (
+                correct(_POLYNOMIALS_FAST, label="fast"),
+                slow(_POLYNOMIALS_RECOMPUTE, "loop-invariant-recomputation"),
+            )),
+        ],
+    )
+
+
+_DERIVATIVES_TEMPLATE = """\
+void derivative(int[] c) {
+    {{impl}}
+}
+"""
+
+_DERIVATIVES_FAST = """\
+for (int i = 1; i < c.length; i++) {
+        System.out.println(c[i] * i);
+    }"""
+
+_DERIVATIVES_NESTED = """\
+for (int i = 1; i < c.length; i++) {
+        for (int j = 1; j < c.length; j++) {
+            if (j == i) {
+                System.out.println(c[j] * j);
+            }
+        }
+    }"""
+
+
+def _derivatives_space() -> SubmissionSpace:
+    return SubmissionSpace(
+        "mitx-derivatives-perf",
+        _DERIVATIVES_TEMPLATE,
+        [
+            ChoicePoint("impl", (
+                correct(_DERIVATIVES_FAST, label="fast"),
+                slow(_DERIVATIVES_NESTED, "nested-loop-lookup"),
+            )),
+        ],
+    )
+
+
+#: Assignments with a seeded slow-variant space.
+PERF_SPACES: dict[str, Callable[[], SubmissionSpace]] = {
+    "assignment1": _assignment1_space,
+    "mitx-polynomials": _polynomials_space,
+    "mitx-derivatives": _derivatives_space,
+}
+
+
+def perf_space(assignment_name: str) -> SubmissionSpace:
+    """The slow-variant space for ``assignment_name`` (KeyError if none)."""
+    return PERF_SPACES[assignment_name]()
+
+
+def _is_slow(submission: GeneratedSubmission,
+             space: SubmissionSpace) -> bool:
+    selected = space.selected_options(submission.index)
+    return any(
+        option.label.startswith(SLOW_LABEL_PREFIX)
+        for option in selected.values()
+    )
+
+
+def _cohort(
+    assignment_name: str, count: int, seed: int, want_slow: bool
+) -> list[GeneratedSubmission]:
+    space = perf_space(assignment_name)
+    pool = [
+        space.submission(index)
+        for index in range(space.size)
+        if _is_slow(space.submission(index), space) is want_slow
+    ]
+    if not pool:
+        return []
+    rng = random.Random(seed)
+    return [pool[rng.randrange(len(pool))] for _ in range(count)]
+
+
+def sample_slow_cohort(
+    assignment_name: str, count: int = 8, seed: int = 42
+) -> list[GeneratedSubmission]:
+    """Seeded sample of functionally-correct, deliberately slow variants."""
+    return _cohort(assignment_name, count, seed, want_slow=True)
+
+
+def sample_fast_cohort(
+    assignment_name: str, count: int = 8, seed: int = 42
+) -> list[GeneratedSubmission]:
+    """Seeded sample of fast correct variants (the zero-FP control)."""
+    return _cohort(assignment_name, count, seed, want_slow=False)

@@ -244,4 +244,5 @@ class TestReportRendering:
             "invalid-node-expression",
             "unbound-feedback-placeholder",
             "unmatchable-pattern",
+            "dangling-cost-shape-reference",
         ]

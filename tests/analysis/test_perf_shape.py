@@ -1,0 +1,103 @@
+"""Cost-shape fitter unit tests on synthetic counter ladders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.perf.model import CostShape
+from repro.analysis.perf.shape import (
+    MIN_POINTS,
+    MIN_POINTS_QUADRATIC,
+    UNKNOWN_FIT,
+    fit_shape,
+)
+
+
+def ladder(f, xs):
+    return [(float(x), float(f(x))) for x in xs]
+
+
+class TestExactShapes:
+    def test_constant(self):
+        fit = fit_shape(ladder(lambda x: 17, [1, 4, 8, 16]))
+        assert fit.shape is CostShape.CONSTANT
+
+    def test_linear(self):
+        fit = fit_shape(ladder(lambda x: 3 * x + 5, [1, 4, 8, 16]))
+        assert fit.shape is CostShape.LINEAR
+
+    def test_quadratic(self):
+        fit = fit_shape(ladder(lambda x: x * x + 2 * x + 1, [2, 4, 8, 16]))
+        assert fit.shape is CostShape.QUADRATIC
+
+    def test_residual_and_points_recorded(self):
+        fit = fit_shape(ladder(lambda x: 2 * x, [1, 2, 3, 4]))
+        assert fit.points == 4
+        assert fit.residual is not None
+        assert fit.residual < 0.01
+
+
+class TestRealisticLadders:
+    def test_linear_with_small_noise(self):
+        # interpreter step counts are never a perfect line: branches
+        # taken differ per input
+        points = [(4, 131), (8, 258), (12, 395), (16, 519)]
+        assert fit_shape(points).shape is CostShape.LINEAR
+
+    def test_quadratic_inner_loop_iterations(self):
+        # sum 0..n-1 ~ n^2/2: the nested-lookup inner loop's counter
+        points = [(4, 6), (8, 28), (12, 66), (16, 120)]
+        assert fit_shape(points).shape is CostShape.QUADRATIC
+
+    def test_constant_with_jitter_within_tolerance(self):
+        points = [(1, 100), (5, 104), (9, 98), (13, 101)]
+        assert fit_shape(points).shape is CostShape.CONSTANT
+
+
+class TestConservatism:
+    def test_too_few_points_is_unknown(self):
+        assert fit_shape([(1, 1), (2, 2)]).shape is CostShape.UNKNOWN
+        assert MIN_POINTS == 3
+
+    def test_quadratic_needs_four_distinct_sizes(self):
+        # three points fit a parabola exactly — that is not evidence
+        points = ladder(lambda x: x * x, [2, 4, 8])
+        assert fit_shape(points).shape is not CostShape.QUADRATIC
+        assert MIN_POINTS_QUADRATIC == 4
+
+    def test_duplicate_sizes_collapse(self):
+        # repeated probes at one size average, not multiply, evidence
+        points = [(4.0, 10.0), (4.0, 12.0), (8.0, 20.0)]
+        assert fit_shape(points).shape is CostShape.UNKNOWN
+
+    def test_empty_is_unknown(self):
+        assert fit_shape([]) == UNKNOWN_FIT
+
+    def test_unknown_never_escalates(self):
+        assert not CostShape.UNKNOWN.exceeds(CostShape.CONSTANT)
+        assert not CostShape.QUADRATIC.exceeds(CostShape.UNKNOWN)
+
+    def test_insignificant_leading_term_falls_back(self):
+        # y = 1000 + 0.001x over x <= 16: the slope never moves the
+        # value by 10% of its scale, so this is constant, not linear
+        points = ladder(lambda x: 1000 + 0.001 * x, [1, 4, 8, 16])
+        assert fit_shape(points).shape is CostShape.CONSTANT
+
+    def test_noisy_data_is_unknown_not_guessed(self):
+        points = [(1, 5), (2, 90), (3, 7), (4, 120), (5, 2), (6, 200)]
+        assert fit_shape(points).shape is CostShape.UNKNOWN
+
+
+class TestShapeOrdering:
+    @pytest.mark.parametrize("bigger, smaller", [
+        (CostShape.LINEAR, CostShape.CONSTANT),
+        (CostShape.QUADRATIC, CostShape.CONSTANT),
+        (CostShape.QUADRATIC, CostShape.LINEAR),
+    ])
+    def test_exceeds(self, bigger, smaller):
+        assert bigger.exceeds(smaller)
+        assert not smaller.exceeds(bigger)
+
+    def test_equal_shapes_do_not_exceed(self):
+        for shape in CostShape:
+            assert not shape.exceeds(shape)

@@ -224,3 +224,55 @@ class TestRepairCompat:
         )
         assert report.repair_is_primary
         assert "verified fix suggestion" in report.render()
+
+
+class TestPerfChannel:
+    @staticmethod
+    def _diagnostic():
+        from repro.analysis.diagnostics import Diagnostic, Severity
+
+        return Diagnostic(
+            check="perf.string-concat-in-loop",
+            severity=Severity.WARNING,
+            method="m",
+            message="'s' grows by string concatenation inside this loop",
+            line=3,
+            column=5,
+            snippet="s += x",
+        )
+
+    def test_missing_perf_key_reads_as_no_findings(
+        self, engine1, assignment1
+    ):
+        report = engine1.grade(assignment1.reference_solutions[0])
+        legacy = report.to_dict()
+        assert "perf" not in legacy  # analyzer off: byte-identical payload
+        rebuilt = GradingReport.from_dict(legacy)
+        assert rebuilt.perf == []
+        assert rebuilt.render() == report.render()
+
+    def test_legacy_payloads_load_for_every_status(self, engine1):
+        for source in (BROKEN, EMPTY):
+            payload = engine1.grade(source).to_dict()
+            payload.pop("perf", None)
+            assert GradingReport.from_dict(payload).perf == []
+
+    def test_perf_round_trips(self, engine1):
+        report = engine1.grade(EMPTY)
+        report.perf.append(self._diagnostic())
+        rebuilt = json_roundtrip(report)
+        assert rebuilt.to_dict() == report.to_dict()
+        assert rebuilt.render() == report.render()
+        assert rebuilt.perf[0].check == "perf.string-concat-in-loop"
+
+    def test_render_includes_perf_section(self):
+        report = GradingReport(
+            assignment_name="a",
+            outcome=MatchOutcome(
+                comments=[], method_assignment={}, score=0.0
+            ),
+            perf=[self._diagnostic()],
+        )
+        rendered = report.render()
+        assert "Performance observations" in rendered
+        assert "string concatenation" in rendered

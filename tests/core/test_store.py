@@ -321,3 +321,55 @@ class TestConcurrentWritersStress:
             thread.join()
         assert not errors
         assert store.entry_count() == len(keys)
+
+
+class TestPerfScoping:
+    """Perf-enabled runs must never contaminate plain or repair caches."""
+
+    def test_fingerprints_are_disjoint(self, assignment1, tmp_path):
+        from repro.core.store import perf_fingerprint, repair_fingerprint
+
+        plain = ResultStore(tmp_path, assignment1)
+        perf = ResultStore(tmp_path, assignment1, perf=True)
+        both = ResultStore(tmp_path, assignment1, repair=True, perf=True)
+        assert perf.fingerprint == perf_fingerprint(
+            plain.kb, assignment1.perf
+        )
+        assert both.fingerprint == perf_fingerprint(
+            repair_fingerprint(plain.kb), assignment1.perf
+        )
+        assert len({
+            plain.fingerprint, perf.fingerprint, both.fingerprint,
+        }) == 3
+
+    def test_perf_write_is_invisible_to_plain_store(
+        self, assignment1, engine1, tmp_path
+    ):
+        report = _report(assignment1, engine1)
+        scoped = ResultStore(tmp_path, assignment1, perf=True)
+        assert scoped.put("b" * 64, report)
+        assert ResultStore(tmp_path, assignment1).get("b" * 64) is None
+        assert scoped.get("b" * 64) is not None
+
+    def test_fingerprint_tracks_spec_changes(self, assignment1, tmp_path):
+        import dataclasses as dc
+
+        from repro.core.store import perf_fingerprint
+
+        spec = assignment1.perf
+        assert spec is not None
+        changed = dc.replace(spec, size_metric="int-value")
+        assert perf_fingerprint("kb", spec) != perf_fingerprint(
+            "kb", changed
+        )
+        assert perf_fingerprint("kb", spec) == perf_fingerprint("kb", spec)
+
+    def test_grader_rejects_mismatched_store_scope(
+        self, assignment1, tmp_path
+    ):
+        plain = ResultStore(tmp_path, assignment1)
+        with pytest.raises(ValueError, match="perf scope"):
+            BatchGrader(assignment1, store=plain, perf=True)
+        scoped = ResultStore(tmp_path, assignment1, perf=True)
+        with pytest.raises(ValueError, match="perf scope"):
+            BatchGrader(assignment1, store=scoped)

@@ -106,3 +106,19 @@ class TestRenderPrometheus:
         text = render_prometheus(ServiceMetrics().snapshot())
         for name in SERVE_COUNTERS:
             assert f"repro_{name.replace('.', '_')} 0" in text
+
+    def test_channel_counter_families_exported(self):
+        # the flattened per-channel counters: analysis checks, repair,
+        # the interpreter's program cache, and the perf analyzer
+        metrics = ServiceMetrics()
+        metrics.pipeline.record_counter("analysis.use-before-init", 2)
+        metrics.pipeline.record_counter("repair.suggestions", 1)
+        metrics.pipeline.record_counter("interp.compile_hits", 3)
+        metrics.pipeline.record_counter("perf.escalations", 1)
+        metrics.pipeline.record_phase("perf", 0.002)
+        lines = render_prometheus(metrics.snapshot()).splitlines()
+        assert "repro_analysis_use_before_init 2" in lines
+        assert "repro_repair_suggestions 1" in lines
+        assert "repro_interp_compile_hits 3" in lines
+        assert "repro_perf_escalations 1" in lines
+        assert any(l.startswith("repro_pipeline_perf_ms ") for l in lines)

@@ -1,0 +1,71 @@
+"""Seeded slow-variant models for the performance analyzer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.perf.model import PERF_PATTERNS
+from repro.kb import all_assignment_names, get_assignment
+from repro.synth.perf_models import (
+    PERF_SPACES,
+    SLOW_LABEL_PREFIX,
+    perf_space,
+    sample_fast_cohort,
+    sample_slow_cohort,
+)
+from repro.testing.functional import run_tests
+
+SUPPORTED = sorted(PERF_SPACES)
+
+
+class TestSpaces:
+    def test_keys_are_real_assignments(self):
+        known = set(all_assignment_names())
+        assert set(PERF_SPACES) <= known
+
+    @pytest.mark.parametrize("name", SUPPORTED)
+    def test_slow_labels_reference_real_patterns(self, name):
+        space = perf_space(name)
+        pattern_ids = {pattern.id for pattern in PERF_PATTERNS}
+        slow_labels = [
+            option.label
+            for point in space.choice_points
+            for option in point.options
+            if option.label.startswith(SLOW_LABEL_PREFIX)
+        ]
+        assert slow_labels  # every supported space seeds at least one
+        for label in slow_labels:
+            assert label[len(SLOW_LABEL_PREFIX):] in pattern_ids
+
+    def test_unknown_assignment_raises(self):
+        with pytest.raises(KeyError):
+            perf_space("no-such-assignment")
+
+
+class TestCohorts:
+    @pytest.mark.parametrize("name", SUPPORTED)
+    def test_same_seed_reproduces_the_cohort(self, name):
+        first = sample_slow_cohort(name, count=6, seed=7)
+        second = sample_slow_cohort(name, count=6, seed=7)
+        assert [s.index for s in first] == [s.index for s in second]
+
+    @pytest.mark.parametrize("name", SUPPORTED)
+    def test_slow_and_fast_pools_are_disjoint(self, name):
+        slow = {s.index for s in sample_slow_cohort(name, count=16)}
+        fast = {s.index for s in sample_fast_cohort(name, count=16)}
+        assert slow and fast
+        assert slow.isdisjoint(fast)
+
+    @pytest.mark.parametrize("name", SUPPORTED)
+    def test_slow_variants_pass_the_functional_tests(self, name):
+        """The premise of the whole subsystem: the slow cohort is
+        functionally correct, so only the perf analyzer can flag it."""
+        assignment = get_assignment(name)
+        from repro.java import parse_submission
+
+        for submission in sample_slow_cohort(name, count=4, seed=1):
+            report = run_tests(
+                parse_submission(submission.source),
+                assignment.tests,
+            )
+            assert report.passed, submission.source
